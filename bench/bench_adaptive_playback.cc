@@ -1,0 +1,115 @@
+// Adaptive vs rigid playback applications (paper §2-3): the core argument
+// for predicted service is that adaptive clients set their playback point
+// near the *post facto* delay bound rather than the a-priori bound, gaining
+// latency at the cost of rare losses.
+//
+// Experiment: a predicted flow crosses the Figure-1 chain (4 hops) under
+// full paper load.  Two receivers consume identical packet streams:
+//   * rigid: playback point fixed at the advertised a-priori bound,
+//   * adaptive: playback point tracks the 99th percentile of recent delays.
+// Report playback points (the application's effective latency) and loss.
+
+#include <cstdio>
+
+#include "app/playback.h"
+#include "common.h"
+#include "core/experiments.h"
+
+namespace {
+
+using namespace ispn;
+
+/// Duplicates each delivered packet into two playback apps.
+class Tee final : public net::FlowSink {
+ public:
+  Tee(app::PlaybackApp& a, app::PlaybackApp& b) : a_(a), b_(b) {}
+  void on_packet(net::PacketPtr p, sim::Time now) override {
+    auto copy = std::make_unique<net::Packet>(*p);
+    a_.on_packet(std::move(copy), now);
+    b_.on_packet(std::move(p), now);
+  }
+
+ private:
+  app::PlaybackApp& a_;
+  app::PlaybackApp& b_;
+};
+
+}  // namespace
+
+int main() {
+  const auto seconds = bench::run_seconds();
+  bench::header("Adaptive vs rigid playback on the loaded Figure-1 chain");
+
+  core::IspnNetwork::Config config;
+  config.class_targets = {0.016, 0.16};
+  config.enforce_admission = false;
+  core::IspnNetwork ispn(config);
+  const auto topo = ispn.build_chain(5);
+  const traffic::OnOffSource::Config source_config;
+
+  // Background: the paper's full 22-flow layout.
+  const auto layout = core::paper_flow_layout();
+  net::FlowId probe_flow = -1;
+  sim::Duration advertised = 0;
+  for (std::size_t f = 0; f < layout.size(); ++f) {
+    const auto& lf = layout[f];
+    core::FlowSpec spec;
+    spec.flow = static_cast<net::FlowId>(f);
+    spec.src = topo.hosts[static_cast<std::size_t>(lf.src_sw)];
+    spec.dst = topo.hosts[static_cast<std::size_t>(lf.dst_sw)];
+    spec.service = net::ServiceClass::kPredicted;
+    const bool high = lf.role == core::Table3Role::kPredictedHigh ||
+                      lf.role == core::Table3Role::kGuaranteedPeak;
+    spec.predicted = core::PredictedSpec{
+        source_config.paper_filter(),
+        (high ? 0.016 : 0.16) * lf.path_len(), 0.01};
+    auto handle = ispn.open_flow(spec);
+    auto& source = ispn.attach_onoff_source(handle, source_config, f);
+    source.start(0);
+    // The probe: the first 4-hop high-priority flow.
+    if (probe_flow < 0 && high && lf.path_len() == 4) {
+      probe_flow = spec.flow;
+      advertised = handle.commitment.advertised_bound.value_or(0.064);
+      continue;  // sink attached below with the playback tee
+    }
+    ispn.attach_sink(handle);
+  }
+
+  app::PlaybackApp rigid({.mode = app::PlaybackApp::Mode::kRigid,
+                          .initial_point = advertised});
+  app::PlaybackApp adaptive({.mode = app::PlaybackApp::Mode::kAdaptive,
+                             .initial_point = advertised,
+                             .quantile = 0.99,
+                             .margin = 0.002,
+                             .adapt_interval = 64,
+                             .window = 512});
+  Tee tee(rigid, adaptive);
+  // Re-open the probe's sink with the tee attached.
+  const auto& lf = layout[static_cast<std::size_t>(probe_flow)];
+  ispn.net().attach_stats_sink(probe_flow,
+                               topo.hosts[static_cast<std::size_t>(lf.dst_sw)],
+                               &tee);
+
+  ispn.net().sim().run_until(seconds);
+
+  const auto& stats = ispn.net().stats(probe_flow);
+  std::printf("probe: 4-hop Predicted-High flow, %llu packets delivered\n",
+              static_cast<unsigned long long>(stats.received));
+  std::printf("advertised a-priori bound: %.1f ms (sum of per-hop D_i)\n\n",
+              1000.0 * advertised);
+  std::printf("%-10s %20s %14s %12s\n", "client", "playback point (ms)",
+              "mean slack(ms)", "loss rate");
+  bench::rule();
+  std::printf("%-10s %20.2f %14.2f %11.4f%%\n", "rigid",
+              1000.0 * rigid.playback_point(), 1000.0 * rigid.mean_slack(),
+              100.0 * rigid.loss_rate());
+  std::printf("%-10s %20.2f %14.2f %11.4f%%\n", "adaptive",
+              1000.0 * adaptive.playback_point(),
+              1000.0 * adaptive.mean_slack(), 100.0 * adaptive.loss_rate());
+  std::printf("\nadaptive max point over run: %.2f ms; point changes: %zu\n",
+              1000.0 * adaptive.max_point(), adaptive.history().size());
+  std::printf("expected: adaptive point (~p99 of actual delay) well below "
+              "the a-priori bound,\nwith small but nonzero loss; rigid "
+              "wastes the difference as buffering slack.\n");
+  return 0;
+}

@@ -1,0 +1,254 @@
+// Related mechanisms (paper §4 and §11): WFQ vs VirtualClock vs Delay-EDD
+// vs FIFO on the guaranteed-service job — isolating a conforming flow from
+// a misbehaving one — and on the sharing job (homogeneous bursty flows).
+//
+// Expected shape:
+//   * isolation scenario: WFQ and VirtualClock protect the conforming
+//     flow (tiny delay) and punish the flood; FIFO collapses for everyone;
+//     EDD with per-flow bounds protects partially (deadlines reorder, but
+//     nothing polices the flood's rate).
+//   * sharing scenario: FIFO/EDD-single-class tails beat WFQ/VC tails —
+//     Table 1's lesson again, from the other direction.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "net/topology.h"
+#include "sched/edd.h"
+#include "sched/fifo_plus.h"
+#include "sched/jitter_edd.h"
+#include "sched/fifo.h"
+#include "sched/virtual_clock.h"
+#include "sched/wfq.h"
+#include "traffic/cbr_source.h"
+#include "traffic/onoff_source.h"
+
+namespace {
+
+using namespace ispn;
+
+enum class Kind { kFifo, kWfq, kVirtualClock, kEdd };
+
+const char* name(Kind kind) {
+  switch (kind) {
+    case Kind::kFifo: return "FIFO";
+    case Kind::kWfq: return "WFQ";
+    case Kind::kVirtualClock: return "VirtualClock";
+    case Kind::kEdd: return "Delay-EDD";
+  }
+  return "?";
+}
+
+/// Builds a dumbbell whose bottleneck runs `kind`, with per-flow
+/// configuration applied through `configure`.
+struct Rig {
+  net::Network net;
+  net::DumbbellTopology topo;
+  sched::Scheduler* sched = nullptr;
+};
+
+std::unique_ptr<Rig> make_rig(Kind kind) {
+  auto rig = std::make_unique<Rig>();
+  rig->topo = net::build_dumbbell(rig->net, 1e6, [&]() -> std::unique_ptr<sched::Scheduler> {
+    switch (kind) {
+      case Kind::kFifo: {
+        auto q = std::make_unique<sched::FifoScheduler>(200);
+        rig->sched = q.get();
+        return q;
+      }
+      case Kind::kWfq: {
+        auto q = std::make_unique<sched::WfqScheduler>(
+            sched::WfqScheduler::Config{1e6, 200, 1e5});
+        rig->sched = q.get();
+        return q;
+      }
+      case Kind::kVirtualClock: {
+        auto q = std::make_unique<sched::VirtualClockScheduler>(
+            sched::VirtualClockScheduler::Config{200, 1e5});
+        rig->sched = q.get();
+        return q;
+      }
+      case Kind::kEdd: {
+        auto q = std::make_unique<sched::EddScheduler>(
+            sched::EddScheduler::Config{200, 0.05});
+        rig->sched = q.get();
+        return q;
+      }
+    }
+    return nullptr;
+  });
+  return rig;
+}
+
+void isolation_row(Kind kind, double seconds) {
+  auto rig = make_rig(kind);
+  // Reserve half the link for each flow where the discipline supports it.
+  if (kind == Kind::kWfq) {
+    static_cast<sched::WfqScheduler*>(rig->sched)->add_flow(1, 5e5);
+    static_cast<sched::WfqScheduler*>(rig->sched)->add_flow(2, 5e5);
+  } else if (kind == Kind::kVirtualClock) {
+    static_cast<sched::VirtualClockScheduler*>(rig->sched)->add_flow(1, 5e5);
+    static_cast<sched::VirtualClockScheduler*>(rig->sched)->add_flow(2, 5e5);
+  } else if (kind == Kind::kEdd) {
+    static_cast<sched::EddScheduler*>(rig->sched)->set_bound(1, 0.005);
+    static_cast<sched::EddScheduler*>(rig->sched)->set_bound(2, 0.5);
+  }
+  net::Host& src = rig->net.host(rig->topo.left_host);
+  auto emit = [&src](net::PacketPtr p) { src.inject(std::move(p)); };
+  traffic::CbrSource good(rig->net.sim(),
+                          {.rate_pps = 400.0, .packet_bits = 1000}, 1,
+                          rig->topo.left_host, rig->topo.right_host, emit,
+                          &rig->net.stats(1));
+  traffic::CbrSource flood(rig->net.sim(),
+                           {.rate_pps = 1500.0, .packet_bits = 1000}, 2,
+                           rig->topo.left_host, rig->topo.right_host, emit,
+                           &rig->net.stats(2));
+  rig->net.attach_stats_sink(1, rig->topo.right_host);
+  rig->net.attach_stats_sink(2, rig->topo.right_host);
+  good.start(0);
+  flood.start(0);
+  rig->net.sim().run_until(seconds);
+
+  const auto& s1 = rig->net.stats(1);
+  const auto& s2 = rig->net.stats(2);
+  std::printf("%-14s %12.2f %12.2f %11.2f%% %14.2f\n", name(kind),
+              s1.mean_qdelay_pkt(), s1.max_qdelay_pkt(),
+              100.0 * s1.net_loss_rate(), s2.max_qdelay_pkt());
+}
+
+void sharing_row(Kind kind, double seconds) {
+  auto rig = make_rig(kind);
+  net::Host& src = rig->net.host(rig->topo.left_host);
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  for (int f = 0; f < 10; ++f) {
+    traffic::OnOffSource::Config config;
+    auto source = std::make_unique<traffic::OnOffSource>(
+        rig->net.sim(), config, sim::Rng(1, static_cast<std::uint64_t>(f)),
+        f, rig->topo.left_host, rig->topo.right_host,
+        [&src](net::PacketPtr p) { src.inject(std::move(p)); },
+        &rig->net.stats(f), config.paper_filter());
+    rig->net.attach_stats_sink(f, rig->topo.right_host);
+    source->start(0);
+    sources.push_back(std::move(source));
+  }
+  rig->net.sim().run_until(seconds);
+  double mean = 0, p999 = 0;
+  for (int f = 0; f < 10; ++f) {
+    mean += rig->net.stats(f).mean_qdelay_pkt() / 10.0;
+    p999 += rig->net.stats(f).p999_qdelay_pkt() / 10.0;
+  }
+  std::printf("%-14s %12.2f %12.2f\n", name(kind), mean, p999);
+}
+
+/// Delivery-jitter duel: FIFO vs FIFO+ vs Jitter-EDD on a 2-hop path with
+/// independent cross traffic per hop.  Reported: playout spread after the
+/// receiver holds by the stamped offset (Jitter-EDD) or plays immediately
+/// (others), plus the mean playout delay — the work-conserving vs
+/// non-work-conserving trade of §11.
+struct PlayoutRecorder final : net::FlowSink {
+  bool hold_by_offset;
+  stats::SampleSeries playout;
+  explicit PlayoutRecorder(bool hold) : hold_by_offset(hold) {}
+  void on_packet(net::PacketPtr p, sim::Time now) override {
+    const double extra = hold_by_offset ? std::max(0.0, p->jitter_offset) : 0;
+    playout.add(now + extra - p->created_at);
+  }
+};
+
+enum class JKind { kFifo, kFifoPlus, kJitterEdd };
+
+void jitter_row(JKind kind, double seconds) {
+  net::Network net;
+  const auto topo = net::build_chain(
+      net, 3, 1e6, [&]() -> std::unique_ptr<sched::Scheduler> {
+        switch (kind) {
+          case JKind::kFifo:
+            return std::make_unique<sched::FifoScheduler>(200);
+          case JKind::kFifoPlus:
+            return std::make_unique<sched::FifoPlusScheduler>();
+          case JKind::kJitterEdd:
+            return std::make_unique<sched::JitterEddScheduler>(
+                sched::JitterEddScheduler::Config{200, 0.12});
+        }
+        return nullptr;
+      });
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  std::vector<std::unique_ptr<PlayoutRecorder>> recorders;
+  net::FlowId next = 0;
+  auto add = [&](int a, int b, bool probe) {
+    const net::FlowId flow = next++;
+    traffic::OnOffSource::Config config;
+    const auto src = topo.hosts[static_cast<std::size_t>(a)];
+    const auto dst = topo.hosts[static_cast<std::size_t>(b)];
+    net::Host& host = net.host(src);
+    auto source = std::make_unique<traffic::OnOffSource>(
+        net.sim(), config, sim::Rng(11, static_cast<std::uint64_t>(flow)),
+        flow, src, dst,
+        [&host](net::PacketPtr p) { host.inject(std::move(p)); },
+        &net.stats(flow), config.paper_filter());
+    net::FlowSink* app = nullptr;
+    if (probe) {
+      recorders.push_back(
+          std::make_unique<PlayoutRecorder>(kind == JKind::kJitterEdd));
+      app = recorders.back().get();
+    }
+    net.attach_stats_sink(flow, dst, app);
+    source->start(0);
+    sources.push_back(std::move(source));
+  };
+  add(0, 2, true);
+  add(0, 2, true);
+  for (int k = 0; k < 8; ++k) add(0, 1, false);
+  for (int k = 0; k < 8; ++k) add(1, 2, false);
+  net.sim().run_until(seconds);
+
+  double spread = 0, mean = 0;
+  for (const auto& rec : recorders) {
+    spread += (rec->playout.percentile(0.999) - rec->playout.min()) / 2.0;
+    mean += rec->playout.mean() / 2.0;
+  }
+  const char* label = kind == JKind::kFifo
+                          ? "FIFO"
+                          : kind == JKind::kFifoPlus ? "FIFO+" : "Jitter-EDD";
+  std::printf("%-14s %16.2f %16.2f\n", label, 1000.0 * mean,
+              1000.0 * spread);
+}
+
+}  // namespace
+
+int main() {
+  const auto seconds = bench::run_seconds();
+  const auto kinds = {Kind::kWfq, Kind::kVirtualClock, Kind::kEdd,
+                      Kind::kFifo};
+
+  bench::header("Isolation: 400 kb/s conforming flow vs 1.5 Mb/s flood");
+  std::printf("(reservations 500/500 kb/s where supported; %.0f s)\n\n",
+              seconds);
+  std::printf("%-14s %12s %12s %12s %14s\n", "scheduler", "good mean",
+              "good max", "good loss", "flood max");
+  bench::rule();
+  for (Kind kind : kinds) isolation_row(kind, seconds);
+
+  bench::header("Sharing: 10 homogeneous paper sources (Table-1 workload)");
+  std::printf("%-14s %12s %12s\n", "scheduler", "mean", "99.9 %ile");
+  bench::rule();
+  for (Kind kind : kinds) sharing_row(kind, seconds);
+
+  bench::header(
+      "Delivery jitter: 2-hop probes, independent cross traffic per hop");
+  std::printf("%-14s %16s %16s\n", "scheduler", "playout mean(ms)",
+              "playout spread(ms)");
+  bench::rule();
+  for (JKind kind : {JKind::kFifo, JKind::kFifoPlus, JKind::kJitterEdd}) {
+    jitter_row(kind, seconds);
+  }
+
+  std::printf("\nexpected: WFQ/VirtualClock isolate (good flow unharmed); "
+              "FIFO collapses;\nEDD reorders but cannot police. For "
+              "sharing, FIFO/EDD tails beat WFQ/VC.\nJitter-EDD: near-zero "
+              "playout spread at a higher (bound-sized) mean —\nthe "
+              "non-work-conserving trade; FIFO+ narrows the spread for "
+              "free.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Per-packet scheduling cost (paper §1: the scheduling algorithm "must be
+// executed for every packet [so] it must not be so complex as to effect
+// overall network performance").  google-benchmark microbenchmarks of one
+// enqueue+dequeue cycle under steady backlog for each discipline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/fifo.h"
+#include "sched/fifo_plus.h"
+#include "sched/priority.h"
+#include "sched/unified.h"
+#include "sched/wfq.h"
+
+namespace {
+
+using namespace ispn;
+
+net::PacketPtr make(net::FlowId flow, std::uint64_t seq, double now,
+                    net::ServiceClass service, std::uint8_t priority = 0) {
+  auto p = net::make_packet(flow, seq, 0, 1, now);
+  p->enqueued_at = now;
+  p->service = service;
+  p->priority = priority;
+  return p;
+}
+
+/// Preloads `backlog` packets across `flows` flows, then measures one
+/// enqueue + one dequeue per iteration at steady state.
+template <typename MakeSched>
+void run_cycle(benchmark::State& state, MakeSched make_sched, int flows,
+               net::ServiceClass service) {
+  auto sched = make_sched();
+  const int backlog = 64;
+  std::uint64_t seq = 0;
+  double now = 0;
+  for (int i = 0; i < backlog; ++i) {
+    auto dropped = sched->enqueue(
+        make(static_cast<net::FlowId>(i % flows), seq++, now, service,
+             static_cast<std::uint8_t>(i % 2)),
+        now);
+    benchmark::DoNotOptimize(dropped);
+  }
+  for (auto _ : state) {
+    now += 1e-3;
+    auto dropped = sched->enqueue(
+        make(static_cast<net::FlowId>(seq % static_cast<std::uint64_t>(flows)),
+             seq, now, service, static_cast<std::uint8_t>(seq % 2)),
+        now);
+    ++seq;
+    benchmark::DoNotOptimize(dropped);
+    auto p = sched->dequeue(now);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Fifo(benchmark::State& state) {
+  run_cycle(
+      state, [] { return std::make_unique<sched::FifoScheduler>(100000); },
+      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
+}
+BENCHMARK(BM_Fifo)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_FifoPlus(benchmark::State& state) {
+  run_cycle(
+      state,
+      [] {
+        return std::make_unique<sched::FifoPlusScheduler>(
+            sched::FifoPlusScheduler::Config{100000, 1.0 / 4096.0, true});
+      },
+      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
+}
+BENCHMARK(BM_FifoPlus)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_Wfq(benchmark::State& state) {
+  run_cycle(
+      state,
+      [] {
+        return std::make_unique<sched::WfqScheduler>(
+            sched::WfqScheduler::Config{1e6, 100000, 1e4});
+      },
+      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
+}
+BENCHMARK(BM_Wfq)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_PriorityOverFifo(benchmark::State& state) {
+  run_cycle(
+      state,
+      [] {
+        std::vector<std::unique_ptr<sched::Scheduler>> children;
+        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
+        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
+        return std::make_unique<sched::PriorityScheduler>(std::move(children));
+      },
+      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
+}
+BENCHMARK(BM_PriorityOverFifo)->Arg(10);
+
+void BM_UnifiedPredicted(benchmark::State& state) {
+  run_cycle(
+      state,
+      [] {
+        auto s = std::make_unique<sched::UnifiedScheduler>(
+            sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
+                                            true});
+        return s;
+      },
+      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
+}
+BENCHMARK(BM_UnifiedPredicted)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_UnifiedGuaranteed(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  run_cycle(
+      state,
+      [flows] {
+        auto s = std::make_unique<sched::UnifiedScheduler>(
+            sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
+                                            true});
+        for (int f = 0; f < flows; ++f) {
+          s->add_guaranteed(f, 1e6 / (2.0 * flows));
+        }
+        return s;
+      },
+      flows, net::ServiceClass::kGuaranteed);
+}
+BENCHMARK(BM_UnifiedGuaranteed)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_UnifiedMixed(benchmark::State& state) {
+  // Realistic Table-3 port mix: 3 guaranteed flows + 2 predicted classes
+  // + datagram, alternating arrivals.
+  auto sched = std::make_unique<sched::UnifiedScheduler>(
+      sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0, true});
+  for (int f = 0; f < 3; ++f) sched->add_guaranteed(f, 1.7e5);
+  for (int f = 3; f < 10; ++f) sched->set_predicted_priority(f, f % 2);
+  std::uint64_t seq = 0;
+  double now = 0;
+  auto next = [&](std::uint64_t i) {
+    const int f = static_cast<int>(i % 11);
+    if (f < 3) return make(f, i, now, net::ServiceClass::kGuaranteed);
+    if (f < 10) {
+      return make(f, i, now, net::ServiceClass::kPredicted,
+                  static_cast<std::uint8_t>(f % 2));
+    }
+    return make(f, i, now, net::ServiceClass::kDatagram);
+  };
+  for (int i = 0; i < 64; ++i) {
+    auto dropped = sched->enqueue(next(seq), now);
+    benchmark::DoNotOptimize(dropped);
+    ++seq;
+  }
+  for (auto _ : state) {
+    now += 1e-3;
+    auto dropped = sched->enqueue(next(seq), now);
+    ++seq;
+    benchmark::DoNotOptimize(dropped);
+    auto p = sched->dequeue(now);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnifiedMixed);
+
+}  // namespace
+
+BENCHMARK_MAIN();

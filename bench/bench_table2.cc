@@ -1,0 +1,89 @@
+// Reproduces Figure 1 (topology) and Table 2 (paper §6): WFQ vs FIFO vs
+// FIFO+ mean and 99.9th-percentile queueing delay by path length on the
+// 5-switch chain with 22 flows (10 per link, 83.5% utilization).
+//
+//   paper (99.9 %ile by path length 1/2/3/4):
+//     WFQ    45.31  60.31  65.86  80.59
+//     FIFO   30.49  41.22  52.36  58.13
+//     FIFO+  33.59  38.15  43.30  45.25
+//
+// Expected shape: tails grow with hops everywhere, but far more slowly
+// under FIFO+ (multi-hop sharing via the jitter-offset header field).
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "common.h"
+#include "core/experiments.h"
+#include "net/topology.h"
+#include "sched/fifo.h"
+
+int main() {
+  using namespace ispn;
+  const auto seconds = bench::run_seconds();
+
+  bench::header("Figure 1: network topology");
+  {
+    net::Network net;
+    const auto topo = net::build_chain(net, 5, sim::paper::kLinkRate, [] {
+      return std::make_unique<sched::FifoScheduler>(200);
+    });
+    std::printf("%s", net::chain_ascii(topo).c_str());
+    std::printf("4 x 1 Mbit/s inter-switch links; hosts attach infinitely "
+                "fast;\n22 one-way flows: 12 of length 1, 4 of length 2, "
+                "4 of length 3, 2 of length 4;\n10 flows per link.\n");
+  }
+
+  bench::header("Table 2: queueing delay by path length (pkt times)");
+  std::printf("simulated %.0f s per scheduler\n\n", seconds);
+
+  struct PaperRow {
+    double mean[4];
+    double p999[4];
+  };
+  const std::map<core::SchedKind, PaperRow> paper = {
+      {core::SchedKind::kWfq,
+       {{2.65, 4.74, 7.51, 9.64}, {45.31, 60.31, 65.86, 80.59}}},
+      {core::SchedKind::kFifo,
+       {{2.54, 4.73, 7.97, 10.33}, {30.49, 41.22, 52.36, 58.13}}},
+      {core::SchedKind::kFifoPlus,
+       {{2.71, 4.69, 7.76, 10.11}, {33.59, 38.15, 43.30, 45.25}}},
+  };
+
+  std::printf("%-8s", "");
+  for (int len = 1; len <= 4; ++len) {
+    std::printf("   len %d: mean  99.9%%ile", len);
+  }
+  std::printf("\n");
+  bench::rule();
+
+  for (const auto kind : {core::SchedKind::kWfq, core::SchedKind::kFifo,
+                          core::SchedKind::kFifoPlus}) {
+    const auto result = core::run_chain(kind, seconds, 1);
+    double mean[5] = {}, p999[5] = {};
+    int n[5] = {};
+    for (const auto& f : result.flows) {
+      mean[f.path_len] += f.mean_pkt;
+      p999[f.path_len] += f.p999_pkt;
+      ++n[f.path_len];
+    }
+    std::printf("%-8s", core::to_string(kind));
+    for (int len = 1; len <= 4; ++len) {
+      std::printf("        %6.2f  %8.2f", mean[len] / n[len],
+                  p999[len] / n[len]);
+    }
+    std::printf("\n%-8s", "(paper)");
+    const auto& p = paper.at(kind);
+    for (int len = 1; len <= 4; ++len) {
+      std::printf("        %6.2f  %8.2f", p.mean[len - 1], p.p999[len - 1]);
+    }
+    std::printf("\n");
+  }
+
+  const auto fifo = core::run_chain(core::SchedKind::kFifo, seconds, 1);
+  std::printf("\nlink utilization:");
+  for (double u : fifo.link_utilization) std::printf(" %.1f%%", 100.0 * u);
+  std::printf(" (paper: 83.5%% each)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The utilization argument (paper §4 and §7): if every real-time client
+// requested guaranteed service at a clock rate giving reasonable delay
+// bounds (= its peak rate), real-time utilization would sit near 50%; with
+// predicted service the same link carries 10 flows at 83.5%, and datagram
+// TCP fills it past 99%.
+//
+// Three single-link scenarios:
+//   A. guaranteed-only, clock = peak: admission packs floor(0.9 mu / P)
+//      = 5 flows -> ~42% real-time utilization.
+//   B. predicted service: all 10 paper flows fit -> ~83.5%.
+//   C. scenario B + one TCP connection -> >99% total.
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/builder.h"
+#include "core/experiments.h"
+
+namespace {
+
+using namespace ispn;
+
+struct Scenario {
+  const char* name;
+  int guaranteed_flows;
+  int predicted_flows;
+  bool tcp;
+};
+
+void run_scenario(const Scenario& s, double seconds) {
+  core::IspnNetwork::Config config;
+  config.class_targets = {0.016, 0.16};
+  config.enforce_admission = false;  // we pack flows explicitly
+  core::IspnNetwork ispn(config);
+  const auto topo = ispn.build_chain(2);
+  const traffic::OnOffSource::Config source_config;
+
+  net::FlowId next = 0;
+  int realtime = 0;
+  for (int g = 0; g < s.guaranteed_flows; ++g) {
+    core::FlowSpec spec;
+    spec.flow = next++;
+    spec.src = topo.hosts[0];
+    spec.dst = topo.hosts[1];
+    spec.service = net::ServiceClass::kGuaranteed;
+    spec.guaranteed = core::GuaranteedSpec{source_config.peak_bps()};
+    auto handle = ispn.open_flow(spec);
+    auto& source = ispn.attach_onoff_source(
+        handle, source_config, static_cast<std::uint64_t>(spec.flow),
+        source_config.paper_filter());
+    ispn.attach_sink(handle);
+    source.start(0);
+    ++realtime;
+  }
+  for (int p = 0; p < s.predicted_flows; ++p) {
+    core::FlowSpec spec;
+    spec.flow = next++;
+    spec.src = topo.hosts[0];
+    spec.dst = topo.hosts[1];
+    spec.service = net::ServiceClass::kPredicted;
+    spec.predicted = core::PredictedSpec{source_config.paper_filter(),
+                                         p < 3 ? 0.016 : 0.16, 0.01};
+    auto handle = ispn.open_flow(spec);
+    auto& source = ispn.attach_onoff_source(
+        handle, source_config, static_cast<std::uint64_t>(spec.flow));
+    ispn.attach_sink(handle);
+    source.start(0);
+    ++realtime;
+  }
+  if (s.tcp) {
+    core::FlowSpec spec;
+    spec.flow = next++;
+    spec.src = topo.hosts[0];
+    spec.dst = topo.hosts[1];
+    spec.service = net::ServiceClass::kDatagram;
+    auto handle = ispn.open_flow(spec);
+    auto [tcp, sink] = ispn.attach_tcp(handle);
+    (void)sink;
+    tcp.start(0);
+  }
+
+  ispn.net().sim().run_until(seconds);
+
+  const core::LinkId link{topo.switches[0], topo.switches[1]};
+  std::printf("%-28s %10d %12.1f%% %12.1f%%\n", s.name, realtime,
+              100.0 * ispn.realtime_utilization(link, seconds),
+              100.0 * ispn.link_utilization(link, seconds));
+}
+
+}  // namespace
+
+int main() {
+  const auto seconds = ispn::bench::run_seconds();
+  ispn::bench::header(
+      "Utilization: guaranteed-only vs predicted vs predicted+TCP");
+  std::printf("single 1 Mbit/s link, paper sources, %.0f s\n\n", seconds);
+  std::printf("%-28s %10s %13s %13s\n", "scenario", "RT flows", "RT util",
+              "total util");
+  ispn::bench::rule();
+  run_scenario({"A: guaranteed @ peak clock", 5, 0, false}, seconds);
+  run_scenario({"B: predicted service", 0, 10, false}, seconds);
+  run_scenario({"C: predicted + TCP", 0, 10, true}, seconds);
+  std::printf("\nexpected: A ~42%% (5 peak-rate reservations fill the 90%%\n"
+              "real-time quota), B ~83.5%%, C >99%% total.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Adaptive packet voice (paper §2): a VAT-style conversation whose
+// receiver moves its playback point with measured network delay.
+//
+// A voice call crosses a congested 4-hop path under predicted service.
+// Midway through the call, a burst of extra traffic joins, delays rise,
+// and the adaptive receiver re-adjusts — exactly the "gamble that the
+// recent past predicts the near future" the paper describes.  We print
+// the playback-point timeline and the loss taken during re-adaptation.
+
+#include <cstdio>
+#include <vector>
+
+#include "app/playback.h"
+#include "core/builder.h"
+#include "core/experiments.h"
+
+int main() {
+  using namespace ispn;
+
+  core::IspnNetwork::Config config;
+  config.class_targets = {0.016, 0.16};
+  config.enforce_admission = false;  // we deliberately overload mid-call
+  core::IspnNetwork ispn(config);
+  const auto topo = ispn.build_chain(5);
+  const traffic::OnOffSource::Config voice;  // the paper's A = 85 pkt/s
+
+  // The call: Host-1 -> Host-5, high-priority predicted service.
+  core::FlowSpec call;
+  call.flow = 0;
+  call.src = topo.hosts[0];
+  call.dst = topo.hosts[4];
+  call.service = net::ServiceClass::kPredicted;
+  call.predicted = core::PredictedSpec{voice.paper_filter(), 0.064, 0.01};
+  auto call_handle = ispn.open_flow(call);
+  auto& call_source = ispn.attach_onoff_source(call_handle, voice, 0);
+
+  app::PlaybackApp receiver({.mode = app::PlaybackApp::Mode::kAdaptive,
+                             .initial_point =
+                                 call_handle.commitment.advertised_bound
+                                     .value_or(0.064),
+                             .quantile = 0.99,
+                             .margin = 0.002,
+                             .adapt_interval = 64,
+                             .window = 512});
+  ispn.attach_sink(call_handle, &receiver);
+  call_source.start(0);
+
+  // Background: 6 low-priority flows per link from the start...
+  net::FlowId next = 1;
+  auto add_background = [&](int src_sw, int dst_sw, sim::Time at) {
+    core::FlowSpec spec;
+    spec.flow = next++;
+    spec.src = topo.hosts[static_cast<std::size_t>(src_sw)];
+    spec.dst = topo.hosts[static_cast<std::size_t>(dst_sw)];
+    spec.service = net::ServiceClass::kPredicted;
+    spec.predicted = core::PredictedSpec{
+        voice.paper_filter(), 0.16 * (dst_sw - src_sw), 0.01};
+    auto handle = ispn.open_flow(spec);
+    auto& source = ispn.attach_onoff_source(
+        handle, voice, static_cast<std::uint64_t>(spec.flow));
+    ispn.attach_sink(handle);
+    source.start(at);
+  };
+  for (int link = 0; link < 4; ++link) {
+    for (int k = 0; k < 6; ++k) add_background(link, link + 1, 0.0);
+  }
+  // ...and at t = 120 s three more flows pile onto every link: network
+  // conditions change, delays jump.
+  for (int link = 0; link < 4; ++link) {
+    for (int k = 0; k < 3; ++k) add_background(link, link + 1, 120.0);
+  }
+
+  ispn.net().sim().run_until(240.0);
+
+  std::printf("adaptive packet voice, 4-hop path, load step at t = 120 s\n");
+  std::printf("a-priori bound: %.0f ms; call delivered %llu packets\n\n",
+              1000.0 * call_handle.commitment.advertised_bound.value_or(0.064),
+              static_cast<unsigned long long>(receiver.received()));
+
+  std::printf("playback-point timeline (sampled changes):\n");
+  const auto& history = receiver.history();
+  const std::size_t step = history.size() > 16 ? history.size() / 16 : 1;
+  for (std::size_t i = 0; i < history.size(); i += step) {
+    std::printf("  t=%7.1f s   point = %6.2f ms\n", history[i].at,
+                1000.0 * history[i].point);
+  }
+  if (!history.empty()) {
+    std::printf("  t=%7.1f s   point = %6.2f ms (final)\n",
+                history.back().at, 1000.0 * history.back().point);
+  }
+  std::printf("\nlate packets (missed playback point): %llu (%.3f%%)\n",
+              static_cast<unsigned long long>(receiver.late()),
+              100.0 * receiver.loss_rate());
+  std::printf("final playback point %.2f ms vs a-priori bound %.0f ms — the "
+              "adaptive client\nconverses with far less mouth-to-ear delay "
+              "than a rigid one would.\n",
+              1000.0 * receiver.playback_point(),
+              1000.0 * call_handle.commitment.advertised_bound.value_or(0.064));
+  return 0;
+}

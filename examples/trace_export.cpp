@@ -1,0 +1,57 @@
+// Packet-level trace export: run a loaded link for a few seconds and dump
+// every transmit/drop/delivery event as CSV (stdout), ready for plotting
+// delay scatter or burst anatomy.
+//
+//   $ ./trace_export > trace.csv
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/builder.h"
+#include "net/tracer.h"
+
+int main() {
+  using namespace ispn;
+
+  core::IspnNetwork::Config config;
+  config.class_targets = {0.016, 0.16};
+  config.enforce_admission = false;
+  core::IspnNetwork ispn(config);
+  const auto topo = ispn.build_chain(2);
+  const traffic::OnOffSource::Config src_cfg;
+
+  net::PacketTracer tracer(/*max_records=*/200000);
+  tracer.attach(ispn.net());
+
+  // Ten paper flows across one link; deliveries traced for flow 0 only
+  // (the wrap_sink chains in front of the stats recorder).
+  for (int f = 0; f < 10; ++f) {
+    core::FlowSpec spec;
+    spec.flow = f;
+    spec.src = topo.hosts[0];
+    spec.dst = topo.hosts[1];
+    spec.service = net::ServiceClass::kPredicted;
+    spec.predicted = core::PredictedSpec{src_cfg.paper_filter(),
+                                         f < 3 ? 0.016 : 0.16, 0.01};
+    auto handle = ispn.open_flow(spec);
+    auto& source = ispn.attach_onoff_source(
+        handle, src_cfg, static_cast<std::uint64_t>(f));
+    ispn.attach_sink(handle, f == 0 ? tracer.wrap_sink() : nullptr);
+    source.start(0);
+  }
+
+  ispn.net().sim().run_until(10.0);
+  tracer.to_csv(std::cout);
+
+  std::fprintf(stderr,
+               "wrote %zu events (%llu tx, %llu drop, %llu deliver)%s\n",
+               tracer.records().size(),
+               static_cast<unsigned long long>(
+                   tracer.count(net::PacketTracer::Event::kTransmit)),
+               static_cast<unsigned long long>(
+                   tracer.count(net::PacketTracer::Event::kDrop)),
+               static_cast<unsigned long long>(
+                   tracer.count(net::PacketTracer::Event::kDeliver)),
+               tracer.truncated() ? " [truncated]" : "");
+  return 0;
+}

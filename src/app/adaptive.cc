@@ -1,0 +1,19 @@
+#include "app/adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ispn::app {
+
+sim::Duration DelayQuantileEstimator::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  std::vector<sim::Duration> sorted(samples_.begin(), samples_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace ispn::app

@@ -1,0 +1,45 @@
+// Adaptive playback-point estimation (paper §2.3).
+//
+// An adaptive client measures the delays of arriving packets and moves its
+// playback point to "the minimal delay that still produces a sufficiently
+// low loss rate" — i.e. a high quantile of recently observed delays plus a
+// safety margin.  The estimator keeps a sliding window of the last N
+// delays and reports their q-quantile; the application re-evaluates the
+// playback point periodically (re-adjusting too often would itself cause
+// service interruptions, cf. §3).
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace ispn::app {
+
+/// Sliding-window delay quantile estimator.
+class DelayQuantileEstimator {
+ public:
+  /// Tracks the last `window` samples and answers `quantile` queries
+  /// (nearest-rank).
+  explicit DelayQuantileEstimator(std::size_t window = 512)
+      : window_(window) {}
+
+  void add(sim::Duration delay) {
+    samples_.push_back(delay);
+    if (samples_.size() > window_) samples_.pop_front();
+  }
+
+  /// q-quantile of the window; 0 when empty.
+  [[nodiscard]] sim::Duration quantile(double q) const;
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool primed() const { return samples_.size() >= window_ / 4; }
+
+ private:
+  std::size_t window_;
+  std::deque<sim::Duration> samples_;
+};
+
+}  // namespace ispn::app

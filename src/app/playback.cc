@@ -1,0 +1,46 @@
+#include "app/playback.h"
+
+#include <algorithm>
+
+namespace ispn::app {
+
+PlaybackApp::PlaybackApp(Config config)
+    : config_(config),
+      estimator_(config.window),
+      point_(config.initial_point),
+      max_point_(config.initial_point) {}
+
+void PlaybackApp::on_packet(net::PacketPtr p, sim::Time now) {
+  const sim::Duration delay = now - p->created_at;
+  ++received_;
+  if (delay > point_) {
+    ++late_;
+  } else {
+    slack_.add(point_ - delay);
+  }
+  if (config_.mode == Mode::kAdaptive) {
+    estimator_.add(delay);
+    ++since_adapt_;
+    if (since_adapt_ >= config_.adapt_interval && estimator_.primed()) {
+      since_adapt_ = 0;
+      maybe_adapt(now);
+    }
+  }
+}
+
+void PlaybackApp::maybe_adapt(sim::Time now) {
+  const sim::Duration target =
+      estimator_.quantile(config_.quantile) + config_.margin;
+  if (target == point_) return;
+  point_ = target;
+  max_point_ = std::max(max_point_, point_);
+  history_.push_back({now, point_});
+}
+
+double PlaybackApp::loss_rate() const {
+  return received_ == 0
+             ? 0.0
+             : static_cast<double>(late_) / static_cast<double>(received_);
+}
+
+}  // namespace ispn::app

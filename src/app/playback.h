@@ -1,0 +1,94 @@
+// Play-back applications (paper §2).
+//
+// A play-back application buffers arriving packets and replays the signal
+// at creation_time + playback_point.  Packets arriving after their
+// playback point are useless (late = lost to the application); packets
+// arriving earlier are buffered.  Two client types:
+//
+//   * Rigid: the playback point is fixed to the network's a-priori bound
+//     and never moves.
+//   * Adaptive: the playback point tracks a high quantile of measured
+//     delays plus a margin, re-evaluated every `adapt_interval` packets —
+//     gambling that the recent past predicts the near future.
+//
+// The app reports the loss rate (late fraction), the average lateness
+// headroom, and the playback-point history — the "post facto vs a-priori
+// bound" comparison at the heart of the paper's argument for predicted
+// service.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/adaptive.h"
+#include "net/host.h"
+#include "stats/online_stats.h"
+
+namespace ispn::app {
+
+class PlaybackApp final : public net::FlowSink {
+ public:
+  enum class Mode { kRigid, kAdaptive };
+
+  struct Config {
+    Mode mode = Mode::kAdaptive;
+    /// Rigid: the fixed playback point (the advertised a-priori bound).
+    /// Adaptive: the initial playback point until the estimator primes.
+    sim::Duration initial_point = 0.1;
+    /// Adaptive: quantile of recent delays to track (e.g. 0.99 for a
+    /// target loss rate of 1%).
+    double quantile = 0.99;
+    /// Adaptive: safety margin added to the quantile (seconds).
+    sim::Duration margin = 0.002;
+    /// Adaptive: re-evaluate the point every this many packets.
+    std::uint64_t adapt_interval = 64;
+    /// Adaptive: estimator window (packets).
+    std::size_t window = 512;
+  };
+
+  explicit PlaybackApp(Config config);
+
+  void on_packet(net::PacketPtr p, sim::Time now) override;
+
+  /// Current playback point (seconds after packet creation).
+  [[nodiscard]] sim::Duration playback_point() const { return point_; }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t late() const { return late_; }
+
+  /// Fraction of received packets that missed the playback point.
+  [[nodiscard]] double loss_rate() const;
+
+  /// Mean buffering time of on-time packets (playback point minus delay):
+  /// large values mean the point is set too conservatively.
+  [[nodiscard]] double mean_slack() const { return slack_.mean(); }
+
+  /// Time-stamped history of playback-point changes (adaptive mode).
+  struct PointChange {
+    sim::Time at;
+    sim::Duration point;
+  };
+  [[nodiscard]] const std::vector<PointChange>& history() const {
+    return history_;
+  }
+
+  /// Largest playback point ever used — the adaptive client's de-facto
+  /// delay bound.
+  [[nodiscard]] sim::Duration max_point() const { return max_point_; }
+
+ private:
+  void maybe_adapt(sim::Time now);
+
+  Config config_;
+  DelayQuantileEstimator estimator_;
+  sim::Duration point_;
+  sim::Duration max_point_;
+  std::uint64_t received_ = 0;
+  std::uint64_t late_ = 0;
+  std::uint64_t since_adapt_ = 0;
+  stats::OnlineStats slack_;
+  std::vector<PointChange> history_;
+};
+
+}  // namespace ispn::app

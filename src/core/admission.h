@@ -1,0 +1,97 @@
+// Admission control (paper §9).
+//
+// Two criteria gate every admission on every link of the flow's path:
+//
+//  (1) datagram quota: the flow's rate r plus the (measured or committed)
+//      real-time utilisation ν̂ must leave at least a 10% share for
+//      datagram traffic:   r + ν̂·μ < 0.9·μ ;
+//  (2) delay protection: admitting a worst-case burst b must not push any
+//      equal-or-lower-priority class j over its per-hop target D_j:
+//          b < (D_j − d̂_j) · (μ − ν̂·μ − r).
+//
+// Guaranteed requests are "higher in priority than all levels", so (2) is
+// evaluated against every predicted class; they additionally may not
+// oversubscribe the WFQ clock rates past the quota.
+//
+// ν̂ and d̂_j come either from live measurement (LinkMeasurement — the
+// paper's proposal) or from the sum of committed parameters (the
+// traditional alternative the paper argues against; kept for the
+// bench_utilization / bench_admission comparisons).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/flowspec.h"
+#include "core/measurement.h"
+
+namespace ispn::core {
+
+/// A directed link (from, to).
+using LinkId = std::pair<net::NodeId, net::NodeId>;
+
+class AdmissionController {
+ public:
+  enum class Mode {
+    kMeasurementBased,  ///< ν̂, d̂_j from LinkMeasurement (paper's design)
+    kParameterBased,    ///< ν̂ = Σ committed rates, d̂_j = 0 (worst-case)
+  };
+
+  struct Config {
+    Mode mode = Mode::kMeasurementBased;
+    /// Fraction of each link reserved for datagram traffic (paper: 10%).
+    double datagram_quota = 0.1;
+  };
+
+  explicit AdmissionController(Config config) : config_(config) {}
+
+  /// Registers a directed link with its per-class per-hop delay targets
+  /// D_0 < D_1 < ... (ascending: class 0 is the tightest/highest priority).
+  /// `measurement` may be null (parameter-based mode only).
+  void register_link(LinkId link, sim::Rate rate,
+                     std::vector<sim::Duration> class_targets,
+                     LinkMeasurement* measurement = nullptr);
+
+  /// Decides admission of `spec` along `path` at time `now`; on success the
+  /// flow's resources are committed on every link and the commitment
+  /// describes the advertised bound and per-hop priority levels.
+  ServiceCommitment request(const FlowSpec& spec,
+                            const std::vector<LinkId>& path, sim::Time now);
+
+  /// Releases a previously admitted flow's resources.
+  void release(const FlowSpec& spec, const std::vector<LinkId>& path);
+
+  /// Committed guaranteed clock-rate sum on a link (diagnostic).
+  [[nodiscard]] sim::Rate guaranteed_rate(LinkId link) const;
+  /// Committed predicted token-rate sum on a link (diagnostic).
+  [[nodiscard]] sim::Rate predicted_rate(LinkId link) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct LinkState {
+    sim::Rate rate = 0;
+    std::vector<sim::Duration> class_targets;
+    LinkMeasurement* measurement = nullptr;
+    sim::Rate guaranteed_rate = 0;
+    sim::Rate predicted_rate = 0;
+  };
+
+  /// ν̂ for one link, as a fraction of link rate.
+  [[nodiscard]] double utilization(LinkState& link, sim::Time now) const;
+  /// d̂_j for one link (seconds).
+  [[nodiscard]] sim::Duration class_delay(LinkState& link, int klass,
+                                          sim::Time now) const;
+
+  /// Checks both criteria for a rate-r, burst-b flow at priority `level`
+  /// on `link`; fills `why` on failure.
+  bool check(LinkState& link, sim::Rate r, sim::Bits b, int level,
+             sim::Time now, std::string* why) const;
+
+  Config config_;
+  std::map<LinkId, LinkState> links_;
+};
+
+}  // namespace ispn::core

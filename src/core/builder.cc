@@ -1,0 +1,232 @@
+#include "core/builder.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ispn::core {
+
+IspnNetwork::IspnNetwork(Config config)
+    : config_(std::move(config)), admission_(config_.admission) {
+  assert(!config_.class_targets.empty());
+  assert(std::is_sorted(config_.class_targets.begin(),
+                        config_.class_targets.end()));
+}
+
+net::ChainTopology IspnNetwork::build_chain(int num_switches) {
+  net::ChainTopology topo;
+  for (int i = 0; i < num_switches; ++i) {
+    auto& sw = net_.add_switch("S-" + std::to_string(i + 1));
+    topo.switches.push_back(sw.id());
+    auto& host = net_.add_host("Host-" + std::to_string(i + 1));
+    topo.hosts.push_back(host.id());
+    net_.connect(host.id(), sw.id(), /*rate=*/0);
+  }
+
+  auto make_link = [this](net::NodeId from, net::NodeId to)
+      -> std::unique_ptr<sched::Scheduler> {
+    const LinkId link{from, to};
+    auto measurement = std::make_unique<LinkMeasurement>(LinkMeasurement::Config{
+        config_.link_rate, static_cast<int>(config_.class_targets.size()),
+        config_.measurement_window, config_.measurement_safety});
+    LinkMeasurement* meas = measurement.get();
+    measurements_[link] = std::move(measurement);
+
+    auto scheduler = std::make_unique<sched::UnifiedScheduler>(
+        sched::UnifiedScheduler::Config{
+            config_.link_rate, config_.buffer_pkts,
+            static_cast<int>(config_.class_targets.size()),
+            config_.fifo_plus_gain, config_.fifo_plus,
+            config_.stale_offset_threshold});
+    // Stale discards happen inside the scheduler, invisible to the port's
+    // drop accounting; route them into the same per-flow counters.
+    scheduler->set_discard_hook([this](const net::Packet& p, sim::Time) {
+      ++net_.stats(p.flow).net_drops;
+    });
+    scheduler->set_wait_observer(
+        [meas](int klass, sim::Duration wait, sim::Time now) {
+          meas->on_class_wait(klass, wait, now);
+        });
+    schedulers_[link] = scheduler.get();
+
+    admission_.register_link(link, config_.link_rate, config_.class_targets,
+                             meas);
+    return scheduler;
+  };
+
+  for (int i = 0; i + 1 < num_switches; ++i) {
+    const net::NodeId a = topo.switches[static_cast<std::size_t>(i)];
+    const net::NodeId b = topo.switches[static_cast<std::size_t>(i + 1)];
+    net_.connect(a, b, config_.link_rate,
+                 net::DirectionalSchedulerFactory(make_link));
+    // Feed the real-time utilisation meters from transmissions.
+    for (const LinkId& link : {LinkId{a, b}, LinkId{b, a}}) {
+      LinkMeasurement* meas = measurements_.at(link).get();
+      sim::Bits* total = &realtime_bits_[link];
+      net_.port(link.first, link.second)
+          ->add_tx_hook([meas, total](const net::Packet& p, sim::Time now) {
+            if (p.service != net::ServiceClass::kDatagram) {
+              meas->on_realtime_tx(p.size_bits, now);
+              *total += p.size_bits;
+            }
+          });
+    }
+  }
+  net_.build_routes();
+  return topo;
+}
+
+std::vector<LinkId> IspnNetwork::route_links(net::NodeId src,
+                                             net::NodeId dst) const {
+  std::vector<LinkId> links;
+  const auto path = net_.route(src, dst);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    // Only inter-switch links queue; host attachments are infinitely fast.
+    if (schedulers_.contains({path[i], path[i + 1]})) {
+      links.emplace_back(path[i], path[i + 1]);
+    }
+  }
+  return links;
+}
+
+IspnNetwork::FlowHandle IspnNetwork::open_flow(const FlowSpec& spec) {
+  assert(spec.valid());
+  FlowHandle handle;
+  handle.spec = spec;
+  handle.links = route_links(spec.src, spec.dst);
+  handle.commitment =
+      admission_.request(spec, handle.links, net_.sim().now());
+
+  if (!handle.commitment.admitted) {
+    if (config_.enforce_admission) {
+      throw std::runtime_error("admission rejected " + describe(spec) + ": " +
+                               handle.commitment.reason);
+    }
+    // Forced configuration (paper-style static experiments): pick the
+    // cheapest adequate class exactly as admission would have.
+    if (spec.service == net::ServiceClass::kPredicted) {
+      const double per_hop = spec.predicted->target_delay /
+                             static_cast<double>(handle.links.size());
+      int chosen = 0;
+      for (int j = static_cast<int>(config_.class_targets.size()) - 1; j >= 0;
+           --j) {
+        if (config_.class_targets[static_cast<std::size_t>(j)] <= per_hop) {
+          chosen = j;
+          break;
+        }
+      }
+      handle.commitment.priority_per_hop.assign(handle.links.size(), chosen);
+      handle.commitment.advertised_bound =
+          static_cast<double>(handle.links.size()) *
+          config_.class_targets[static_cast<std::size_t>(chosen)];
+    }
+  }
+
+  // Configure the schedulers along the path.
+  if (spec.service == net::ServiceClass::kGuaranteed) {
+    for (const LinkId& link : handle.links) {
+      schedulers_.at(link)->add_guaranteed(spec.flow,
+                                           spec.guaranteed->clock_rate);
+    }
+  } else if (spec.service == net::ServiceClass::kPredicted) {
+    assert(handle.commitment.priority_per_hop.size() == handle.links.size());
+    for (std::size_t i = 0; i < handle.links.size(); ++i) {
+      schedulers_.at(handle.links[i])
+          ->set_predicted_priority(spec.flow,
+                                   handle.commitment.priority_per_hop[i]);
+    }
+  }
+  return handle;
+}
+
+void IspnNetwork::close_flow(const FlowHandle& handle) {
+  const FlowSpec& spec = handle.spec;
+  if (spec.service == net::ServiceClass::kGuaranteed) {
+    for (const LinkId& link : handle.links) {
+      schedulers_.at(link)->remove_guaranteed(spec.flow);
+    }
+  } else if (spec.service == net::ServiceClass::kPredicted) {
+    for (const LinkId& link : handle.links) {
+      schedulers_.at(link)->remove_predicted(spec.flow);
+    }
+  }
+  if (handle.commitment.admitted) {
+    admission_.release(spec, handle.links);
+  }
+}
+
+traffic::OnOffSource& IspnNetwork::attach_onoff_source(
+    const FlowHandle& handle, traffic::OnOffSource::Config config,
+    std::uint64_t stream, std::optional<traffic::TokenBucketSpec> police) {
+  const FlowSpec& spec = handle.spec;
+  if (!police && spec.service == net::ServiceClass::kPredicted) {
+    // Predicted flows are policed at the network edge with the declared
+    // filter (paper §8); source-side dropping is equivalent in simulation
+    // since host links are infinitely fast.
+    police = spec.predicted->bucket;
+  }
+  net::Host& host = net_.host(spec.src);
+  auto source = std::make_unique<traffic::OnOffSource>(
+      net_.sim(), config, sim::Rng(config_.seed, stream), spec.flow, spec.src,
+      spec.dst, [&host](net::PacketPtr p) { host.inject(std::move(p)); },
+      &net_.stats(spec.flow), police);
+  const std::uint8_t priority =
+      handle.commitment.priority_per_hop.empty()
+          ? 0
+          : static_cast<std::uint8_t>(handle.commitment.priority_per_hop[0]);
+  source->set_service(spec.service, priority);
+  auto& ref = *source;
+  sources_.push_back(std::move(source));
+  return ref;
+}
+
+std::pair<traffic::TcpSource&, traffic::TcpSink&> IspnNetwork::attach_tcp(
+    const FlowHandle& handle, traffic::TcpSource::Config config) {
+  const FlowSpec& spec = handle.spec;
+  assert(spec.service == net::ServiceClass::kDatagram);
+  net::Host& src_host = net_.host(spec.src);
+  net::Host& dst_host = net_.host(spec.dst);
+
+  auto source = std::make_unique<traffic::TcpSource>(
+      net_.sim(), config, spec.flow, spec.src, spec.dst,
+      [&src_host](net::PacketPtr p) { src_host.inject(std::move(p)); },
+      &net_.stats(spec.flow));
+  auto sink = std::make_unique<traffic::TcpSink>(
+      net_.sim(), config, spec.flow, spec.dst, spec.src,
+      [&dst_host](net::PacketPtr p) { dst_host.inject(std::move(p)); });
+
+  // ACKs arrive back at the source host; data arrives at the destination
+  // behind the stats recorder.
+  src_host.register_sink(spec.flow, source.get());
+  net_.attach_stats_sink(spec.flow, spec.dst, sink.get());
+
+  auto& src_ref = *source;
+  auto& sink_ref = *sink;
+  tcp_sources_.push_back(std::move(source));
+  tcp_sinks_.push_back(std::move(sink));
+  return {src_ref, sink_ref};
+}
+
+void IspnNetwork::attach_sink(const FlowHandle& handle, net::FlowSink* app) {
+  net_.attach_stats_sink(handle.spec.flow, handle.spec.dst, app);
+}
+
+sim::Duration IspnNetwork::guaranteed_bound(
+    const FlowHandle& handle, const traffic::TokenBucketSpec& bucket) const {
+  assert(handle.spec.service == net::ServiceClass::kGuaranteed);
+  return pg_paper_bound(bucket, handle.links.size(),
+                        sim::paper::kPacketBits);
+}
+
+double IspnNetwork::link_utilization(LinkId link, sim::Time now) {
+  return net_.port(link.first, link.second)->utilization(now);
+}
+
+double IspnNetwork::realtime_utilization(LinkId link, sim::Time now) const {
+  if (now <= 0) return 0.0;
+  auto it = realtime_bits_.find(link);
+  if (it == realtime_bits_.end()) return 0.0;
+  return it->second / (config_.link_rate * now);
+}
+
+}  // namespace ispn::core

@@ -1,0 +1,139 @@
+// IspnNetwork: the top-level public API assembling the paper's full
+// architecture — unified schedulers on every link, per-link measurement,
+// admission control, service commitments, sources and sinks.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::IspnNetwork ispn({.num_predicted_classes = 2,
+//                           .class_targets = {0.005, 0.05}});
+//   auto topo = ispn.build_chain(5);
+//   auto flow = ispn.open_flow(spec);            // admission + scheduling
+//   ispn.attach_onoff_source(flow, cfg, seed);   // paper's Markov source
+//   ispn.attach_sink(flow);                      // stats (+ optional app)
+//   ispn.net().sim().run_until(600.0);
+//   ispn.net().stats(flow.spec.flow).mean_qdelay_pkt();
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/flowspec.h"
+#include "core/measurement.h"
+#include "core/pg_bound.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sched/unified.h"
+#include "traffic/onoff_source.h"
+#include "traffic/tcp.h"
+
+namespace ispn::core {
+
+class IspnNetwork {
+ public:
+  struct Config {
+    sim::Rate link_rate = sim::paper::kLinkRate;
+    std::size_t buffer_pkts = sim::paper::kBufferPackets;
+    /// Per-hop delay targets D_i (ascending; one per predicted class).
+    /// The paper suggests order-of-magnitude spacing.
+    std::vector<sim::Duration> class_targets = {0.008, 0.064};
+    double fifo_plus_gain = 1.0 / 4096.0;
+    bool fifo_plus = true;
+    /// §10 stale-packet discard threshold on the FIFO+ offset (seconds);
+    /// infinity disables (default).
+    sim::Duration stale_offset_threshold = sim::kTimeInfinity;
+    AdmissionController::Config admission = {};
+    /// When false, open_flow() configures flows even if admission fails
+    /// (used to reproduce the paper's static experiments, which pre-date
+    /// a validated admission policy).
+    bool enforce_admission = true;
+    sim::Duration measurement_window = 10.0;
+    double measurement_safety = 1.2;
+    std::uint64_t seed = 1;
+  };
+
+  /// An admitted (or force-configured) flow.
+  struct FlowHandle {
+    FlowSpec spec;
+    ServiceCommitment commitment;
+    std::vector<LinkId> links;  ///< directed inter-switch links on the path
+  };
+
+  explicit IspnNetwork(Config config);
+
+  /// Builds the paper's Figure-1 chain (one host per switch) with unified
+  /// schedulers + measurement on every inter-switch link direction.
+  net::ChainTopology build_chain(int num_switches);
+
+  /// Requests service for `spec` (admission control + scheduler setup).
+  /// Throws std::runtime_error if rejected while enforce_admission is on;
+  /// otherwise configures the flow regardless and records the decision.
+  FlowHandle open_flow(const FlowSpec& spec);
+
+  /// Tears down an admitted flow: releases its admission-control
+  /// commitments and deregisters it from every scheduler on its path.
+  /// Stop the flow's source first; guaranteed flows must have drained
+  /// (their per-flow queues empty) before closing.
+  void close_flow(const FlowHandle& handle);
+
+  /// Creates the paper's two-state Markov source for `flow`.  Predicted
+  /// flows are policed at the edge with their declared bucket; guaranteed
+  /// and datagram flows are not policed (guaranteed sources made no traffic
+  /// commitment; the paper still drops nonconforming packets at the
+  /// *source* for all its real-time flows, so pass `police` to override).
+  traffic::OnOffSource& attach_onoff_source(
+      const FlowHandle& handle, traffic::OnOffSource::Config config,
+      std::uint64_t stream,
+      std::optional<traffic::TokenBucketSpec> police = std::nullopt);
+
+  /// Creates a TCP Reno bulk connection for a datagram flow.
+  std::pair<traffic::TcpSource&, traffic::TcpSink&> attach_tcp(
+      const FlowHandle& handle,
+      traffic::TcpSource::Config config = traffic::TcpSource::Config());
+
+  /// Attaches the statistics sink at the destination (optionally chaining
+  /// to an application sink such as a playback app).
+  void attach_sink(const FlowHandle& handle, net::FlowSink* app = nullptr);
+
+  /// Advertised a-priori bound for a guaranteed flow whose traffic conforms
+  /// to `bucket`: the paper's Parekh–Gallager form over the flow's path.
+  [[nodiscard]] sim::Duration guaranteed_bound(
+      const FlowHandle& handle, const traffic::TokenBucketSpec& bucket) const;
+
+  [[nodiscard]] net::Network& net() { return net_; }
+  [[nodiscard]] AdmissionController& admission() { return admission_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// The unified scheduler on a directed inter-switch link.
+  [[nodiscard]] sched::UnifiedScheduler& scheduler(LinkId link) {
+    return *schedulers_.at(link);
+  }
+  [[nodiscard]] LinkMeasurement& measurement(LinkId link) {
+    return *measurements_.at(link);
+  }
+
+  /// Directed inter-switch links on the current route src -> dst.
+  [[nodiscard]] std::vector<LinkId> route_links(net::NodeId src,
+                                                net::NodeId dst) const;
+
+  /// Utilisation of a directed link over [0, now].
+  [[nodiscard]] double link_utilization(LinkId link, sim::Time now);
+
+  /// Real-time-only (guaranteed + predicted) utilisation over [0, now].
+  [[nodiscard]] double realtime_utilization(LinkId link, sim::Time now) const;
+
+ private:
+  Config config_;
+  net::Network net_;
+  AdmissionController admission_;
+  std::map<LinkId, sched::UnifiedScheduler*> schedulers_;
+  std::map<LinkId, std::unique_ptr<LinkMeasurement>> measurements_;
+  std::map<LinkId, sim::Bits> realtime_bits_;
+  std::vector<std::unique_ptr<traffic::Source>> sources_;
+  std::vector<std::unique_ptr<traffic::TcpSource>> tcp_sources_;
+  std::vector<std::unique_ptr<traffic::TcpSink>> tcp_sinks_;
+};
+
+}  // namespace ispn::core

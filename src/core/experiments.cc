@@ -1,0 +1,296 @@
+#include "core/experiments.h"
+
+#include <cassert>
+#include <memory>
+
+#include "net/topology.h"
+#include "sched/fifo.h"
+#include "sched/fifo_plus.h"
+#include "sched/wfq.h"
+#include "traffic/onoff_source.h"
+
+namespace ispn::core {
+
+const char* to_string(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::kFifo: return "FIFO";
+    case SchedKind::kWfq: return "WFQ";
+    case SchedKind::kFifoPlus: return "FIFO+";
+  }
+  return "?";
+}
+
+const char* to_string(Table3Role role) {
+  switch (role) {
+    case Table3Role::kGuaranteedPeak: return "Guaranteed-Peak";
+    case Table3Role::kGuaranteedAverage: return "Guaranteed-Average";
+    case Table3Role::kPredictedHigh: return "Predicted-High";
+    case Table3Role::kPredictedLow: return "Predicted-Low";
+  }
+  return "?";
+}
+
+std::vector<LayoutFlow> paper_flow_layout() {
+  using R = Table3Role;
+  // See the header comment: 10 flows per link; per-link role mix
+  // 2 GP + 1 GA + 3 PH + 4 PL; sampled path lengths match the paper's rows.
+  return {
+      {0, 4, R::kGuaranteedPeak},     // len 4
+      {0, 4, R::kPredictedHigh},      // len 4
+      {0, 3, R::kGuaranteedAverage},  // len 3
+      {0, 3, R::kPredictedLow},       // len 3
+      {1, 4, R::kPredictedLow},       // len 3
+      {1, 4, R::kPredictedLow},       // len 3
+      {0, 2, R::kGuaranteedPeak},     // len 2
+      {0, 2, R::kPredictedHigh},      // len 2
+      {2, 4, R::kGuaranteedPeak},     // len 2
+      {2, 4, R::kPredictedHigh},      // len 2
+      {0, 1, R::kPredictedHigh},      // len 1 on L1
+      {0, 1, R::kPredictedLow},
+      {0, 1, R::kPredictedLow},
+      {0, 1, R::kPredictedLow},
+      {1, 2, R::kPredictedHigh},      // len 1 on L2
+      {1, 2, R::kPredictedLow},
+      {2, 3, R::kPredictedHigh},      // len 1 on L3
+      {2, 3, R::kPredictedLow},
+      {3, 4, R::kGuaranteedAverage},  // len 1 on L4
+      {3, 4, R::kPredictedHigh},
+      {3, 4, R::kPredictedLow},
+      {3, 4, R::kPredictedLow},
+  };
+}
+
+namespace {
+
+net::SchedulerFactory factory_for(SchedKind kind,
+                                  double fifo_plus_gain = 1.0 / 4096.0) {
+  switch (kind) {
+    case SchedKind::kFifo:
+      return [] {
+        return std::make_unique<sched::FifoScheduler>(
+            sim::paper::kBufferPackets);
+      };
+    case SchedKind::kWfq:
+      return [] {
+        // Equal clock rates (the paper's Tables 1/2 use an egalitarian WFQ).
+        return std::make_unique<sched::WfqScheduler>(sched::WfqScheduler::Config{
+            sim::paper::kLinkRate, sim::paper::kBufferPackets,
+            /*default_weight=*/sim::paper::kLinkRate / 10.0});
+      };
+    case SchedKind::kFifoPlus:
+      return [fifo_plus_gain] {
+        return std::make_unique<sched::FifoPlusScheduler>(
+            sched::FifoPlusScheduler::Config{sim::paper::kBufferPackets,
+                                             fifo_plus_gain, true});
+      };
+  }
+  return {};
+}
+
+traffic::OnOffSource::Config paper_source() { return {}; }  // all defaults
+
+std::unique_ptr<traffic::OnOffSource> make_paper_source(
+    net::Network& net, net::FlowId flow, net::NodeId src, net::NodeId dst,
+    std::uint64_t seed, std::uint64_t stream) {
+  auto config = paper_source();
+  net::Host& host = net.host(src);
+  auto source = std::make_unique<traffic::OnOffSource>(
+      net.sim(), config, sim::Rng(seed, stream), flow, src, dst,
+      [&host](net::PacketPtr p) { host.inject(std::move(p)); },
+      &net.stats(flow), config.paper_filter());
+  source->set_service(net::ServiceClass::kPredicted, 0);
+  return source;
+}
+
+}  // namespace
+
+SingleLinkResult run_single_link(SchedKind kind, int num_flows,
+                                 sim::Duration seconds, std::uint64_t seed) {
+  net::Network net;
+  const auto topo = net::build_dumbbell(net, sim::paper::kLinkRate,
+                                        factory_for(kind));
+
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  for (int f = 0; f < num_flows; ++f) {
+    auto source = make_paper_source(net, f, topo.left_host, topo.right_host,
+                                    seed, static_cast<std::uint64_t>(f));
+    net.attach_stats_sink(f, topo.right_host);
+    source->start(0);
+    sources.push_back(std::move(source));
+  }
+
+  net.sim().run_until(seconds);
+
+  SingleLinkResult result;
+  std::uint64_t generated = 0;
+  std::uint64_t dropped = 0;
+  for (int f = 0; f < num_flows; ++f) {
+    const auto& stats = net.stats(f);
+    result.mean_pkt.push_back(stats.mean_qdelay_pkt());
+    result.p999_pkt.push_back(stats.p999_qdelay_pkt());
+    generated += stats.generated;
+    dropped += stats.source_drops;
+  }
+  result.utilization =
+      net.port(topo.left_switch, topo.right_switch)->utilization(seconds);
+  result.source_drop_rate =
+      generated == 0 ? 0.0
+                     : static_cast<double>(dropped) /
+                           static_cast<double>(generated);
+  return result;
+}
+
+ChainResult run_chain(SchedKind kind, sim::Duration seconds,
+                      std::uint64_t seed, double fifo_plus_gain) {
+  net::Network net;
+  const auto topo = net::build_chain(net, 5, sim::paper::kLinkRate,
+                                     factory_for(kind, fifo_plus_gain));
+  const auto layout = paper_flow_layout();
+
+  std::vector<std::unique_ptr<traffic::OnOffSource>> sources;
+  for (std::size_t f = 0; f < layout.size(); ++f) {
+    const auto& lf = layout[f];
+    auto source = make_paper_source(
+        net, static_cast<net::FlowId>(f),
+        topo.hosts[static_cast<std::size_t>(lf.src_sw)],
+        topo.hosts[static_cast<std::size_t>(lf.dst_sw)], seed, f);
+    net.attach_stats_sink(static_cast<net::FlowId>(f),
+                          topo.hosts[static_cast<std::size_t>(lf.dst_sw)]);
+    source->start(0);
+    sources.push_back(std::move(source));
+  }
+
+  net.sim().run_until(seconds);
+
+  ChainResult result;
+  for (std::size_t f = 0; f < layout.size(); ++f) {
+    const auto& stats = net.stats(static_cast<net::FlowId>(f));
+    result.flows.push_back(ChainFlowResult{
+        static_cast<int>(f), layout[f].path_len(), stats.mean_qdelay_pkt(),
+        stats.p999_qdelay_pkt(), stats.max_qdelay_pkt()});
+  }
+  for (std::size_t i = 0; i + 1 < topo.switches.size(); ++i) {
+    result.link_utilization.push_back(
+        net.port(topo.switches[i], topo.switches[i + 1])
+            ->utilization(seconds));
+  }
+  return result;
+}
+
+Table3Result run_table3(const Table3Options& options) {
+  IspnNetwork::Config config;
+  config.class_targets = options.class_targets;
+  config.fifo_plus = options.fifo_plus;
+  // The paper's static Table-3 load is preconfigured (its admission policy
+  // was future work); we reproduce it verbatim rather than gate it.
+  config.enforce_admission = false;
+  config.seed = options.seed;
+  IspnNetwork ispn(config);
+  const auto topo = ispn.build_chain(5);
+  const auto layout = paper_flow_layout();
+
+  const traffic::OnOffSource::Config source_config;  // paper defaults
+  const traffic::TokenBucketSpec edge_filter = source_config.paper_filter();
+
+  Table3Result result;
+  for (std::size_t f = 0; f < layout.size(); ++f) {
+    const auto& lf = layout[f];
+    FlowSpec spec;
+    spec.flow = static_cast<net::FlowId>(f);
+    spec.src = topo.hosts[static_cast<std::size_t>(lf.src_sw)];
+    spec.dst = topo.hosts[static_cast<std::size_t>(lf.dst_sw)];
+
+    const double hops = lf.path_len();
+    traffic::TokenBucketSpec pg_bucket{};
+    switch (lf.role) {
+      case Table3Role::kGuaranteedPeak:
+        spec.service = net::ServiceClass::kGuaranteed;
+        spec.guaranteed = GuaranteedSpec{source_config.peak_bps()};
+        // At clock = peak rate the effective bucket is one packet.
+        pg_bucket = {source_config.peak_bps(), source_config.packet_bits};
+        break;
+      case Table3Role::kGuaranteedAverage:
+        spec.service = net::ServiceClass::kGuaranteed;
+        spec.guaranteed = GuaranteedSpec{source_config.avg_bps()};
+        pg_bucket = edge_filter;  // (A, 50 packets)
+        break;
+      case Table3Role::kPredictedHigh:
+        spec.service = net::ServiceClass::kPredicted;
+        spec.predicted = PredictedSpec{
+            edge_filter, options.class_targets.front() * hops, 0.01};
+        break;
+      case Table3Role::kPredictedLow:
+        spec.service = net::ServiceClass::kPredicted;
+        spec.predicted = PredictedSpec{
+            edge_filter, options.class_targets.back() * hops, 0.01};
+        break;
+    }
+
+    auto handle = ispn.open_flow(spec);
+    // All real-time sources pass the paper's (A, 50) source-side filter.
+    auto& source =
+        ispn.attach_onoff_source(handle, source_config, f, edge_filter);
+    ispn.attach_sink(handle);
+    source.start(0);
+
+    Table3FlowResult fr;
+    fr.flow = static_cast<int>(f);
+    fr.role = lf.role;
+    fr.path_len = lf.path_len();
+    if (spec.service == net::ServiceClass::kGuaranteed) {
+      fr.pg_bound_pkt = ispn.guaranteed_bound(handle, pg_bucket) /
+                        sim::paper::kPacketTime;
+    }
+    result.flows.push_back(fr);
+  }
+
+  // Datagram TCP load: one connection per pair of links.
+  std::vector<std::pair<int, int>> tcp_paths = {{0, 2}, {2, 4}};
+  std::vector<net::FlowId> tcp_flows;
+  for (int t = 0; t < options.num_tcp && t < static_cast<int>(tcp_paths.size());
+       ++t) {
+    FlowSpec spec;
+    spec.flow = static_cast<net::FlowId>(100 + t);
+    spec.src = topo.hosts[static_cast<std::size_t>(tcp_paths[(std::size_t)t].first)];
+    spec.dst = topo.hosts[static_cast<std::size_t>(tcp_paths[(std::size_t)t].second)];
+    spec.service = net::ServiceClass::kDatagram;
+    auto handle = ispn.open_flow(spec);
+    auto [tcp_src, tcp_sink] = ispn.attach_tcp(handle);
+    (void)tcp_sink;
+    tcp_src.start(0);
+    tcp_flows.push_back(spec.flow);
+  }
+
+  ispn.net().sim().run_until(options.seconds);
+
+  for (auto& fr : result.flows) {
+    const auto& stats = ispn.net().stats(fr.flow);
+    fr.mean_pkt = stats.mean_qdelay_pkt();
+    fr.p999_pkt = stats.p999_qdelay_pkt();
+    fr.max_pkt = stats.max_qdelay_pkt();
+  }
+
+  std::uint64_t tcp_injected = 0;
+  std::uint64_t tcp_drops = 0;
+  for (net::FlowId f : tcp_flows) {
+    const auto& stats = ispn.net().stats(f);
+    tcp_injected += stats.injected;
+    tcp_drops += stats.net_drops;
+    result.tcp_delivered += stats.received;
+  }
+  result.datagram_drop_rate =
+      tcp_injected == 0 ? 0.0
+                        : static_cast<double>(tcp_drops) /
+                              static_cast<double>(tcp_injected);
+
+  for (std::size_t i = 0; i + 1 < topo.switches.size(); ++i) {
+    const LinkId link{topo.switches[i], topo.switches[i + 1]};
+    result.link_utilization.push_back(
+        ispn.link_utilization(link, options.seconds));
+    result.realtime_utilization.push_back(
+        ispn.realtime_utilization(link, options.seconds));
+  }
+  return result;
+}
+
+}  // namespace ispn::core

@@ -1,0 +1,115 @@
+// The paper's experiment configurations (Appendix + Tables 1-3), shared by
+// benches, examples and integration tests.
+//
+// All parameters follow the Appendix: 1 Mbit/s inter-switch links, 1000-bit
+// packets, 200-packet buffers, two-state Markov sources with A = 85 pkt/s,
+// B = 5, P = 2A, (A, 50-packet) edge filters, 600 s runs.
+//
+// Flow layout (Figure 1, 22 flows): 12 of path length 1, 4 of length 2,
+// 4 of length 3, 2 of length 4, all one-way, 10 flows per inter-switch
+// link.  Table 3 roles are chosen so that every link carries exactly
+// 2 Guaranteed-Peak, 1 Guaranteed-Average, 3 Predicted-High and
+// 4 Predicted-Low flows (plus one TCP connection), and so that the sampled
+// path lengths match the paper's rows (Peak 4/2, Average 3/1, High 4/2,
+// Low 3/1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "sim/units.h"
+
+namespace ispn::core {
+
+/// Queueing discipline under test in Tables 1 and 2.
+enum class SchedKind { kFifo, kWfq, kFifoPlus };
+
+[[nodiscard]] const char* to_string(SchedKind kind);
+
+/// Table 3 service roles.
+enum class Table3Role {
+  kGuaranteedPeak,     ///< guaranteed, clock rate = peak rate (2A)
+  kGuaranteedAverage,  ///< guaranteed, clock rate = average rate (A)
+  kPredictedHigh,      ///< predicted, high-priority class
+  kPredictedLow,       ///< predicted, low-priority class
+};
+
+[[nodiscard]] const char* to_string(Table3Role role);
+
+/// One real-time flow of the Figure-1 layout (0-based switch indices).
+struct LayoutFlow {
+  int src_sw;
+  int dst_sw;
+  Table3Role role;  ///< ignored by Table 2
+  [[nodiscard]] int path_len() const { return dst_sw - src_sw; }
+};
+
+/// The 22-flow layout used by Tables 2 and 3.
+[[nodiscard]] std::vector<LayoutFlow> paper_flow_layout();
+
+/// ------------------------------------------------------------------ Table 1
+struct SingleLinkResult {
+  std::vector<double> mean_pkt;   ///< per-flow mean queueing delay (pkt times)
+  std::vector<double> p999_pkt;   ///< per-flow 99.9th percentile
+  double utilization = 0;         ///< bottleneck link utilisation
+  double source_drop_rate = 0;    ///< edge-filter drop fraction (aggregate)
+};
+
+/// Runs `num_flows` paper sources over one 1 Mbit/s link under `kind`.
+SingleLinkResult run_single_link(SchedKind kind, int num_flows,
+                                 sim::Duration seconds, std::uint64_t seed);
+
+/// ------------------------------------------------------------------ Table 2
+struct ChainFlowResult {
+  int flow = 0;
+  int path_len = 0;
+  double mean_pkt = 0;
+  double p999_pkt = 0;
+  double max_pkt = 0;
+};
+struct ChainResult {
+  std::vector<ChainFlowResult> flows;
+  std::vector<double> link_utilization;  ///< per inter-switch link
+};
+
+/// Runs the Figure-1 chain with all 22 flows under `kind`.
+/// `fifo_plus_gain` tunes the FIFO+ class-average EWMA (ignored otherwise).
+ChainResult run_chain(SchedKind kind, sim::Duration seconds,
+                      std::uint64_t seed,
+                      double fifo_plus_gain = 1.0 / 4096.0);
+
+/// ------------------------------------------------------------------ Table 3
+struct Table3FlowResult {
+  int flow = 0;
+  Table3Role role{};
+  int path_len = 0;
+  double mean_pkt = 0;
+  double p999_pkt = 0;
+  double max_pkt = 0;
+  /// Parekh–Gallager a-priori bound (pkt times); guaranteed flows only.
+  double pg_bound_pkt = 0;
+};
+struct Table3Result {
+  std::vector<Table3FlowResult> flows;
+  std::vector<double> link_utilization;       ///< total, per link
+  std::vector<double> realtime_utilization;   ///< real-time only, per link
+  double datagram_drop_rate = 0;              ///< TCP segment drop fraction
+  std::uint64_t tcp_delivered = 0;            ///< segments across both TCPs
+};
+
+struct Table3Options {
+  sim::Duration seconds = sim::paper::kRunSeconds;
+  std::uint64_t seed = 1;
+  /// Per-hop class targets D_i: {high, low}, order-of-magnitude spaced.
+  std::vector<sim::Duration> class_targets = {0.016, 0.16};
+  bool fifo_plus = true;       ///< ablation switch
+  int num_tcp = 2;
+};
+
+/// Runs the unified-scheduler experiment (22 real-time flows + TCP load).
+Table3Result run_table3(const Table3Options& options);
+
+}  // namespace ispn::core

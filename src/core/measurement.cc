@@ -1,0 +1,41 @@
+#include "core/measurement.h"
+
+#include <cassert>
+
+namespace ispn::core {
+
+LinkMeasurement::LinkMeasurement(Config config)
+    : config_(config), realtime_bits_(config.window, 10) {
+  assert(config_.link_rate > 0);
+  assert(config_.num_predicted_classes >= 1);
+  assert(config_.safety_factor >= 1.0);
+  class_delay_.reserve(
+      static_cast<std::size_t>(config_.num_predicted_classes) + 1);
+  for (int i = 0; i <= config_.num_predicted_classes; ++i) {
+    class_delay_.emplace_back(config_.window, 10);
+  }
+}
+
+void LinkMeasurement::on_realtime_tx(sim::Bits bits, sim::Time now) {
+  realtime_bits_.add(now, bits);
+}
+
+void LinkMeasurement::on_class_wait(int klass, sim::Duration wait,
+                                    sim::Time now) {
+  assert(klass >= 0 &&
+         klass <= config_.num_predicted_classes);
+  class_delay_[static_cast<std::size_t>(klass)].add(now, wait);
+}
+
+double LinkMeasurement::measured_utilization(sim::Time now) {
+  return config_.safety_factor * realtime_bits_.peak_rate(now) /
+         config_.link_rate;
+}
+
+sim::Duration LinkMeasurement::measured_delay(int klass, sim::Time now) {
+  assert(klass >= 0 && klass <= config_.num_predicted_classes);
+  return config_.safety_factor *
+         class_delay_[static_cast<std::size_t>(klass)].max(now);
+}
+
+}  // namespace ispn::core

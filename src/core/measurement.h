@@ -1,0 +1,58 @@
+// Per-link measurement for measurement-based admission control (paper §9).
+//
+// "The key to making the predictive service commitments reliable is to
+// choose appropriately conservative measures for ν̂ and d̂_j."
+//
+// LinkMeasurement tracks, per directed link:
+//   * ν̂  — real-time utilisation: peak epoch rate of real-time bits over a
+//          sliding window (RateMeter), divided by link speed;
+//   * d̂_j — per-class maximal queueing delay over the window (WindowedMax).
+//
+// A safety factor (>= 1) scales both, providing the "consistently
+// conservative estimate" knob the paper calls for.
+
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/units.h"
+#include "stats/rate_meter.h"
+#include "stats/windowed_max.h"
+
+namespace ispn::core {
+
+class LinkMeasurement {
+ public:
+  struct Config {
+    sim::Rate link_rate = sim::paper::kLinkRate;
+    int num_predicted_classes = 2;
+    sim::Duration window = 10.0;   ///< measurement horizon (seconds)
+    double safety_factor = 1.2;    ///< conservatism multiplier on ν̂ and d̂
+  };
+
+  explicit LinkMeasurement(Config config);
+
+  /// Records a transmitted real-time (guaranteed or predicted) packet.
+  void on_realtime_tx(sim::Bits bits, sim::Time now);
+
+  /// Records a queueing-delay sample of predicted class `klass`
+  /// (0..K-1; the datagram level K is tracked too but unused by admission).
+  void on_class_wait(int klass, sim::Duration wait, sim::Time now);
+
+  /// ν̂ : conservative measured real-time utilisation in [0, ...], already
+  /// scaled by the safety factor.
+  [[nodiscard]] double measured_utilization(sim::Time now);
+
+  /// d̂_j : conservative measured maximal delay of class j (seconds).
+  [[nodiscard]] sim::Duration measured_delay(int klass, sim::Time now);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  stats::RateMeter realtime_bits_;
+  std::vector<stats::WindowedMax> class_delay_;  // K + 1 entries
+};
+
+}  // namespace ispn::core

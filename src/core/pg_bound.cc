@@ -1,0 +1,39 @@
+#include "core/pg_bound.h"
+
+#include <cassert>
+
+namespace ispn::core {
+
+sim::Duration pg_fluid_bound(const traffic::TokenBucketSpec& tb) {
+  assert(tb.rate > 0);
+  return tb.depth / tb.rate;
+}
+
+sim::Duration pg_paper_bound(const traffic::TokenBucketSpec& tb,
+                             std::size_t hops, sim::Bits packet_bits) {
+  assert(tb.rate > 0 && hops >= 1);
+  return tb.depth / tb.rate +
+         static_cast<double>(hops - 1) * packet_bits / tb.rate;
+}
+
+sim::Duration pg_packetized_bound(const traffic::TokenBucketSpec& tb,
+                                  sim::Bits packet_bits,
+                                  const std::vector<sim::Rate>& link_rates) {
+  assert(tb.rate > 0 && !link_rates.empty());
+  sim::Duration bound = pg_paper_bound(tb, link_rates.size(), packet_bits);
+  for (sim::Rate c : link_rates) {
+    assert(c > 0);
+    bound += packet_bits / c;
+  }
+  return bound;
+}
+
+sim::Bits depth_for_bound(sim::Rate clock_rate, sim::Duration target,
+                          std::size_t hops, sim::Bits packet_bits) {
+  assert(clock_rate > 0 && hops >= 1);
+  const sim::Bits depth =
+      target * clock_rate - static_cast<double>(hops - 1) * packet_bits;
+  return depth > 0 ? depth : 0;
+}
+
+}  // namespace ispn::core

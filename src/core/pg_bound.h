@@ -1,0 +1,47 @@
+// Parekh–Gallager delay bounds for guaranteed service (paper §4, §7).
+//
+// Fluid bound: a flow conforming to an (r, b) token bucket, given clock
+// rate r at every switch with Σ clock rates ≤ link speed everywhere, sees
+// queueing delay at most b/r — as if the whole network were one link of
+// rate r.
+//
+// Table 3 advertises the packetized multi-hop form
+//
+//     D = b(r)/r + (K − 1) · p / r
+//
+// for a K-hop path with packet size p (verified against all four P–G
+// values printed in the paper: 23.53, 11.76, 611.76 and 588.24 packet
+// times).  We also provide the fuller packetized PGPS expression that adds
+// the per-hop store-and-forward term Σ p/C_k for reference.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/units.h"
+#include "traffic/token_bucket.h"
+
+namespace ispn::core {
+
+/// Fluid single-link bound b/r.
+[[nodiscard]] sim::Duration pg_fluid_bound(const traffic::TokenBucketSpec& tb);
+
+/// The paper's advertised bound: b/r + (hops-1)·p/r.
+[[nodiscard]] sim::Duration pg_paper_bound(const traffic::TokenBucketSpec& tb,
+                                           std::size_t hops,
+                                           sim::Bits packet_bits);
+
+/// Full packetized PGPS bound: b/r + (hops-1)·p/r + Σ_k p/C_k.
+[[nodiscard]] sim::Duration pg_packetized_bound(
+    const traffic::TokenBucketSpec& tb, sim::Bits packet_bits,
+    const std::vector<sim::Rate>& link_rates);
+
+/// b(r) needed so that pg_paper_bound(...) == target delay; useful for a
+/// client choosing its clock rate ("to improve the worst case bound,
+/// increase r").  Returns the bucket depth in bits.
+[[nodiscard]] sim::Bits depth_for_bound(sim::Rate clock_rate,
+                                        sim::Duration target,
+                                        std::size_t hops,
+                                        sim::Bits packet_bits);
+
+}  // namespace ispn::core

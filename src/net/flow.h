@@ -1,0 +1,53 @@
+// Per-flow bookkeeping: identity and end-to-end statistics.
+
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/units.h"
+#include "stats/percentile.h"
+
+namespace ispn::net {
+
+/// End-to-end statistics of one flow, filled by the network's stats sink
+/// and the source.  Delays are stored in seconds; helpers convert to the
+/// paper's unit (packet transmission times).
+struct FlowStats {
+  stats::SampleSeries queueing_delay;  ///< summed waiting time across hops (s)
+  stats::SampleSeries e2e_delay;       ///< delivery minus creation time (s)
+
+  std::uint64_t generated = 0;     ///< packets produced by the source process
+  std::uint64_t source_drops = 0;  ///< dropped by the edge token-bucket filter
+  std::uint64_t injected = 0;      ///< entered the network
+  std::uint64_t net_drops = 0;     ///< dropped at switch buffers
+  std::uint64_t received = 0;      ///< delivered to the sink
+  sim::Bits bits_received = 0;
+
+  /// Mean queueing delay in packet transmission times (1 ms at 1 Mbit/s).
+  [[nodiscard]] double mean_qdelay_pkt() const {
+    return queueing_delay.mean() / sim::paper::kPacketTime;
+  }
+  /// 99.9th-percentile queueing delay in packet times.
+  [[nodiscard]] double p999_qdelay_pkt() const {
+    return queueing_delay.p999() / sim::paper::kPacketTime;
+  }
+  /// Maximum queueing delay in packet times.
+  [[nodiscard]] double max_qdelay_pkt() const {
+    return queueing_delay.max() / sim::paper::kPacketTime;
+  }
+  /// Fraction of injected packets lost inside the network.
+  [[nodiscard]] double net_loss_rate() const {
+    return injected == 0 ? 0.0
+                         : static_cast<double>(net_drops) /
+                               static_cast<double>(injected);
+  }
+  /// Fraction of generated packets dropped by the edge filter.
+  [[nodiscard]] double source_drop_rate() const {
+    return generated == 0 ? 0.0
+                          : static_cast<double>(source_drops) /
+                                static_cast<double>(generated);
+  }
+};
+
+}  // namespace ispn::net

@@ -1,0 +1,29 @@
+#include "net/host.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::net {
+
+void Host::inject(PacketPtr p) {
+  assert(uplink_ != nullptr && "host not connected");
+  uplink_->send(std::move(p));
+}
+
+void Host::register_sink(FlowId flow, FlowSink* sink) {
+  assert(sink != nullptr);
+  auto [it, inserted] = sinks_.try_emplace(flow, sink);
+  (void)it;
+  assert(inserted && "flow already has a sink on this host");
+}
+
+void Host::receive(PacketPtr p) {
+  auto it = sinks_.find(p->flow);
+  if (it == sinks_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  it->second->on_packet(std::move(p), sim_.now());
+}
+
+}  // namespace ispn::net

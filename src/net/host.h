@@ -1,0 +1,51 @@
+// A host: packet sources inject through it; sinks register per flow.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "net/node.h"
+#include "net/port.h"
+
+namespace ispn::net {
+
+/// Receives the packets of one flow at its destination host.
+class FlowSink {
+ public:
+  virtual ~FlowSink() = default;
+  /// Takes ownership of a delivered packet.  `now` is the delivery instant.
+  virtual void on_packet(PacketPtr p, sim::Time now) = 0;
+};
+
+class Host final : public Node {
+ public:
+  Host(sim::Simulator& sim, NodeId id, std::string name)
+      : Node(id, std::move(name)), sim_(sim) {}
+
+  /// Sets the (single) uplink port towards this host's switch.
+  void set_uplink(std::unique_ptr<Port> port) { uplink_ = std::move(port); }
+
+  /// Injects a locally generated packet into the network.
+  void inject(PacketPtr p);
+
+  /// Registers the sink for packets of `flow` delivered here.  A flow may
+  /// have at most one sink per host.
+  void register_sink(FlowId flow, FlowSink* sink);
+
+  /// Delivers arriving packets to the matching sink; packets without a
+  /// sink are counted and discarded (unclaimed).
+  void receive(PacketPtr p) override;
+
+  [[nodiscard]] std::uint64_t unclaimed() const { return unclaimed_; }
+  [[nodiscard]] Port* uplink() { return uplink_.get(); }
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<Port> uplink_;
+  std::map<FlowId, FlowSink*> sinks_;
+  std::uint64_t unclaimed_ = 0;
+};
+
+}  // namespace ispn::net

@@ -1,0 +1,137 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::net {
+
+class Network::RecordingSink final : public FlowSink {
+ public:
+  RecordingSink(FlowStats& stats, FlowSink* next) : stats_(stats), next_(next) {}
+
+  void on_packet(PacketPtr p, sim::Time now) override {
+    ++stats_.received;
+    stats_.bits_received += p->size_bits;
+    stats_.queueing_delay.add(p->queueing_delay);
+    stats_.e2e_delay.add(now - p->created_at);
+    if (next_ != nullptr) next_->on_packet(std::move(p), now);
+  }
+
+ private:
+  FlowStats& stats_;
+  FlowSink* next_;
+};
+
+Host& Network::add_host(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(sim_, id, name);
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  is_host_[id] = true;
+  return ref;
+}
+
+Switch& Network::add_switch(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<Switch>(id, name);
+  Switch& ref = *sw;
+  nodes_.push_back(std::move(sw));
+  is_host_[id] = false;
+  return ref;
+}
+
+Host& Network::host(NodeId id) {
+  assert(is_host_.at(id));
+  return static_cast<Host&>(*nodes_.at(id));
+}
+
+Switch& Network::switch_node(NodeId id) {
+  assert(!is_host_.at(id));
+  return static_cast<Switch&>(*nodes_.at(id));
+}
+
+void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
+                           const DirectionalSchedulerFactory& make_scheduler) {
+  assert(a != b);
+
+  auto install = [&](NodeId from, NodeId to) {
+    std::unique_ptr<sched::Scheduler> scheduler;
+    if (rate > 0) {
+      assert(make_scheduler && "finite-rate link needs a scheduler factory");
+      scheduler = make_scheduler(from, to);
+      assert(scheduler != nullptr);
+    }
+    Node* to_node = nodes_.at(to).get();
+    auto port =
+        std::make_unique<Port>(sim_, rate, std::move(scheduler), to_node);
+    port->add_drop_hook(
+        [this](const Packet& p, sim::Time) { ++stats_[p.flow].net_drops; });
+    if (is_host_.at(from)) {
+      host(from).set_uplink(std::move(port));
+    } else {
+      switch_node(from).attach_port(to, std::move(port));
+    }
+  };
+  install(a, b);
+  install(b, a);
+
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  link_rate_[{a, b}] = rate;
+  link_rate_[{b, a}] = rate;
+}
+
+void Network::connect(NodeId a, NodeId b, sim::Rate rate,
+                      const SchedulerFactory& make_scheduler) {
+  DirectionalSchedulerFactory directional;
+  if (make_scheduler) {
+    directional = [&make_scheduler](NodeId, NodeId) { return make_scheduler(); };
+  }
+  connect_impl(a, b, rate, directional);
+}
+
+void Network::connect(NodeId a, NodeId b, sim::Rate rate,
+                      const DirectionalSchedulerFactory& make_scheduler) {
+  connect_impl(a, b, rate, make_scheduler);
+}
+
+void Network::build_routes() {
+  // Deterministic BFS: neighbor lists sorted.
+  for (auto& [_, neighbors] : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+  for (const auto& node : nodes_) {
+    if (is_host_.at(node->id())) continue;  // hosts send via their uplink
+    auto& sw = static_cast<Switch&>(*node);
+    for (const auto& [dst, next] : compute_next_hops(adjacency_, sw.id())) {
+      sw.set_route(dst, next);
+    }
+  }
+}
+
+Port* Network::port(NodeId from, NodeId to) {
+  if (is_host_.at(from)) return host(from).uplink();
+  return switch_node(from).port_to(to);
+}
+
+void Network::attach_stats_sink(FlowId flow, NodeId dst, FlowSink* next) {
+  auto sink = std::make_unique<RecordingSink>(stats_[flow], next);
+  host(dst).register_sink(flow, sink.get());
+  sinks_.push_back(std::move(sink));
+}
+
+std::vector<NodeId> Network::route(NodeId src, NodeId dst) const {
+  return shortest_path(adjacency_, src, dst);
+}
+
+std::size_t Network::queueing_hops(NodeId src, NodeId dst) const {
+  const auto path = route(src, dst);
+  std::size_t hops = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (link_rate_.at({path[i], path[i + 1]}) > 0) ++hops;
+  }
+  return hops;
+}
+
+}  // namespace ispn::net

@@ -1,0 +1,103 @@
+// Network: the container that owns the simulator, nodes, links and per-flow
+// statistics, and wires drop accounting into every port.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/host.h"
+#include "net/routing.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace ispn::net {
+
+/// Creates the queueing discipline for one link direction.
+using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+/// Directional variant: receives (from, to) so callers can key per-link
+/// state (measurement, admission) by direction.
+using DirectionalSchedulerFactory =
+    std::function<std::unique_ptr<sched::Scheduler>(NodeId from, NodeId to)>;
+
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+  /// Adds a host; its id is returned via Host::id().
+  Host& add_host(const std::string& name);
+
+  /// Adds a switch.
+  Switch& add_switch(const std::string& name);
+
+  /// Connects two nodes with a duplex link of `rate` bits/s per direction.
+  /// `make_scheduler` is invoked once per direction; it may be empty when
+  /// `rate <= 0` (infinitely fast link, no queueing — the paper's
+  /// host-switch attachment).  Host endpoints gain their uplink; switch
+  /// endpoints gain a port.  Hosts may have only one link.
+  void connect(NodeId a, NodeId b, sim::Rate rate,
+               const SchedulerFactory& make_scheduler = {});
+
+  /// As above, with a direction-aware factory.
+  void connect(NodeId a, NodeId b, sim::Rate rate,
+               const DirectionalSchedulerFactory& make_scheduler);
+
+  /// True if `id` names a host (false: a switch).
+  [[nodiscard]] bool is_host(NodeId id) const { return is_host_.at(id); }
+
+  /// Computes BFS next-hop tables and installs them on every switch.
+  /// Call after all links exist and before traffic starts.
+  void build_routes();
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] Host& host(NodeId id);
+  [[nodiscard]] Switch& switch_node(NodeId id);
+
+  /// The output port from `from` towards neighbor `to`; nullptr if absent.
+  [[nodiscard]] Port* port(NodeId from, NodeId to);
+
+  /// Per-flow statistics record (created on first use).
+  [[nodiscard]] FlowStats& stats(FlowId flow) { return stats_[flow]; }
+  [[nodiscard]] const std::map<FlowId, FlowStats>& all_stats() const {
+    return stats_;
+  }
+
+  /// Registers a recording sink for `flow` at `dst` that fills stats(flow)
+  /// and optionally forwards to `next` (e.g. a playback application or a
+  /// TCP sink).
+  void attach_stats_sink(FlowId flow, NodeId dst, FlowSink* next = nullptr);
+
+  /// Route (node sequence) currently used from src to dst.
+  [[nodiscard]] std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Number of finite-rate (queueing) links on the route src -> dst.
+  [[nodiscard]] std::size_t queueing_hops(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Adjacency& adjacency() const { return adjacency_; }
+
+ private:
+  class RecordingSink;
+
+  void connect_impl(NodeId a, NodeId b, sim::Rate rate,
+                    const DirectionalSchedulerFactory& make_scheduler);
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<NodeId, bool> is_host_;
+  Adjacency adjacency_;
+  std::map<std::pair<NodeId, NodeId>, sim::Rate> link_rate_;
+  std::map<FlowId, FlowStats> stats_;
+  std::vector<std::unique_ptr<FlowSink>> sinks_;
+};
+
+}  // namespace ispn::net

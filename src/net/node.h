@@ -1,0 +1,30 @@
+// Node: anything that can receive a packet (hosts and switches).
+
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+
+namespace ispn::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Accepts ownership of an arriving packet.
+  virtual void receive(PacketPtr p) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace ispn::net

@@ -1,0 +1,98 @@
+// The packet and its CSZ header fields.
+//
+// The paper's mechanism needs exactly one nonstandard header field: the
+// FIFO+ jitter offset (§6), the accumulated difference between this packet's
+// per-hop queueing delays and its class's average delay at each traversed
+// switch.  We also carry measurement fields (creation time, accumulated
+// queueing delay, hop count) that a real implementation would keep in
+// per-packet switch state or derive from timestamps; they exist here so the
+// simulation can report the paper's statistics exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/units.h"
+
+namespace ispn::net {
+
+/// Network-wide flow identifier.
+using FlowId = std::int32_t;
+
+/// Node (host or switch) identifier, assigned by Network.
+using NodeId = std::int32_t;
+
+inline constexpr FlowId kNoFlow = -1;
+inline constexpr NodeId kNoNode = -1;
+
+/// The paper's three service commitment levels (§3).
+enum class ServiceClass : std::uint8_t {
+  kGuaranteed = 0,  ///< worst-case a-priori bounds, WFQ-isolated
+  kPredicted = 1,   ///< measurement-based bounds, priority+FIFO+ shared
+  kDatagram = 2,    ///< best effort, lowest priority
+};
+
+/// Returns a short human-readable label ("G", "P", "D").
+constexpr const char* to_label(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kGuaranteed: return "G";
+    case ServiceClass::kPredicted: return "P";
+    case ServiceClass::kDatagram: return "D";
+  }
+  return "?";
+}
+
+/// One packet.  Plain aggregate (C.2): fields vary independently; the
+/// network components that touch a field document their protocol.
+struct Packet {
+  // --- Addressing / identity -------------------------------------------
+  FlowId flow = kNoFlow;
+  std::uint64_t seq = 0;     ///< per-flow sequence number
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  sim::Bits size_bits = sim::paper::kPacketBits;
+
+  // --- CSZ service fields ----------------------------------------------
+  ServiceClass service = ServiceClass::kDatagram;
+  /// Priority level within the predicted/datagram pseudo-flow; 0 is the
+  /// highest predicted class.  Schedulers may override via their own
+  /// per-flow maps (the paper allows per-switch levels).
+  std::uint8_t priority = 0;
+  /// FIFO+ jitter offset (seconds): cumulative (own delay - class average).
+  /// Positive means the packet has been unlucky so far and should be
+  /// scheduled as if it had arrived earlier.
+  double jitter_offset = 0;
+  /// §10 drop preference: sources may tag packets "less important" so that
+  /// overload sheds them first (e.g. video enhancement layers).
+  bool less_important = false;
+
+  // --- Measurement / bookkeeping ---------------------------------------
+  sim::Time created_at = 0;    ///< generation time at the source
+  sim::Time enqueued_at = 0;   ///< arrival time at the current output port
+  double queueing_delay = 0;   ///< accumulated waiting time across hops (s)
+  std::uint16_t hops = 0;      ///< finite-rate ports traversed
+
+  // --- Transport (TCP datagram load) -----------------------------------
+  bool is_ack = false;
+  std::uint64_t ack_seq = 0;   ///< cumulative ACK: next expected seq
+};
+
+/// Packets are owned uniquely and handed off along the path (I.11).
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Convenience factory.
+inline PacketPtr make_packet(FlowId flow, std::uint64_t seq, NodeId src,
+                             NodeId dst, sim::Time created,
+                             sim::Bits bits = sim::paper::kPacketBits) {
+  auto p = std::make_unique<Packet>();
+  p->flow = flow;
+  p->seq = seq;
+  p->src = src;
+  p->dst = dst;
+  p->created_at = created;
+  p->size_bits = bits;
+  return p;
+}
+
+}  // namespace ispn::net

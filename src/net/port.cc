@@ -1,0 +1,75 @@
+#include "net/port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::net {
+
+Port::Port(sim::Simulator& sim, sim::Rate rate,
+           std::unique_ptr<sched::Scheduler> scheduler, Node* peer)
+    : sim_(sim), rate_(rate), scheduler_(std::move(scheduler)), peer_(peer) {
+  assert(peer_ != nullptr);
+  assert(rate_ <= 0 || scheduler_ != nullptr);
+}
+
+void Port::send(PacketPtr p) {
+  assert(p != nullptr);
+  if (rate_ <= 0) {
+    // Infinitely fast link: no queueing, no transmission delay.
+    peer_->receive(std::move(p));
+    return;
+  }
+  p->enqueued_at = sim_.now();
+  auto dropped = scheduler_->enqueue(std::move(p), sim_.now());
+  for (auto& victim : dropped) {
+    ++drops_;
+    for (const auto& hook : on_drop_) hook(*victim, sim_.now());
+  }
+  try_start();
+}
+
+void Port::try_start() {
+  if (busy_ || scheduler_->empty()) return;
+  // Non-work-conserving disciplines may hold packets: wait until the
+  // scheduler's next eligibility instant, re-arming if it moves earlier.
+  const sim::Time eligible = scheduler_->next_eligible(sim_.now());
+  if (eligible > sim_.now()) {
+    if (retry_timer_ == sim::kInvalidEventId || eligible < retry_at_) {
+      if (retry_timer_ != sim::kInvalidEventId) sim_.cancel(retry_timer_);
+      retry_at_ = eligible;
+      retry_timer_ = sim_.at(eligible, [this] {
+        retry_timer_ = sim::kInvalidEventId;
+        try_start();
+      });
+    }
+    return;
+  }
+  in_flight_ = scheduler_->dequeue(sim_.now());
+  // A scheduler may discard stale packets at dequeue time (§10) and come
+  // up empty even though it reported a backlog a moment ago.
+  if (in_flight_ == nullptr) return;
+  // Waiting time at this hop: from arrival to start of transmission.
+  in_flight_->queueing_delay += sim_.now() - in_flight_->enqueued_at;
+  ++in_flight_->hops;
+  busy_ = true;
+  const sim::Duration tx_time = in_flight_->size_bits / rate_;
+  sim_.after(tx_time, [this] { complete(); });
+}
+
+void Port::complete() {
+  assert(busy_ && in_flight_ != nullptr);
+  PacketPtr p = std::move(in_flight_);
+  busy_ = false;
+  ++transmitted_;
+  bits_sent_ += p->size_bits;
+  for (const auto& hook : on_tx_) hook(*p, sim_.now());
+  peer_->receive(std::move(p));
+  try_start();
+}
+
+double Port::utilization(sim::Time now) const {
+  if (now <= 0 || rate_ <= 0) return 0.0;
+  return bits_sent_ / (rate_ * now);
+}
+
+}  // namespace ispn::net

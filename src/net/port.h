@@ -1,0 +1,80 @@
+// Output port: a queueing discipline in front of a transmitter.
+//
+// The port stamps arriving packets (enqueued_at), offers them to its
+// Scheduler, and models store-and-forward transmission: one packet in
+// flight at a time, completing after size/rate seconds, then delivered to
+// the peer node.  Waiting time (dequeue instant minus enqueued_at) is
+// accumulated into the packet's queueing_delay — the statistic all of the
+// paper's tables report.
+//
+// A non-positive rate means "infinitely fast" (the paper's host-switch
+// links): the packet bypasses the queue and is delivered immediately.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+
+namespace ispn::net {
+
+class Port {
+ public:
+  /// Called for every packet dropped at this port (before destruction).
+  using DropHook = std::function<void(const Packet&, sim::Time)>;
+  /// Called when a packet finishes transmission: (packet, now).
+  using TxHook = std::function<void(const Packet&, sim::Time)>;
+
+  /// `rate <= 0` models an infinitely fast link (no queueing).
+  Port(sim::Simulator& sim, sim::Rate rate,
+       std::unique_ptr<sched::Scheduler> scheduler, Node* peer);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  /// Accepts a packet for transmission towards the peer.
+  void send(PacketPtr p);
+
+  /// Hooks are additive: several observers (statistics, measurement,
+  /// tracing) may watch the same port.
+  void add_drop_hook(DropHook hook) { on_drop_.push_back(std::move(hook)); }
+  void add_tx_hook(TxHook hook) { on_tx_.push_back(std::move(hook)); }
+
+  [[nodiscard]] sim::Rate rate() const { return rate_; }
+  [[nodiscard]] Node& peer() const { return *peer_; }
+  [[nodiscard]] sched::Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  [[nodiscard]] std::uint64_t transmitted() const { return transmitted_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] sim::Bits bits_sent() const { return bits_sent_; }
+
+  /// Link utilisation over [0, now] (bits sent / capacity).
+  [[nodiscard]] double utilization(sim::Time now) const;
+
+ private:
+  void try_start();
+  void complete();
+
+  sim::Simulator& sim_;
+  sim::Rate rate_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  Node* peer_;
+  std::vector<DropHook> on_drop_;
+  std::vector<TxHook> on_tx_;
+
+  PacketPtr in_flight_;
+  bool busy_ = false;
+  sim::EventId retry_timer_ = sim::kInvalidEventId;  ///< eligibility poll
+  sim::Time retry_at_ = 0;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t drops_ = 0;
+  sim::Bits bits_sent_ = 0;
+};
+
+}  // namespace ispn::net

@@ -1,0 +1,55 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ispn::net {
+
+namespace {
+
+/// BFS parents from `source`; parent[source] = source.
+std::map<NodeId, NodeId> bfs_parents(const Adjacency& adj, NodeId source) {
+  std::map<NodeId, NodeId> parent;
+  parent[source] = source;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (NodeId v : it->second) {
+      if (parent.contains(v)) continue;
+      parent[v] = u;
+      frontier.push_back(v);
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+NextHops compute_next_hops(const Adjacency& adj, NodeId source) {
+  const auto parent = bfs_parents(adj, source);
+  NextHops hops;
+  for (const auto& [dst, _] : parent) {
+    if (dst == source) continue;
+    // Walk back from dst until the node whose parent is the source.
+    NodeId cur = dst;
+    while (parent.at(cur) != source) cur = parent.at(cur);
+    hops[dst] = cur;
+  }
+  return hops;
+}
+
+std::vector<NodeId> shortest_path(const Adjacency& adj, NodeId src,
+                                  NodeId dst) {
+  const auto parent = bfs_parents(adj, src);
+  if (!parent.contains(dst)) return {};
+  std::vector<NodeId> path;
+  for (NodeId cur = dst; cur != src; cur = parent.at(cur)) path.push_back(cur);
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ispn::net

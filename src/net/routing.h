@@ -1,0 +1,29 @@
+// Static shortest-path routing (BFS over the link graph).
+//
+// The paper's experiments use fixed routes on a chain; we provide general
+// BFS next-hop computation so arbitrary topologies work.  Ties break by
+// ascending neighbor id, making routes deterministic.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ispn::net {
+
+/// Undirected adjacency: node -> sorted neighbor list.
+using Adjacency = std::map<NodeId, std::vector<NodeId>>;
+
+/// Next-hop table for one node: destination -> neighbor.
+using NextHops = std::map<NodeId, NodeId>;
+
+/// Computes next hops from `source` to every reachable destination.
+[[nodiscard]] NextHops compute_next_hops(const Adjacency& adj, NodeId source);
+
+/// Shortest path from `src` to `dst` (inclusive); empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path(const Adjacency& adj,
+                                                NodeId src, NodeId dst);
+
+}  // namespace ispn::net

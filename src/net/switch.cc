@@ -1,0 +1,31 @@
+#include "net/switch.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::net {
+
+Port& Switch::attach_port(NodeId neighbor, std::unique_ptr<Port> port) {
+  assert(port != nullptr);
+  auto [it, inserted] = ports_.try_emplace(neighbor, std::move(port));
+  assert(inserted && "port to this neighbor already attached");
+  return *it->second;
+}
+
+void Switch::set_route(NodeId dst, NodeId next_hop) {
+  assert(ports_.contains(next_hop) && "next hop has no port");
+  routes_[dst] = next_hop;
+}
+
+Port* Switch::port_to(NodeId neighbor) {
+  auto it = ports_.find(neighbor);
+  return it == ports_.end() ? nullptr : it->second.get();
+}
+
+void Switch::receive(PacketPtr p) {
+  auto it = routes_.find(p->dst);
+  assert(it != routes_.end() && "no route to destination");
+  ports_.at(it->second)->send(std::move(p));
+}
+
+}  // namespace ispn::net

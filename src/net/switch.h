@@ -1,0 +1,40 @@
+// A packet switch: routing table + one output port per neighbor.
+
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/node.h"
+#include "net/port.h"
+
+namespace ispn::net {
+
+class Switch final : public Node {
+ public:
+  Switch(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  /// Installs the output port towards `neighbor` (owned by the switch).
+  Port& attach_port(NodeId neighbor, std::unique_ptr<Port> port);
+
+  /// Routes packets destined to `dst` via `next_hop` (must have a port).
+  void set_route(NodeId dst, NodeId next_hop);
+
+  /// Forwards the packet along its route.  Dropping on a missing route is a
+  /// configuration error and asserts.
+  void receive(PacketPtr p) override;
+
+  [[nodiscard]] Port* port_to(NodeId neighbor);
+  [[nodiscard]] const std::map<NodeId, NodeId>& routes() const {
+    return routes_;
+  }
+  [[nodiscard]] const std::map<NodeId, std::unique_ptr<Port>>& ports() const {
+    return ports_;
+  }
+
+ private:
+  std::map<NodeId, std::unique_ptr<Port>> ports_;  // keyed by neighbor
+  std::map<NodeId, NodeId> routes_;                // dst -> next hop
+};
+
+}  // namespace ispn::net

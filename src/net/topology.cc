@@ -1,0 +1,62 @@
+#include "net/topology.h"
+
+#include <sstream>
+
+namespace ispn::net {
+
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const SchedulerFactory& make_scheduler) {
+  ChainTopology topo;
+  for (int i = 0; i < num_switches; ++i) {
+    auto& sw = net.add_switch("S-" + std::to_string(i + 1));
+    topo.switches.push_back(sw.id());
+    auto& host = net.add_host("Host-" + std::to_string(i + 1));
+    topo.hosts.push_back(host.id());
+    net.connect(host.id(), sw.id(), /*rate=*/0);  // infinitely fast
+  }
+  for (int i = 0; i + 1 < num_switches; ++i) {
+    net.connect(topo.switches[static_cast<std::size_t>(i)],
+                topo.switches[static_cast<std::size_t>(i + 1)],
+                inter_switch_rate, make_scheduler);
+  }
+  net.build_routes();
+  return topo;
+}
+
+std::string chain_ascii(const ChainTopology& topo) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    out << "Host-" << i + 1 << (i + 1 < topo.hosts.size() ? "   " : "");
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    out << "  |   " << (i + 1 < topo.hosts.size() ? "   " : "");
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+    out << " S-" << i + 1 << (i + 1 < topo.switches.size() ? " ----" : "");
+  }
+  out << '\n';
+  return out.str();
+}
+
+DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
+                                const SchedulerFactory& make_scheduler) {
+  DumbbellTopology topo{};
+  auto& s1 = net.add_switch("S-left");
+  auto& s2 = net.add_switch("S-right");
+  auto& h1 = net.add_host("H-left");
+  auto& h2 = net.add_host("H-right");
+  topo.left_switch = s1.id();
+  topo.right_switch = s2.id();
+  topo.left_host = h1.id();
+  topo.right_host = h2.id();
+  net.connect(h1.id(), s1.id(), /*rate=*/0);
+  net.connect(h2.id(), s2.id(), /*rate=*/0);
+  net.connect(s1.id(), s2.id(), bottleneck_rate, make_scheduler);
+  net.build_routes();
+  return topo;
+}
+
+}  // namespace ispn::net

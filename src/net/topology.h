@@ -1,0 +1,46 @@
+// Topology builders, including the paper's Figure 1 chain.
+//
+//   Host-1   Host-2   Host-3   Host-4   Host-5
+//     |        |        |        |        |          (infinitely fast)
+//    S-1 ---- S-2 ---- S-3 ---- S-4 ---- S-5         (1 Mbit/s links)
+//
+// Hosts attach by infinitely fast links; queueing happens only at the
+// inter-switch links, each carrying 10 flows in the paper's Tables 2/3.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace ispn::net {
+
+/// Ids of the nodes created by build_chain().
+struct ChainTopology {
+  std::vector<NodeId> switches;  ///< S-1 .. S-n, left to right
+  std::vector<NodeId> hosts;     ///< Host-i attached to S-i
+};
+
+/// Builds an n-switch chain with one host per switch (Figure 1 for n = 5).
+/// Inter-switch links run at `inter_switch_rate` with `make_scheduler`
+/// queueing per direction; host links are infinitely fast.
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const SchedulerFactory& make_scheduler);
+
+/// Renders the chain as ASCII art (used by bench_table2 to echo Figure 1).
+[[nodiscard]] std::string chain_ascii(const ChainTopology& topo);
+
+/// Builds a single-link topology: two hosts joined through two switches by
+/// one bottleneck link (the Table 1 configuration collapses to this).
+struct DumbbellTopology {
+  NodeId left_host;
+  NodeId right_host;
+  NodeId left_switch;
+  NodeId right_switch;
+};
+DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
+                                const SchedulerFactory& make_scheduler);
+
+}  // namespace ispn::net

@@ -1,0 +1,85 @@
+#include "net/tracer.h"
+
+#include <ostream>
+
+namespace ispn::net {
+
+const char* to_label(PacketTracer::Event event) {
+  switch (event) {
+    case PacketTracer::Event::kTransmit: return "tx";
+    case PacketTracer::Event::kDrop: return "drop";
+    case PacketTracer::Event::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+class PacketTracer::DeliverySink final : public FlowSink {
+ public:
+  DeliverySink(PacketTracer& tracer, FlowSink* next)
+      : tracer_(tracer), next_(next) {}
+
+  void on_packet(PacketPtr p, sim::Time now) override {
+    tracer_.record({now, Event::kDeliver, p->flow, p->seq, p->dst,
+                    p->queueing_delay, p->jitter_offset});
+    if (next_ != nullptr) next_->on_packet(std::move(p), now);
+  }
+
+ private:
+  PacketTracer& tracer_;
+  FlowSink* next_;
+};
+
+void PacketTracer::record(const Record& r) {
+  if (records_.size() >= max_records_) {
+    truncated_ = true;
+    return;
+  }
+  records_.push_back(r);
+}
+
+void PacketTracer::attach(Network& net) {
+  for (const auto& [node, neighbors] : net.adjacency()) {
+    for (const NodeId neighbor : neighbors) {
+      Port* port = net.port(node, neighbor);
+      if (port == nullptr || port->rate() <= 0) continue;
+      const NodeId owner = node;
+      port->add_tx_hook([this, owner](const Packet& p, sim::Time now) {
+        record({now, Event::kTransmit, p.flow, p.seq, owner,
+                p.queueing_delay, p.jitter_offset});
+      });
+      port->add_drop_hook([this, owner](const Packet& p, sim::Time now) {
+        record({now, Event::kDrop, p.flow, p.seq, owner, p.queueing_delay,
+                p.jitter_offset});
+      });
+    }
+  }
+}
+
+FlowSink* PacketTracer::wrap_sink(FlowSink* next) {
+  wrappers_.push_back(std::make_unique<DeliverySink>(*this, next));
+  return wrappers_.back().get();
+}
+
+std::uint64_t PacketTracer::count(Event event) const {
+  std::uint64_t n = 0;
+  for (const auto& r : records_) {
+    if (r.event == event) ++n;
+  }
+  return n;
+}
+
+void PacketTracer::to_csv(std::ostream& out) const {
+  out << "time,event,flow,seq,node,queueing_delay,jitter_offset\n";
+  for (const auto& r : records_) {
+    out << r.time << ',' << to_label(r.event) << ',' << r.flow << ','
+        << r.seq << ',' << r.node << ',' << r.queueing_delay << ','
+        << r.jitter_offset << '\n';
+  }
+}
+
+void PacketTracer::clear() {
+  records_.clear();
+  truncated_ = false;
+}
+
+}  // namespace ispn::net

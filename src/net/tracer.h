@@ -1,0 +1,74 @@
+// Packet-level tracing.
+//
+// Subscribes to every finite-rate port of a Network and records transmit
+// and drop events (and, through wrap_sink(), deliveries) with timestamps
+// and header fields.  Intended for debugging scheduler behaviour and for
+// exporting per-packet CSV series (delay scatter plots, burst anatomy).
+// Bounded: recording stops at `max_records` so a runaway run cannot eat
+// the heap.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+
+namespace ispn::net {
+
+class PacketTracer {
+ public:
+  enum class Event : std::uint8_t {
+    kTransmit,  ///< packet finished transmission on a port
+    kDrop,      ///< packet dropped at a port (buffer policy)
+    kDeliver,   ///< packet reached its destination sink
+  };
+
+  struct Record {
+    sim::Time time = 0;
+    Event event = Event::kTransmit;
+    FlowId flow = kNoFlow;
+    std::uint64_t seq = 0;
+    NodeId node = kNoNode;        ///< port owner / delivering host
+    double queueing_delay = 0;    ///< accumulated so far (seconds)
+    double jitter_offset = 0;     ///< FIFO+ header field
+  };
+
+  explicit PacketTracer(std::size_t max_records = 1u << 20)
+      : max_records_(max_records) {}
+
+  /// Hooks every existing finite-rate port of `net`.  Call after topology
+  /// construction and before the run.
+  void attach(Network& net);
+
+  /// Returns a recording sink that forwards to `next` (may be null);
+  /// register it (or pass it to Network::attach_stats_sink) to capture
+  /// delivery events.  The tracer owns the wrapper.
+  [[nodiscard]] FlowSink* wrap_sink(FlowSink* next = nullptr);
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] std::uint64_t count(Event event) const;
+
+  /// Writes "time,event,flow,seq,node,queueing_delay,jitter_offset" rows.
+  void to_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  class DeliverySink;
+
+  void record(const Record& r);
+
+  std::size_t max_records_;
+  std::vector<Record> records_;
+  bool truncated_ = false;
+  std::vector<std::unique_ptr<FlowSink>> wrappers_;
+};
+
+/// Short label for CSV output ("tx", "drop", "deliver").
+[[nodiscard]] const char* to_label(PacketTracer::Event event);
+
+}  // namespace ispn::net

@@ -1,0 +1,45 @@
+#include "sched/edd.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+void EddScheduler::set_bound(net::FlowId flow, sim::Duration bound) {
+  assert(bound > 0);
+  bounds_[flow] = bound;
+}
+
+sim::Duration EddScheduler::bound(net::FlowId flow) const {
+  auto it = bounds_.find(flow);
+  return it == bounds_.end() ? config_.default_bound : it->second;
+}
+
+std::vector<net::PacketPtr> EddScheduler::enqueue(net::PacketPtr p,
+                                                  sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  const double deadline = now + bound(p->flow);
+  bits_ += p->size_bits;
+  queue_.insert(Entry{deadline, arrivals_++, std::move(p)});
+
+  if (queue_.size() > config_.capacity_pkts) {
+    // Evict the least urgent packet (largest deadline).  With homogeneous
+    // bounds this degenerates to tail drop.
+    auto victim = std::prev(queue_.end());
+    bits_ -= victim->packet->size_bits;
+    dropped.push_back(std::move(victim->packet));
+    queue_.erase(victim);
+  }
+  return dropped;
+}
+
+net::PacketPtr EddScheduler::dequeue(sim::Time /*now*/) {
+  if (queue_.empty()) return nullptr;
+  auto it = queue_.begin();
+  net::PacketPtr p = std::move(it->packet);
+  queue_.erase(it);
+  bits_ -= p->size_bits;
+  return p;
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,62 @@
+// Delay-EDD-style earliest-deadline-first scheduling (Ferrari & Verma,
+// the paper's reference [7]; background in §5).
+//
+// Each flow is assigned a local delay bound d_i at this switch; a packet
+// arriving at time a gets deadline a + d_i and packets transmit in
+// deadline order.  §5's observation drops out as a special case: with a
+// single class (equal d_i), EDD *is* FIFO.
+//
+// This is the scheduling core only — Delay-EDD's admission test (peak-rate
+// sum) belongs to the admission layer and is noted in DESIGN.md.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "sched/scheduler.h"
+
+namespace ispn::sched {
+
+class EddScheduler final : public Scheduler {
+ public:
+  struct Config {
+    std::size_t capacity_pkts = 200;
+    /// Local delay bound for unregistered flows (seconds).
+    sim::Duration default_bound = 0.1;
+  };
+
+  explicit EddScheduler(Config config) : config_(config) {}
+
+  /// Sets the local delay bound of `flow` at this switch.
+  void set_bound(net::FlowId flow, sim::Duration bound);
+
+  [[nodiscard]] sim::Duration bound(net::FlowId flow) const;
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+  [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
+
+ private:
+  struct Entry {
+    double deadline;
+    std::uint64_t order;
+    mutable net::PacketPtr packet;
+    bool operator<(const Entry& o) const {
+      if (deadline != o.deadline) return deadline < o.deadline;
+      return order < o.order;
+    }
+  };
+
+  Config config_;
+  std::map<net::FlowId, sim::Duration> bounds_;
+  std::set<Entry> queue_;
+  std::uint64_t arrivals_ = 0;
+  sim::Bits bits_ = 0;
+};
+
+}  // namespace ispn::sched

@@ -1,0 +1,27 @@
+#include "sched/fifo.h"
+
+#include <utility>
+
+namespace ispn::sched {
+
+std::vector<net::PacketPtr> FifoScheduler::enqueue(net::PacketPtr p,
+                                                   sim::Time /*now*/) {
+  std::vector<net::PacketPtr> dropped;
+  if (queue_.size() >= capacity_) {
+    dropped.push_back(std::move(p));
+    return dropped;
+  }
+  bits_ += p->size_bits;
+  queue_.push_back(std::move(p));
+  return dropped;
+}
+
+net::PacketPtr FifoScheduler::dequeue(sim::Time /*now*/) {
+  if (queue_.empty()) return nullptr;
+  net::PacketPtr p = std::move(queue_.front());
+  queue_.pop_front();
+  bits_ -= p->size_bits;
+  return p;
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,39 @@
+// FIFO queueing with tail drop.
+//
+// The paper's §5 insight: within a class of clients with similar service
+// desires, deadline scheduling degenerates to FIFO, and FIFO *shares* jitter
+// across the flows that created it — the 99.9th-percentile delay under FIFO
+// is far below WFQ's at identical utilisation (Table 1).
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sched/scheduler.h"
+
+namespace ispn::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  /// `capacity_pkts` caps the queue length; arrivals beyond it are dropped
+  /// (tail drop), matching the paper's 200-packet switch buffers.
+  explicit FifoScheduler(std::size_t capacity_pkts = 200)
+      : capacity_(capacity_pkts) {}
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+  [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<net::PacketPtr> queue_;
+  sim::Bits bits_ = 0;
+};
+
+}  // namespace ispn::sched

@@ -1,0 +1,48 @@
+#include "sched/fifo_plus.h"
+
+#include <utility>
+
+namespace ispn::sched {
+
+std::vector<net::PacketPtr> FifoPlusScheduler::enqueue(net::PacketPtr p,
+                                                       sim::Time /*now*/) {
+  std::vector<net::PacketPtr> dropped;
+  if (queue_.size() >= config_.capacity_pkts) {
+    dropped.push_back(std::move(p));
+    return dropped;
+  }
+  // Order by when the packet *would* have arrived under average upstream
+  // service.  enqueued_at is stamped by the port before calling us.
+  const double key = p->enqueued_at - p->jitter_offset;
+  bits_ += p->size_bits;
+  queue_.insert(Entry{key, arrivals_++, std::move(p)});
+  return dropped;
+}
+
+net::PacketPtr FifoPlusScheduler::dequeue(sim::Time now) {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    net::PacketPtr p = std::move(it->packet);
+    queue_.erase(it);
+    bits_ -= p->size_bits;
+
+    // §10: a packet whose offset says it is hopelessly behind its class's
+    // average service is discarded, freeing the link for live packets.
+    if (p->jitter_offset > config_.stale_offset_threshold) {
+      ++stale_discards_;
+      continue;
+    }
+
+    if (config_.update_offsets) {
+      // Waiting time at this hop, folded into the class average; the
+      // packet carries forward how far it deviated from that average.
+      const double wait = now - p->enqueued_at;
+      const double avg = avg_.update(wait);
+      p->jitter_offset += wait - avg;
+    }
+    return p;
+  }
+  return nullptr;
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,87 @@
+// FIFO+ : FIFO-style sharing correlated across hops (paper §6).
+//
+// Each switch measures the average queueing delay of each class at that
+// switch.  When a packet departs, the difference between its own delay and
+// the class average is added to the jitter-offset field in its header.  A
+// downstream FIFO+ queue orders packets by *expected* arrival time —
+// actual arrival minus the accumulated offset — i.e. as if every packet had
+// received exactly average service upstream.  A packet that has been
+// unlucky (positive offset) is scheduled ahead of its actual-arrival
+// position; a lucky one waits.  The effect (Table 2): 99.9th-percentile
+// delay grows far more slowly with path length than under plain FIFO.
+//
+// At the first hop every offset is zero, so FIFO+ degenerates to FIFO there.
+//
+// The class-average estimator is an EWMA over per-packet waiting times.
+// The paper leaves the estimator unspecified; a long-horizon average (gain
+// 2^-12 ≈ several seconds of traffic) reproduces the paper's Table 2 much
+// more closely than a fast one — with a fast average the "expected arrival"
+// baseline itself chases each burst and the correction cancels out.  See
+// DESIGN.md §4 and bench_fifoplus_gain for the sensitivity ablation.
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sched/scheduler.h"
+#include "stats/ewma.h"
+
+namespace ispn::sched {
+
+class FifoPlusScheduler final : public Scheduler {
+ public:
+  struct Config {
+    std::size_t capacity_pkts = 200;
+    /// EWMA gain for the per-switch class-average delay.
+    double avg_gain = 1.0 / 4096.0;
+    /// When true (default), departing packets accumulate the jitter offset.
+    /// Disabling turns the discipline into deadline-ordered FIFO with
+    /// whatever offsets upstream wrote — used by ablation benches.
+    bool update_offsets = true;
+    /// §10 stale-packet discard threshold on the accumulated offset
+    /// (seconds); infinity disables (default).
+    sim::Duration stale_offset_threshold = sim::kTimeInfinity;
+  };
+
+  FifoPlusScheduler() : FifoPlusScheduler(Config{}) {}
+  explicit FifoPlusScheduler(Config config)
+      : config_(config), avg_(config.avg_gain) {}
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+  [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
+
+  /// Current class-average waiting time at this switch (seconds).
+  [[nodiscard]] double class_average() const { return avg_.value(); }
+
+  /// Packets discarded as stale so far (§10).
+  [[nodiscard]] std::uint64_t stale_discards() const {
+    return stale_discards_;
+  }
+
+ private:
+  struct Entry {
+    double expected_arrival;  // enqueued_at - jitter_offset (ordering key)
+    std::uint64_t order;      // arrival tie-break
+    mutable net::PacketPtr packet;
+
+    bool operator<(const Entry& other) const {
+      if (expected_arrival != other.expected_arrival)
+        return expected_arrival < other.expected_arrival;
+      return order < other.order;
+    }
+  };
+
+  Config config_;
+  stats::Ewma avg_;
+  std::set<Entry> queue_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t stale_discards_ = 0;
+  sim::Bits bits_ = 0;
+};
+
+}  // namespace ispn::sched

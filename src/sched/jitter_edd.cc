@@ -1,0 +1,71 @@
+#include "sched/jitter_edd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+void JitterEddScheduler::set_bound(net::FlowId flow, sim::Duration bound) {
+  assert(bound > 0);
+  bounds_[flow] = bound;
+}
+
+sim::Duration JitterEddScheduler::bound(net::FlowId flow) const {
+  auto it = bounds_.find(flow);
+  return it == bounds_.end() ? config_.default_bound : it->second;
+}
+
+std::vector<net::PacketPtr> JitterEddScheduler::enqueue(net::PacketPtr p,
+                                                        sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  if (packets() >= config_.capacity_pkts) {
+    dropped.push_back(std::move(p));
+    return dropped;
+  }
+  const double ahead = std::max(0.0, p->jitter_offset);
+  const double eligible = now + ahead;
+  const double deadline = eligible + bound(p->flow);
+  bits_ += p->size_bits;
+  const std::uint64_t order = arrivals_++;
+  if (eligible <= now) {
+    ready_.insert(Entry{deadline, deadline, order, std::move(p)});
+  } else {
+    holding_.insert(Entry{eligible, deadline, order, std::move(p)});
+  }
+  return dropped;
+}
+
+void JitterEddScheduler::promote(sim::Time now) {
+  while (!holding_.empty() && holding_.begin()->key <= now) {
+    auto it = holding_.begin();
+    ready_.insert(
+        Entry{it->deadline, it->deadline, it->order, std::move(it->packet)});
+    holding_.erase(it);
+  }
+}
+
+sim::Time JitterEddScheduler::next_eligible(sim::Time now) const {
+  if (!ready_.empty()) return now;
+  if (!holding_.empty()) {
+    // Anything already past its eligibility counts as eligible now.
+    return std::max(now, holding_.begin()->key);
+  }
+  return now;
+}
+
+net::PacketPtr JitterEddScheduler::dequeue(sim::Time now) {
+  promote(now);
+  if (ready_.empty()) return nullptr;  // everything still held
+  auto it = ready_.begin();
+  net::PacketPtr p = std::move(it->packet);
+  const double deadline = it->deadline;
+  ready_.erase(it);
+  bits_ -= p->size_bits;
+  // Stamp how far ahead of the local deadline the packet departs; the
+  // next switch holds it by exactly this much.
+  p->jitter_offset = std::max(0.0, deadline - now);
+  return p;
+}
+
+}  // namespace ispn::sched

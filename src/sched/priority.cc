@@ -1,0 +1,52 @@
+#include "sched/priority.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+PriorityScheduler::PriorityScheduler(
+    std::vector<std::unique_ptr<Scheduler>> children, Classifier classify)
+    : children_(std::move(children)), classify_(std::move(classify)) {
+  assert(!children_.empty());
+  if (!classify_) {
+    const std::size_t top = children_.size() - 1;
+    classify_ = [top](const net::Packet& p) {
+      return std::min<std::size_t>(p.priority, top);
+    };
+  }
+}
+
+std::vector<net::PacketPtr> PriorityScheduler::enqueue(net::PacketPtr p,
+                                                       sim::Time now) {
+  const std::size_t level = classify_(*p);
+  assert(level < children_.size());
+  return children_[level]->enqueue(std::move(p), now);
+}
+
+net::PacketPtr PriorityScheduler::dequeue(sim::Time now) {
+  for (auto& child : children_) {
+    if (!child->empty()) return child->dequeue(now);
+  }
+  return nullptr;
+}
+
+bool PriorityScheduler::empty() const {
+  return std::all_of(children_.begin(), children_.end(),
+                     [](const auto& c) { return c->empty(); });
+}
+
+std::size_t PriorityScheduler::packets() const {
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c->packets();
+  return n;
+}
+
+sim::Bits PriorityScheduler::backlog_bits() const {
+  sim::Bits b = 0;
+  for (const auto& c : children_) b += c->backlog_bits();
+  return b;
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,44 @@
+// Strict priority over composable child disciplines.
+//
+// The paper (§5) observes that priority is a *jitter-shifting* mechanism:
+// higher classes export their jitter to lower classes, which see it as a
+// baseline on top of their own burstiness.  PriorityScheduler composes any
+// child Scheduler per level (FIFO, FIFO+, ...), dequeuing from the highest
+// non-empty level.  Level 0 is the highest priority.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ispn::sched {
+
+class PriorityScheduler final : public Scheduler {
+ public:
+  /// Maps a packet to its level in [0, children.size()).  The default uses
+  /// Packet::priority, clamped to the top/bottom level.
+  using Classifier = std::function<std::size_t(const net::Packet&)>;
+
+  /// Takes ownership of one child discipline per level, highest first.
+  explicit PriorityScheduler(std::vector<std::unique_ptr<Scheduler>> children,
+                             Classifier classify = {});
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override;
+  [[nodiscard]] std::size_t packets() const override;
+  [[nodiscard]] sim::Bits backlog_bits() const override;
+
+  [[nodiscard]] std::size_t levels() const { return children_.size(); }
+  [[nodiscard]] Scheduler& level(std::size_t i) { return *children_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Scheduler>> children_;
+  Classifier classify_;
+};
+
+}  // namespace ispn::sched

@@ -1,0 +1,57 @@
+// The queueing-discipline interface used by every output port.
+//
+// A Scheduler owns the packets queued at one output port.  The port calls
+// enqueue() on arrival and dequeue() when the link becomes free.  enqueue()
+// returns any packets dropped as a consequence (tail drop returns the
+// offered packet; pushout disciplines may return a different victim), so
+// the port can account for drops uniformly.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/units.h"
+
+namespace ispn::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Offers a packet at simulated time `now` (the packet's enqueued_at has
+  /// already been stamped by the port).  Returns the packets dropped as a
+  /// result of this arrival — empty when the packet was accepted and nothing
+  /// was evicted.
+  [[nodiscard]] virtual std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                            sim::Time now) = 0;
+
+  /// Removes and returns the next packet to transmit, or nullptr if no
+  /// packet is currently eligible.  `now` is the instant transmission
+  /// would begin.
+  [[nodiscard]] virtual net::PacketPtr dequeue(sim::Time now) = 0;
+
+  /// Earliest instant at which a packet will be eligible for
+  /// transmission.  Work-conserving disciplines (the default) always
+  /// answer `now`; non-work-conserving ones (Jitter-EDD) may answer a
+  /// future time, and the port re-polls then.  Meaningless when empty().
+  [[nodiscard]] virtual sim::Time next_eligible(sim::Time now) const {
+    return now;
+  }
+
+  /// True when no packet is queued.
+  [[nodiscard]] virtual bool empty() const = 0;
+
+  /// Number of queued packets.
+  [[nodiscard]] virtual std::size_t packets() const = 0;
+
+  /// Total queued bits.
+  [[nodiscard]] virtual sim::Bits backlog_bits() const = 0;
+};
+
+}  // namespace ispn::sched

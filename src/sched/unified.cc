@@ -1,0 +1,325 @@
+#include "sched/unified.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+UnifiedScheduler::UnifiedScheduler(Config config)
+    : config_(config), flow0_weight_(config.link_rate) {
+  assert(config_.link_rate > 0);
+  assert(config_.num_predicted_classes >= 1);
+  classes_.reserve(static_cast<std::size_t>(config_.num_predicted_classes));
+  for (int i = 0; i < config_.num_predicted_classes; ++i) {
+    classes_.push_back(PredictedClass{{}, stats::Ewma(config_.avg_gain)});
+  }
+}
+
+void UnifiedScheduler::add_guaranteed(net::FlowId flow, sim::Rate rate) {
+  assert(rate > 0);
+  auto [it, inserted] = guaranteed_.try_emplace(flow);
+  assert(inserted && "flow already registered");
+  it->second.rate = rate;
+  guaranteed_rate_ += rate;
+  const sim::Rate old_flow0 = flow0_weight_;
+  flow0_weight_ = config_.link_rate - guaranteed_rate_;
+  assert(flow0_weight_ > 0 &&
+         "guaranteed clock rates must leave bandwidth for flow 0");
+  // Dynamic admission: if flow 0 is currently fluid-backlogged its weight
+  // contribution must track the new value.
+  if (flow0_fluid_backlogged_) active_weight_ += flow0_weight_ - old_flow0;
+}
+
+void UnifiedScheduler::remove_guaranteed(net::FlowId flow) {
+  auto it = guaranteed_.find(flow);
+  assert(it != guaranteed_.end() && "flow not registered");
+  GFlow& g = it->second;
+  assert(g.queue.empty() && "drain the flow before removing it");
+  if (g.fluid_backlogged) {
+    fluid_.erase({g.last_finish, flow});
+    active_weight_ -= g.rate;
+  }
+  guaranteed_rate_ -= g.rate;
+  const sim::Rate old_flow0 = flow0_weight_;
+  flow0_weight_ = config_.link_rate - guaranteed_rate_;
+  if (flow0_fluid_backlogged_) active_weight_ += flow0_weight_ - old_flow0;
+  guaranteed_.erase(it);
+}
+
+void UnifiedScheduler::set_predicted_priority(net::FlowId flow, int level) {
+  assert(level >= 0 && level < config_.num_predicted_classes);
+  predicted_priority_[flow] = level;
+}
+
+int UnifiedScheduler::classify(const net::Packet& p) const {
+  const int kDatagramLevel = config_.num_predicted_classes;
+  if (p.service == net::ServiceClass::kDatagram) return kDatagramLevel;
+  if (auto it = predicted_priority_.find(p.flow);
+      it != predicted_priority_.end()) {
+    return it->second;
+  }
+  if (p.service == net::ServiceClass::kPredicted) {
+    return std::min<int>(p.priority, config_.num_predicted_classes - 1);
+  }
+  return kDatagramLevel;  // unregistered, unclassed traffic is best effort
+}
+
+void UnifiedScheduler::advance_virtual_time(sim::Time now) {
+  while (last_update_ < now) {
+    if (fluid_.empty()) {
+      last_update_ = now;
+      return;
+    }
+    assert(active_weight_ > 0);
+    const double slope = config_.link_rate / active_weight_;
+    const double next_finish = fluid_.begin()->first;
+    const sim::Time reach = last_update_ + (next_finish - vtime_) / slope;
+    if (reach <= now) {
+      vtime_ = next_finish;
+      last_update_ = reach;
+      while (!fluid_.empty() && fluid_.begin()->first <= vtime_) {
+        const net::FlowId id = fluid_.begin()->second;
+        if (id == kFlow0) {
+          flow0_fluid_backlogged_ = false;
+          active_weight_ -= flow0_weight_;
+        } else {
+          GFlow& g = guaranteed_.at(id);
+          g.fluid_backlogged = false;
+          active_weight_ -= g.rate;
+        }
+        fluid_.erase(fluid_.begin());
+      }
+      if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
+    } else {
+      vtime_ += slope * (now - last_update_);
+      last_update_ = now;
+    }
+  }
+}
+
+double UnifiedScheduler::virtual_time(sim::Time now) {
+  advance_virtual_time(now);
+  return vtime_;
+}
+
+std::size_t UnifiedScheduler::class_packets(int level) const {
+  if (level == config_.num_predicted_classes) return datagram_.size();
+  return classes_.at(static_cast<std::size_t>(level)).queue.size();
+}
+
+std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
+                                                      sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  advance_virtual_time(now);
+
+  const net::FlowId id = p->flow;
+  auto git = p->service == net::ServiceClass::kGuaranteed
+                 ? guaranteed_.find(id)
+                 : guaranteed_.end();
+
+  const sim::Bits size = p->size_bits;
+  const std::uint64_t order = arrivals_++;
+
+  if (git != guaranteed_.end()) {
+    GFlow& g = git->second;
+    const double start = std::max(vtime_, g.last_finish);
+    const double finish = start + size / g.rate;
+    if (g.fluid_backlogged) {
+      fluid_.erase({g.last_finish, id});
+    } else {
+      g.fluid_backlogged = true;
+      active_weight_ += g.rate;
+    }
+    g.last_finish = finish;
+    fluid_.insert({finish, id});
+    if (g.queue.empty()) heads_.insert({finish, order, id});
+    g.queue.push_back(Tagged{std::move(p), finish, order});
+  } else {
+    // Flow 0: one tag per packet, in arrival order; the packet itself goes
+    // into its class queue.
+    const double start = std::max(vtime_, flow0_last_finish_);
+    const double finish = start + size / flow0_weight_;
+    if (flow0_fluid_backlogged_) {
+      fluid_.erase({flow0_last_finish_, kFlow0});
+    } else {
+      flow0_fluid_backlogged_ = true;
+      active_weight_ += flow0_weight_;
+    }
+    flow0_last_finish_ = finish;
+    fluid_.insert({finish, kFlow0});
+    if (flow0_tags_.empty()) heads_.insert({finish, order, kFlow0});
+    flow0_tags_.emplace_back(finish, order);
+
+    const int level = classify(*p);
+    if (level == config_.num_predicted_classes) {
+      datagram_.push_back(std::move(p));
+    } else {
+      auto& cls = classes_[static_cast<std::size_t>(level)];
+      cls.queue.insert(PredictedClass::Entry{
+          p->enqueued_at - p->jitter_offset, order, std::move(p)});
+    }
+  }
+
+  ++total_packets_;
+  bits_ += size;
+
+  if (total_packets_ > config_.capacity_pkts) {
+    net::PacketPtr victim = pushout_flow0();
+    if (victim != nullptr) {
+      dropped.push_back(std::move(victim));
+    } else if (git != guaranteed_.end()) {
+      // Pathological: buffer full of guaranteed packets.  Drop the newest
+      // packet of the arriving flow (i.e. the arrival itself).
+      GFlow& g = git->second;
+      Tagged last = std::move(g.queue.back());
+      g.queue.pop_back();
+      if (g.queue.empty()) {
+        heads_.erase({last.finish, last.order, id});
+      }
+      bits_ -= last.packet->size_bits;
+      --total_packets_;
+      dropped.push_back(std::move(last.packet));
+    }
+  }
+  return dropped;
+}
+
+net::PacketPtr UnifiedScheduler::pushout_flow0() {
+  net::PacketPtr victim;
+  if (!datagram_.empty()) {
+    // Prefer the newest less-important datagram packet (§10), else the
+    // newest outright.
+    auto it = datagram_.rbegin();
+    for (auto cand = datagram_.rbegin(); cand != datagram_.rend(); ++cand) {
+      if ((*cand)->less_important) {
+        it = cand;
+        break;
+      }
+    }
+    victim = std::move(*it);
+    datagram_.erase(std::next(it).base());
+  } else {
+    for (int level = config_.num_predicted_classes - 1; level >= 0; --level) {
+      auto& cls = classes_[static_cast<std::size_t>(level)];
+      if (cls.queue.empty()) continue;
+      // Newest less-important packet first (§10 drop preference), falling
+      // back to the newest packet of the class.
+      auto chosen = std::prev(cls.queue.end());
+      for (auto cand = cls.queue.rbegin(); cand != cls.queue.rend(); ++cand) {
+        if (cand->packet->less_important) {
+          chosen = std::prev(cand.base());
+          break;
+        }
+      }
+      victim = std::move(chosen->packet);
+      cls.queue.erase(chosen);
+      break;
+    }
+  }
+  if (victim == nullptr) return nullptr;
+
+  // Retire the *newest* tag: flow 0 keeps its earlier transmission
+  // entitlements (conservative for guaranteed flows, which see flow 0 as
+  // at-most-this-busy).
+  assert(!flow0_tags_.empty());
+  if (flow0_tags_.size() == 1) {
+    heads_.erase({flow0_tags_.front().first, flow0_tags_.front().second,
+                  kFlow0});
+  }
+  flow0_tags_.pop_back();
+
+  bits_ -= victim->size_bits;
+  --total_packets_;
+  return victim;
+}
+
+void UnifiedScheduler::retire_tag_for_discard() {
+  // Called mid-dequeue: the heads_ entry is already gone, so only the tag
+  // deque needs adjusting.  The discarded packet's entitlement is retired
+  // from the back (latest finish tag), conservatively.  When the discard
+  // is the last flow-0 packet, the front tag popped at the start of the
+  // dequeue already covers it.
+  if (!flow0_tags_.empty()) flow0_tags_.pop_back();
+}
+
+net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
+  for (int level = 0; level < config_.num_predicted_classes; ++level) {
+    auto& cls = classes_[static_cast<std::size_t>(level)];
+    while (!cls.queue.empty()) {
+      auto it = cls.queue.begin();
+      net::PacketPtr p = std::move(it->packet);
+      cls.queue.erase(it);
+      // §10 stale discard: the offset says this packet is already far
+      // behind its class's average service; drop it and serve the next.
+      if (p->jitter_offset > config_.stale_offset_threshold) {
+        ++stale_discards_;
+        bits_ -= p->size_bits;
+        --total_packets_;
+        retire_tag_for_discard();
+        if (discard_hook_) discard_hook_(*p, now);
+        continue;
+      }
+      const sim::Duration wait = now - p->enqueued_at;
+      if (config_.fifo_plus) {
+        const double avg = cls.avg.update(wait);
+        p->jitter_offset += wait - avg;
+      }
+      if (observer_) observer_(level, wait, now);
+      return p;
+    }
+  }
+  if (!datagram_.empty()) {
+    net::PacketPtr p = std::move(datagram_.front());
+    datagram_.pop_front();
+    if (observer_) {
+      observer_(config_.num_predicted_classes, now - p->enqueued_at, now);
+    }
+    return p;
+  }
+  return nullptr;
+}
+
+net::PacketPtr UnifiedScheduler::dequeue(sim::Time now) {
+  if (total_packets_ == 0) return nullptr;
+  advance_virtual_time(now);
+
+  while (!heads_.empty()) {
+    const auto [finish, order, id] = *heads_.begin();
+    heads_.erase(heads_.begin());
+
+    if (id == kFlow0) {
+      assert(!flow0_tags_.empty());
+      flow0_tags_.pop_front();
+      net::PacketPtr p = pop_flow0(now);
+      if (p == nullptr) {
+        // Every flow-0 packet was discarded as stale; tag accounting has
+        // been settled by retire_tag_for_discard().  Try the next head.
+        assert(flow0_tags_.empty());
+        continue;
+      }
+      if (!flow0_tags_.empty()) {
+        heads_.insert(
+            {flow0_tags_.front().first, flow0_tags_.front().second, kFlow0});
+      }
+      bits_ -= p->size_bits;
+      --total_packets_;
+      return p;
+    }
+
+    GFlow& g = guaranteed_.at(id);
+    assert(!g.queue.empty());
+    Tagged head = std::move(g.queue.front());
+    g.queue.pop_front();
+    if (!g.queue.empty()) {
+      const Tagged& next = g.queue.front();
+      heads_.insert({next.finish, next.order, id});
+    }
+    bits_ -= head.packet->size_bits;
+    --total_packets_;
+    return std::move(head.packet);
+  }
+  return nullptr;  // everything queued was discarded as stale
+}
+
+}  // namespace ispn::sched

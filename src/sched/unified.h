@@ -1,0 +1,191 @@
+// The unified CSZ scheduling algorithm (paper §7).
+//
+// Structure at each output port:
+//
+//   WFQ (exact GPS virtual time)
+//    ├── guaranteed flow α1, clock rate r_α1        (isolation)
+//    ├── guaranteed flow α2, clock rate r_α2
+//    ├── ...
+//    └── pseudo-flow 0,  rate  r_0 = μ − Σ r_α      (sharing world)
+//         ├── priority level 0  : FIFO+             (Predicted, tightest D)
+//         ├── ...
+//         ├── priority level K−1: FIFO+             (Predicted, loosest D)
+//         └── datagram level    : FIFO              (best effort)
+//
+// WFQ tags decide *when* flow 0 may transmit; the internal priority/FIFO+
+// structure decides *which* flow-0 packet goes.  Guaranteed flows' own tags
+// attach to their packets exactly as in WfqScheduler.
+//
+// Buffer policy (DESIGN.md §4): the port buffer (200 packets) is shared;
+// when it overflows, the victim is pushed out of the lowest-priority
+// backlogged class (datagram first), never a guaranteed queue unless only
+// guaranteed packets remain.  The paper reports guaranteed bounds holding
+// while datagram TCP load suffers ~0.1% drops, which entails protecting
+// real-time queues from elastic overload.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "stats/ewma.h"
+
+namespace ispn::sched {
+
+class UnifiedScheduler final : public Scheduler {
+ public:
+  struct Config {
+    sim::Rate link_rate = sim::paper::kLinkRate;
+    std::size_t capacity_pkts = 200;
+    /// Number of predicted-service priority classes (K).  The datagram
+    /// class sits below them at level K.
+    int num_predicted_classes = 2;
+    /// EWMA gain of the per-class average-delay estimate used by FIFO+.
+    double avg_gain = 1.0 / 4096.0;
+    /// When false, predicted classes run plain FIFO (ablation switch).
+    bool fifo_plus = true;
+    /// §10 stale-packet discard: a predicted packet whose accumulated
+    /// jitter offset exceeds this threshold (seconds) is discarded at
+    /// dequeue instead of transmitted — it has already missed any playback
+    /// point it could have met, so its bandwidth is better spent on the
+    /// packets behind it.  Infinity disables the feature (default).
+    sim::Duration stale_offset_threshold = sim::kTimeInfinity;
+  };
+
+  /// Observer invoked at each predicted/datagram dequeue with
+  /// (class index — num_predicted_classes for datagram, waiting time, now).
+  /// Used by the admission controller's measurement module (d̂_j).
+  using WaitObserver = std::function<void(int, sim::Duration, sim::Time)>;
+
+  explicit UnifiedScheduler(Config config);
+
+  /// Registers a guaranteed flow with clock rate `rate` (bits/s).  The
+  /// pseudo-flow 0 weight shrinks accordingly.  Precondition: the sum of
+  /// guaranteed rates stays below the link rate.
+  void add_guaranteed(net::FlowId flow, sim::Rate rate);
+
+  /// Deregisters a guaranteed flow (service teardown).  The flow's queue
+  /// must be drained first; flow 0 recovers the clock rate.
+  void remove_guaranteed(net::FlowId flow);
+
+  /// Assigns a predicted flow to priority level in [0, K).  Unregistered,
+  /// non-guaranteed flows go to the datagram level.
+  void set_predicted_priority(net::FlowId flow, int level);
+
+  /// Forgets a predicted flow's priority mapping (service teardown);
+  /// in-flight packets keep their class.
+  void remove_predicted(net::FlowId flow) { predicted_priority_.erase(flow); }
+
+  void set_wait_observer(WaitObserver obs) { observer_ = std::move(obs); }
+
+  /// Observer invoked for packets dropped inside the scheduler after
+  /// acceptance (stale discards), which the port's enqueue-drop accounting
+  /// cannot see.
+  using DiscardHook = std::function<void(const net::Packet&, sim::Time)>;
+  void set_discard_hook(DiscardHook hook) { discard_hook_ = std::move(hook); }
+
+  /// Packets discarded as stale so far (§10).
+  [[nodiscard]] std::uint64_t stale_discards() const {
+    return stale_discards_;
+  }
+
+  /// Pseudo-flow 0's current WFQ weight (μ − Σ r_α).  Exposed for tests.
+  [[nodiscard]] sim::Rate flow0_weight() const { return flow0_weight_; }
+
+  /// Sum of registered guaranteed clock rates.
+  [[nodiscard]] sim::Rate guaranteed_rate() const { return guaranteed_rate_; }
+
+  /// Current virtual time, advanced to `now` (diagnostic).
+  [[nodiscard]] double virtual_time(sim::Time now);
+
+  /// Queued packets in a predicted class / datagram level (diagnostic).
+  [[nodiscard]] std::size_t class_packets(int level) const;
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override { return total_packets_ == 0; }
+  [[nodiscard]] std::size_t packets() const override { return total_packets_; }
+  [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
+
+ private:
+  // ---- WFQ outer layer --------------------------------------------------
+  struct Tagged {
+    net::PacketPtr packet;
+    double finish = 0;
+    std::uint64_t order = 0;
+  };
+  struct GFlow {
+    sim::Rate rate = 0;
+    std::deque<Tagged> queue;
+    double last_finish = 0;
+    bool fluid_backlogged = false;
+  };
+  /// Key used in the fluid set / head set; flow 0 uses id kFlow0.
+  static constexpr net::FlowId kFlow0 = -2;
+
+  void advance_virtual_time(sim::Time now);
+  void fluid_arrival(net::FlowId id, bool& backlogged_flag, double& last_finish,
+                     double weight, sim::Bits bits, double& finish_out);
+
+  // ---- flow 0 internals ---------------------------------------------------
+  struct PredictedClass {
+    struct Entry {
+      double expected_arrival;
+      std::uint64_t order;
+      mutable net::PacketPtr packet;
+      bool operator<(const Entry& o) const {
+        if (expected_arrival != o.expected_arrival)
+          return expected_arrival < o.expected_arrival;
+        return order < o.order;
+      }
+    };
+    std::set<Entry> queue;
+    stats::Ewma avg;
+  };
+
+  /// Picks the flow-0 packet to transmit (highest class first).
+  net::PacketPtr pop_flow0(sim::Time now);
+  /// Pushes out a victim from the lowest-priority backlogged flow-0 class.
+  net::PacketPtr pushout_flow0();
+  [[nodiscard]] int classify(const net::Packet& p) const;
+
+  /// Retires one flow-0 transmission entitlement during a dequeue-time
+  /// discard (heads_ entry already removed by the caller).
+  void retire_tag_for_discard();
+
+  Config config_;
+  WaitObserver observer_;
+  DiscardHook discard_hook_;
+  std::uint64_t stale_discards_ = 0;
+
+  std::map<net::FlowId, GFlow> guaranteed_;
+  std::map<net::FlowId, int> predicted_priority_;
+  sim::Rate guaranteed_rate_ = 0;
+  sim::Rate flow0_weight_;
+
+  // Fluid/WFQ state shared by guaranteed flows and flow 0.
+  double vtime_ = 0;
+  sim::Time last_update_ = 0;
+  double active_weight_ = 0;
+  std::set<std::pair<double, net::FlowId>> fluid_;
+  std::set<std::tuple<double, std::uint64_t, net::FlowId>> heads_;
+
+  // Flow 0: tag queue (arrival order) + classed packet queues.
+  std::deque<std::pair<double, std::uint64_t>> flow0_tags_;  // (F, order)
+  double flow0_last_finish_ = 0;
+  bool flow0_fluid_backlogged_ = false;
+  std::vector<PredictedClass> classes_;       // K predicted levels
+  std::deque<net::PacketPtr> datagram_;       // level K
+
+  std::uint64_t arrivals_ = 0;
+  std::size_t total_packets_ = 0;
+  sim::Bits bits_ = 0;
+};
+
+}  // namespace ispn::sched

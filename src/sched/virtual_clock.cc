@@ -1,0 +1,50 @@
+#include "sched/virtual_clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+void VirtualClockScheduler::add_flow(net::FlowId flow, sim::Rate rate) {
+  assert(rate > 0);
+  flows_[flow] = Flow{rate, 0.0};
+}
+
+double VirtualClockScheduler::aux_vc(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? 0.0 : it->second.aux_vc;
+}
+
+std::vector<net::PacketPtr> VirtualClockScheduler::enqueue(net::PacketPtr p,
+                                                           sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  auto [it, inserted] = flows_.try_emplace(p->flow);
+  if (inserted) it->second = Flow{config_.default_rate, 0.0};
+  Flow& flow = it->second;
+  flow.aux_vc = std::max(now, flow.aux_vc) + p->size_bits / flow.rate;
+  bits_ += p->size_bits;
+  queue_.insert(Entry{flow.aux_vc, arrivals_++, std::move(p)});
+
+  if (queue_.size() > config_.capacity_pkts) {
+    // Evict the largest stamp: the most overdrawn flow's newest packet
+    // (possibly the arrival itself), protecting conforming flows' buffer
+    // share just as their virtual clocks protect their bandwidth.
+    auto victim = std::prev(queue_.end());
+    bits_ -= victim->packet->size_bits;
+    dropped.push_back(std::move(victim->packet));
+    queue_.erase(victim);
+  }
+  return dropped;
+}
+
+net::PacketPtr VirtualClockScheduler::dequeue(sim::Time /*now*/) {
+  if (queue_.empty()) return nullptr;
+  auto it = queue_.begin();
+  net::PacketPtr p = std::move(it->packet);
+  queue_.erase(it);
+  bits_ -= p->size_bits;
+  return p;
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,73 @@
+// VirtualClock (Zhang '89/'91, the paper's references [25, 26]).
+//
+// Discussed in §4 as "an extremely similar underlying packet scheduling
+// algorithm" to WFQ, designed for preapportioned resources.  Each flow i
+// with reserved rate r_i keeps an auxiliary virtual clock auxVC_i; packet
+// k of size L arriving at real time a gets
+//
+//     auxVC_i = max(a, auxVC_i) + L / r_i,    stamp = auxVC_i,
+//
+// and packets transmit in stamp order.  Unlike WFQ there is no fluid
+// virtual time: stamps advance against *real* time, so a flow that was
+// idle resumes with a fresh clock, but a flow that overdraws builds stamp
+// debt and is pushed behind — rate policing through scheduling.
+//
+// Provided for the related-mechanism comparison bench; the CSZ unified
+// scheduler uses WFQ.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "sched/scheduler.h"
+
+namespace ispn::sched {
+
+class VirtualClockScheduler final : public Scheduler {
+ public:
+  struct Config {
+    std::size_t capacity_pkts = 200;
+    /// Reserved rate assumed for flows never registered via add_flow().
+    sim::Rate default_rate = 1e5;
+  };
+
+  explicit VirtualClockScheduler(Config config) : config_(config) {}
+
+  /// Reserves rate `rate` (bits/s) for `flow`.
+  void add_flow(net::FlowId flow, sim::Rate rate);
+
+  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
+                                                    sim::Time now) override;
+  [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
+  [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
+
+  /// Current auxVC of a flow (diagnostic).
+  [[nodiscard]] double aux_vc(net::FlowId flow) const;
+
+ private:
+  struct Entry {
+    double stamp;
+    std::uint64_t order;
+    mutable net::PacketPtr packet;
+    bool operator<(const Entry& o) const {
+      if (stamp != o.stamp) return stamp < o.stamp;
+      return order < o.order;
+    }
+  };
+  struct Flow {
+    sim::Rate rate;
+    double aux_vc = 0;
+  };
+
+  Config config_;
+  std::map<net::FlowId, Flow> flows_;
+  std::set<Entry> queue_;
+  std::uint64_t arrivals_ = 0;
+  sim::Bits bits_ = 0;
+};
+
+}  // namespace ispn::sched

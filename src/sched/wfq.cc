@@ -1,0 +1,139 @@
+#include "sched/wfq.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::sched {
+
+WfqScheduler::WfqScheduler(Config config) : config_(config) {
+  assert(config_.link_rate > 0);
+  assert(config_.default_weight > 0);
+}
+
+void WfqScheduler::add_flow(net::FlowId flow, double weight) {
+  assert(weight > 0);
+  Flow& f = flows_[flow];
+  assert(!f.fluid_backlogged && f.queue.empty() &&
+         "cannot re-weight a backlogged flow");
+  f.weight = weight;
+}
+
+double WfqScheduler::weight(net::FlowId flow) const {
+  auto it = flows_.find(flow);
+  return it == flows_.end() ? config_.default_weight : it->second.weight;
+}
+
+WfqScheduler::Flow& WfqScheduler::flow_ref(net::FlowId id) {
+  auto [it, inserted] = flows_.try_emplace(id);
+  if (inserted) it->second.weight = config_.default_weight;
+  return it->second;
+}
+
+void WfqScheduler::advance_virtual_time(sim::Time now) {
+  while (last_update_ < now) {
+    if (fluid_.empty()) {
+      // Fluid system idle: V frozen.
+      last_update_ = now;
+      return;
+    }
+    assert(active_weight_ > 0);
+    const double slope = config_.link_rate / active_weight_;
+    const double next_finish = fluid_.begin()->first;
+    const sim::Time reach = last_update_ + (next_finish - vtime_) / slope;
+    if (reach <= now) {
+      // A flow empties in the fluid system before `now`.
+      vtime_ = next_finish;
+      last_update_ = reach;
+      while (!fluid_.empty() && fluid_.begin()->first <= vtime_) {
+        Flow& f = flows_.at(fluid_.begin()->second);
+        f.fluid_backlogged = false;
+        active_weight_ -= f.weight;
+        fluid_.erase(fluid_.begin());
+      }
+      if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
+    } else {
+      vtime_ += slope * (now - last_update_);
+      last_update_ = now;
+    }
+  }
+}
+
+double WfqScheduler::virtual_time(sim::Time now) {
+  advance_virtual_time(now);
+  return vtime_;
+}
+
+std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
+                                                  sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  advance_virtual_time(now);
+
+  const net::FlowId id = p->flow;
+  Flow& f = flow_ref(id);
+
+  const double start = std::max(vtime_, f.last_finish);
+  const double finish = start + p->size_bits / f.weight;
+
+  if (f.fluid_backlogged) {
+    // Re-key the fluid entry to the new last finish tag.
+    fluid_.erase({f.last_finish, id});
+  } else {
+    f.fluid_backlogged = true;
+    active_weight_ += f.weight;
+  }
+  f.last_finish = finish;
+  fluid_.insert({finish, id});
+
+  const std::uint64_t order = arrivals_++;
+  if (f.queue.empty()) heads_.insert({finish, order, id});
+  bits_ += p->size_bits;
+  ++total_packets_;
+  f.queue.push_back(Tagged{std::move(p), finish, order});
+
+  if (total_packets_ > config_.capacity_pkts) {
+    // Buffer policy from the original Fair Queueing paper: drop the newest
+    // packet of the flow with the largest backlog, so a flooding source
+    // cannot starve conforming flows of buffer space.  Tags and fluid
+    // state are left as-is (conservative: the flow looks at most busier).
+    net::FlowId victim_id = id;
+    std::size_t longest = 0;
+    for (const auto& [fid, flow] : flows_) {
+      if (flow.queue.size() > longest) {
+        longest = flow.queue.size();
+        victim_id = fid;
+      }
+    }
+    Flow& victim_flow = flows_.at(victim_id);
+    Tagged victim = std::move(victim_flow.queue.back());
+    victim_flow.queue.pop_back();
+    if (victim_flow.queue.empty()) {
+      heads_.erase({victim.finish, victim.order, victim_id});
+    }
+    bits_ -= victim.packet->size_bits;
+    --total_packets_;
+    dropped.push_back(std::move(victim.packet));
+  }
+  return dropped;
+}
+
+net::PacketPtr WfqScheduler::dequeue(sim::Time now) {
+  if (total_packets_ == 0) return nullptr;
+  advance_virtual_time(now);
+  assert(!heads_.empty());
+
+  const auto [finish, order, id] = *heads_.begin();
+  heads_.erase(heads_.begin());
+  Flow& f = flows_.at(id);
+  assert(!f.queue.empty());
+  Tagged head = std::move(f.queue.front());
+  f.queue.pop_front();
+  if (!f.queue.empty()) {
+    const Tagged& next = f.queue.front();
+    heads_.insert({next.finish, next.order, id});
+  }
+  bits_ -= head.packet->size_bits;
+  --total_packets_;
+  return std::move(head.packet);
+}
+
+}  // namespace ispn::sched

@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ispn::sim {
+
+EventId EventQueue::schedule(Time at, EventAction action) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_ > 0) --live_;
+  return inserted;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return cancelled_.contains(id);
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  // drop_dead() is not const; compute emptiness from the live counter, which
+  // is kept exact by schedule()/cancel()/pop().
+  return live_ == 0;
+}
+
+Time EventQueue::next_time() const {
+  assert(live_ > 0);
+  // Skim over dead entries without mutating: the first live entry determines
+  // the next time.  Cancelled entries at the top are rare, so scan via a
+  // const_cast-free copy of the lazy-deletion walk done in pop().
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty());
+  Fired fired{heap_.top().time, std::move(heap_.top().action)};
+  heap_.pop();
+  --live_;
+  return fired;
+}
+
+}  // namespace ispn::sim

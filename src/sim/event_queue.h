@@ -1,0 +1,91 @@
+// A deterministic discrete-event queue.
+//
+// Events are (time, sequence, action) tuples ordered by time, with the
+// insertion sequence number breaking ties so that events scheduled for the
+// same instant fire in scheduling order.  Cancellation is supported through
+// lazy deletion: cancel() marks the handle and pop() skips dead entries.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace ispn::sim {
+
+/// Action run when an event fires.
+using EventAction = std::function<void()>;
+
+/// Opaque identifier for a scheduled event; usable with EventQueue::cancel().
+using EventId = std::uint64_t;
+
+/// Sentinel returned when no event was scheduled.
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timed events with stable same-time ordering and O(log n)
+/// schedule/pop.  Not thread-safe: the simulator is single-threaded by design.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `action` to run at absolute time `at`.  Returns a handle that
+  /// can later be passed to cancel().
+  EventId schedule(Time at, EventAction action);
+
+  /// Marks a previously scheduled event as cancelled.  Returns true if the
+  /// event was still pending.  Cancelled events are skipped by pop().
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// Removes and returns the earliest live event's action, advancing past any
+  /// cancelled entries.  Precondition: !empty().
+  struct Fired {
+    Time time = 0;
+    EventAction action;
+  };
+  Fired pop();
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Total events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    Time time = 0;
+    EventId id = kInvalidEventId;  // doubles as the tie-breaking sequence
+    // Heap entries own their action; cancelled ones drop it eagerly to free
+    // captured state.
+    mutable EventAction action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_dead();
+  [[nodiscard]] bool is_cancelled(EventId id) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ispn::sim

@@ -1,0 +1,114 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ispn::sim {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id into the seed sequence so streams are decorrelated.
+  std::uint64_t sm = seed ^ (0xA3C59AC2F0B2FA71ull * (stream + 1));
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  // -mean * ln(U), U in (0, 1].
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::geometric1(double mean) {
+  assert(mean >= 1.0);
+  if (mean == 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inversion: ceil(ln(1-U) / ln(1-p)) on support {1, 2, ...}.
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0 || u >= 1.0);
+  const double k = std::ceil(std::log(u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  assert(lambda >= 0);
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint64_t k = 0;
+    do {
+      prod *= uniform();
+      ++k;
+    } while (prod > limit);
+    return k - 1;
+  }
+  // Split recursively: Poisson(a+b) = Poisson(a) + Poisson(b).
+  const double half = lambda / 2.0;
+  return poisson(half) + poisson(lambda - half);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace ispn::sim

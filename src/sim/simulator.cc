@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::sim {
+
+EventId Simulator::at(Time at, EventAction action) {
+  assert(at >= now_ - 1e-12 && "scheduling into the past");
+  return queue_.schedule(std::max(at, now_), std::move(action));
+}
+
+EventId Simulator::after(Duration delay, EventAction action) {
+  assert(delay >= 0 && "negative delay");
+  return queue_.schedule(now_ + std::max(delay, 0.0), std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++processed_;
+  fired.action();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(Time end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    step();
+    ++n;
+  }
+  // Advance the clock to the horizon so subsequent after() calls are
+  // relative to the end of the run.
+  now_ = std::max(now_, end);
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace ispn::sim

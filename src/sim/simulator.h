@@ -1,0 +1,67 @@
+// The simulation kernel: a clock plus an event queue.
+//
+// Usage:
+//   Simulator sim;
+//   sim.at(1.0, [&]{ ... });        // absolute time
+//   sim.after(0.5, [&]{ ... });     // relative to now()
+//   sim.run_until(600.0);
+//
+// The kernel is strictly single-threaded and deterministic: events at equal
+// times fire in scheduling order.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/units.h"
+
+namespace ispn::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at`.  Scheduling in the past is a
+  /// programming error; the action is clamped to fire at now().
+  EventId at(Time at, EventAction action);
+
+  /// Schedules `action` `delay` seconds from now.
+  EventId after(Duration delay, EventAction action);
+
+  /// Cancels a pending event.  Returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `end`.  Events scheduled
+  /// exactly at `end` still fire.  Returns the number of events processed.
+  std::uint64_t run_until(Time end);
+
+  /// Runs until the queue drains.
+  std::uint64_t run();
+
+  /// Executes at most one pending event.  Returns false if none remain.
+  bool step();
+
+  /// True if no further events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Number of pending events (diagnostic).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events processed so far (diagnostic).
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ispn::sim

@@ -1,0 +1,60 @@
+// Units and shared scalar types for the ISPN simulator.
+//
+// All simulation time is in seconds (double).  Link capacities are in
+// bits per second; packet sizes in bits.  The paper (Appendix) reports
+// queueing delays in units of one packet transmission time: 1000-bit
+// packets on 1 Mbit/s links, i.e. 1 ms.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ispn::sim {
+
+/// Simulation time, in seconds.
+using Time = double;
+
+/// Duration, in seconds.
+using Duration = double;
+
+/// Data volume, in bits.
+using Bits = double;
+
+/// Link rate, in bits per second.
+using Rate = double;
+
+/// Sentinel for "no deadline / end of time".
+inline constexpr Time kTimeInfinity = 1e300;
+
+namespace paper {
+
+/// Packet size used throughout the paper's Appendix: 1000 bits.
+inline constexpr Bits kPacketBits = 1000.0;
+
+/// Inter-switch link speed: 1 Mbit/s.
+inline constexpr Rate kLinkRate = 1e6;
+
+/// Transmission time of one packet (the paper's delay unit): 1 ms.
+inline constexpr Duration kPacketTime = kPacketBits / kLinkRate;
+
+/// Switch output buffer: 200 packets.
+inline constexpr int kBufferPackets = 200;
+
+/// Average packet generation rate A = 85 pkt/s (all flows).
+inline constexpr double kAvgPacketRate = 85.0;
+
+/// Mean burst size B = 5 packets.
+inline constexpr double kMeanBurst = 5.0;
+
+/// Peak rate P = 2A.
+inline constexpr double kPeakFactor = 2.0;
+
+/// Edge token bucket depth: 50 packets.
+inline constexpr double kBucketPackets = 50.0;
+
+/// Simulated duration of each table run: 10 minutes.
+inline constexpr Duration kRunSeconds = 600.0;
+
+}  // namespace paper
+
+}  // namespace ispn::sim

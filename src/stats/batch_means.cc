@@ -1,0 +1,56 @@
+#include "stats/batch_means.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ispn::stats {
+
+BatchMeans::BatchMeans(std::size_t target_batches)
+    : target_batches_(target_batches) {
+  assert(target_batches_ >= 2);
+}
+
+void BatchMeans::add(double x) {
+  ++n_;
+  total_ += x;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    sums_.push_back(current_sum_);
+    current_sum_ = 0;
+    current_count_ = 0;
+    if (sums_.size() >= 2 * target_batches_) collapse();
+  }
+}
+
+void BatchMeans::collapse() {
+  // Merge adjacent batches, doubling the batch size.
+  std::vector<double> merged;
+  merged.reserve(sums_.size() / 2);
+  for (std::size_t i = 0; i + 1 < sums_.size(); i += 2) {
+    merged.push_back(sums_[i] + sums_[i + 1]);
+  }
+  sums_ = std::move(merged);
+  batch_size_ *= 2;
+}
+
+double BatchMeans::mean() const {
+  return n_ == 0 ? 0.0 : total_ / static_cast<double>(n_);
+}
+
+double BatchMeans::half_width() const {
+  const std::size_t b = sums_.size();
+  if (b < 2) return 0.0;
+  const double denom = static_cast<double>(batch_size_);
+  double mean_of_means = 0;
+  for (double s : sums_) mean_of_means += s / denom;
+  mean_of_means /= static_cast<double>(b);
+  double var = 0;
+  for (double s : sums_) {
+    const double d = s / denom - mean_of_means;
+    var += d * d;
+  }
+  var /= static_cast<double>(b - 1);
+  return 1.96 * std::sqrt(var / static_cast<double>(b));
+}
+
+}  // namespace ispn::stats

@@ -1,0 +1,51 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// Per-packet delays from one run are heavily autocorrelated, so the naive
+// s/sqrt(n) interval is far too tight.  The classic remedy: split the
+// stream into B contiguous batches, treat batch means as (approximately)
+// independent, and build the interval from their spread.  The batch size
+// doubles on the fly (pairwise collapsing) so the estimator needs no
+// a-priori run length.  Used by EXPERIMENTS.md error bars and tests.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ispn::stats {
+
+class BatchMeans {
+ public:
+  /// Maintains between `target_batches` and 2x that many batches.
+  explicit BatchMeans(std::size_t target_batches = 20);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+
+  /// Grand mean of all observations.
+  [[nodiscard]] double mean() const;
+
+  /// Half-width of the ~95% confidence interval from completed batches
+  /// (1.96 * s_batch / sqrt(B)); 0 while fewer than 2 batches completed.
+  [[nodiscard]] double half_width() const;
+
+  /// Number of completed batches currently contributing.
+  [[nodiscard]] std::size_t batches() const { return sums_.size(); }
+
+  /// Current batch size (observations per batch).
+  [[nodiscard]] std::uint64_t batch_size() const { return batch_size_; }
+
+ private:
+  void collapse();
+
+  std::size_t target_batches_;
+  std::uint64_t batch_size_ = 1;
+  std::vector<double> sums_;       // completed batch sums
+  double current_sum_ = 0;
+  std::uint64_t current_count_ = 0;
+  std::uint64_t n_ = 0;
+  double total_ = 0;
+};
+
+}  // namespace ispn::stats

@@ -1,0 +1,51 @@
+// Exponentially weighted moving average.
+//
+// FIFO+ (paper §6) needs each switch to track "the average delay seen by
+// packets in each priority class at that switch".  The paper leaves the
+// estimator unspecified; we use a classic EWMA updated per packet:
+//     avg <- (1 - g) * avg + g * sample
+// with gain g defaulting to 2^-7 (the TCP SRTT gain), which averages over
+// roughly the last 128 packets.  Ablations live in bench_priority_spacing.
+
+#pragma once
+
+namespace ispn::stats {
+
+/// Per-packet exponentially weighted moving average with warm-start: the
+/// first sample initialises the average directly.
+class Ewma {
+ public:
+  /// `gain` in (0, 1]: weight of each new sample.
+  explicit Ewma(double gain = 1.0 / 128.0) : gain_(gain) {}
+
+  /// Folds in one sample and returns the updated average.
+  double update(double sample) {
+    if (!primed_) {
+      avg_ = sample;
+      primed_ = true;
+    } else {
+      avg_ += gain_ * (sample - avg_);
+    }
+    return avg_;
+  }
+
+  /// Current average (0 before any sample).
+  [[nodiscard]] double value() const { return avg_; }
+
+  /// True once at least one sample has been folded in.
+  [[nodiscard]] bool primed() const { return primed_; }
+
+  [[nodiscard]] double gain() const { return gain_; }
+
+  void reset() {
+    avg_ = 0;
+    primed_ = false;
+  }
+
+ private:
+  double gain_;
+  double avg_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace ispn::stats

@@ -1,0 +1,82 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace ispn::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  std::uint64_t below = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (x >= bin_hi(i)) {
+      below += counts_[i];
+    } else if (x >= bin_lo(i)) {
+      const double frac = (x - bin_lo(i)) / bin_width_;
+      below += static_cast<std::uint64_t>(
+          frac * static_cast<double>(counts_[i]));
+      break;
+    } else {
+      break;
+    }
+  }
+  if (x >= hi_) below = total_;
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(width) *
+                     static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak)));
+    out << '[' << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << ' '
+        << counts_[i] << '\n';
+  }
+  if (overflow_ > 0) out << ">= " << hi_ << " : " << overflow_ << '\n';
+  return out.str();
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+}  // namespace ispn::stats

@@ -1,0 +1,49 @@
+// Fixed-bin histogram for delay distributions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ispn::stats {
+
+/// Linear-bin histogram over [lo, hi) with overflow/underflow counters.
+/// Used by benches to print delay distributions alongside the paper's
+/// summary statistics.
+class Histogram {
+ public:
+  /// `bins` equal-width bins spanning [lo, hi).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+  /// Fraction of samples at or below `x` (linear interpolation within bins).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Renders an ASCII bar chart (for bench output), `width` chars max bar.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ispn::stats

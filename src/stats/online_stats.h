@@ -1,0 +1,56 @@
+// Streaming summary statistics (Welford's algorithm).
+
+#pragma once
+
+#include <cstdint>
+
+namespace ispn::stats {
+
+/// Single-pass mean / variance / min / max accumulator.  O(1) memory,
+/// numerically stable (Welford).
+class OnlineStats {
+ public:
+  OnlineStats() = default;
+
+  /// Accumulates one observation.
+  void add(double x);
+
+  /// Merges another accumulator (parallel Welford combine).
+  void merge(const OnlineStats& other);
+
+  /// Removes all observations.
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  /// Mean of observations; 0 if empty.
+  [[nodiscard]] double mean() const;
+
+  /// Population variance; 0 if fewer than 2 observations.
+  [[nodiscard]] double variance() const;
+
+  /// Sample (n-1) variance; 0 if fewer than 2 observations.
+  [[nodiscard]] double sample_variance() const;
+
+  /// Population standard deviation.
+  [[nodiscard]] double stddev() const;
+
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const;
+
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const;
+
+  /// Sum of observations.
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace ispn::stats

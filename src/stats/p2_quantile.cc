@@ -1,0 +1,101 @@
+#include "stats/p2_quantile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ispn::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  desired_ = {1, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5};
+  increments_ = {0, q / 2, q, (1 + q) / 2, 1};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double n = positions_[static_cast<std::size_t>(i)];
+  const double hp = heights_[static_cast<std::size_t>(i + 1)];
+  const double hm = heights_[static_cast<std::size_t>(i - 1)];
+  const double h = heights_[static_cast<std::size_t>(i)];
+  return h + d / (np - nm) *
+                 ((n - nm + d) * (hp - h) / (np - n) +
+                  (np - n - d) * (h - hm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto j = static_cast<std::size_t>(i + static_cast<int>(d));
+  const auto k = static_cast<std::size_t>(i);
+  return heights_[k] + d * (heights_[j] - heights_[k]) /
+                           (positions_[j] - positions_[k]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+    }
+    return;
+  }
+  ++n_;
+
+  // Locate the cell containing x and clamp the extremes.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[static_cast<std::size_t>(cell + 1)]) {
+      ++cell;
+    }
+  }
+
+  for (int i = cell + 1; i < 5; ++i) {
+    positions_[static_cast<std::size_t>(i)] += 1;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the three middle markers.
+  for (int i = 1; i <= 3; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    const double d = desired_[k] - positions_[k];
+    const double gap_up = positions_[k + 1] - positions_[k];
+    const double gap_down = positions_[k - 1] - positions_[k];
+    if ((d >= 1 && gap_up > 1) || (d <= -1 && gap_down < -1)) {
+      const double step = d >= 0 ? 1 : -1;
+      double candidate = parabolic(i, step);
+      if (heights_[k - 1] < candidate && candidate < heights_[k + 1]) {
+        heights_[k] = candidate;
+      } else {
+        heights_[k] = linear(i, step);
+      }
+      positions_[k] += step;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact on the few samples so far.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(n_));
+    const auto rank = static_cast<std::size_t>(
+        q_ * static_cast<double>(n_ - 1) + 0.5);
+    return sorted[std::min<std::size_t>(rank, n_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace ispn::stats

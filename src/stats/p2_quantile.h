@@ -1,0 +1,42 @@
+// P² (piecewise-parabolic) streaming quantile estimator
+// (Jain & Chlamtac, CACM 1985).
+//
+// SampleSeries keeps every observation for exact percentiles, which is
+// fine for 600-second runs but not for always-on deployments.  P² tracks
+// one quantile in O(1) space with five markers whose positions adjust by
+// parabolic interpolation.  Used where a switch would track its own
+// delay quantiles for measurement-based admission over long horizons.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ispn::stats {
+
+class P2Quantile {
+ public:
+  /// Tracks the q-quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact until five samples have been seen.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> heights_{};   // marker values
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace ispn::stats

@@ -1,0 +1,38 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ispn::stats {
+
+void SampleSeries::add(double x) {
+  samples_.push_back(x);
+  summary_.add(x);
+  sorted_valid_ = false;
+}
+
+double SampleSeries::percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const auto n = sorted_.size();
+  // Nearest-rank: smallest value with at least ceil(q*n) samples <= it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, n - 1)];
+}
+
+void SampleSeries::reset() {
+  samples_.clear();
+  summary_.reset();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+}  // namespace ispn::stats

@@ -1,0 +1,59 @@
+// Exact-percentile sample recorder.
+//
+// The paper reports per-flow mean and 99.9th-percentile queueing delays over
+// 10-minute runs (~50k packets per flow), so storing every sample is cheap
+// and gives exact order statistics.  Percentile queries sort a scratch copy
+// lazily and cache it until the next insertion.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/online_stats.h"
+
+namespace ispn::stats {
+
+/// Records a series of observations; answers mean / percentile / max queries.
+class SampleSeries {
+ public:
+  SampleSeries() = default;
+
+  /// Pre-reserves capacity to avoid reallocation in hot loops.
+  explicit SampleSeries(std::size_t reserve) { samples_.reserve(reserve); }
+
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations recorded.
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const { return summary_.mean(); }
+  [[nodiscard]] double stddev() const { return summary_.stddev(); }
+  [[nodiscard]] double min() const { return summary_.min(); }
+  [[nodiscard]] double max() const { return summary_.max(); }
+
+  /// Exact q-quantile with q in [0, 1] using the nearest-rank method
+  /// (rank = ceil(q * n), 1-based).  Returns 0 on an empty series.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// Convenience for the paper's headline statistic.
+  [[nodiscard]] double p999() const { return percentile(0.999); }
+
+  /// Read-only access to raw samples (ordered by insertion).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// Summary accumulator (mean/max without sorting).
+  [[nodiscard]] const OnlineStats& summary() const { return summary_; }
+
+  void reset();
+
+ private:
+  std::vector<double> samples_;
+  OnlineStats summary_;
+  mutable std::vector<double> sorted_;  // lazily built cache
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace ispn::stats

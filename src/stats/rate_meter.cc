@@ -1,0 +1,48 @@
+#include "stats/rate_meter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ispn::stats {
+
+RateMeter::RateMeter(sim::Duration window, std::size_t num_epochs)
+    : epoch_len_(window / static_cast<double>(num_epochs)),
+      buckets_(num_epochs, 0.0) {
+  assert(window > 0 && num_epochs > 0);
+}
+
+void RateMeter::rotate(sim::Time now) {
+  auto epoch = static_cast<long long>(now / epoch_len_);
+  while (last_epoch_ < epoch) {
+    ++last_epoch_;
+    current_ = (current_ + 1) % buckets_.size();
+    buckets_[current_] = 0.0;
+  }
+}
+
+void RateMeter::add(sim::Time now, sim::Bits bits) {
+  rotate(now);
+  buckets_[current_] += bits;
+}
+
+sim::Rate RateMeter::mean_rate(sim::Time now) {
+  rotate(now);
+  double total = 0.0;
+  for (double b : buckets_) total += b;
+  return total / window();
+}
+
+sim::Rate RateMeter::peak_rate(sim::Time now) {
+  rotate(now);
+  double peak = 0.0;
+  for (double b : buckets_) peak = std::max(peak, b);
+  return peak / epoch_len_;
+}
+
+void RateMeter::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0.0);
+  current_ = 0;
+  last_epoch_ = 0;
+}
+
+}  // namespace ispn::stats

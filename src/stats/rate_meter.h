@@ -1,0 +1,48 @@
+// Utilisation / rate measurement over simulated time.
+//
+// The admission controller needs a "measured post-facto bound on
+// utilisation" (paper §9, the ν̂ quantity).  RateMeter counts bits in
+// rotating epochs and reports both the mean rate over the window and the
+// peak epoch rate (the conservative estimate §9 calls for).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace ispn::stats {
+
+/// Bits-per-second meter over a sliding window of rotating epochs.
+class RateMeter {
+ public:
+  /// Measures over `window` seconds, split into `num_epochs` buckets.
+  explicit RateMeter(sim::Duration window = 10.0, std::size_t num_epochs = 10);
+
+  /// Records `bits` transferred at simulated time `now`.
+  void add(sim::Time now, sim::Bits bits);
+
+  /// Mean rate (bits/s) over the whole window ending at `now`.
+  [[nodiscard]] sim::Rate mean_rate(sim::Time now);
+
+  /// Peak single-epoch rate (bits/s) within the window — the conservative
+  /// utilisation estimate for admission control.
+  [[nodiscard]] sim::Rate peak_rate(sim::Time now);
+
+  [[nodiscard]] sim::Duration window() const {
+    return epoch_len_ * static_cast<double>(buckets_.size());
+  }
+
+  void reset();
+
+ private:
+  void rotate(sim::Time now);
+
+  double epoch_len_;
+  std::vector<double> buckets_;  // bits per epoch
+  std::size_t current_ = 0;
+  long long last_epoch_ = 0;
+};
+
+}  // namespace ispn::stats

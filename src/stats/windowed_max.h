@@ -1,0 +1,62 @@
+// Sliding-window maximum over simulated time.
+//
+// The admission controller (paper §9) needs *conservative* measured
+// quantities: the maximal recent delay per class and the maximal recent
+// utilisation.  We keep per-epoch maxima for the last W epochs and report
+// the max over them — a standard measurement-based admission-control
+// estimator (cf. Jamin et al.).
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace ispn::stats {
+
+/// Max of samples observed during the last `window` seconds, tracked in
+/// `num_epochs` rotating buckets of width window/num_epochs.
+class WindowedMax {
+ public:
+  explicit WindowedMax(sim::Duration window = 10.0, std::size_t num_epochs = 10)
+      : epoch_len_(window / static_cast<double>(num_epochs)),
+        buckets_(num_epochs, 0.0) {}
+
+  /// Records `sample` observed at simulated time `now`.
+  void add(sim::Time now, double sample) {
+    rotate(now);
+    auto& bucket = buckets_[current_];
+    bucket = std::max(bucket, sample);
+  }
+
+  /// Max over the window ending at `now`.  Returns 0 with no samples.
+  [[nodiscard]] double max(sim::Time now) {
+    rotate(now);
+    double m = 0.0;
+    for (double b : buckets_) m = std::max(m, b);
+    return m;
+  }
+
+  [[nodiscard]] sim::Duration window() const {
+    return epoch_len_ * static_cast<double>(buckets_.size());
+  }
+
+ private:
+  void rotate(sim::Time now) {
+    auto epoch = static_cast<long long>(now / epoch_len_);
+    while (last_epoch_ < epoch) {
+      ++last_epoch_;
+      current_ = (current_ + 1) % buckets_.size();
+      buckets_[current_] = 0.0;
+    }
+  }
+
+  double epoch_len_;
+  std::vector<double> buckets_;
+  std::size_t current_ = 0;
+  long long last_epoch_ = 0;
+};
+
+}  // namespace ispn::stats

@@ -1,0 +1,2 @@
+// CbrSource is header-only; this translation unit anchors the target.
+#include "traffic/cbr_source.h"

@@ -1,0 +1,49 @@
+// Constant-bit-rate source: one packet every 1/rate seconds.
+//
+// Used for rigid real-time clients and as a deterministic workload in
+// tests (a CBR source at its own clock rate should see near-zero queueing
+// under WFQ).
+
+#pragma once
+
+#include "traffic/source.h"
+
+namespace ispn::traffic {
+
+class CbrSource final : public Source {
+ public:
+  struct Config {
+    double rate_pps = 100.0;  ///< packets per second
+    sim::Bits packet_bits = sim::paper::kPacketBits;
+    /// Stop after this many packets (0 = unlimited).
+    std::uint64_t limit = 0;
+  };
+
+  CbrSource(sim::Simulator& sim, Config config, net::FlowId flow,
+            net::NodeId src, net::NodeId dst, EmitFn emit,
+            net::FlowStats* stats = nullptr,
+            std::optional<TokenBucketSpec> police = std::nullopt)
+      : Source(sim, flow, src, dst, std::move(emit), stats, police),
+        config_(config) {}
+
+  void start(sim::Time at) override {
+    sim_.at(at, [this] { tick(); });
+  }
+
+  void stop() { stopped_ = true; }
+
+ private:
+  void tick() {
+    if (stopped_) return;
+    if (config_.limit != 0 && sent_ >= config_.limit) return;
+    generate(config_.packet_bits);
+    ++sent_;
+    sim_.after(1.0 / config_.rate_pps, [this] { tick(); });
+  }
+
+  Config config_;
+  std::uint64_t sent_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ispn::traffic

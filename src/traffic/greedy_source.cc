@@ -1,0 +1,2 @@
+// GreedySource is header-only; this translation unit anchors the target.
+#include "traffic/greedy_source.h"

@@ -1,0 +1,23 @@
+#include "traffic/leaky_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ispn::traffic {
+
+ShapedTrace shape(const std::vector<TracePacket>& trace, sim::Rate rate) {
+  assert(rate > 0);
+  ShapedTrace out;
+  out.departures.reserve(trace.size());
+  double busy_until = trace.empty() ? 0.0 : trace.front().time;
+  for (const auto& pkt : trace) {
+    const double start = std::max(busy_until, pkt.time);
+    const double done = start + pkt.bits / rate;
+    out.departures.push_back(done);
+    out.max_delay = std::max(out.max_delay, done - pkt.time);
+    busy_until = done;
+  }
+  return out;
+}
+
+}  // namespace ispn::traffic

@@ -1,0 +1,28 @@
+// Fluid leaky-bucket shaper (paper §4's intuition for the P–G bound).
+//
+// Bits drain at a constant rate r; excess queues.  Given an arrival trace,
+// the shaper computes per-packet departure times and the maximal shaping
+// delay — which, for a trace conforming to an (r, b) token bucket, is
+// bounded by b/r.  Used analytically (tests, bound validation); the network
+// schedulers never shape.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/units.h"
+#include "traffic/token_bucket.h"
+
+namespace ispn::traffic {
+
+/// Departure schedule of a trace through a rate-r fluid leaky bucket.
+struct ShapedTrace {
+  std::vector<sim::Time> departures;  ///< time the packet's last bit leaves
+  sim::Duration max_delay = 0;        ///< max(departure - arrival)
+};
+
+/// Shapes `trace` through a leaky bucket of rate `rate`.
+[[nodiscard]] ShapedTrace shape(const std::vector<TracePacket>& trace,
+                                sim::Rate rate);
+
+}  // namespace ispn::traffic

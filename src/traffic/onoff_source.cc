@@ -1,0 +1,45 @@
+#include "traffic/onoff_source.h"
+
+#include <utility>
+
+namespace ispn::traffic {
+
+OnOffSource::OnOffSource(sim::Simulator& sim, Config config, sim::Rng rng,
+                         net::FlowId flow, net::NodeId src, net::NodeId dst,
+                         EmitFn emit, net::FlowStats* stats,
+                         std::optional<TokenBucketSpec> police)
+    : Source(sim, flow, src, dst, std::move(emit), stats, police),
+      config_(config),
+      rng_(rng) {}
+
+void OnOffSource::start(sim::Time at) {
+  // Begin with an idle period so sources with different streams desynchronise.
+  sim_.at(at, [this] {
+    if (stopped_) return;
+    sim_.after(rng_.exponential(config_.mean_idle()),
+               [this] { begin_burst(); });
+  });
+}
+
+void OnOffSource::begin_burst() {
+  if (stopped_) return;
+  const std::uint64_t burst = rng_.geometric1(config_.mean_burst_pkts);
+  emit_next(burst);
+}
+
+void OnOffSource::emit_next(std::uint64_t remaining) {
+  if (stopped_) return;
+  generate(config_.packet_bits);
+  if (remaining > 1) {
+    sim_.after(1.0 / config_.peak_pps(),
+               [this, remaining] { emit_next(remaining - 1); });
+  } else {
+    // The last packet still occupies a 1/P slot before the idle period, so
+    // that E[cycle] = B/P + I and the average rate is exactly A
+    // (A^{-1} = I/B + 1/P).
+    sim_.after(1.0 / config_.peak_pps() + rng_.exponential(config_.mean_idle()),
+               [this] { begin_burst(); });
+  }
+}
+
+}  // namespace ispn::traffic

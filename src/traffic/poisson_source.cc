@@ -1,0 +1,2 @@
+// PoissonSource is header-only; this translation unit anchors the target.
+#include "traffic/poisson_source.h"

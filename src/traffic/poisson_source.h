@@ -1,0 +1,45 @@
+// Poisson source: exponential inter-packet gaps.
+//
+// Not used by the paper's tables (its sources are on/off Markov) but a
+// standard comparison workload for datagram traffic and tests.
+
+#pragma once
+
+#include "traffic/source.h"
+
+namespace ispn::traffic {
+
+class PoissonSource final : public Source {
+ public:
+  struct Config {
+    double rate_pps = 100.0;
+    sim::Bits packet_bits = sim::paper::kPacketBits;
+  };
+
+  PoissonSource(sim::Simulator& sim, Config config, sim::Rng rng,
+                net::FlowId flow, net::NodeId src, net::NodeId dst,
+                EmitFn emit, net::FlowStats* stats = nullptr,
+                std::optional<TokenBucketSpec> police = std::nullopt)
+      : Source(sim, flow, src, dst, std::move(emit), stats, police),
+        config_(config),
+        rng_(rng) {}
+
+  void start(sim::Time at) override {
+    sim_.at(at, [this] { tick(); });
+  }
+
+  void stop() { stopped_ = true; }
+
+ private:
+  void tick() {
+    if (stopped_) return;
+    generate(config_.packet_bits);
+    sim_.after(rng_.exponential(1.0 / config_.rate_pps), [this] { tick(); });
+  }
+
+  Config config_;
+  sim::Rng rng_;
+  bool stopped_ = false;
+};
+
+}  // namespace ispn::traffic

@@ -1,0 +1,189 @@
+#include "traffic/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ispn::traffic {
+
+// ---------------------------------------------------------------- sender --
+
+TcpSource::TcpSource(sim::Simulator& sim, Config config, net::FlowId flow,
+                     net::NodeId src, net::NodeId dst, EmitFn emit,
+                     net::FlowStats* stats)
+    : sim_(sim),
+      config_(config),
+      flow_(flow),
+      src_(src),
+      dst_(dst),
+      emit_(std::move(emit)),
+      stats_(stats),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh),
+      rto_(config.initial_rto) {}
+
+void TcpSource::start(sim::Time at) {
+  sim_.at(at, [this] {
+    running_ = true;
+    send_available();
+  });
+}
+
+void TcpSource::stop() {
+  running_ = false;
+  if (rto_timer_ != sim::kInvalidEventId) {
+    sim_.cancel(rto_timer_);
+    rto_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpSource::send_segment(std::uint64_t seq, bool is_retransmit) {
+  auto p = net::make_packet(flow_, seq, src_, dst_, sim_.now(),
+                            config_.packet_bits);
+  p->service = net::ServiceClass::kDatagram;
+  if (stats_ != nullptr) {
+    ++stats_->generated;
+    ++stats_->injected;
+  }
+  ++sent_segments_;
+  if (is_retransmit) {
+    ++retransmits_;
+    // Karn's rule: a retransmitted sequence must not produce an RTT sample.
+    if (timing_ && timed_seq_ == seq) timing_ = false;
+  } else if (!timing_) {
+    timing_ = true;
+    timed_seq_ = seq;
+    timed_sent_at_ = sim_.now();
+  }
+  emit_(std::move(p));
+}
+
+void TcpSource::send_available() {
+  if (!running_) return;
+  const auto window = static_cast<std::uint64_t>(
+      std::min(cwnd_, config_.max_cwnd));
+  while (inflight() < window) {
+    send_segment(next_seq_, /*is_retransmit=*/false);
+    ++next_seq_;
+  }
+  if (inflight() > 0 && rto_timer_ == sim::kInvalidEventId) arm_rto();
+}
+
+void TcpSource::arm_rto() {
+  rto_timer_ = sim_.after(rto_, [this] {
+    rto_timer_ = sim::kInvalidEventId;
+    on_rto();
+  });
+}
+
+void TcpSource::on_rto() {
+  if (!running_ || inflight() == 0) return;
+  ++timeouts_;
+  // Collapse to slow start and back the timer off exponentially.
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  rto_ = std::min(rto_ * 2.0, config_.max_rto);
+  timing_ = false;
+  // Go-back-N from the first hole.
+  next_seq_ = snd_una_;
+  send_segment(next_seq_, /*is_retransmit=*/true);
+  ++next_seq_;
+  arm_rto();
+}
+
+void TcpSource::update_rtt(sim::Duration sample) {
+  if (srtt_ < 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(sample - srtt_);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+  rto_ = std::clamp(srtt_ + 4.0 * rttvar_, config_.min_rto, config_.max_rto);
+}
+
+void TcpSource::on_packet(net::PacketPtr p, sim::Time now) {
+  assert(p->is_ack);
+  if (!running_) return;
+  const std::uint64_t ack = p->ack_seq;  // next expected by the receiver
+
+  if (ack > snd_una_) {
+    // New data acknowledged.
+    if (timing_ && ack > timed_seq_) {
+      update_rtt(now - timed_sent_at_);
+      timing_ = false;
+    }
+    snd_una_ = ack;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;  // deflate
+      } else {
+        // Partial ACK (NewReno): retransmit the next hole, stay in recovery.
+        send_segment(snd_una_, /*is_retransmit=*/true);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+    // Restart the retransmission timer for remaining data.
+    if (rto_timer_ != sim::kInvalidEventId) {
+      sim_.cancel(rto_timer_);
+      rto_timer_ = sim::kInvalidEventId;
+    }
+    if (inflight() > 0) arm_rto();
+  } else if (ack == snd_una_ && inflight() > 0) {
+    ++dup_acks_;
+    if (!in_recovery_ && dup_acks_ == 3) {
+      // Fast retransmit + fast recovery.
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      recover_ = next_seq_;
+      in_recovery_ = true;
+      cwnd_ = ssthresh_ + 3.0;
+      send_segment(snd_una_, /*is_retransmit=*/true);
+    } else if (in_recovery_) {
+      cwnd_ += 1.0;  // window inflation per extra dup ACK
+    }
+  }
+  send_available();
+}
+
+// -------------------------------------------------------------- receiver --
+
+TcpSink::TcpSink(sim::Simulator& sim, TcpSource::Config config,
+                 net::FlowId flow, net::NodeId sink_host, net::NodeId peer,
+                 EmitFn emit)
+    : sim_(sim),
+      config_(config),
+      flow_(flow),
+      host_(sink_host),
+      peer_(peer),
+      emit_(std::move(emit)) {}
+
+void TcpSink::on_packet(net::PacketPtr p, sim::Time now) {
+  assert(!p->is_ack);
+  if (p->seq == rcv_next_) {
+    ++rcv_next_;
+    // Drain any contiguous out-of-order segments.
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_next_;
+    }
+  } else if (p->seq > rcv_next_) {
+    out_of_order_.insert(p->seq);
+  }  // else: duplicate of already-delivered data; still ACK cumulatively
+
+  auto ack = net::make_packet(flow_, p->seq, host_, peer_, now,
+                              config_.ack_bits);
+  ack->service = net::ServiceClass::kDatagram;
+  ack->is_ack = true;
+  ack->ack_seq = rcv_next_;
+  ++acks_sent_;
+  emit_(std::move(ack));
+}
+
+}  // namespace ispn::traffic

@@ -1,0 +1,128 @@
+// Simplified TCP Reno bulk transfer — the paper's datagram workload.
+//
+// Table 3 adds "2 datagram TCP connections" as elastic best-effort load
+// that pushes total link utilisation above 99% while the real-time classes
+// keep their commitments.  We implement a classic loss-based Reno sender
+// (slow start, congestion avoidance, fast retransmit/recovery, RTO with
+// Karn's rule and exponential backoff) and a cumulative-ACK receiver.
+// Segments are unit packets (1000 bits), matching the Appendix; ACKs are
+// small and travel the reverse direction, which is idle in the paper's
+// all-one-way topology.
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "net/host.h"
+#include "net/flow.h"
+#include "sim/simulator.h"
+#include "traffic/source.h"
+
+namespace ispn::traffic {
+
+/// Reno sender.  Registered as the FlowSink for its own flow at the
+/// *source* host, where the ACK stream arrives.
+class TcpSource final : public net::FlowSink {
+ public:
+  struct Config {
+    sim::Bits packet_bits = sim::paper::kPacketBits;
+    sim::Bits ack_bits = 320;  ///< 40-byte ACKs
+    double initial_cwnd = 1.0;
+    double initial_ssthresh = 64.0;
+    /// Receiver-window cap on cwnd, in packets.
+    double max_cwnd = 64.0;
+    sim::Duration min_rto = 0.2;
+    sim::Duration max_rto = 10.0;
+    sim::Duration initial_rto = 1.0;
+  };
+
+  TcpSource(sim::Simulator& sim, Config config, net::FlowId flow,
+            net::NodeId src, net::NodeId dst, EmitFn emit,
+            net::FlowStats* stats = nullptr);
+
+  /// Starts the bulk transfer at `at`.
+  void start(sim::Time at);
+
+  /// Stops sending new data (outstanding timers become no-ops).
+  void stop();
+
+  /// ACK arrival.
+  void on_packet(net::PacketPtr p, sim::Time now) override;
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] sim::Duration rto() const { return rto_; }
+  [[nodiscard]] sim::Duration srtt() const { return srtt_; }
+  [[nodiscard]] std::uint64_t delivered() const { return snd_una_; }
+  [[nodiscard]] std::uint64_t sent_segments() const { return sent_segments_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void send_available();
+  void send_segment(std::uint64_t seq, bool is_retransmit);
+  void arm_rto();
+  void on_rto();
+  void update_rtt(sim::Duration sample);
+  [[nodiscard]] std::uint64_t inflight() const { return next_seq_ - snd_una_; }
+
+  sim::Simulator& sim_;
+  Config config_;
+  net::FlowId flow_;
+  net::NodeId src_;
+  net::NodeId dst_;
+  EmitFn emit_;
+  net::FlowStats* stats_;
+
+  // Congestion state.
+  double cwnd_;
+  double ssthresh_;
+  std::uint64_t next_seq_ = 0;  ///< next new sequence to send
+  std::uint64_t snd_una_ = 0;   ///< lowest unacknowledged sequence
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  ///< recovery exits when ack >= recover_
+
+  // RTT estimation (Karn: only fresh transmissions are timed).
+  sim::Duration srtt_ = -1;
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_;
+  std::uint64_t timed_seq_ = 0;
+  sim::Time timed_sent_at_ = 0;
+  bool timing_ = false;
+
+  sim::EventId rto_timer_ = sim::kInvalidEventId;
+  bool running_ = false;
+
+  std::uint64_t sent_segments_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+/// Cumulative-ACK receiver.  Registered (behind the stats sink) for the
+/// flow at the *destination* host.
+class TcpSink final : public net::FlowSink {
+ public:
+  TcpSink(sim::Simulator& sim, TcpSource::Config config, net::FlowId flow,
+          net::NodeId sink_host, net::NodeId peer, EmitFn emit);
+
+  void on_packet(net::PacketPtr p, sim::Time now) override;
+
+  [[nodiscard]] std::uint64_t rcv_next() const { return rcv_next_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  TcpSource::Config config_;
+  net::FlowId flow_;
+  net::NodeId host_;
+  net::NodeId peer_;
+  EmitFn emit_;
+
+  std::uint64_t rcv_next_ = 0;
+  std::set<std::uint64_t> out_of_order_;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace ispn::traffic

@@ -1,0 +1,64 @@
+// Token-bucket traffic filter (paper §4).
+//
+// A bucket of depth b fills with tokens at rate r; a packet of size p
+// conforms if p tokens are available when it is generated.  The paper's
+// conformance recurrence (with n_0 = b):
+//
+//     n_i = MIN[b, n_{i-1} + (t_i - t_{i-1})·r - p_i],   conform iff n_i >= 0
+//
+// is implemented both as an online policer (try_consume) and as a batch
+// checker over a trace (conforms()) used by tests and by b(r) estimation.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/units.h"
+
+namespace ispn::traffic {
+
+/// Parameters of an (r, b) filter, in bits/second and bits.
+struct TokenBucketSpec {
+  sim::Rate rate = 0;   ///< r: token fill rate (bits/s)
+  sim::Bits depth = 0;  ///< b: bucket capacity (bits)
+};
+
+/// Online token-bucket policer.  Starts full (n_0 = b).
+class TokenBucket {
+ public:
+  explicit TokenBucket(TokenBucketSpec spec, sim::Time start = 0);
+
+  /// True and consumes `bits` if the packet conforms at time `now`;
+  /// false (no state change beyond refill) otherwise.
+  bool try_consume(sim::Bits bits, sim::Time now);
+
+  /// Tokens available at `now` (refilled, capped at depth).
+  [[nodiscard]] sim::Bits tokens(sim::Time now) const;
+
+  [[nodiscard]] const TokenBucketSpec& spec() const { return spec_; }
+
+ private:
+  void refill(sim::Time now);
+
+  TokenBucketSpec spec_;
+  sim::Bits level_;
+  sim::Time last_;
+};
+
+/// One packet of a recorded generation trace.
+struct TracePacket {
+  sim::Time time = 0;
+  sim::Bits bits = 0;
+};
+
+/// Batch conformance check of a whole trace against (r, b), using the
+/// paper's recurrence exactly.
+[[nodiscard]] bool conforms(const std::vector<TracePacket>& trace,
+                            const TokenBucketSpec& spec);
+
+/// The paper's b(r): the minimal bucket depth such that `trace` conforms to
+/// an (r, b(r)) filter.  Non-increasing in r.
+[[nodiscard]] sim::Bits min_depth(const std::vector<TracePacket>& trace,
+                                  sim::Rate rate);
+
+}  // namespace ispn::traffic

@@ -1,0 +1,43 @@
+// Shared helpers for scheduler unit tests.
+
+#pragma once
+
+#include "net/packet.h"
+
+namespace ispn::sched_test {
+
+/// Makes a packet as a port would present it to a scheduler: enqueued_at
+/// stamped with the arrival time.
+inline net::PacketPtr pkt(net::FlowId flow, std::uint64_t seq,
+                          sim::Time arrival,
+                          sim::Bits bits = sim::paper::kPacketBits) {
+  auto p = net::make_packet(flow, seq, 0, 1, arrival, bits);
+  p->enqueued_at = arrival;
+  return p;
+}
+
+inline net::PacketPtr predicted_pkt(net::FlowId flow, std::uint64_t seq,
+                                    sim::Time arrival, std::uint8_t priority,
+                                    double jitter_offset = 0) {
+  auto p = pkt(flow, seq, arrival);
+  p->service = net::ServiceClass::kPredicted;
+  p->priority = priority;
+  p->jitter_offset = jitter_offset;
+  return p;
+}
+
+inline net::PacketPtr guaranteed_pkt(net::FlowId flow, std::uint64_t seq,
+                                     sim::Time arrival) {
+  auto p = pkt(flow, seq, arrival);
+  p->service = net::ServiceClass::kGuaranteed;
+  return p;
+}
+
+inline net::PacketPtr datagram_pkt(net::FlowId flow, std::uint64_t seq,
+                                   sim::Time arrival) {
+  auto p = pkt(flow, seq, arrival);
+  p->service = net::ServiceClass::kDatagram;
+  return p;
+}
+
+}  // namespace ispn::sched_test

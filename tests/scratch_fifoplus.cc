@@ -1,0 +1,35 @@
+// Scratch diagnostic (not a test target in CI): FIFO vs FIFO+ tails.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ispn;
+  const double seconds = argc > 1 ? atof(argv[1]) : 600.0;
+  const std::uint64_t seed = argc > 2 ? strtoull(argv[2], nullptr, 10) : 1;
+  auto report = [&](const char* label, const core::ChainResult& r) {
+    double mean[5] = {}, p999[5] = {};
+    int n[5] = {};
+    for (const auto& f : r.flows) {
+      mean[f.path_len] += f.mean_pkt;
+      p999[f.path_len] += f.p999_pkt;
+      ++n[f.path_len];
+    }
+    printf("%-12s", label);
+    for (int len = 1; len <= 4; ++len) {
+      printf("  len%d mean %6.2f p999 %7.2f", len, mean[len] / n[len],
+             p999[len] / n[len]);
+    }
+    printf("\n");
+  };
+  report("FIFO", core::run_chain(core::SchedKind::kFifo, seconds, seed));
+  for (double gain : {1.0 / 8, 1.0 / 32, 1.0 / 128, 1.0 / 512, 1.0 / 4096}) {
+    char label[32];
+    snprintf(label, sizeof label, "F+ g=1/%d", (int)(1.0 / gain));
+    report(label,
+           core::run_chain(core::SchedKind::kFifoPlus, seconds, seed, gain));
+  }
+  report("WFQ", core::run_chain(core::SchedKind::kWfq, seconds, seed));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "stats/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace ispn::stats {
+namespace {
+
+TEST(BatchMeans, MeanMatchesStream) {
+  BatchMeans bm(10);
+  for (int i = 1; i <= 1000; ++i) bm.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(bm.mean(), 500.5);
+  EXPECT_EQ(bm.count(), 1000u);
+}
+
+TEST(BatchMeans, HalfWidthZeroUntilTwoBatches) {
+  BatchMeans bm(10);
+  bm.add(1.0);
+  EXPECT_DOUBLE_EQ(bm.half_width(), 0.0);
+  bm.add(2.0);  // two singleton batches now complete
+  EXPECT_GT(bm.half_width(), 0.0);
+}
+
+TEST(BatchMeans, BatchSizeDoublesUnderLoad) {
+  BatchMeans bm(4);
+  for (int i = 0; i < 64; ++i) bm.add(1.0);
+  EXPECT_GE(bm.batch_size(), 8u);
+  EXPECT_LE(bm.batches(), 8u);
+  EXPECT_GE(bm.batches(), 4u);
+}
+
+TEST(BatchMeans, ConstantStreamHasZeroWidth) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 500; ++i) bm.add(3.14);
+  EXPECT_NEAR(bm.mean(), 3.14, 1e-12);
+  EXPECT_NEAR(bm.half_width(), 0.0, 1e-9);
+}
+
+TEST(BatchMeans, IidCoverageIsCalibrated) {
+  // For iid input the CI should cover the true mean in roughly 95% of
+  // replications.
+  int covered = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::Rng rng(static_cast<std::uint64_t>(rep) + 1);
+    BatchMeans bm(20);
+    for (int i = 0; i < 2000; ++i) bm.add(rng.exponential(1.0));
+    if (std::abs(bm.mean() - 1.0) <= bm.half_width()) ++covered;
+  }
+  EXPECT_GT(covered, reps * 85 / 100);
+  EXPECT_LE(covered, reps);
+}
+
+TEST(BatchMeans, WiderForCorrelatedInput) {
+  // A strongly autocorrelated stream must produce a wider interval than
+  // an iid stream of the same marginal variance — the whole point of
+  // batching.
+  sim::Rng rng(99);
+  BatchMeans iid(20), corr(20);
+  double state = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double shock = rng.normal();
+    iid.add(shock);
+    state = 0.99 * state + shock * 0.14;  // AR(1), same stationary variance
+    corr.add(state);
+  }
+  EXPECT_GT(corr.half_width(), 2.0 * iid.half_width());
+}
+
+}  // namespace
+}  // namespace ispn::stats

@@ -1,0 +1,87 @@
+#include "sched/edd.h"
+
+#include <gtest/gtest.h>
+
+#include "sched_test_util.h"
+
+namespace ispn::sched {
+namespace {
+
+using sched_test::pkt;
+
+TEST(Edd, EmptyDequeueReturnsNull) {
+  EddScheduler q({10, 0.1});
+  EXPECT_EQ(q.dequeue(0.0), nullptr);
+}
+
+TEST(Edd, EarliestDeadlineFirst) {
+  EddScheduler q({10, 0.1});
+  q.set_bound(1, 0.100);
+  q.set_bound(2, 0.010);
+  // Flow 1 arrives first but has the looser bound; flow 2's deadline is
+  // earlier despite arriving later.
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.00), 0.00).empty());
+  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.05), 0.05).empty());
+  EXPECT_EQ(q.dequeue(0.06)->flow, 2);
+  EXPECT_EQ(q.dequeue(0.06)->flow, 1);
+}
+
+TEST(Edd, HomogeneousBoundsDegenerateToFifo) {
+  // Paper §5: with one class (equal local bounds) deadline scheduling is
+  // FIFO.
+  EddScheduler q({100, 0.05});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        q.enqueue(pkt(i % 3, i, 0.001 * static_cast<double>(i)), 0.0).empty());
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.dequeue(1.0)->seq, i);
+}
+
+TEST(Edd, BoundLookup) {
+  EddScheduler q({10, 0.25});
+  q.set_bound(3, 0.02);
+  EXPECT_DOUBLE_EQ(q.bound(3), 0.02);
+  EXPECT_DOUBLE_EQ(q.bound(4), 0.25);
+}
+
+TEST(Edd, OverflowDropsLeastUrgent) {
+  EddScheduler q({1, 0.1});
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = q.enqueue(pkt(1, 1, 0.0), 0.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->seq, 1u);  // homogeneous bounds: tail drop
+}
+
+TEST(Edd, OverflowSparesUrgentArrival) {
+  EddScheduler q({1, 0.1});
+  q.set_bound(1, 0.5);
+  q.set_bound(2, 0.01);
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  // Urgent arrival evicts the queued lazy packet, not itself.
+  auto dropped = q.enqueue(pkt(2, 0, 0.0), 0.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->flow, 1);
+  EXPECT_EQ(q.dequeue(0.0)->flow, 2);
+}
+
+TEST(Edd, StableTieBreakByArrival) {
+  EddScheduler q({10, 0.1});
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  EXPECT_EQ(q.dequeue(0.0)->flow, 1);
+  EXPECT_EQ(q.dequeue(0.0)->flow, 2);
+}
+
+TEST(Edd, BacklogAccounting) {
+  EddScheduler q({10, 0.1});
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0, 600.0), 0.0).empty());
+  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0, 400.0), 0.0).empty());
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_DOUBLE_EQ(q.backlog_bits(), 1000.0);
+  (void)q.dequeue(0.0);
+  (void)q.dequeue(0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace ispn::sched

@@ -1,0 +1,119 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ispn::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.pop().time, 4.5);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventSkippedByPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId id = q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(100 - i), [] {}));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 50u);
+  double last = -1;
+  int count = 0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST(EventQueue, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule(1.0, [] {});
+  EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+}  // namespace
+}  // namespace ispn::sim

@@ -1,0 +1,160 @@
+// Short-horizon integration runs of the paper's three experiments,
+// asserting the qualitative *shape* the paper reports.  Full 600 s runs
+// live in bench/; these use 60-120 s, enough for stable means and tails.
+
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace ispn::core {
+namespace {
+
+constexpr sim::Duration kShort = 120.0;
+
+TEST(Table1, FifoTailBelowWfqTailAtSameUtilization) {
+  const auto fifo = run_single_link(SchedKind::kFifo, 10, kShort, 42);
+  const auto wfq = run_single_link(SchedKind::kWfq, 10, kShort, 42);
+
+  double fifo_p999 = 0, wfq_p999 = 0, fifo_mean = 0, wfq_mean = 0;
+  for (int f = 0; f < 10; ++f) {
+    fifo_p999 += fifo.p999_pkt[static_cast<std::size_t>(f)] / 10.0;
+    wfq_p999 += wfq.p999_pkt[static_cast<std::size_t>(f)] / 10.0;
+    fifo_mean += fifo.mean_pkt[static_cast<std::size_t>(f)] / 10.0;
+    wfq_mean += wfq.mean_pkt[static_cast<std::size_t>(f)] / 10.0;
+  }
+  // Means are comparable (within 25%); the FIFO tail is clearly smaller.
+  EXPECT_NEAR(fifo_mean / wfq_mean, 1.0, 0.25);
+  EXPECT_LT(fifo_p999, 0.85 * wfq_p999);
+}
+
+TEST(Table1, UtilizationNearPaperValue) {
+  const auto fifo = run_single_link(SchedKind::kFifo, 10, kShort, 7);
+  // Paper: 83.5% (85% nominal minus ~2% source drops).
+  EXPECT_NEAR(fifo.utilization, 0.835, 0.03);
+  EXPECT_GT(fifo.source_drop_rate, 0.001);
+  EXPECT_LT(fifo.source_drop_rate, 0.08);
+}
+
+TEST(Table1, MeanDelaysSmallRelativeToTails) {
+  const auto fifo = run_single_link(SchedKind::kFifo, 10, kShort, 11);
+  for (int f = 0; f < 10; ++f) {
+    EXPECT_LT(fifo.mean_pkt[static_cast<std::size_t>(f)],
+              fifo.p999_pkt[static_cast<std::size_t>(f)]);
+  }
+}
+
+TEST(Table2, JitterGrowsWithPathLengthUnderAllSchedulers) {
+  for (const SchedKind kind :
+       {SchedKind::kFifo, SchedKind::kWfq, SchedKind::kFifoPlus}) {
+    const auto result = run_chain(kind, kShort, 17);
+    double p999_len1 = 0, p999_len4 = 0;
+    int n1 = 0, n4 = 0;
+    for (const auto& f : result.flows) {
+      if (f.path_len == 1) {
+        p999_len1 += f.p999_pkt;
+        ++n1;
+      } else if (f.path_len == 4) {
+        p999_len4 += f.p999_pkt;
+        ++n4;
+      }
+    }
+    ASSERT_GT(n1, 0);
+    ASSERT_GT(n4, 0);
+    EXPECT_GT(p999_len4 / n4, p999_len1 / n1) << to_string(kind);
+  }
+}
+
+TEST(Table2, FifoPlusFlattensTailGrowthVsFifo) {
+  const auto fifo = run_chain(SchedKind::kFifo, kShort, 23);
+  const auto plus = run_chain(SchedKind::kFifoPlus, kShort, 23);
+
+  auto tail_by_len = [](const ChainResult& r, int len) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& f : r.flows) {
+      if (f.path_len == len) {
+        sum += f.p999_pkt;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  // On long paths FIFO+ must beat FIFO's tail; the paper's Table 2 shows
+  // 45.25 vs 58.13 at length 4 (a ~20% reduction).
+  EXPECT_LT(tail_by_len(plus, 4), 0.95 * tail_by_len(fifo, 4));
+  // Short paths pay at most a small penalty.
+  EXPECT_LT(tail_by_len(plus, 1), 1.35 * tail_by_len(fifo, 1));
+}
+
+TEST(Table2, AllLinksNearPaperUtilization) {
+  const auto result = run_chain(SchedKind::kFifo, kShort, 29);
+  ASSERT_EQ(result.link_utilization.size(), 4u);
+  for (double u : result.link_utilization) EXPECT_NEAR(u, 0.835, 0.04);
+}
+
+TEST(Table3, GuaranteedFlowsStayUnderPgBounds) {
+  Table3Options options;
+  options.seconds = kShort;
+  options.seed = 31;
+  const auto result = run_table3(options);
+  for (const auto& f : result.flows) {
+    if (f.role == Table3Role::kGuaranteedPeak ||
+        f.role == Table3Role::kGuaranteedAverage) {
+      EXPECT_LT(f.max_pkt, f.pg_bound_pkt)
+          << to_string(f.role) << " len " << f.path_len;
+    }
+  }
+}
+
+TEST(Table3, PeakClockedDelaysWellBelowAverageClocked) {
+  Table3Options options;
+  options.seconds = kShort;
+  options.seed = 37;
+  const auto result = run_table3(options);
+  double peak_mean = 0, avg_mean = 0;
+  int np = 0, na = 0;
+  for (const auto& f : result.flows) {
+    if (f.role == Table3Role::kGuaranteedPeak) {
+      peak_mean += f.mean_pkt;
+      ++np;
+    } else if (f.role == Table3Role::kGuaranteedAverage) {
+      avg_mean += f.mean_pkt;
+      ++na;
+    }
+  }
+  EXPECT_LT(peak_mean / np, 0.5 * (avg_mean / na));
+}
+
+TEST(Table3, HighPriorityPredictedBeatsLowPriority) {
+  Table3Options options;
+  options.seconds = kShort;
+  options.seed = 41;
+  const auto result = run_table3(options);
+  double high = 0, low = 0;
+  int nh = 0, nl = 0;
+  for (const auto& f : result.flows) {
+    if (f.role == Table3Role::kPredictedHigh) {
+      high += f.p999_pkt;
+      ++nh;
+    } else if (f.role == Table3Role::kPredictedLow) {
+      low += f.p999_pkt;
+      ++nl;
+    }
+  }
+  EXPECT_LT(high / nh, low / nl);
+}
+
+TEST(Table3, LinksNearlyFullyUtilizedWithLowDatagramLoss) {
+  Table3Options options;
+  options.seconds = kShort;
+  options.seed = 43;
+  const auto result = run_table3(options);
+  ASSERT_EQ(result.link_utilization.size(), 4u);
+  for (double u : result.link_utilization) EXPECT_GT(u, 0.95);
+  for (double u : result.realtime_utilization) EXPECT_NEAR(u, 0.835, 0.04);
+  EXPECT_GT(result.tcp_delivered, 10000u);
+  EXPECT_LT(result.datagram_drop_rate, 0.05);
+}
+
+}  // namespace
+}  // namespace ispn::core

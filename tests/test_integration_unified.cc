@@ -1,0 +1,169 @@
+// End-to-end properties of the unified scheduler through the full stack
+// (builder + network + sources), beyond the per-table shape tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/builder.h"
+#include "core/experiments.h"
+#include "traffic/cbr_source.h"
+
+namespace ispn::core {
+namespace {
+
+IspnNetwork::Config base_config() {
+  IspnNetwork::Config c;
+  c.class_targets = {0.016, 0.16};
+  c.enforce_admission = false;
+  return c;
+}
+
+TEST(UnifiedE2E, WorkConservation) {
+  // A persistently backlogged datagram source drives the link to ~100%:
+  // the unified scheduler never idles the link while packets wait.
+  IspnNetwork ispn(base_config());
+  const auto topo = ispn.build_chain(2);
+  FlowSpec spec;
+  spec.flow = 1;
+  spec.src = topo.hosts[0];
+  spec.dst = topo.hosts[1];
+  spec.service = net::ServiceClass::kDatagram;
+  auto handle = ispn.open_flow(spec);
+  auto [tcp, sink] = ispn.attach_tcp(handle);
+  (void)sink;
+  tcp.start(0);
+  ispn.net().sim().run_until(30.0);
+  EXPECT_GT(ispn.link_utilization({topo.switches[0], topo.switches[1]}, 30.0),
+            0.97);
+}
+
+TEST(UnifiedE2E, GuaranteedFlowUnharmedByDatagramFlood) {
+  // Guaranteed CBR at its clock rate vs a saturating TCP: the guaranteed
+  // flow's queueing delay stays within a couple of packet times.
+  IspnNetwork ispn(base_config());
+  const auto topo = ispn.build_chain(3);
+  FlowSpec g;
+  g.flow = 1;
+  g.src = topo.hosts[0];
+  g.dst = topo.hosts[2];
+  g.service = net::ServiceClass::kGuaranteed;
+  g.guaranteed = GuaranteedSpec{200000.0};
+  auto gh = ispn.open_flow(g);
+  // CBR at exactly the clock rate (200 pkt/s of 1000-bit packets).
+  net::Host& host = ispn.net().host(g.src);
+  traffic::CbrSource cbr(ispn.net().sim(),
+                         {.rate_pps = 200.0, .packet_bits = 1000}, g.flow,
+                         g.src, g.dst,
+                         [&host](net::PacketPtr p) { host.inject(std::move(p)); },
+                         &ispn.net().stats(g.flow));
+  cbr.set_service(net::ServiceClass::kGuaranteed);
+  ispn.attach_sink(gh);
+  cbr.start(0);
+
+  FlowSpec d;
+  d.flow = 2;
+  d.src = topo.hosts[0];
+  d.dst = topo.hosts[2];
+  d.service = net::ServiceClass::kDatagram;
+  auto dh = ispn.open_flow(d);
+  auto [tcp, sink] = ispn.attach_tcp(dh);
+  (void)sink;
+  tcp.start(0);
+
+  ispn.net().sim().run_until(30.0);
+  const auto& stats = ispn.net().stats(1);
+  EXPECT_GT(stats.received, 5000u);
+  EXPECT_EQ(stats.net_drops, 0u);
+  // CBR at clock rate through WFQ: delay bounded by ~one packet quantum
+  // per hop at the clock rate plus in-service packets.
+  EXPECT_LT(stats.queueing_delay.max(), 0.015);
+}
+
+TEST(UnifiedE2E, FifoPlusAblationWorsensLongPathTails) {
+  Table3Options with;
+  with.seconds = 120.0;
+  with.seed = 5;
+  Table3Options without = with;
+  without.fifo_plus = false;
+  const auto on = run_table3(with);
+  const auto off = run_table3(without);
+  // Compare the 4-hop Predicted-High tails: FIFO+ should help (or at
+  // least not hurt materially).
+  auto tail = [](const Table3Result& r) {
+    for (const auto& f : r.flows) {
+      if (f.role == Table3Role::kPredictedHigh && f.path_len == 4) {
+        return f.p999_pkt;
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_LT(tail(on), tail(off) * 1.15);
+}
+
+TEST(UnifiedE2E, TwoTcpsShareLeftoverFairly) {
+  IspnNetwork ispn(base_config());
+  const auto topo = ispn.build_chain(2);
+  std::vector<traffic::TcpSource*> tcps;
+  for (int t = 0; t < 2; ++t) {
+    FlowSpec spec;
+    spec.flow = t;
+    spec.src = topo.hosts[0];
+    spec.dst = topo.hosts[1];
+    spec.service = net::ServiceClass::kDatagram;
+    auto handle = ispn.open_flow(spec);
+    auto [tcp, sink] = ispn.attach_tcp(handle);
+    (void)sink;
+    tcp.start(0.01 * t);
+    tcps.push_back(&tcp);
+  }
+  ispn.net().sim().run_until(60.0);
+  const double a = static_cast<double>(tcps[0]->delivered());
+  const double b = static_cast<double>(tcps[1]->delivered());
+  EXPECT_GT(a + b, 50000.0);  // link well used
+  EXPECT_GT(std::min(a, b) / std::max(a, b), 0.4);  // rough fairness
+}
+
+TEST(UnifiedE2E, PredictedClassesKeepMeasuredDelaysUnderTargets) {
+  // The Table-3 load was chosen so the class targets hold; verify via the
+  // measurement module (which is what admission would consult).
+  Table3Options options;
+  options.seconds = 120.0;
+  options.seed = 11;
+  const auto result = run_table3(options);
+  (void)result;
+  // Per-class per-hop worst delays from the flow stats: class 0 flows
+  // (Predicted-High) must stay under D_0 per hop (16 ms x hops), class 1
+  // under D_1 x hops.
+  for (const auto& f : result.flows) {
+    const double hops = f.path_len;
+    if (f.role == Table3Role::kPredictedHigh) {
+      EXPECT_LT(f.max_pkt, 0.016 / sim::paper::kPacketTime * hops)
+          << "flow " << f.flow;
+    } else if (f.role == Table3Role::kPredictedLow) {
+      EXPECT_LT(f.max_pkt, 0.16 / sim::paper::kPacketTime * hops)
+          << "flow " << f.flow;
+    }
+  }
+}
+
+class Table1SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Table1SeedSweep, FifoTailBeatsWfqAcrossSeeds) {
+  // The Table-1 conclusion is not a seed artifact.
+  const auto seed = GetParam();
+  const auto fifo = run_single_link(SchedKind::kFifo, 10, 120.0, seed);
+  const auto wfq = run_single_link(SchedKind::kWfq, 10, 120.0, seed);
+  double fifo_p999 = 0, wfq_p999 = 0;
+  for (int f = 0; f < 10; ++f) {
+    fifo_p999 += fifo.p999_pkt[static_cast<std::size_t>(f)];
+    wfq_p999 += wfq.p999_pkt[static_cast<std::size_t>(f)];
+  }
+  EXPECT_LT(fifo_p999, wfq_p999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table1SeedSweep,
+                         ::testing::Values(3u, 1234u, 987654321u));
+
+}  // namespace
+}  // namespace ispn::core

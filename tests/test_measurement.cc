@@ -1,0 +1,57 @@
+#include "core/measurement.h"
+
+#include <gtest/gtest.h>
+
+namespace ispn::core {
+namespace {
+
+TEST(Measurement, UtilizationFromPeakEpoch) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  // 500 kb in epoch starting at t=0.
+  m.on_realtime_tx(500000.0, 0.5);
+  EXPECT_NEAR(m.measured_utilization(1.0), 0.5, 1e-9);
+}
+
+TEST(Measurement, SafetyFactorScalesEstimates) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.5});
+  m.on_realtime_tx(400000.0, 0.5);
+  EXPECT_NEAR(m.measured_utilization(1.0), 0.6, 1e-9);
+  m.on_class_wait(0, 0.02, 0.5);
+  EXPECT_NEAR(m.measured_delay(0, 1.0), 0.03, 1e-9);
+}
+
+TEST(Measurement, DelaysTrackedPerClass) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  m.on_class_wait(0, 0.005, 1.0);
+  m.on_class_wait(1, 0.050, 1.0);
+  m.on_class_wait(2, 0.500, 1.0);  // datagram level
+  EXPECT_NEAR(m.measured_delay(0, 1.0), 0.005, 1e-12);
+  EXPECT_NEAR(m.measured_delay(1, 1.0), 0.050, 1e-12);
+  EXPECT_NEAR(m.measured_delay(2, 1.0), 0.500, 1e-12);
+}
+
+TEST(Measurement, MaxNotMeanOfDelays) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  for (int i = 0; i < 100; ++i) m.on_class_wait(0, 0.001, 1.0);
+  m.on_class_wait(0, 0.09, 1.0);
+  EXPECT_NEAR(m.measured_delay(0, 1.0), 0.09, 1e-12);
+}
+
+TEST(Measurement, OldSamplesAgeOut) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  m.on_realtime_tx(900000.0, 0.5);
+  m.on_class_wait(1, 0.1, 0.5);
+  EXPECT_GT(m.measured_utilization(1.0), 0.8);
+  EXPECT_NEAR(m.measured_utilization(30.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.measured_delay(1, 30.0), 0.0, 1e-9);
+}
+
+TEST(Measurement, FreshMeterReportsZero) {
+  LinkMeasurement m({1e6, 3, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.measured_utilization(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.measured_delay(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.measured_delay(3, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ispn::core

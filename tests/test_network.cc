@@ -1,0 +1,163 @@
+// Network, Port, Switch, Host and topology integration at the packet level.
+
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sched/fifo.h"
+#include "traffic/cbr_source.h"
+
+namespace ispn::net {
+namespace {
+
+SchedulerFactory fifo_factory(std::size_t cap = 200) {
+  return [cap] { return std::make_unique<sched::FifoScheduler>(cap); };
+}
+
+TEST(Network, DumbbellDeliversPacket) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  auto p = make_packet(1, 0, topo.left_host, topo.right_host, 0.0);
+  net.host(topo.left_host).inject(std::move(p));
+  net.sim().run();
+  EXPECT_EQ(net.stats(1).received, 1u);
+}
+
+TEST(Network, TransmissionTimeIsSizeOverRate) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  net.host(topo.left_host)
+      .inject(make_packet(1, 0, topo.left_host, topo.right_host, 0.0));
+  net.sim().run();
+  // One 1000-bit packet over 1 Mb/s: e2e delay == 1 ms (host links free).
+  EXPECT_NEAR(net.stats(1).e2e_delay.mean(), 0.001, 1e-12);
+  EXPECT_NEAR(net.stats(1).queueing_delay.mean(), 0.0, 1e-12);
+}
+
+TEST(Network, BackToBackPacketsQueue) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  const auto& s = net.stats(1).queueing_delay;
+  // Waiting times: 0, 1, 2 ms.
+  EXPECT_NEAR(s.max(), 0.002, 1e-12);
+  EXPECT_NEAR(s.mean(), 0.001, 1e-12);
+}
+
+TEST(Network, ChainRoutesAcrossAllSwitches) {
+  Network net;
+  const auto topo = build_chain(net, 5, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.hosts[4]);
+  net.host(topo.hosts[0])
+      .inject(make_packet(1, 0, topo.hosts[0], topo.hosts[4], 0.0));
+  net.sim().run();
+  EXPECT_EQ(net.stats(1).received, 1u);
+  // 4 inter-switch links, 1 ms store-and-forward each.
+  EXPECT_NEAR(net.stats(1).e2e_delay.mean(), 0.004, 1e-12);
+}
+
+TEST(Network, QueueingHopsCountsFiniteLinksOnly) {
+  Network net;
+  const auto topo = build_chain(net, 5, 1e6, fifo_factory());
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[4]), 4u);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 1u);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[2], topo.hosts[2]), 0u);
+}
+
+TEST(Network, RouteIsNodeSequence) {
+  Network net;
+  const auto topo = build_chain(net, 3, 1e6, fifo_factory());
+  const auto route = net.route(topo.hosts[0], topo.hosts[2]);
+  ASSERT_EQ(route.size(), 5u);  // H1 S1 S2 S3 H3
+  EXPECT_EQ(route.front(), topo.hosts[0]);
+  EXPECT_EQ(route.back(), topo.hosts[2]);
+}
+
+TEST(Network, DropAccounting) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory(2));
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  // One in flight + 2 queued; 2 dropped.
+  EXPECT_EQ(net.stats(1).net_drops, 2u);
+  EXPECT_EQ(net.stats(1).received, 3u);
+}
+
+TEST(Network, UnclaimedPacketsCounted) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.host(topo.left_host)
+      .inject(make_packet(1, 0, topo.left_host, topo.right_host, 0.0));
+  net.sim().run();
+  EXPECT_EQ(net.host(topo.right_host).unclaimed(), 1u);
+}
+
+TEST(Network, PortUtilization) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  traffic::CbrSource src(net.sim(), {.rate_pps = 500.0, .packet_bits = 1000},
+                         1, topo.left_host, topo.right_host,
+                         [&](PacketPtr p) {
+                           net.host(topo.left_host).inject(std::move(p));
+                         },
+                         &net.stats(1));
+  src.start(0);
+  net.sim().run_until(10.0);
+  EXPECT_NEAR(
+      net.port(topo.left_switch, topo.right_switch)->utilization(10.0), 0.5,
+      0.01);
+}
+
+TEST(Network, ReverseDirectionIndependent) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  net.attach_stats_sink(2, topo.left_host);
+  net.host(topo.left_host)
+      .inject(make_packet(1, 0, topo.left_host, topo.right_host, 0.0));
+  net.host(topo.right_host)
+      .inject(make_packet(2, 0, topo.right_host, topo.left_host, 0.0));
+  net.sim().run();
+  EXPECT_EQ(net.stats(1).received, 1u);
+  EXPECT_EQ(net.stats(2).received, 1u);
+  // Duplex: both directions take exactly one transmission time.
+  EXPECT_NEAR(net.stats(2).e2e_delay.mean(), 0.001, 1e-12);
+}
+
+TEST(Network, HopCountStampedOnPackets) {
+  Network net;
+  const auto topo = build_chain(net, 4, 1e6, fifo_factory());
+  struct HopSink : FlowSink {
+    int hops = -1;
+    void on_packet(PacketPtr p, sim::Time) override { hops = p->hops; }
+  } sink;
+  net.attach_stats_sink(1, topo.hosts[3], &sink);
+  net.host(topo.hosts[0])
+      .inject(make_packet(1, 0, topo.hosts[0], topo.hosts[3], 0.0));
+  net.sim().run();
+  EXPECT_EQ(sink.hops, 3);  // three inter-switch links
+}
+
+TEST(Network, ChainAsciiMentionsAllNodes) {
+  Network net;
+  const auto topo = build_chain(net, 5, 1e6, fifo_factory());
+  const auto art = chain_ascii(topo);
+  EXPECT_NE(art.find("Host-5"), std::string::npos);
+  EXPECT_NE(art.find("S-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ispn::net

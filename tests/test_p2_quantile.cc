@@ -1,0 +1,86 @@
+#include "stats/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/percentile.h"
+
+namespace ispn::stats {
+namespace {
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile p(0.5);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.value(), 2.0);  // exact median of {1,2,3}
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile p(0.5);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) p.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(p.value(), 5.0, 0.15);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksExactQuantileOnExponential) {
+  const double q = GetParam();
+  P2Quantile p2(q);
+  SampleSeries exact;
+  sim::Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.exponential(1.0);
+    p2.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.percentile(q);
+  EXPECT_NEAR(p2.value() / truth, 1.0, 0.08) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.5, 0.9, 0.99));
+
+TEST(P2Quantile, MonotoneNondecreasingForSortedInput) {
+  // After the five-sample warm-up (where the estimate jumps from the
+  // exact small-n quantile to the middle marker), increasing input must
+  // yield non-decreasing estimates.
+  P2Quantile p(0.9);
+  double prev = -1;
+  for (int i = 0; i < 1000; ++i) {
+    p.add(static_cast<double>(i));
+    if (i < 5) continue;
+    const double v = p.value();
+    EXPECT_GE(v, prev - 1e-9) << "i=" << i;
+    prev = v;
+  }
+}
+
+TEST(P2Quantile, BoundedByObservedRange) {
+  P2Quantile p(0.99);
+  sim::Rng rng(3);
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal();
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    p.add(x);
+    EXPECT_GE(p.value(), lo - 1e-9);
+    EXPECT_LE(p.value(), hi + 1e-9);
+  }
+}
+
+TEST(P2Quantile, CountTracksSamples) {
+  P2Quantile p(0.5);
+  for (int i = 0; i < 42; ++i) p.add(1.0);
+  EXPECT_EQ(p.count(), 42u);
+  EXPECT_DOUBLE_EQ(p.quantile(), 0.5);
+}
+
+}  // namespace
+}  // namespace ispn::stats

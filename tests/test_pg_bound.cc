@@ -1,0 +1,95 @@
+// Parekh–Gallager bound arithmetic, validated against the four bounds the
+// paper prints in Table 3 (in packet transmission times: 23.53, 11.76,
+// 611.76, 588.24).
+
+#include "core/pg_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/units.h"
+
+namespace ispn::core {
+namespace {
+
+constexpr double kPkt = sim::paper::kPacketBits;        // 1000 bits
+constexpr double kPktTime = sim::paper::kPacketTime;    // 1 ms
+
+TEST(PgBound, FluidBoundIsDepthOverRate) {
+  EXPECT_DOUBLE_EQ(pg_fluid_bound({85000.0, 50000.0}), 50.0 / 85.0);
+}
+
+TEST(PgBound, PaperTable3GuaranteedPeakLen4) {
+  // Clock = peak = 170 kb/s, effective bucket = 1 packet, 4 hops.
+  const double bound =
+      pg_paper_bound({170000.0, kPkt}, 4, kPkt) / kPktTime;
+  EXPECT_NEAR(bound, 23.53, 0.005);
+}
+
+TEST(PgBound, PaperTable3GuaranteedPeakLen2) {
+  const double bound =
+      pg_paper_bound({170000.0, kPkt}, 2, kPkt) / kPktTime;
+  EXPECT_NEAR(bound, 11.76, 0.005);
+}
+
+TEST(PgBound, PaperTable3GuaranteedAverageLen3) {
+  // Clock = average = 85 kb/s, bucket = 50 packets, 3 hops.
+  const double bound =
+      pg_paper_bound({85000.0, 50.0 * kPkt}, 3, kPkt) / kPktTime;
+  EXPECT_NEAR(bound, 611.76, 0.005);
+}
+
+TEST(PgBound, PaperTable3GuaranteedAverageLen1) {
+  const double bound =
+      pg_paper_bound({85000.0, 50.0 * kPkt}, 1, kPkt) / kPktTime;
+  EXPECT_NEAR(bound, 588.24, 0.005);
+}
+
+TEST(PgBound, SingleHopEqualsFluidBound) {
+  const traffic::TokenBucketSpec tb{1e5, 7e4};
+  EXPECT_DOUBLE_EQ(pg_paper_bound(tb, 1, kPkt), pg_fluid_bound(tb));
+}
+
+TEST(PgBound, MonotoneInHops) {
+  const traffic::TokenBucketSpec tb{1e5, 5e4};
+  double prev = 0;
+  for (std::size_t hops = 1; hops <= 8; ++hops) {
+    const double b = pg_paper_bound(tb, hops, kPkt);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(PgBound, DecreasingInClockRate) {
+  // "The means by which the source can improve the worst case bound is to
+  // increase its r parameter."  With a fixed bucket depth, the bound falls
+  // as r rises.
+  double prev = 1e9;
+  for (double r : {5e4, 1e5, 2e5, 4e5}) {
+    const double b = pg_paper_bound({r, 5e4}, 3, kPkt);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(PgBound, PacketizedAddsStoreAndForward) {
+  const traffic::TokenBucketSpec tb{1e5, 5e4};
+  const std::vector<sim::Rate> links(3, 1e6);
+  EXPECT_NEAR(pg_packetized_bound(tb, kPkt, links),
+              pg_paper_bound(tb, 3, kPkt) + 3.0 * kPkt / 1e6, 1e-12);
+}
+
+TEST(PgBound, DepthForBoundInvertsBound) {
+  const double r = 2e5;
+  const std::size_t hops = 4;
+  const double target = 0.05;
+  const double b = depth_for_bound(r, target, hops, kPkt);
+  EXPECT_NEAR(pg_paper_bound({r, b}, hops, kPkt), target, 1e-12);
+}
+
+TEST(PgBound, DepthForBoundClampsAtZero) {
+  // Infeasible target: even b = 0 misses it.
+  EXPECT_DOUBLE_EQ(depth_for_bound(1e5, 1e-9, 8, kPkt), 0.0);
+}
+
+}  // namespace
+}  // namespace ispn::core

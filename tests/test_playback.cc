@@ -1,0 +1,154 @@
+// Playback applications: rigid vs adaptive points, loss accounting,
+// quantile estimation.
+
+#include "app/playback.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.h"
+
+namespace ispn::app {
+namespace {
+
+net::PacketPtr delayed_packet(std::uint64_t seq, sim::Time created) {
+  return net::make_packet(1, seq, 0, 1, created);
+}
+
+/// Feeds `n` packets whose delays are drawn by `delay_fn(i)`.  Delivery
+/// times are made monotone (as a FIFO network path would deliver them).
+template <typename Fn>
+void feed(PlaybackApp& app, int n, Fn delay_fn, sim::Time start = 0.0,
+          sim::Duration spacing = 0.01) {
+  sim::Time last = start;
+  for (int i = 0; i < n; ++i) {
+    const sim::Time created = start + spacing * i;
+    const sim::Duration delay = delay_fn(i);
+    last = std::max(last, created + delay);
+    app.on_packet(delayed_packet(static_cast<std::uint64_t>(i), created),
+                  last);
+  }
+}
+
+TEST(QuantileEstimator, NearestRankOnWindow) {
+  DelayQuantileEstimator est(100);
+  for (int i = 1; i <= 100; ++i) est.add(0.001 * i);
+  EXPECT_NEAR(est.quantile(0.5), 0.050, 1e-12);
+  EXPECT_NEAR(est.quantile(0.99), 0.099, 1e-12);
+  EXPECT_NEAR(est.quantile(1.0), 0.100, 1e-12);
+}
+
+TEST(QuantileEstimator, WindowSlides) {
+  DelayQuantileEstimator est(10);
+  for (int i = 0; i < 10; ++i) est.add(1.0);
+  for (int i = 0; i < 10; ++i) est.add(2.0);  // evicts all the 1.0s
+  EXPECT_DOUBLE_EQ(est.quantile(0.0), 2.0);
+  EXPECT_EQ(est.count(), 10u);
+}
+
+TEST(QuantileEstimator, PrimedAfterQuarterWindow) {
+  DelayQuantileEstimator est(100);
+  for (int i = 0; i < 24; ++i) est.add(1.0);
+  EXPECT_FALSE(est.primed());
+  est.add(1.0);
+  EXPECT_TRUE(est.primed());
+}
+
+TEST(Playback, RigidNeverMoves) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kRigid, .initial_point = 0.1});
+  feed(app, 1000, [](int) { return 0.05; });
+  EXPECT_DOUBLE_EQ(app.playback_point(), 0.1);
+  EXPECT_TRUE(app.history().empty());
+  EXPECT_EQ(app.late(), 0u);
+  // Rigid app wastes the difference as buffering slack.
+  EXPECT_NEAR(app.mean_slack(), 0.05, 1e-9);
+}
+
+TEST(Playback, RigidCountsLatePackets) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kRigid, .initial_point = 0.04});
+  // Wide spacing so a late packet does not hold up its successors.
+  feed(app, 100, [](int i) { return i % 10 == 0 ? 0.08 : 0.01; },
+       /*start=*/0.0, /*spacing=*/0.1);
+  EXPECT_EQ(app.late(), 10u);
+  EXPECT_NEAR(app.loss_rate(), 0.1, 1e-9);
+}
+
+TEST(Playback, AdaptiveConvergesNearDelayQuantile) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
+                   .initial_point = 0.5,
+                   .quantile = 0.99,
+                   .margin = 0.001,
+                   .adapt_interval = 32,
+                   .window = 256});
+  sim::Rng rng(3);
+  feed(app, 5000, [&](int) { return 0.01 + 0.005 * rng.uniform(); });
+  // Delays are in [10, 15] ms: the point should sit just above 15 ms,
+  // far below the 500 ms initial (a-priori-style) bound.
+  EXPECT_LT(app.playback_point(), 0.02);
+  EXPECT_GT(app.playback_point(), 0.012);
+  EXPECT_FALSE(app.history().empty());
+}
+
+TEST(Playback, AdaptiveLossStaysNearTargetQuantile) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
+                   .initial_point = 0.1,
+                   .quantile = 0.99,
+                   .margin = 0.0,
+                   .adapt_interval = 16,
+                   .window = 512});
+  sim::Rng rng(5);
+  feed(app, 20000, [&](int) { return rng.exponential(0.01); });
+  // Tracking the 99th percentile with no margin: loss near 1%.
+  EXPECT_LT(app.loss_rate(), 0.03);
+}
+
+TEST(Playback, AdaptiveReactsToDelayIncrease) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
+                   .initial_point = 0.02,
+                   .quantile = 0.99,
+                   .margin = 0.001,
+                   .adapt_interval = 16,
+                   .window = 128});
+  feed(app, 1000, [](int) { return 0.01; });
+  const double before = app.playback_point();
+  // Network conditions change: delays triple.  The app must follow, after
+  // a brief disruption (some late packets).
+  feed(app, 1000, [](int) { return 0.03; }, /*start=*/100.0);
+  EXPECT_GT(app.playback_point(), before);
+  EXPECT_GT(app.late(), 0u);
+  EXPECT_GE(app.max_point(), app.playback_point());
+}
+
+TEST(Playback, AdaptiveMovesDownAfterImprovement) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
+                   .initial_point = 0.5,
+                   .quantile = 0.99,
+                   .margin = 0.0,
+                   .adapt_interval = 16,
+                   .window = 128});
+  feed(app, 500, [](int) { return 0.08; });
+  const double high = app.playback_point();
+  feed(app, 2000, [](int) { return 0.005; }, /*start=*/100.0);
+  EXPECT_LT(app.playback_point(), high);
+  EXPECT_LT(app.playback_point(), 0.01);
+}
+
+TEST(Playback, HistoryTimestampsMonotone) {
+  PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
+                   .initial_point = 0.1,
+                   .quantile = 0.9,
+                   .margin = 0.0,
+                   .adapt_interval = 8,
+                   .window = 64});
+  sim::Rng rng(9);
+  feed(app, 2000, [&](int) { return rng.exponential(0.02); });
+  double prev = -1;
+  for (const auto& change : app.history()) {
+    EXPECT_GE(change.at, prev);
+    prev = change.at;
+  }
+}
+
+}  // namespace
+}  // namespace ispn::app

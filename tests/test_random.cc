@@ -1,0 +1,148 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ispn::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsDecorrelated) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+class ExponentialMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMean, MatchesRequestedMean) {
+  const double mean = GetParam();
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n / mean, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMean,
+                         ::testing::Values(0.001, 0.0294, 0.5, 3.0, 100.0));
+
+class GeometricMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricMean, MatchesRequestedMeanOnSupportFromOne) {
+  const double mean = GetParam();
+  Rng rng(17);
+  double sum = 0;
+  std::uint64_t min_seen = ~0ull;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto g = rng.geometric1(mean);
+    min_seen = std::min(min_seen, g);
+    sum += static_cast<double>(g);
+  }
+  EXPECT_EQ(min_seen, 1u);  // support {1, 2, ...}
+  EXPECT_NEAR(sum / n / mean, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, GeometricMean,
+                         ::testing::Values(1.0, 2.0, 5.0, 20.0));
+
+TEST(Rng, GeometricMeanOneIsAlwaysOne) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric1(1.0), 1u);
+}
+
+class PoissonMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMean, MatchesMeanAndVariance) {
+  const double lambda = GetParam();
+  Rng rng(23);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.poisson(lambda));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean / lambda, 1.0, 0.05);
+  EXPECT_NEAR(var / lambda, 1.0, 0.08);  // Poisson: var == mean
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMean,
+                         ::testing::Values(0.5, 5.0, 50.0));
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace ispn::sim

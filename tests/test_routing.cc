@@ -1,0 +1,87 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace ispn::net {
+namespace {
+
+Adjacency chain(int n) {
+  Adjacency adj;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return adj;
+}
+
+TEST(Routing, ChainNextHops) {
+  const auto adj = chain(5);
+  const auto hops = compute_next_hops(adj, 0);
+  EXPECT_EQ(hops.at(1), 1);
+  EXPECT_EQ(hops.at(4), 1);  // everything goes right
+  const auto mid = compute_next_hops(adj, 2);
+  EXPECT_EQ(mid.at(0), 1);
+  EXPECT_EQ(mid.at(4), 3);
+}
+
+TEST(Routing, ShortestPathInclusive) {
+  const auto adj = chain(5);
+  EXPECT_EQ(shortest_path(adj, 0, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(shortest_path(adj, 2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(Routing, UnreachableReturnsEmpty) {
+  Adjacency adj;
+  adj[0].push_back(1);
+  adj[1].push_back(0);
+  adj[2] = {};
+  EXPECT_TRUE(shortest_path(adj, 0, 2).empty());
+  EXPECT_FALSE(compute_next_hops(adj, 0).contains(2));
+}
+
+TEST(Routing, PrefersShorterPath) {
+  // Triangle with an extra two-hop detour: 0-1, 1-2, 0-2.
+  Adjacency adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(0, 2);
+  EXPECT_EQ(shortest_path(adj, 0, 2), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Routing, DeterministicTieBreakByNodeId) {
+  // Diamond: 0-1-3 and 0-2-3, both length 2; BFS visits neighbor 1 first.
+  Adjacency adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  EXPECT_EQ(compute_next_hops(adj, 0).at(3), 1);
+}
+
+TEST(Routing, StarTopology) {
+  Adjacency adj;
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    adj[0].push_back(leaf);
+    adj[leaf].push_back(0);
+  }
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    const auto hops = compute_next_hops(adj, leaf);
+    EXPECT_EQ(hops.at(0), 0);
+    for (NodeId other = 1; other <= 4; ++other) {
+      if (other != leaf) {
+        EXPECT_EQ(hops.at(other), 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ispn::net

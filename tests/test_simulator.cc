@@ -1,0 +1,103 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ispn::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, AdvancesClockToEventTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.at(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator sim;
+  double seen = -1;
+  sim.at(1.0, [&] { sim.after(0.5, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);  // events exactly at the horizon still fire
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.after(1.0, tick);
+  };
+  sim.at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelStopsPendingEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.at(static_cast<double>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed(), 5u);
+}
+
+TEST(Simulator, SameTimeEventsDeterministic) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    sim.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace ispn::sim

@@ -1,0 +1,117 @@
+#include "net/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topology.h"
+#include "sched/fifo.h"
+
+namespace ispn::net {
+namespace {
+
+SchedulerFactory fifo_factory(std::size_t cap = 200) {
+  return [cap] { return std::make_unique<sched::FifoScheduler>(cap); };
+}
+
+TEST(Tracer, RecordsTransmissions) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  PacketTracer tracer;
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  EXPECT_EQ(tracer.count(PacketTracer::Event::kTransmit), 3u);
+  EXPECT_EQ(tracer.count(PacketTracer::Event::kDrop), 0u);
+}
+
+TEST(Tracer, RecordsDrops) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory(1));
+  PacketTracer tracer;
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  EXPECT_EQ(tracer.count(PacketTracer::Event::kDrop), 3u);
+  EXPECT_EQ(tracer.count(PacketTracer::Event::kTransmit), 2u);
+}
+
+TEST(Tracer, WrappedSinkRecordsDeliveries) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  PacketTracer tracer;
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host, tracer.wrap_sink());
+  net.host(topo.left_host)
+      .inject(make_packet(1, 7, topo.left_host, topo.right_host, 0.0));
+  net.sim().run();
+  ASSERT_EQ(tracer.count(PacketTracer::Event::kDeliver), 1u);
+  const auto& records = tracer.records();
+  const auto& delivery = records.back();
+  EXPECT_EQ(delivery.flow, 1);
+  EXPECT_EQ(delivery.seq, 7u);
+  EXPECT_EQ(delivery.node, topo.right_host);
+}
+
+TEST(Tracer, TimestampsMonotone) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  PacketTracer tracer;
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  double prev = -1;
+  for (const auto& r : tracer.records()) {
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+  }
+}
+
+TEST(Tracer, CsvRoundTrip) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  PacketTracer tracer;
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host);
+  net.host(topo.left_host)
+      .inject(make_packet(1, 0, topo.left_host, topo.right_host, 0.0));
+  net.sim().run();
+  std::ostringstream out;
+  tracer.to_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time,event,flow,seq,node"), std::string::npos);
+  EXPECT_NE(csv.find(",tx,"), std::string::npos);
+}
+
+TEST(Tracer, BoundedRecording) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  PacketTracer tracer(/*max_records=*/5);
+  tracer.attach(net);
+  net.attach_stats_sink(1, topo.right_host);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    net.host(topo.left_host)
+        .inject(make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  net.sim().run();
+  EXPECT_EQ(tracer.records().size(), 5u);
+  EXPECT_TRUE(tracer.truncated());
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  EXPECT_FALSE(tracer.truncated());
+}
+
+}  // namespace
+}  // namespace ispn::net

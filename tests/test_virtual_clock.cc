@@ -1,0 +1,121 @@
+#include "sched/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sched_test_util.h"
+#include "traffic/cbr_source.h"
+
+namespace ispn::sched {
+namespace {
+
+using sched_test::pkt;
+
+TEST(VirtualClock, EmptyDequeueReturnsNull) {
+  VirtualClockScheduler q({10, 1e5});
+  EXPECT_EQ(q.dequeue(0.0), nullptr);
+}
+
+TEST(VirtualClock, SingleFlowIsFifo) {
+  VirtualClockScheduler q({100, 1e5});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(0, i, 0.0), 0.0).empty());
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->seq, i);
+}
+
+TEST(VirtualClock, AuxVcAdvancesByServiceTime) {
+  VirtualClockScheduler q({100, 1e5});
+  q.add_flow(1, 1000.0);
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  EXPECT_DOUBLE_EQ(q.aux_vc(1), 1.0);  // 1000 bits / 1000 b/s
+  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0), 0.0).empty());
+  EXPECT_DOUBLE_EQ(q.aux_vc(1), 2.0);
+}
+
+TEST(VirtualClock, IdleFlowResetsToRealTime) {
+  VirtualClockScheduler q({100, 1e5});
+  q.add_flow(1, 1000.0);
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  (void)q.dequeue(0.0);
+  // Long idle: auxVC restarts from `now`, not from the stale clock.
+  ASSERT_TRUE(q.enqueue(pkt(1, 1, 100.0), 100.0).empty());
+  EXPECT_DOUBLE_EQ(q.aux_vc(1), 101.0);
+}
+
+TEST(VirtualClock, OverdrawingFlowFallsBehind) {
+  VirtualClockScheduler q({1000, 1e5});
+  q.add_flow(1, 500.0);   // entitled to half
+  q.add_flow(2, 500.0);
+  // Flow 1 dumps 6 packets at t=0; flow 2 sends one.  Flow 1's later
+  // stamps (2, 4, ..., 12 s) fall behind flow 2's (2 s).
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.enqueue(pkt(1, i, 0.0), 0.0).empty());
+  }
+  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  EXPECT_EQ(q.dequeue(0.0)->flow, 1);  // stamp 2 (tie, earlier arrival)
+  EXPECT_EQ(q.dequeue(0.0)->flow, 2);  // stamp 2
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->flow, 1);
+}
+
+TEST(VirtualClock, UnregisteredFlowUsesDefaultRate) {
+  VirtualClockScheduler q({100, 2000.0});
+  ASSERT_TRUE(q.enqueue(pkt(7, 0, 0.0), 0.0).empty());
+  EXPECT_DOUBLE_EQ(q.aux_vc(7), 0.5);
+}
+
+TEST(VirtualClock, OverflowDropsLargestStamp) {
+  VirtualClockScheduler q({1, 1e5});
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = q.enqueue(pkt(1, 1, 0.0), 0.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->seq, 1u);  // same flow: the newest stamp
+}
+
+TEST(VirtualClock, OverflowPunishesOverdrawnFlow) {
+  VirtualClockScheduler q({2, 1e5});
+  q.add_flow(1, 1000.0);
+  q.add_flow(2, 1000.0);
+  // Flow 2 overdraws: its stamps run far ahead of real time.
+  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(q.enqueue(pkt(2, 1, 0.0), 0.0).empty());
+  // Conforming flow 1 arrives: flow 2's newest (stamp 2.0) is evicted.
+  auto dropped = q.enqueue(pkt(1, 0, 0.0), 0.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->flow, 2);
+  EXPECT_EQ(dropped[0]->seq, 1u);
+}
+
+TEST(VirtualClock, ProtectsConformingFlowFromFlood) {
+  // End-to-end: same scenario as the WFQ isolation test; VirtualClock was
+  // designed exactly for this (preallocated rates).
+  net::Network net;
+  VirtualClockScheduler* sched = nullptr;
+  const auto topo = net::build_dumbbell(net, 1e6, [&] {
+    auto q = std::make_unique<VirtualClockScheduler>(
+        VirtualClockScheduler::Config{100000, 1e5});
+    sched = q.get();
+    return q;
+  });
+  sched->add_flow(1, 5e5);
+  sched->add_flow(2, 5e5);
+  net::Host& src = net.host(topo.left_host);
+  auto emit = [&src](net::PacketPtr p) { src.inject(std::move(p)); };
+  traffic::CbrSource good(net.sim(), {.rate_pps = 250.0, .packet_bits = 1000},
+                          1, topo.left_host, topo.right_host, emit,
+                          &net.stats(1));
+  traffic::CbrSource flood(net.sim(),
+                           {.rate_pps = 2000.0, .packet_bits = 1000}, 2,
+                           topo.left_host, topo.right_host, emit,
+                           &net.stats(2));
+  net.attach_stats_sink(1, topo.right_host);
+  net.attach_stats_sink(2, topo.right_host);
+  good.start(0);
+  flood.start(0);
+  net.sim().run_until(20.0);
+  EXPECT_LT(net.stats(1).queueing_delay.max(), 0.005);
+  EXPECT_GT(net.stats(2).queueing_delay.max(), 0.05);
+}
+
+}  // namespace
+}  // namespace ispn::sched
