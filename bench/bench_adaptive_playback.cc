@@ -24,8 +24,7 @@ class Tee final : public net::FlowSink {
  public:
   Tee(app::PlaybackApp& a, app::PlaybackApp& b) : a_(a), b_(b) {}
   void on_packet(net::PacketPtr p, sim::Time now) override {
-    auto copy = std::make_unique<net::Packet>(*p);
-    a_.on_packet(std::move(copy), now);
+    a_.on_packet(net::clone_packet(*p), now);
     b_.on_packet(std::move(p), now);
   }
 

@@ -1,13 +1,15 @@
 // Per-packet scheduling cost (paper §1: the scheduling algorithm "must be
 // executed for every packet [so] it must not be so complex as to effect
-// overall network performance").  google-benchmark microbenchmarks of one
-// enqueue+dequeue cycle under steady backlog for each discipline.
+// overall network performance").  Self-timed microbenchmarks of one
+// enqueue+dequeue cycle under steady backlog for each discipline, appended
+// as a run to BENCH_sched_micro.json (see bench/common.h).
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common.h"
 #include "sched/fifo.h"
 #include "sched/fifo_plus.h"
 #include "sched/priority.h"
@@ -28,10 +30,10 @@ net::PacketPtr make(net::FlowId flow, std::uint64_t seq, double now,
 }
 
 /// Preloads `backlog` packets across `flows` flows, then measures one
-/// enqueue + one dequeue per iteration at steady state.
+/// enqueue + one dequeue per cycle at steady state.
 template <typename MakeSched>
-void run_cycle(benchmark::State& state, MakeSched make_sched, int flows,
-               net::ServiceClass service) {
+void run_cycle(bench::JsonReporter& report, const std::string& name,
+               MakeSched make_sched, int flows, net::ServiceClass service) {
   auto sched = make_sched();
   const int backlog = 64;
   std::uint64_t seq = 0;
@@ -41,95 +43,23 @@ void run_cycle(benchmark::State& state, MakeSched make_sched, int flows,
         make(static_cast<net::FlowId>(i % flows), seq++, now, service,
              static_cast<std::uint8_t>(i % 2)),
         now);
-    benchmark::DoNotOptimize(dropped);
   }
-  for (auto _ : state) {
+  std::uint64_t live = 0;  // defeat whole-loop elision
+  const auto r = bench::time_loop([&] {
     now += 1e-3;
     auto dropped = sched->enqueue(
         make(static_cast<net::FlowId>(seq % static_cast<std::uint64_t>(flows)),
              seq, now, service, static_cast<std::uint8_t>(seq % 2)),
         now);
     ++seq;
-    benchmark::DoNotOptimize(dropped);
     auto p = sched->dequeue(now);
-    benchmark::DoNotOptimize(p);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    if (p != nullptr) ++live;
+  });
+  if (live == 0) std::printf("(!) nothing dequeued in %s\n", name.c_str());
+  report.add(name, "flows=" + std::to_string(flows), r);
 }
 
-void BM_Fifo(benchmark::State& state) {
-  run_cycle(
-      state, [] { return std::make_unique<sched::FifoScheduler>(100000); },
-      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
-}
-BENCHMARK(BM_Fifo)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_FifoPlus(benchmark::State& state) {
-  run_cycle(
-      state,
-      [] {
-        return std::make_unique<sched::FifoPlusScheduler>(
-            sched::FifoPlusScheduler::Config{100000, 1.0 / 4096.0, true});
-      },
-      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
-}
-BENCHMARK(BM_FifoPlus)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_Wfq(benchmark::State& state) {
-  run_cycle(
-      state,
-      [] {
-        return std::make_unique<sched::WfqScheduler>(
-            sched::WfqScheduler::Config{1e6, 100000, 1e4});
-      },
-      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
-}
-BENCHMARK(BM_Wfq)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_PriorityOverFifo(benchmark::State& state) {
-  run_cycle(
-      state,
-      [] {
-        std::vector<std::unique_ptr<sched::Scheduler>> children;
-        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
-        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
-        return std::make_unique<sched::PriorityScheduler>(std::move(children));
-      },
-      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
-}
-BENCHMARK(BM_PriorityOverFifo)->Arg(10);
-
-void BM_UnifiedPredicted(benchmark::State& state) {
-  run_cycle(
-      state,
-      [] {
-        auto s = std::make_unique<sched::UnifiedScheduler>(
-            sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
-                                            true});
-        return s;
-      },
-      static_cast<int>(state.range(0)), net::ServiceClass::kPredicted);
-}
-BENCHMARK(BM_UnifiedPredicted)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_UnifiedGuaranteed(benchmark::State& state) {
-  const int flows = static_cast<int>(state.range(0));
-  run_cycle(
-      state,
-      [flows] {
-        auto s = std::make_unique<sched::UnifiedScheduler>(
-            sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
-                                            true});
-        for (int f = 0; f < flows; ++f) {
-          s->add_guaranteed(f, 1e6 / (2.0 * flows));
-        }
-        return s;
-      },
-      flows, net::ServiceClass::kGuaranteed);
-}
-BENCHMARK(BM_UnifiedGuaranteed)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_UnifiedMixed(benchmark::State& state) {
+void bench_mixed(bench::JsonReporter& report) {
   // Realistic Table-3 port mix: 3 guaranteed flows + 2 predicted classes
   // + datagram, alternating arrivals.
   auto sched = std::make_unique<sched::UnifiedScheduler>(
@@ -149,21 +79,85 @@ void BM_UnifiedMixed(benchmark::State& state) {
   };
   for (int i = 0; i < 64; ++i) {
     auto dropped = sched->enqueue(next(seq), now);
-    benchmark::DoNotOptimize(dropped);
     ++seq;
   }
-  for (auto _ : state) {
+  std::uint64_t live = 0;
+  const auto r = bench::time_loop([&] {
     now += 1e-3;
     auto dropped = sched->enqueue(next(seq), now);
     ++seq;
-    benchmark::DoNotOptimize(dropped);
     auto p = sched->dequeue(now);
-    benchmark::DoNotOptimize(p);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    if (p != nullptr) ++live;
+  });
+  report.add("unified_mixed", "flows=11", r);
 }
-BENCHMARK(BM_UnifiedMixed);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::header("sched_micro: per-packet enqueue+dequeue cost");
+  bench::JsonReporter report("sched_micro");
+
+  for (int flows : {1, 10, 100}) {
+    run_cycle(
+        report, "fifo",
+        [] { return std::make_unique<sched::FifoScheduler>(100000); }, flows,
+        net::ServiceClass::kPredicted);
+  }
+  for (int flows : {1, 10, 100}) {
+    run_cycle(
+        report, "fifo_plus",
+        [] {
+          return std::make_unique<sched::FifoPlusScheduler>(
+              sched::FifoPlusScheduler::Config{100000, 1.0 / 4096.0, true});
+        },
+        flows, net::ServiceClass::kPredicted);
+  }
+  for (int flows : {1, 10, 100}) {
+    run_cycle(
+        report, "wfq",
+        [] {
+          return std::make_unique<sched::WfqScheduler>(
+              sched::WfqScheduler::Config{1e6, 100000, 1e4});
+        },
+        flows, net::ServiceClass::kPredicted);
+  }
+  run_cycle(
+      report, "priority_over_fifo",
+      [] {
+        std::vector<std::unique_ptr<sched::Scheduler>> children;
+        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
+        children.push_back(std::make_unique<sched::FifoScheduler>(100000));
+        return std::make_unique<sched::PriorityScheduler>(std::move(children));
+      },
+      10, net::ServiceClass::kPredicted);
+  for (int flows : {1, 10, 100}) {
+    run_cycle(
+        report, "unified_predicted",
+        [] {
+          return std::make_unique<sched::UnifiedScheduler>(
+              sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
+                                              true});
+        },
+        flows, net::ServiceClass::kPredicted);
+  }
+  for (int flows : {1, 10, 100}) {
+    run_cycle(
+        report, "unified_guaranteed",
+        [flows] {
+          auto s = std::make_unique<sched::UnifiedScheduler>(
+              sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0,
+                                              true});
+          for (int f = 0; f < flows; ++f) {
+            s->add_guaranteed(f, 1e6 / (2.0 * flows));
+          }
+          return s;
+        },
+        flows, net::ServiceClass::kGuaranteed);
+  }
+  bench_mixed(report);
+
+  const std::string path = report.write();
+  std::printf("trajectory appended to %s\n", path.c_str());
+  return 0;
+}

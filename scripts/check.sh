@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local pre-push gate / CI entry point: configure + build + ctest + a short
+# bench smoke.  Usage: scripts/check.sh [build-dir]
+#
+# The bench smoke runs the two engine microbenches with a tiny wall-time
+# budget (and the table-1 bench with a 2-second simulated run) purely to
+# catch crashes and gross regressions; trajectory-quality numbers should be
+# recorded with the default budgets from the repo root instead:
+#   ISPN_BENCH_LABEL=<label> ISPN_BENCH_JSON_DIR=. build/bench_sched_micro
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke =="
+# Keep the smoke outputs out of the repo root so the committed perf
+# trajectory files only record deliberate runs.
+export ISPN_BENCH_JSON_DIR="$BUILD_DIR"
+export ISPN_BENCH_LABEL="smoke"
+ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_event_core" >/dev/null
+ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_sched_micro" >/dev/null
+ISPN_BENCH_SECONDS=2 "$BUILD_DIR/bench_table1" >/dev/null
+
+echo "OK"

@@ -18,8 +18,7 @@ std::vector<net::PacketPtr> FifoScheduler::enqueue(net::PacketPtr p,
 
 net::PacketPtr FifoScheduler::dequeue(sim::Time /*now*/) {
   if (queue_.empty()) return nullptr;
-  net::PacketPtr p = std::move(queue_.front());
-  queue_.pop_front();
+  net::PacketPtr p = queue_.pop_front();
   bits_ -= p->size_bits;
   return p;
 }

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 
 #include "sched/scheduler.h"
+#include "util/ring.h"
 
 namespace ispn::sched {
 
@@ -32,7 +32,7 @@ class FifoScheduler final : public Scheduler {
 
  private:
   std::size_t capacity_;
-  std::deque<net::PacketPtr> queue_;
+  util::Ring<net::PacketPtr> queue_;
   sim::Bits bits_ = 0;
 };
 

@@ -15,15 +15,13 @@ std::vector<net::PacketPtr> FifoPlusScheduler::enqueue(net::PacketPtr p,
   // service.  enqueued_at is stamped by the port before calling us.
   const double key = p->enqueued_at - p->jitter_offset;
   bits_ += p->size_bits;
-  queue_.insert(Entry{key, arrivals_++, std::move(p)});
+  queue_.push(Entry{key, arrivals_++, slab_.put(std::move(p))});
   return dropped;
 }
 
 net::PacketPtr FifoPlusScheduler::dequeue(sim::Time now) {
   while (!queue_.empty()) {
-    auto it = queue_.begin();
-    net::PacketPtr p = std::move(it->packet);
-    queue_.erase(it);
+    net::PacketPtr p = slab_.take(queue_.pop().slot);
     bits_ -= p->size_bits;
 
     // §10: a packet whose offset says it is hopelessly behind its class's

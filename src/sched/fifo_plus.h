@@ -18,14 +18,19 @@
 // more closely than a fast one — with a fast average the "expected arrival"
 // baseline itself chases each burst and the correction cancels out.  See
 // DESIGN.md §4 and bench_fifoplus_gain for the sensitivity ablation.
+//
+// The expected-arrival ordering only ever needs push + pop-min, so it is a
+// flat min-heap of 24-byte POD keys rather than a tree; packets park in a
+// slab on the side so sifts never move a unique_ptr.
 
 #pragma once
 
 #include <cstdint>
-#include <set>
 
+#include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "stats/ewma.h"
+#include "util/dary_heap.h"
 
 namespace ispn::sched {
 
@@ -65,20 +70,22 @@ class FifoPlusScheduler final : public Scheduler {
 
  private:
   struct Entry {
-    double expected_arrival;  // enqueued_at - jitter_offset (ordering key)
-    std::uint64_t order;      // arrival tie-break
-    mutable net::PacketPtr packet;
-
-    bool operator<(const Entry& other) const {
-      if (expected_arrival != other.expected_arrival)
-        return expected_arrival < other.expected_arrival;
-      return order < other.order;
+    double expected_arrival = 0;  // enqueued_at - jitter_offset (ordering)
+    std::uint64_t order = 0;      // arrival tie-break
+    std::uint32_t slot = 0;       // packet's PacketSlab slot
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.expected_arrival != b.expected_arrival)
+        return a.expected_arrival < b.expected_arrival;
+      return a.order < b.order;
     }
   };
 
   Config config_;
   stats::Ewma avg_;
-  std::set<Entry> queue_;
+  PacketSlab slab_;
+  util::DaryHeap<Entry, EntryLess> queue_;
   std::uint64_t arrivals_ = 0;
   std::uint64_t stale_discards_ = 0;
   sim::Bits bits_ = 0;

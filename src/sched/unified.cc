@@ -7,7 +7,9 @@
 namespace ispn::sched {
 
 UnifiedScheduler::UnifiedScheduler(Config config)
-    : config_(config), flow0_weight_(config.link_rate) {
+    : config_(config),
+      flow0_weight_(config.link_rate),
+      flow0_inv_weight_(1.0 / config.link_rate) {
   assert(config_.link_rate > 0);
   assert(config_.num_predicted_classes >= 1);
   classes_.reserve(static_cast<std::size_t>(config_.num_predicted_classes));
@@ -16,48 +18,79 @@ UnifiedScheduler::UnifiedScheduler(Config config)
   }
 }
 
+UnifiedScheduler::GFlow* UnifiedScheduler::find_guaranteed(net::FlowId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= guaranteed_.size()) {
+    return nullptr;
+  }
+  GFlow& g = guaranteed_[static_cast<std::size_t>(id)];
+  return g.rate > 0 ? &g : nullptr;
+}
+
 void UnifiedScheduler::add_guaranteed(net::FlowId flow, sim::Rate rate) {
   assert(rate > 0);
-  auto [it, inserted] = guaranteed_.try_emplace(flow);
-  assert(inserted && "flow already registered");
-  it->second.rate = rate;
+  assert(flow >= 0 && "guaranteed flow ids must be non-negative");
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= guaranteed_.size()) guaranteed_.resize(idx + 1);
+  GFlow& g = guaranteed_[idx];
+  assert(g.rate == 0 && "flow already registered");
+  g.rate = rate;
+  g.inv_rate = 1.0 / rate;
+  g.last_finish = 0;
+  g.fluid_backlogged = false;
   guaranteed_rate_ += rate;
   const sim::Rate old_flow0 = flow0_weight_;
   flow0_weight_ = config_.link_rate - guaranteed_rate_;
   assert(flow0_weight_ > 0 &&
          "guaranteed clock rates must leave bandwidth for flow 0");
+  flow0_inv_weight_ = 1.0 / flow0_weight_;
   // Dynamic admission: if flow 0 is currently fluid-backlogged its weight
   // contribution must track the new value.
-  if (flow0_fluid_backlogged_) active_weight_ += flow0_weight_ - old_flow0;
+  if (flow0_fluid_backlogged_) {
+    active_weight_ += flow0_weight_ - old_flow0;
+    slope_dirty_ = true;
+  }
 }
 
 void UnifiedScheduler::remove_guaranteed(net::FlowId flow) {
-  auto it = guaranteed_.find(flow);
-  assert(it != guaranteed_.end() && "flow not registered");
-  GFlow& g = it->second;
-  assert(g.queue.empty() && "drain the flow before removing it");
-  if (g.fluid_backlogged) {
-    fluid_.erase({g.last_finish, flow});
-    active_weight_ -= g.rate;
+  GFlow* g = find_guaranteed(flow);
+  assert(g != nullptr && "flow not registered");
+  assert(g->queue.empty() && "drain the flow before removing it");
+  if (g->fluid_backlogged) {
+    g->fluid_backlogged = false;
+    active_weight_ -= g->rate;
+    slope_dirty_ = true;
+    fluid_.erase(heap_id(flow));
   }
-  guaranteed_rate_ -= g.rate;
+  guaranteed_rate_ -= g->rate;
   const sim::Rate old_flow0 = flow0_weight_;
   flow0_weight_ = config_.link_rate - guaranteed_rate_;
-  if (flow0_fluid_backlogged_) active_weight_ += flow0_weight_ - old_flow0;
-  guaranteed_.erase(it);
+  flow0_inv_weight_ = 1.0 / flow0_weight_;
+  if (flow0_fluid_backlogged_) {
+    active_weight_ += flow0_weight_ - old_flow0;
+    slope_dirty_ = true;
+  }
+  g->rate = 0;
+  g->inv_rate = 0;
+  g->last_finish = 0;
 }
 
 void UnifiedScheduler::set_predicted_priority(net::FlowId flow, int level) {
   assert(level >= 0 && level < config_.num_predicted_classes);
-  predicted_priority_[flow] = level;
+  assert(flow >= 0 && "predicted flow ids must be non-negative");
+  const auto idx = static_cast<std::size_t>(flow);
+  if (idx >= predicted_priority_.size()) {
+    predicted_priority_.resize(idx + 1, kNoLevel);
+  }
+  predicted_priority_[idx] = static_cast<std::int16_t>(level);
 }
 
 int UnifiedScheduler::classify(const net::Packet& p) const {
   const int kDatagramLevel = config_.num_predicted_classes;
   if (p.service == net::ServiceClass::kDatagram) return kDatagramLevel;
-  if (auto it = predicted_priority_.find(p.flow);
-      it != predicted_priority_.end()) {
-    return it->second;
+  if (p.flow >= 0 &&
+      static_cast<std::size_t>(p.flow) < predicted_priority_.size() &&
+      predicted_priority_[static_cast<std::size_t>(p.flow)] != kNoLevel) {
+    return predicted_priority_[static_cast<std::size_t>(p.flow)];
   }
   if (p.service == net::ServiceClass::kPredicted) {
     return std::min<int>(p.priority, config_.num_predicted_classes - 1);
@@ -72,27 +105,32 @@ void UnifiedScheduler::advance_virtual_time(sim::Time now) {
       return;
     }
     assert(active_weight_ > 0);
-    const double slope = config_.link_rate / active_weight_;
-    const double next_finish = fluid_.begin()->first;
-    const sim::Time reach = last_update_ + (next_finish - vtime_) / slope;
+    if (slope_dirty_) {
+      slope_ = config_.link_rate / active_weight_;
+      inv_slope_ = active_weight_ / config_.link_rate;
+      slope_dirty_ = false;
+    }
+    const double next_finish = fluid_.top().key;
+    const sim::Time reach =
+        last_update_ + (next_finish - vtime_) * inv_slope_;
     if (reach <= now) {
       vtime_ = next_finish;
       last_update_ = reach;
-      while (!fluid_.empty() && fluid_.begin()->first <= vtime_) {
-        const net::FlowId id = fluid_.begin()->second;
-        if (id == kFlow0) {
+      while (!fluid_.empty() && fluid_.top().key <= vtime_) {
+        const std::uint32_t id = fluid_.pop().id;
+        if (id == kFlow0Heap) {
           flow0_fluid_backlogged_ = false;
           active_weight_ -= flow0_weight_;
         } else {
-          GFlow& g = guaranteed_.at(id);
+          GFlow& g = guaranteed_[id - 1];
           g.fluid_backlogged = false;
           active_weight_ -= g.rate;
         }
-        fluid_.erase(fluid_.begin());
+        slope_dirty_ = true;
       }
       if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
     } else {
-      vtime_ += slope * (now - last_update_);
+      vtime_ += slope_ * (now - last_update_);
       last_update_ = now;
     }
   }
@@ -114,50 +152,50 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
   advance_virtual_time(now);
 
   const net::FlowId id = p->flow;
-  auto git = p->service == net::ServiceClass::kGuaranteed
-                 ? guaranteed_.find(id)
-                 : guaranteed_.end();
+  GFlow* g = p->service == net::ServiceClass::kGuaranteed
+                 ? find_guaranteed(id)
+                 : nullptr;
 
   const sim::Bits size = p->size_bits;
   const std::uint64_t order = arrivals_++;
 
-  if (git != guaranteed_.end()) {
-    GFlow& g = git->second;
-    const double start = std::max(vtime_, g.last_finish);
-    const double finish = start + size / g.rate;
-    if (g.fluid_backlogged) {
-      fluid_.erase({g.last_finish, id});
-    } else {
-      g.fluid_backlogged = true;
-      active_weight_ += g.rate;
+  if (g != nullptr) {
+    const double start = std::max(vtime_, g->last_finish);
+    const double finish = start + size * g->inv_rate;
+    if (!g->fluid_backlogged) {
+      g->fluid_backlogged = true;
+      active_weight_ += g->rate;
+      slope_dirty_ = true;
     }
-    g.last_finish = finish;
-    fluid_.insert({finish, id});
-    if (g.queue.empty()) heads_.insert({finish, order, id});
-    g.queue.push_back(Tagged{std::move(p), finish, order});
+    g->last_finish = finish;
+    fluid_.upsert(heap_id(id), finish);
+    if (g->queue.empty()) heads_.upsert(heap_id(id), HeadKey{finish, order});
+    g->queue.push_back(Tagged{std::move(p), finish, order});
   } else {
     // Flow 0: one tag per packet, in arrival order; the packet itself goes
     // into its class queue.
     const double start = std::max(vtime_, flow0_last_finish_);
-    const double finish = start + size / flow0_weight_;
-    if (flow0_fluid_backlogged_) {
-      fluid_.erase({flow0_last_finish_, kFlow0});
-    } else {
+    const double finish = start + size * flow0_inv_weight_;
+    if (!flow0_fluid_backlogged_) {
       flow0_fluid_backlogged_ = true;
       active_weight_ += flow0_weight_;
+      slope_dirty_ = true;
     }
     flow0_last_finish_ = finish;
-    fluid_.insert({finish, kFlow0});
-    if (flow0_tags_.empty()) heads_.insert({finish, order, kFlow0});
-    flow0_tags_.emplace_back(finish, order);
+    fluid_.upsert(kFlow0Heap, finish);
+    if (flow0_tags_.empty()) {
+      heads_.upsert(kFlow0Heap, HeadKey{finish, order});
+    }
+    flow0_tags_.push_back({finish, order});
 
     const int level = classify(*p);
     if (level == config_.num_predicted_classes) {
       datagram_.push_back(std::move(p));
     } else {
       auto& cls = classes_[static_cast<std::size_t>(level)];
-      cls.queue.insert(PredictedClass::Entry{
-          p->enqueued_at - p->jitter_offset, order, std::move(p)});
+      const double expected = p->enqueued_at - p->jitter_offset;
+      cls.queue.push(
+          PredictedClass::Entry{expected, order, slab_.put(std::move(p))});
     }
   }
 
@@ -168,15 +206,11 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
     net::PacketPtr victim = pushout_flow0();
     if (victim != nullptr) {
       dropped.push_back(std::move(victim));
-    } else if (git != guaranteed_.end()) {
+    } else if (g != nullptr) {
       // Pathological: buffer full of guaranteed packets.  Drop the newest
       // packet of the arriving flow (i.e. the arrival itself).
-      GFlow& g = git->second;
-      Tagged last = std::move(g.queue.back());
-      g.queue.pop_back();
-      if (g.queue.empty()) {
-        heads_.erase({last.finish, last.order, id});
-      }
+      Tagged last = g->queue.pop_back();
+      if (g->queue.empty()) heads_.erase(heap_id(id));
       bits_ -= last.packet->size_bits;
       --total_packets_;
       dropped.push_back(std::move(last.packet));
@@ -190,30 +224,34 @@ net::PacketPtr UnifiedScheduler::pushout_flow0() {
   if (!datagram_.empty()) {
     // Prefer the newest less-important datagram packet (§10), else the
     // newest outright.
-    auto it = datagram_.rbegin();
-    for (auto cand = datagram_.rbegin(); cand != datagram_.rend(); ++cand) {
-      if ((*cand)->less_important) {
-        it = cand;
+    std::size_t chosen = datagram_.size() - 1;
+    for (std::size_t i = datagram_.size(); i-- > 0;) {
+      if (datagram_[i]->less_important) {
+        chosen = i;
         break;
       }
     }
-    victim = std::move(*it);
-    datagram_.erase(std::next(it).base());
+    victim = datagram_.erase_at(chosen);
   } else {
     for (int level = config_.num_predicted_classes - 1; level >= 0; --level) {
       auto& cls = classes_[static_cast<std::size_t>(level)];
       if (cls.queue.empty()) continue;
       // Newest less-important packet first (§10 drop preference), falling
-      // back to the newest packet of the class.
-      auto chosen = std::prev(cls.queue.end());
-      for (auto cand = cls.queue.rbegin(); cand != cls.queue.rend(); ++cand) {
-        if (cand->packet->less_important) {
-          chosen = std::prev(cand.base());
-          break;
+      // back to the newest packet of the class.  The heap array is scanned
+      // linearly — overflow is the cold path.
+      const auto& raw = cls.queue.raw();
+      const PredictedClass::EntryLess less{};
+      std::size_t newest = 0;
+      std::size_t chosen = raw.size();  // npos
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (less(raw[newest], raw[i])) newest = i;
+        if (slab_.peek(raw[i].slot).less_important &&
+            (chosen == raw.size() || less(raw[chosen], raw[i]))) {
+          chosen = i;
         }
       }
-      victim = std::move(chosen->packet);
-      cls.queue.erase(chosen);
+      victim = slab_.take(
+          cls.queue.remove_at(chosen == raw.size() ? newest : chosen).slot);
       break;
     }
   }
@@ -223,11 +261,8 @@ net::PacketPtr UnifiedScheduler::pushout_flow0() {
   // entitlements (conservative for guaranteed flows, which see flow 0 as
   // at-most-this-busy).
   assert(!flow0_tags_.empty());
-  if (flow0_tags_.size() == 1) {
-    heads_.erase({flow0_tags_.front().first, flow0_tags_.front().second,
-                  kFlow0});
-  }
   flow0_tags_.pop_back();
+  if (flow0_tags_.empty()) heads_.erase(kFlow0Heap);
 
   bits_ -= victim->size_bits;
   --total_packets_;
@@ -236,7 +271,7 @@ net::PacketPtr UnifiedScheduler::pushout_flow0() {
 
 void UnifiedScheduler::retire_tag_for_discard() {
   // Called mid-dequeue: the heads_ entry is already gone, so only the tag
-  // deque needs adjusting.  The discarded packet's entitlement is retired
+  // queue needs adjusting.  The discarded packet's entitlement is retired
   // from the back (latest finish tag), conservatively.  When the discard
   // is the last flow-0 packet, the front tag popped at the start of the
   // dequeue already covers it.
@@ -247,9 +282,7 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
   for (int level = 0; level < config_.num_predicted_classes; ++level) {
     auto& cls = classes_[static_cast<std::size_t>(level)];
     while (!cls.queue.empty()) {
-      auto it = cls.queue.begin();
-      net::PacketPtr p = std::move(it->packet);
-      cls.queue.erase(it);
+      net::PacketPtr p = slab_.take(cls.queue.pop().slot);
       // §10 stale discard: the offset says this packet is already far
       // behind its class's average service; drop it and serve the next.
       if (p->jitter_offset > config_.stale_offset_threshold) {
@@ -270,8 +303,7 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
     }
   }
   if (!datagram_.empty()) {
-    net::PacketPtr p = std::move(datagram_.front());
-    datagram_.pop_front();
+    net::PacketPtr p = datagram_.pop_front();
     if (observer_) {
       observer_(config_.num_predicted_classes, now - p->enqueued_at, now);
     }
@@ -285,11 +317,11 @@ net::PacketPtr UnifiedScheduler::dequeue(sim::Time now) {
   advance_virtual_time(now);
 
   while (!heads_.empty()) {
-    const auto [finish, order, id] = *heads_.begin();
-    heads_.erase(heads_.begin());
+    const auto entry = heads_.pop();
 
-    if (id == kFlow0) {
-      assert(!flow0_tags_.empty());
+    if (entry.id == kFlow0Heap) {
+      assert(!flow0_tags_.empty() &&
+             flow0_tags_.front().second == entry.key.order);
       flow0_tags_.pop_front();
       net::PacketPtr p = pop_flow0(now);
       if (p == nullptr) {
@@ -299,21 +331,20 @@ net::PacketPtr UnifiedScheduler::dequeue(sim::Time now) {
         continue;
       }
       if (!flow0_tags_.empty()) {
-        heads_.insert(
-            {flow0_tags_.front().first, flow0_tags_.front().second, kFlow0});
+        heads_.upsert(kFlow0Heap, HeadKey{flow0_tags_.front().first,
+                                          flow0_tags_.front().second});
       }
       bits_ -= p->size_bits;
       --total_packets_;
       return p;
     }
 
-    GFlow& g = guaranteed_.at(id);
+    GFlow& g = guaranteed_[entry.id - 1];
     assert(!g.queue.empty());
-    Tagged head = std::move(g.queue.front());
-    g.queue.pop_front();
+    Tagged head = g.queue.pop_front();
     if (!g.queue.empty()) {
       const Tagged& next = g.queue.front();
-      heads_.insert({next.finish, next.order, id});
+      heads_.upsert(entry.id, HeadKey{next.finish, next.order});
     }
     bits_ -= head.packet->size_bits;
     --total_packets_;

@@ -22,18 +22,30 @@
 // guaranteed packets remain.  The paper reports guaranteed bounds holding
 // while datagram TCP load suffers ~0.1% drops, which entails protecting
 // real-time queues from elastic overload.
+//
+// Hot-path layout mirrors WfqScheduler: guaranteed per-flow state and the
+// predicted-priority map are dense vectors indexed by flow id, per-flow
+// FIFOs are power-of-two rings, and the fluid/head orderings are indexed
+// min-heaps holding exactly one re-keyable entry per flow (heap id 0 is
+// the flow-0 pseudo-flow, guaranteed flow f maps to id f+1, preserving the
+// tie-break that flow 0 wins equal finish tags).  FIFO+ class queues are
+// flat heaps of POD keys with packets parked in a slab.
+//
+// Ties at equal finish tags order flow 0 first, then guaranteed flows by
+// id — the same order as the std::set layout this replaces.
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
-#include <set>
 #include <vector>
 
+#include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "stats/ewma.h"
+#include "util/dary_heap.h"
+#include "util/indexed_heap.h"
+#include "util/ring.h"
 
 namespace ispn::sched {
 
@@ -79,7 +91,12 @@ class UnifiedScheduler final : public Scheduler {
 
   /// Forgets a predicted flow's priority mapping (service teardown);
   /// in-flight packets keep their class.
-  void remove_predicted(net::FlowId flow) { predicted_priority_.erase(flow); }
+  void remove_predicted(net::FlowId flow) {
+    if (flow >= 0 &&
+        static_cast<std::size_t>(flow) < predicted_priority_.size()) {
+      predicted_priority_[static_cast<std::size_t>(flow)] = kNoLevel;
+    }
+  }
 
   void set_wait_observer(WaitObserver obs) { observer_ = std::move(obs); }
 
@@ -121,31 +138,51 @@ class UnifiedScheduler final : public Scheduler {
     std::uint64_t order = 0;
   };
   struct GFlow {
-    sim::Rate rate = 0;
-    std::deque<Tagged> queue;
+    sim::Rate rate = 0;   // 0 = not registered
+    double inv_rate = 0;  // cached 1/rate: tag math without division
     double last_finish = 0;
     bool fluid_backlogged = false;
+    util::Ring<Tagged> queue;
   };
-  /// Key used in the fluid set / head set; flow 0 uses id kFlow0.
-  static constexpr net::FlowId kFlow0 = -2;
+  static constexpr std::int16_t kNoLevel = -1;
+
+  /// Heap ids: 0 is the flow-0 pseudo-flow, guaranteed flow f is f+1.
+  static constexpr std::uint32_t kFlow0Heap = 0;
+  static std::uint32_t heap_id(net::FlowId flow) {
+    return static_cast<std::uint32_t>(flow) + 1;
+  }
+
+  struct HeadKey {
+    double finish = 0;
+    std::uint64_t order = 0;
+  };
+  struct HeadLess {
+    bool operator()(const HeadKey& a, const HeadKey& b) const {
+      if (a.finish != b.finish) return a.finish < b.finish;
+      return a.order < b.order;
+    }
+  };
 
   void advance_virtual_time(sim::Time now);
-  void fluid_arrival(net::FlowId id, bool& backlogged_flag, double& last_finish,
-                     double weight, sim::Bits bits, double& finish_out);
+
+  /// Guaranteed-flow slot, or nullptr when `id` was never add_guaranteed().
+  GFlow* find_guaranteed(net::FlowId id);
 
   // ---- flow 0 internals ---------------------------------------------------
   struct PredictedClass {
     struct Entry {
-      double expected_arrival;
-      std::uint64_t order;
-      mutable net::PacketPtr packet;
-      bool operator<(const Entry& o) const {
-        if (expected_arrival != o.expected_arrival)
-          return expected_arrival < o.expected_arrival;
-        return order < o.order;
+      double expected_arrival = 0;
+      std::uint64_t order = 0;
+      std::uint32_t slot = 0;  // packet's PacketSlab slot
+    };
+    struct EntryLess {
+      bool operator()(const Entry& a, const Entry& b) const {
+        if (a.expected_arrival != b.expected_arrival)
+          return a.expected_arrival < b.expected_arrival;
+        return a.order < b.order;
       }
     };
-    std::set<Entry> queue;
+    util::DaryHeap<Entry, EntryLess> queue;
     stats::Ewma avg;
   };
 
@@ -164,24 +201,31 @@ class UnifiedScheduler final : public Scheduler {
   DiscardHook discard_hook_;
   std::uint64_t stale_discards_ = 0;
 
-  std::map<net::FlowId, GFlow> guaranteed_;
-  std::map<net::FlowId, int> predicted_priority_;
+  std::vector<GFlow> guaranteed_;             // dense, indexed by flow id
+  std::vector<std::int16_t> predicted_priority_;  // dense; kNoLevel = unset
   sim::Rate guaranteed_rate_ = 0;
   sim::Rate flow0_weight_;
 
-  // Fluid/WFQ state shared by guaranteed flows and flow 0.
+  // Fluid/WFQ state shared by guaranteed flows and flow 0: one indexed
+  // heap entry per flow, re-keyed in place.  The V(t) slope and its
+  // reciprocal are recomputed only when the backlogged-weight sum changes.
   double vtime_ = 0;
   sim::Time last_update_ = 0;
   double active_weight_ = 0;
-  std::set<std::pair<double, net::FlowId>> fluid_;
-  std::set<std::tuple<double, std::uint64_t, net::FlowId>> heads_;
+  double slope_ = 0;      // link_rate / active_weight_
+  double inv_slope_ = 0;  // active_weight_ / link_rate
+  bool slope_dirty_ = true;
+  util::IndexedDaryHeap<double, std::less<double>> fluid_;
+  util::IndexedDaryHeap<HeadKey, HeadLess> heads_;
 
   // Flow 0: tag queue (arrival order) + classed packet queues.
-  std::deque<std::pair<double, std::uint64_t>> flow0_tags_;  // (F, order)
+  util::Ring<std::pair<double, std::uint64_t>> flow0_tags_;  // (F, order)
   double flow0_last_finish_ = 0;
+  double flow0_inv_weight_;  // cached 1 / flow0_weight_
   bool flow0_fluid_backlogged_ = false;
   std::vector<PredictedClass> classes_;       // K predicted levels
-  std::deque<net::PacketPtr> datagram_;       // level K
+  PacketSlab slab_;                           // predicted-class packets
+  util::Ring<net::PacketPtr> datagram_;       // level K
 
   std::uint64_t arrivals_ = 0;
   std::size_t total_packets_ = 0;

@@ -6,43 +6,55 @@
 
 namespace ispn::sched {
 
+VirtualClockScheduler::Flow& VirtualClockScheduler::flow_ref(
+    std::uint32_t idx) {
+  if (idx >= flows_.size()) flows_.resize(idx + 1);
+  Flow& f = flows_[idx];
+  if (f.rate <= 0) f.rate = config_.default_rate;
+  return f;
+}
+
 void VirtualClockScheduler::add_flow(net::FlowId flow, sim::Rate rate) {
   assert(rate > 0);
-  flows_[flow] = Flow{rate, 0.0};
+  Flow& f = flow_ref(slot_of(flow));
+  f.rate = rate;
+  f.aux_vc = 0.0;
 }
 
 double VirtualClockScheduler::aux_vc(net::FlowId flow) const {
-  auto it = flows_.find(flow);
-  return it == flows_.end() ? 0.0 : it->second.aux_vc;
+  const std::uint32_t slot = slot_of(flow);
+  if (slot >= flows_.size()) return 0.0;
+  return flows_[slot].aux_vc;
 }
 
 std::vector<net::PacketPtr> VirtualClockScheduler::enqueue(net::PacketPtr p,
                                                            sim::Time now) {
   std::vector<net::PacketPtr> dropped;
-  auto [it, inserted] = flows_.try_emplace(p->flow);
-  if (inserted) it->second = Flow{config_.default_rate, 0.0};
-  Flow& flow = it->second;
+  Flow& flow = flow_ref(slot_of(p->flow));
   flow.aux_vc = std::max(now, flow.aux_vc) + p->size_bits / flow.rate;
   bits_ += p->size_bits;
-  queue_.insert(Entry{flow.aux_vc, arrivals_++, std::move(p)});
+  queue_.push(Entry{flow.aux_vc, arrivals_++, slab_.put(std::move(p))});
 
   if (queue_.size() > config_.capacity_pkts) {
     // Evict the largest stamp: the most overdrawn flow's newest packet
     // (possibly the arrival itself), protecting conforming flows' buffer
-    // share just as their virtual clocks protect their bandwidth.
-    auto victim = std::prev(queue_.end());
-    bits_ -= victim->packet->size_bits;
-    dropped.push_back(std::move(victim->packet));
-    queue_.erase(victim);
+    // share just as their virtual clocks protect their bandwidth.  The
+    // linear scan runs only when the buffer is already full.
+    const auto& raw = queue_.raw();
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < raw.size(); ++i) {
+      if (EntryLess{}(raw[worst], raw[i])) worst = i;
+    }
+    net::PacketPtr victim = slab_.take(queue_.remove_at(worst).slot);
+    bits_ -= victim->size_bits;
+    dropped.push_back(std::move(victim));
   }
   return dropped;
 }
 
 net::PacketPtr VirtualClockScheduler::dequeue(sim::Time /*now*/) {
   if (queue_.empty()) return nullptr;
-  auto it = queue_.begin();
-  net::PacketPtr p = std::move(it->packet);
-  queue_.erase(it);
+  net::PacketPtr p = slab_.take(queue_.pop().slot);
   bits_ -= p->size_bits;
   return p;
 }

@@ -12,16 +12,23 @@
 // idle resumes with a fresh clock, but a flow that overdraws builds stamp
 // debt and is pushed behind — rate policing through scheduling.
 //
+// Per-flow clocks live in a dense vector indexed by flow id and the stamp
+// ordering in a flat min-heap of POD keys (packets park in a slab so sifts
+// never move a unique_ptr; dequeue only ever needs the minimum).  The
+// overflow eviction — largest stamp — is a linear scan of the heap array,
+// paid only when the buffer is already full.
+//
 // Provided for the related-mechanism comparison bench; the CSZ unified
 // scheduler uses WFQ.
 
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <vector>
 
+#include "sched/packet_slab.h"
 #include "sched/scheduler.h"
+#include "util/dary_heap.h"
 
 namespace ispn::sched {
 
@@ -50,22 +57,34 @@ class VirtualClockScheduler final : public Scheduler {
 
  private:
   struct Entry {
-    double stamp;
-    std::uint64_t order;
-    mutable net::PacketPtr packet;
-    bool operator<(const Entry& o) const {
-      if (stamp != o.stamp) return stamp < o.stamp;
-      return order < o.order;
+    double stamp = 0;
+    std::uint64_t order = 0;
+    std::uint32_t slot = 0;  // packet's PacketSlab slot
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.stamp != b.stamp) return a.stamp < b.stamp;
+      return a.order < b.order;
     }
   };
   struct Flow {
-    sim::Rate rate;
+    sim::Rate rate = 0;
     double aux_vc = 0;
   };
 
+  /// Dense slot for a flow id: non-negative ids map to id+1, slot 0 is the
+  /// shared anonymous (kNoFlow) bucket — negative ids can never index out
+  /// of bounds.
+  static std::uint32_t slot_of(net::FlowId id) {
+    return id >= 0 ? static_cast<std::uint32_t>(id) + 1 : 0;
+  }
+
+  Flow& flow_ref(std::uint32_t idx);
+
   Config config_;
-  std::map<net::FlowId, Flow> flows_;
-  std::set<Entry> queue_;
+  std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
+  PacketSlab slab_;
+  util::DaryHeap<Entry, EntryLess> queue_;
   std::uint64_t arrivals_ = 0;
   sim::Bits bits_ = 0;
 };

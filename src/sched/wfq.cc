@@ -5,6 +5,7 @@
 
 namespace ispn::sched {
 
+
 WfqScheduler::WfqScheduler(Config config) : config_(config) {
   assert(config_.link_rate > 0);
   assert(config_.default_weight > 0);
@@ -12,21 +13,29 @@ WfqScheduler::WfqScheduler(Config config) : config_(config) {
 
 void WfqScheduler::add_flow(net::FlowId flow, double weight) {
   assert(weight > 0);
-  Flow& f = flows_[flow];
+  Flow& f = flow_ref(slot_of(flow));
   assert(!f.fluid_backlogged && f.queue.empty() &&
          "cannot re-weight a backlogged flow");
   f.weight = weight;
+  f.inv_weight = 1.0 / weight;
 }
 
 double WfqScheduler::weight(net::FlowId flow) const {
-  auto it = flows_.find(flow);
-  return it == flows_.end() ? config_.default_weight : it->second.weight;
+  const std::uint32_t slot = slot_of(flow);
+  if (slot >= flows_.size()) return config_.default_weight;
+  return flows_[slot].weight;
 }
 
-WfqScheduler::Flow& WfqScheduler::flow_ref(net::FlowId id) {
-  auto [it, inserted] = flows_.try_emplace(id);
-  if (inserted) it->second.weight = config_.default_weight;
-  return it->second;
+WfqScheduler::Flow& WfqScheduler::flow_ref(std::uint32_t idx) {
+  if (idx >= flows_.size()) {
+    const std::size_t old_size = flows_.size();
+    flows_.resize(idx + 1);
+    for (std::size_t i = old_size; i < flows_.size(); ++i) {
+      flows_[i].weight = config_.default_weight;
+      flows_[i].inv_weight = 1.0 / config_.default_weight;
+    }
+  }
+  return flows_[idx];
 }
 
 void WfqScheduler::advance_virtual_time(sim::Time now) {
@@ -37,22 +46,27 @@ void WfqScheduler::advance_virtual_time(sim::Time now) {
       return;
     }
     assert(active_weight_ > 0);
-    const double slope = config_.link_rate / active_weight_;
-    const double next_finish = fluid_.begin()->first;
-    const sim::Time reach = last_update_ + (next_finish - vtime_) / slope;
+    if (slope_dirty_) {
+      slope_ = config_.link_rate / active_weight_;
+      inv_slope_ = active_weight_ / config_.link_rate;
+      slope_dirty_ = false;
+    }
+    const double next_finish = fluid_.top().key;
+    const sim::Time reach =
+        last_update_ + (next_finish - vtime_) * inv_slope_;
     if (reach <= now) {
       // A flow empties in the fluid system before `now`.
       vtime_ = next_finish;
       last_update_ = reach;
-      while (!fluid_.empty() && fluid_.begin()->first <= vtime_) {
-        Flow& f = flows_.at(fluid_.begin()->second);
+      while (!fluid_.empty() && fluid_.top().key <= vtime_) {
+        Flow& f = flows_[fluid_.pop().id];
         f.fluid_backlogged = false;
         active_weight_ -= f.weight;
-        fluid_.erase(fluid_.begin());
+        slope_dirty_ = true;
       }
       if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
     } else {
-      vtime_ += slope * (now - last_update_);
+      vtime_ += slope_ * (now - last_update_);
       last_update_ = now;
     }
   }
@@ -68,24 +82,22 @@ std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
   std::vector<net::PacketPtr> dropped;
   advance_virtual_time(now);
 
-  const net::FlowId id = p->flow;
-  Flow& f = flow_ref(id);
+  const std::uint32_t slot = slot_of(p->flow);
+  Flow& f = flow_ref(slot);
 
   const double start = std::max(vtime_, f.last_finish);
-  const double finish = start + p->size_bits / f.weight;
+  const double finish = start + p->size_bits * f.inv_weight;
 
-  if (f.fluid_backlogged) {
-    // Re-key the fluid entry to the new last finish tag.
-    fluid_.erase({f.last_finish, id});
-  } else {
+  if (!f.fluid_backlogged) {
     f.fluid_backlogged = true;
     active_weight_ += f.weight;
+    slope_dirty_ = true;
   }
   f.last_finish = finish;
-  fluid_.insert({finish, id});
+  fluid_.upsert(slot, finish);  // re-keys in place when already present
 
   const std::uint64_t order = arrivals_++;
-  if (f.queue.empty()) heads_.insert({finish, order, id});
+  if (f.queue.empty()) heads_.upsert(slot, HeadKey{finish, order});
   bits_ += p->size_bits;
   ++total_packets_;
   f.queue.push_back(Tagged{std::move(p), finish, order});
@@ -95,20 +107,17 @@ std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
     // packet of the flow with the largest backlog, so a flooding source
     // cannot starve conforming flows of buffer space.  Tags and fluid
     // state are left as-is (conservative: the flow looks at most busier).
-    net::FlowId victim_id = id;
+    std::uint32_t victim_slot = slot;
     std::size_t longest = 0;
-    for (const auto& [fid, flow] : flows_) {
-      if (flow.queue.size() > longest) {
-        longest = flow.queue.size();
-        victim_id = fid;
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (flows_[i].queue.size() > longest) {
+        longest = flows_[i].queue.size();
+        victim_slot = static_cast<std::uint32_t>(i);
       }
     }
-    Flow& victim_flow = flows_.at(victim_id);
-    Tagged victim = std::move(victim_flow.queue.back());
-    victim_flow.queue.pop_back();
-    if (victim_flow.queue.empty()) {
-      heads_.erase({victim.finish, victim.order, victim_id});
-    }
+    Flow& victim_flow = flows_[victim_slot];
+    Tagged victim = victim_flow.queue.pop_back();
+    if (victim_flow.queue.empty()) heads_.erase(victim_slot);
     bits_ -= victim.packet->size_bits;
     --total_packets_;
     dropped.push_back(std::move(victim.packet));
@@ -119,17 +128,15 @@ std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
 net::PacketPtr WfqScheduler::dequeue(sim::Time now) {
   if (total_packets_ == 0) return nullptr;
   advance_virtual_time(now);
-  assert(!heads_.empty());
 
-  const auto [finish, order, id] = *heads_.begin();
-  heads_.erase(heads_.begin());
-  Flow& f = flows_.at(id);
+  assert(!heads_.empty());
+  const std::uint32_t id = heads_.pop().id;
+  Flow& f = flows_[id];
   assert(!f.queue.empty());
-  Tagged head = std::move(f.queue.front());
-  f.queue.pop_front();
+  Tagged head = f.queue.pop_front();
   if (!f.queue.empty()) {
     const Tagged& next = f.queue.front();
-    heads_.insert({next.finish, next.order, id});
+    heads_.upsert(id, HeadKey{next.finish, next.order});
   }
   bits_ -= head.packet->size_bits;
   --total_packets_;

@@ -11,9 +11,16 @@
 // and the packetized scheduler transmits, whenever the link frees, the
 // queued packet with the smallest finish tag F (ties broken by arrival
 // order).  Tracking V(t) exactly requires knowing when flows empty *in the
-// fluid system*: we keep the set of fluid-backlogged flows ordered by their
+// fluid system*: we keep the fluid-backlogged flows ordered by their
 // largest finish tag and advance V through those departure epochs
 // ("iterated deletion", Demers–Keshav–Shenker / Parekh–Gallager).
+//
+// Hot-path layout: per-flow state is a dense vector indexed by flow id
+// (ids are small and assigned sequentially) with each flow's FIFO a
+// power-of-two ring, and both orderings — fluid departure epochs and
+// head-of-flow finish tags — are indexed min-heaps (util/indexed_heap.h)
+// holding exactly one entry per flow, re-keyed in place.  No red-black
+// trees, no per-node allocation, no stale-entry traffic.
 //
 // With Σ φ_α ≤ C and a flow conforming to an (r, b) token bucket with
 // φ = r, the flow's queueing delay is bounded by the Parekh–Gallager bound
@@ -22,11 +29,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
+#include <functional>
 
 #include "sched/scheduler.h"
+#include "util/indexed_heap.h"
+#include "util/ring.h"
 
 namespace ispn::sched {
 
@@ -70,27 +77,52 @@ class WfqScheduler final : public Scheduler {
   };
   struct Flow {
     double weight = 1.0;
-    std::deque<Tagged> queue;     // per-flow packets, FIFO within flow
-    double last_finish = 0;       // F of the most recently arrived packet
+    double inv_weight = 1.0;  // cached 1/weight: tag math without division
+    double last_finish = 0;   // F of the most recently arrived packet
     bool fluid_backlogged = false;
+    util::Ring<Tagged> queue;  // per-flow packets, FIFO within flow
+  };
+  struct HeadKey {
+    double finish = 0;
+    std::uint64_t order = 0;
+  };
+  struct HeadLess {
+    bool operator()(const HeadKey& a, const HeadKey& b) const {
+      if (a.finish != b.finish) return a.finish < b.finish;
+      return a.order < b.order;
+    }
   };
 
   /// Advances V(t) from last_update_ to `now`, processing fluid departures.
   void advance_virtual_time(sim::Time now);
 
-  Flow& flow_ref(net::FlowId id);
+  /// Dense slot for a flow id.  Non-negative ids map to id+1; slot 0 is a
+  /// shared anonymous bucket for packets with no flow (kNoFlow), so a
+  /// negative id can never index out of bounds (the seed's std::map
+  /// accepted any id; this preserves that robustness).
+  static std::uint32_t slot_of(net::FlowId id) {
+    return id >= 0 ? static_cast<std::uint32_t>(id) + 1 : 0;
+  }
+
+  Flow& flow_ref(std::uint32_t idx);
 
   Config config_;
-  std::map<net::FlowId, Flow> flows_;
+  std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
 
-  // Fluid system state.
+  // Fluid system state.  fluid_ holds one entry per fluid-backlogged flow,
+  // keyed by its largest finish tag.  The V(t) slope and its reciprocal
+  // are recomputed only when the backlogged-weight sum changes
+  // (slope_dirty_), so steady-state advance performs no division.
   double vtime_ = 0;
   sim::Time last_update_ = 0;
   double active_weight_ = 0;
-  std::set<std::pair<double, net::FlowId>> fluid_;  // (last_finish, flow)
+  double slope_ = 0;      // link_rate / active_weight_
+  double inv_slope_ = 0;  // active_weight_ / link_rate
+  bool slope_dirty_ = true;
+  util::IndexedDaryHeap<double, std::less<double>> fluid_;
 
-  // Packetized selection: head-of-flow finish tags.
-  std::set<std::tuple<double, std::uint64_t, net::FlowId>> heads_;
+  // Packetized selection: one head-of-flow finish tag per backlogged flow.
+  util::IndexedDaryHeap<HeadKey, HeadLess> heads_;
 
   std::uint64_t arrivals_ = 0;
   std::size_t total_packets_ = 0;

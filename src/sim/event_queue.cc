@@ -1,57 +1,45 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
-#include <utility>
 
 namespace ispn::sim {
 
-EventId EventQueue::schedule(Time at, EventAction action) {
-  const EventId id = next_seq_++;
-  heap_.push(Entry{at, id, std::move(action)});
-  ++live_;
-  return id;
-}
-
 bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_seq_) return false;
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_ > 0) --live_;
-  return inserted;
+  const std::uint64_t slot_part = id >> 32;
+  if (slot_part == 0 || slot_part > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_part - 1);
+  const auto gen = static_cast<std::uint32_t>(id);
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;  // already fired or cancelled
+  retire(slot);
+  return true;
 }
 
-bool EventQueue::is_cancelled(EventId id) const {
-  return cancelled_.contains(id);
-}
-
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
-    cancelled_.erase(heap_.top().id);
+void EventQueue::drop_stale() {
+  while (!heap_.empty()) {
+    const Key& k = heap_.top();
+    const Slot& s = slots_[k.slot];
+    if (s.live && s.gen == k.gen) return;
     heap_.pop();
   }
 }
 
-bool EventQueue::empty() const {
-  // drop_dead() is not const; compute emptiness from the live counter, which
-  // is kept exact by schedule()/cancel()/pop().
-  return live_ == 0;
-}
-
 Time EventQueue::next_time() const {
   assert(live_ > 0);
-  // Skim over dead entries without mutating: the first live entry determines
-  // the next time.  Cancelled entries at the top are rare, so scan via a
-  // const_cast-free copy of the lazy-deletion walk done in pop().
+  // Skimming stale keys mutates only the heap, not observable state; the
+  // first live key determines the next time.
   auto* self = const_cast<EventQueue*>(this);
-  self->drop_dead();
-  return heap_.top().time;
+  self->drop_stale();
+  return self->heap_.top().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_dead();
+  drop_stale();
   assert(!heap_.empty());
-  Fired fired{heap_.top().time, std::move(heap_.top().action)};
-  heap_.pop();
-  --live_;
+  const Key k = heap_.pop();
+  Slot& s = slots_[k.slot];
+  Fired fired{k.time, std::move(s.action)};
+  retire(k.slot);
   return fired;
 }
 

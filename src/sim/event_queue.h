@@ -2,24 +2,40 @@
 //
 // Events are (time, sequence, action) tuples ordered by time, with the
 // insertion sequence number breaking ties so that events scheduled for the
-// same instant fire in scheduling order.  Cancellation is supported through
-// lazy deletion: cancel() marks the handle and pop() skips dead entries.
+// same instant fire in scheduling order.
+//
+// Engine layout (allocation-free in steady state):
+//
+//   * Actions live in a slab of generation-stamped slots recycled through a
+//     free list.  An EventId encodes (slot index, generation); cancel() is
+//     an O(1) generation check that frees the slot immediately — there is
+//     no cancelled-id set to probe on every pop, and a cancelled id can
+//     never leak (the stale heap key is discarded by generation mismatch
+//     when it surfaces).
+//   * Ordering lives in a 4-ary min-heap of small (time, seq, slot, gen)
+//     keys — contiguous, shallow, and cheap to sift.
+//   * Actions are InlineAction: closures up to 48 bytes are stored in the
+//     slot itself; larger ones heap-box once (the cold-path escape hatch).
+//
+// Generations are 32-bit and wrap after 2^32 schedules of one slot; with a
+// handful of outstanding ids per slot (ports hold at most one retry timer)
+// a stale id matching a wrapped generation is not a practical concern.
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_action.h"
 #include "sim/units.h"
+#include "util/dary_heap.h"
 
 namespace ispn::sim {
 
 /// Action run when an event fires.
-using EventAction = std::function<void()>;
+using EventAction = InlineAction;
 
 /// Opaque identifier for a scheduled event; usable with EventQueue::cancel().
 using EventId = std::uint64_t;
@@ -27,8 +43,9 @@ using EventId = std::uint64_t;
 /// Sentinel returned when no event was scheduled.
 inline constexpr EventId kInvalidEventId = 0;
 
-/// Min-heap of timed events with stable same-time ordering and O(log n)
-/// schedule/pop.  Not thread-safe: the simulator is single-threaded by design.
+/// Slab-allocated min-heap of timed events with stable same-time ordering,
+/// O(log n) schedule/pop and O(1) cancel.  Not thread-safe: the simulator
+/// is single-threaded by design.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -36,22 +53,41 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `action` to run at absolute time `at`.  Returns a handle that
-  /// can later be passed to cancel().
-  EventId schedule(Time at, EventAction action);
+  /// Schedules `action` (any void() callable) to run at absolute time `at`.
+  /// Returns a handle that can later be passed to cancel().
+  template <typename F>
+  EventId schedule(Time at, F&& action) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slots_[slot];
+    assert(!s.live);
+    s.action = InlineAction(std::forward<F>(action));
+    s.live = true;
+    heap_.push(Key{at, next_seq_++, slot, s.gen});
+    ++live_;
+    return make_id(slot, s.gen);
+  }
 
-  /// Marks a previously scheduled event as cancelled.  Returns true if the
-  /// event was still pending.  Cancelled events are skipped by pop().
+  /// Cancels a previously scheduled event.  Returns true if the event was
+  /// still pending; the slot and its captured state are released
+  /// immediately and the id can never match a recycled slot (generation
+  /// check).
   bool cancel(EventId id);
 
   /// True if no live events remain.
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Time of the earliest live event.  Precondition: !empty().
   [[nodiscard]] Time next_time() const;
 
-  /// Removes and returns the earliest live event's action, advancing past any
-  /// cancelled entries.  Precondition: !empty().
+  /// Removes and returns the earliest live event, advancing past any stale
+  /// heap keys.  Precondition: !empty().
   struct Fired {
     Time time = 0;
     EventAction action;
@@ -64,27 +100,52 @@ class EventQueue {
   /// Total events ever scheduled (diagnostic).
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_ - 1; }
 
+  /// Slab capacity / recycled-slot count (diagnostics; tests pin slot
+  /// reuse and leak-freedom through these).
+  [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+
  private:
-  struct Entry {
-    Time time = 0;
-    EventId id = kInvalidEventId;  // doubles as the tie-breaking sequence
-    // Heap entries own their action; cancelled ones drop it eagerly to free
-    // captured state.
-    mutable EventAction action;
+  struct Slot {
+    InlineAction action;
+    std::uint32_t gen = 1;  // bumped on every fire/cancel
+    bool live = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+  struct Key {
+    Time time = 0;
+    std::uint64_t seq = 0;  // global tie-break: same-time FIFO
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+  struct KeyLess {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
 
-  void drop_dead();
-  [[nodiscard]] bool is_cancelled(EventId id) const;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    // slot+1 keeps every valid id distinct from kInvalidEventId.
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_seq_ = 1;
+  /// Releases a slot back to the free list, invalidating outstanding ids.
+  void retire(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.live = false;
+    ++s.gen;
+    s.action.reset();
+    free_.push_back(slot);
+    --live_;
+  }
+
+  /// Discards heap keys whose slot has been fired/cancelled since.
+  void drop_stale();
+
+  std::vector<Slot> slots_;         // slab; addressed by index only
+  std::vector<std::uint32_t> free_;
+  util::DaryHeap<Key, KeyLess, 4> heap_;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };
 

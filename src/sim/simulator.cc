@@ -1,20 +1,8 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <cassert>
-#include <utility>
 
 namespace ispn::sim {
-
-EventId Simulator::at(Time at, EventAction action) {
-  assert(at >= now_ - 1e-12 && "scheduling into the past");
-  return queue_.schedule(std::max(at, now_), std::move(action));
-}
-
-EventId Simulator::after(Duration delay, EventAction action) {
-  assert(delay >= 0 && "negative delay");
-  return queue_.schedule(now_ + std::max(delay, 0.0), std::move(action));
-}
 
 bool Simulator::step() {
   if (queue_.empty()) return false;

@@ -11,8 +11,10 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
 #include "sim/units.h"
@@ -29,12 +31,23 @@ class Simulator {
   /// Current simulation time (seconds).
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `action` at absolute time `at`.  Scheduling in the past is a
-  /// programming error; the action is clamped to fire at now().
-  EventId at(Time at, EventAction action);
+  /// Schedules `action` (any void() callable; closures up to
+  /// InlineAction::kCapacity bytes are stored without allocation) at
+  /// absolute time `at`.  Scheduling in the past is a programming error;
+  /// the action is clamped to fire at now().
+  template <typename F>
+  EventId at(Time at, F&& action) {
+    assert(at >= now_ - 1e-12 && "scheduling into the past");
+    return queue_.schedule(std::max(at, now_), std::forward<F>(action));
+  }
 
   /// Schedules `action` `delay` seconds from now.
-  EventId after(Duration delay, EventAction action);
+  template <typename F>
+  EventId after(Duration delay, F&& action) {
+    assert(delay >= 0 && "negative delay");
+    return queue_.schedule(now_ + std::max(delay, 0.0),
+                           std::forward<F>(action));
+  }
 
   /// Cancels a pending event.  Returns true if it had not yet fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -1,0 +1,130 @@
+// A d-ary min-heap over a flat vector.
+//
+// The engine's hot paths (event core, WFQ fluid/head orderings, FIFO+
+// expected-arrival ordering, VirtualClock stamps) all need the same three
+// operations — push, top, pop-min — at very high rates.  std::set /
+// std::map give them O(log n) with a pointer-chasing rebalancing tree and
+// one node allocation per element; a flat heap gives the same bounds with
+// contiguous memory, zero steady-state allocation (the vector's capacity
+// stabilises), and a branchier but far cheaper constant factor.  Arity 4
+// halves tree depth versus a binary heap, which matters once the heap
+// spills out of L1 (the event core's default).
+//
+// Elements are moved during sifts, so T should be cheaply movable (keys of
+// a few words, or structs holding a PacketPtr).  `Less` is a strict weak
+// ordering; the heap is *not* stable — callers needing FIFO tie-breaks must
+// fold an arrival sequence number into the key, which every user here does.
+//
+// remove_at()/raw() expose the underlying vector for the rare cold paths
+// (drop-victim selection on buffer overflow) that need a linear scan.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ispn::util {
+
+template <typename T, typename Less = std::less<T>, unsigned Arity = 4>
+class DaryHeap {
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+ public:
+  DaryHeap() = default;
+  explicit DaryHeap(Less less) : less_(std::move(less)) {}
+
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void clear() { v_.clear(); }
+
+  /// Smallest element.  Precondition: !empty().
+  [[nodiscard]] const T& top() const {
+    assert(!v_.empty());
+    return v_.front();
+  }
+
+  void push(T value) {
+    v_.push_back(std::move(value));
+    // Hole insertion: shift parents down into the hole instead of
+    // swapping — one move per level rather than three.
+    std::size_t i = v_.size() - 1;
+    if (i == 0) return;
+    T tmp = std::move(v_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(tmp, v_[parent])) break;
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(tmp);
+  }
+
+  /// Removes and returns the smallest element.  Precondition: !empty().
+  T pop() {
+    assert(!v_.empty());
+    T out = std::move(v_.front());
+    T last = std::move(v_.back());
+    v_.pop_back();
+    if (!v_.empty()) place_down(0, std::move(last));
+    return out;
+  }
+
+  /// Removes the element at raw index `i` (cold path: victim eviction).
+  T remove_at(std::size_t i) {
+    assert(i < v_.size());
+    T out = std::move(v_[i]);
+    T last = std::move(v_.back());
+    v_.pop_back();
+    if (i < v_.size()) {
+      // The replacement may violate either direction.
+      if (i > 0 && less_(last, v_[(i - 1) / Arity])) {
+        place_up(i, std::move(last));
+      } else {
+        place_down(i, std::move(last));
+      }
+    }
+    return out;
+  }
+
+  /// Heap-ordered backing store, exposed for cold-path linear scans.
+  [[nodiscard]] const std::vector<T>& raw() const { return v_; }
+
+ private:
+  /// Sinks the hole at `i` until `value` fits, then places it.
+  void place_down(std::size_t i, T value) {
+    const std::size_t n = v_.size();
+    for (;;) {
+      const std::size_t first = i * Arity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + Arity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (less_(v_[c], v_[best])) best = c;
+      }
+      if (!less_(v_[best], value)) break;
+      v_[i] = std::move(v_[best]);
+      i = best;
+    }
+    v_[i] = std::move(value);
+  }
+
+  /// Floats the hole at `i` up until `value` fits, then places it.
+  void place_up(std::size_t i, T value) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / Arity;
+      if (!less_(value, v_[parent])) break;
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(value);
+  }
+
+  std::vector<T> v_;
+  Less less_;
+};
+
+}  // namespace ispn::util

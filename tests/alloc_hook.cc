@@ -1,0 +1,83 @@
+// Counting overrides of the global allocation functions.
+//
+// The simulator is single-threaded, so plain counters suffice.  Every
+// new/new[] forwards to malloc and counts; delete/delete[] forward to free.
+
+#include "alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace ispn::testhook {
+namespace {
+std::uint64_t g_allocs = 0;
+std::uint64_t g_frees = 0;
+}  // namespace
+
+std::uint64_t allocation_count() { return g_allocs; }
+std::uint64_t deallocation_count() { return g_frees; }
+
+}  // namespace ispn::testhook
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ++ispn::testhook::g_allocs;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++ispn::testhook::g_frees;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++ispn::testhook::g_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++ispn::testhook::g_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+// C++17 aligned-allocation overloads: without these, over-aligned types
+// would bypass the counters and the zero-allocation assertion would pass
+// falsely.
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++ispn::testhook::g_allocs;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size == 0 ? 1 : size) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,157 @@
+// Zero-allocation steady-state assertions for the engine hot paths.
+//
+// The tentpole claim of the slab/pool/indexed refactor is that once the
+// slab capacities have warmed up, pushing packets and events through the
+// core performs no heap allocation at all.  This binary links alloc_hook.cc
+// (counting overrides of global operator new/delete) and asserts the
+// counter does not move across hundreds of thousands of steady-state
+// cycles of the FIFO and WFQ micro-bench workloads, the unified scheduler,
+// and the event core.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc_hook.h"
+#include "net/packet_pool.h"
+#include "sched/fifo.h"
+#include "sched/unified.h"
+#include "sched/wfq.h"
+#include "sim/simulator.h"
+
+namespace ispn {
+namespace {
+
+net::PacketPtr make(net::PacketPool& pool, net::FlowId flow,
+                    std::uint64_t seq, double now, net::ServiceClass service,
+                    std::uint8_t priority = 0) {
+  auto p = net::make_packet(pool, flow, seq, 0, 1, now);
+  p->enqueued_at = now;
+  p->service = service;
+  p->priority = priority;
+  return p;
+}
+
+/// Runs `cycles` enqueue+dequeue cycles against `sched` and returns the
+/// number of heap allocations performed by the block.
+template <typename Sched>
+std::uint64_t measure_cycles(Sched& sched, net::PacketPool& pool, int flows,
+                             net::ServiceClass service, int cycles,
+                             std::uint64_t* seq, double* now) {
+  const std::uint64_t before = testhook::allocation_count();
+  for (int i = 0; i < cycles; ++i) {
+    *now += 1e-3;
+    auto dropped = sched.enqueue(
+        make(pool, static_cast<net::FlowId>(*seq % flows), *seq, *now,
+             service, static_cast<std::uint8_t>(*seq % 2)),
+        *now);
+    ++*seq;
+    auto p = sched.dequeue(*now);
+  }
+  return testhook::allocation_count() - before;
+}
+
+TEST(AllocSteadyState, HookCountsAllocations) {
+  const std::uint64_t before = testhook::allocation_count();
+  auto p = std::make_unique<int>(7);
+  EXPECT_GE(testhook::allocation_count(), before + 1);
+}
+
+TEST(AllocSteadyState, FifoCycleIsAllocationFree) {
+  net::PacketPool pool;
+  sched::FifoScheduler fifo(100000);
+  std::uint64_t seq = 0;
+  double now = 0;
+  // Warmup: pool chunks, ring growth.
+  measure_cycles(fifo, pool, 10, net::ServiceClass::kPredicted, 20000, &seq,
+                 &now);
+  const std::uint64_t allocs = measure_cycles(
+      fifo, pool, 10, net::ServiceClass::kPredicted, 200000, &seq, &now);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocSteadyState, WfqCycleIsAllocationFree) {
+  net::PacketPool pool;
+  sched::WfqScheduler wfq(sched::WfqScheduler::Config{1e6, 100000, 1e4});
+  std::uint64_t seq = 0;
+  double now = 0;
+  measure_cycles(wfq, pool, 100, net::ServiceClass::kPredicted, 20000, &seq,
+                 &now);
+  const std::uint64_t allocs = measure_cycles(
+      wfq, pool, 100, net::ServiceClass::kPredicted, 200000, &seq, &now);
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AllocSteadyState, UnifiedMixedCycleIsAllocationFree) {
+  net::PacketPool pool;
+  sched::UnifiedScheduler sched(
+      sched::UnifiedScheduler::Config{1e6, 100000, 2, 1.0 / 4096.0, true});
+  for (int f = 0; f < 3; ++f) sched.add_guaranteed(f, 1.7e5);
+  for (int f = 3; f < 10; ++f) sched.set_predicted_priority(f, f % 2);
+  std::uint64_t seq = 0;
+  double now = 0;
+  auto cycle = [&](int cycles) {
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < cycles; ++i) {
+      now += 1e-3;
+      const int f = static_cast<int>(seq % 11);
+      net::PacketPtr p;
+      if (f < 3) {
+        p = make(pool, f, seq, now, net::ServiceClass::kGuaranteed);
+      } else if (f < 10) {
+        p = make(pool, f, seq, now, net::ServiceClass::kPredicted,
+                 static_cast<std::uint8_t>(f % 2));
+      } else {
+        p = make(pool, f, seq, now, net::ServiceClass::kDatagram);
+      }
+      ++seq;
+      auto dropped = sched.enqueue(std::move(p), now);
+      auto out = sched.dequeue(now);
+    }
+    return testhook::allocation_count() - before;
+  };
+  cycle(20000);  // warmup
+  EXPECT_EQ(cycle(200000), 0u);
+}
+
+TEST(AllocSteadyState, EventWheelIsAllocationFree) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 256; ++i) {
+    sim.after(1e-3 * (i + 1), [&fired] { ++fired; });
+  }
+  auto wheel = [&](int cycles) {
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < cycles; ++i) {
+      sim.step();
+      sim.after(0.256, [&fired] { ++fired; });
+    }
+    return testhook::allocation_count() - before;
+  };
+  wheel(20000);  // warmup
+  EXPECT_EQ(wheel(200000), 0u);
+  EXPECT_GT(fired, 0u);
+}
+
+TEST(AllocSteadyState, EventCancelPathIsAllocationFree) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    sim.after(1e-3 * (i + 1), [&fired] { ++fired; });
+  }
+  auto wheel = [&](int cycles) {
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < cycles; ++i) {
+      const sim::EventId doomed = sim.after(0.032, [&fired] { ++fired; });
+      sim.after(0.064, [&fired] { ++fired; });
+      sim.cancel(doomed);
+      sim.step();
+    }
+    return testhook::allocation_count() - before;
+  };
+  wheel(20000);  // warmup
+  EXPECT_EQ(wheel(200000), 0u);
+}
+
+}  // namespace
+}  // namespace ispn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace ispn::sim {
@@ -113,6 +115,103 @@ TEST(EventQueue, TotalScheduledCounts) {
   EventQueue q;
   for (int i = 0; i < 7; ++i) q.schedule(1.0, [] {});
   EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+// --- slab/generation regression tests ------------------------------------
+// The seed's lazy-cancel design leaked an entry in its cancelled-id set
+// whenever an event was cancelled after its heap entry had been popped; the
+// generation-stamped slab removes the set entirely.  These tests pin the
+// semantics that replaced it.
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop().action();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireDoesNotKillRecycledSlot) {
+  EventQueue q;
+  const EventId stale = q.schedule(1.0, [] {});
+  q.pop();
+  // The next schedule recycles the same slot; the stale id must not be
+  // able to cancel it (generation mismatch).
+  bool fired = false;
+  const EventId fresh = q.schedule(2.0, [&] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DoubleCancelAfterReuseReturnsFalse) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  const EventId b = q.schedule(1.0, [] {});  // reuses slot a
+  EXPECT_FALSE(q.cancel(a));                 // stale id, same slot
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(b));
+}
+
+TEST(EventQueue, SlotsAreRecycled) {
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    const EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    q.cancel(a);
+    q.pop();
+  }
+  // A wheel of at most 2 concurrent events must not grow the slab beyond
+  // a couple of slots — this is the no-leak property.
+  EXPECT_LE(q.slab_slots(), 4u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.free_slots(), q.slab_slots());
+}
+
+TEST(EventQueue, CancelReleasesCapturedState) {
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = q.schedule(1.0, [token = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(q.cancel(id));
+  // Cancellation must drop the closure (and its captures) eagerly, not
+  // hold them until the heap entry surfaces.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, LargeCapturesFireCorrectly) {
+  // Closures above the inline budget take the heap-boxed cold path; they
+  // must behave identically.
+  EventQueue q;
+  struct Big {
+    std::array<double, 16> payload{};
+  };
+  Big big;
+  big.payload[7] = 3.5;
+  double got = 0;
+  q.schedule(1.0, [big, &got] { got = big.payload[7]; });
+  q.pop().action();
+  EXPECT_DOUBLE_EQ(got, 3.5);
+}
+
+TEST(EventQueue, ManyCancelledEntriesDoNotAccumulate) {
+  EventQueue q;
+  // Schedule and cancel in waves; the slab and free list must stay
+  // bounded by the peak concurrency, and ids must stay unique.
+  std::vector<EventId> ids;
+  for (int wave = 0; wave < 50; ++wave) {
+    ids.clear();
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+    }
+    for (EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.slab_slots(), 32u);
 }
 
 }  // namespace

@@ -118,4 +118,17 @@ TEST(VirtualClock, ProtectsConformingFlowFromFlood) {
 }
 
 }  // namespace
+TEST(VirtualClock, AcceptsPacketsWithoutAFlowId) {
+  VirtualClockScheduler q(VirtualClockScheduler::Config{10, 1000.0});
+  auto mk = [](net::FlowId f, std::uint64_t seq) {
+    return net::make_packet(f, seq, 0, 1, 0.0);
+  };
+  ASSERT_TRUE(q.enqueue(mk(net::kNoFlow, 0), 0.0).empty());
+  ASSERT_TRUE(q.enqueue(mk(net::kNoFlow, 1), 0.0).empty());
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_NE(q.dequeue(0.0), nullptr);
+  EXPECT_NE(q.dequeue(0.0), nullptr);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace ispn::sched

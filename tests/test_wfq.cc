@@ -26,6 +26,24 @@ WfqScheduler::Config cfg(double link_rate = 1000.0,
   return {link_rate, capacity, default_weight};
 }
 
+TEST(Wfq, AcceptsPacketsWithoutAFlowId) {
+  // Packets whose flow was never assigned (kNoFlow = -1) share the
+  // anonymous slot-0 bucket; they must queue and drain like any flow.
+  WfqScheduler q(cfg());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    auto p = pkt(net::kNoFlow, i, 0.0);
+    ASSERT_TRUE(q.enqueue(std::move(p), 0.0).empty());
+  }
+  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  EXPECT_EQ(q.packets(), 4u);
+  std::uint64_t drained = 0;
+  while (!q.empty()) {
+    ASSERT_NE(q.dequeue(0.0), nullptr);
+    ++drained;
+  }
+  EXPECT_EQ(drained, 4u);
+}
+
 TEST(Wfq, EmptyDequeueReturnsNull) {
   WfqScheduler q(cfg());
   EXPECT_EQ(q.dequeue(0.0), nullptr);
