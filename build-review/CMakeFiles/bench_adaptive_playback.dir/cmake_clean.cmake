@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_playback.dir/bench/bench_adaptive_playback.cc.o"
+  "CMakeFiles/bench_adaptive_playback.dir/bench/bench_adaptive_playback.cc.o.d"
+  "bench_adaptive_playback"
+  "bench_adaptive_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_core.dir/bench/bench_event_core.cc.o"
+  "CMakeFiles/bench_event_core.dir/bench/bench_event_core.cc.o.d"
+  "bench_event_core"
+  "bench_event_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifoplus_gain.dir/bench/bench_fifoplus_gain.cc.o"
+  "CMakeFiles/bench_fifoplus_gain.dir/bench/bench_fifoplus_gain.cc.o.d"
+  "bench_fifoplus_gain"
+  "bench_fifoplus_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifoplus_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jitter_vs_hops.dir/bench/bench_jitter_vs_hops.cc.o"
+  "CMakeFiles/bench_jitter_vs_hops.dir/bench/bench_jitter_vs_hops.cc.o.d"
+  "bench_jitter_vs_hops"
+  "bench_jitter_vs_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jitter_vs_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_spacing.dir/bench/bench_priority_spacing.cc.o"
+  "CMakeFiles/bench_priority_spacing.dir/bench/bench_priority_spacing.cc.o.d"
+  "bench_priority_spacing"
+  "bench_priority_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

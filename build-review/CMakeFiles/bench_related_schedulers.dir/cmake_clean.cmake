@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_schedulers.dir/bench/bench_related_schedulers.cc.o"
+  "CMakeFiles/bench_related_schedulers.dir/bench/bench_related_schedulers.cc.o.d"
+  "bench_related_schedulers"
+  "bench_related_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_micro.dir/bench/bench_sched_micro.cc.o"
+  "CMakeFiles/bench_sched_micro.dir/bench/bench_sched_micro.cc.o.d"
+  "bench_sched_micro"
+  "bench_sched_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_qualities.dir/bench/bench_service_qualities.cc.o"
+  "CMakeFiles/bench_service_qualities.dir/bench/bench_service_qualities.cc.o.d"
+  "bench_service_qualities"
+  "bench_service_qualities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_qualities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

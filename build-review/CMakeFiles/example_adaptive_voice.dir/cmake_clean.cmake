@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_voice.dir/examples/adaptive_voice.cpp.o"
+  "CMakeFiles/example_adaptive_voice.dir/examples/adaptive_voice.cpp.o.d"
+  "example_adaptive_voice"
+  "example_adaptive_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

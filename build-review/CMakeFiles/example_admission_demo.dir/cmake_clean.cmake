@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_admission_demo.dir/examples/admission_demo.cpp.o"
+  "CMakeFiles/example_admission_demo.dir/examples/admission_demo.cpp.o.d"
+  "example_admission_demo"
+  "example_admission_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_admission_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

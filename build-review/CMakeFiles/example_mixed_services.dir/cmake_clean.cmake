@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mixed_services.dir/examples/mixed_services.cpp.o"
+  "CMakeFiles/example_mixed_services.dir/examples/mixed_services.cpp.o.d"
+  "example_mixed_services"
+  "example_mixed_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mixed_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

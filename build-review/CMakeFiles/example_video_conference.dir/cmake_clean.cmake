@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_conference.dir/examples/video_conference.cpp.o"
+  "CMakeFiles/example_video_conference.dir/examples/video_conference.cpp.o.d"
+  "example_video_conference"
+  "example_video_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/adaptive.cc" "CMakeFiles/ispn.dir/src/app/adaptive.cc.o" "gcc" "CMakeFiles/ispn.dir/src/app/adaptive.cc.o.d"
+  "/root/repo/src/app/playback.cc" "CMakeFiles/ispn.dir/src/app/playback.cc.o" "gcc" "CMakeFiles/ispn.dir/src/app/playback.cc.o.d"
+  "/root/repo/src/core/admission.cc" "CMakeFiles/ispn.dir/src/core/admission.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/admission.cc.o.d"
+  "/root/repo/src/core/builder.cc" "CMakeFiles/ispn.dir/src/core/builder.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/builder.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "CMakeFiles/ispn.dir/src/core/experiments.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/experiments.cc.o.d"
+  "/root/repo/src/core/flowspec.cc" "CMakeFiles/ispn.dir/src/core/flowspec.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/flowspec.cc.o.d"
+  "/root/repo/src/core/measurement.cc" "CMakeFiles/ispn.dir/src/core/measurement.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/measurement.cc.o.d"
+  "/root/repo/src/core/pg_bound.cc" "CMakeFiles/ispn.dir/src/core/pg_bound.cc.o" "gcc" "CMakeFiles/ispn.dir/src/core/pg_bound.cc.o.d"
+  "/root/repo/src/net/host.cc" "CMakeFiles/ispn.dir/src/net/host.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/host.cc.o.d"
+  "/root/repo/src/net/network.cc" "CMakeFiles/ispn.dir/src/net/network.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/network.cc.o.d"
+  "/root/repo/src/net/port.cc" "CMakeFiles/ispn.dir/src/net/port.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/port.cc.o.d"
+  "/root/repo/src/net/routing.cc" "CMakeFiles/ispn.dir/src/net/routing.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/routing.cc.o.d"
+  "/root/repo/src/net/switch.cc" "CMakeFiles/ispn.dir/src/net/switch.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/switch.cc.o.d"
+  "/root/repo/src/net/topology.cc" "CMakeFiles/ispn.dir/src/net/topology.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/topology.cc.o.d"
+  "/root/repo/src/net/tracer.cc" "CMakeFiles/ispn.dir/src/net/tracer.cc.o" "gcc" "CMakeFiles/ispn.dir/src/net/tracer.cc.o.d"
+  "/root/repo/src/sched/edd.cc" "CMakeFiles/ispn.dir/src/sched/edd.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/edd.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "CMakeFiles/ispn.dir/src/sched/fifo.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/fifo.cc.o.d"
+  "/root/repo/src/sched/fifo_plus.cc" "CMakeFiles/ispn.dir/src/sched/fifo_plus.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/fifo_plus.cc.o.d"
+  "/root/repo/src/sched/jitter_edd.cc" "CMakeFiles/ispn.dir/src/sched/jitter_edd.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/jitter_edd.cc.o.d"
+  "/root/repo/src/sched/priority.cc" "CMakeFiles/ispn.dir/src/sched/priority.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/priority.cc.o.d"
+  "/root/repo/src/sched/unified.cc" "CMakeFiles/ispn.dir/src/sched/unified.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/unified.cc.o.d"
+  "/root/repo/src/sched/virtual_clock.cc" "CMakeFiles/ispn.dir/src/sched/virtual_clock.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/virtual_clock.cc.o.d"
+  "/root/repo/src/sched/wfq.cc" "CMakeFiles/ispn.dir/src/sched/wfq.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sched/wfq.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/ispn.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/random.cc" "CMakeFiles/ispn.dir/src/sim/random.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sim/random.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/ispn.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/ispn.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/batch_means.cc" "CMakeFiles/ispn.dir/src/stats/batch_means.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/batch_means.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "CMakeFiles/ispn.dir/src/stats/histogram.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/online_stats.cc" "CMakeFiles/ispn.dir/src/stats/online_stats.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/online_stats.cc.o.d"
+  "/root/repo/src/stats/p2_quantile.cc" "CMakeFiles/ispn.dir/src/stats/p2_quantile.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/p2_quantile.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "CMakeFiles/ispn.dir/src/stats/percentile.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/rate_meter.cc" "CMakeFiles/ispn.dir/src/stats/rate_meter.cc.o" "gcc" "CMakeFiles/ispn.dir/src/stats/rate_meter.cc.o.d"
+  "/root/repo/src/traffic/cbr_source.cc" "CMakeFiles/ispn.dir/src/traffic/cbr_source.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/cbr_source.cc.o.d"
+  "/root/repo/src/traffic/greedy_source.cc" "CMakeFiles/ispn.dir/src/traffic/greedy_source.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/greedy_source.cc.o.d"
+  "/root/repo/src/traffic/leaky_bucket.cc" "CMakeFiles/ispn.dir/src/traffic/leaky_bucket.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/leaky_bucket.cc.o.d"
+  "/root/repo/src/traffic/onoff_source.cc" "CMakeFiles/ispn.dir/src/traffic/onoff_source.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/onoff_source.cc.o.d"
+  "/root/repo/src/traffic/poisson_source.cc" "CMakeFiles/ispn.dir/src/traffic/poisson_source.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/poisson_source.cc.o.d"
+  "/root/repo/src/traffic/tcp.cc" "CMakeFiles/ispn.dir/src/traffic/tcp.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/tcp.cc.o.d"
+  "/root/repo/src/traffic/token_bucket.cc" "CMakeFiles/ispn.dir/src/traffic/token_bucket.cc.o" "gcc" "CMakeFiles/ispn.dir/src/traffic/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scratch_fifoplus.dir/tests/scratch_fifoplus.cc.o"
+  "CMakeFiles/scratch_fifoplus.dir/tests/scratch_fifoplus.cc.o.d"
+  "scratch_fifoplus"
+  "scratch_fifoplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scratch_fifoplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scratch_fifoplus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_steady_state.dir/tests/alloc_hook.cc.o"
+  "CMakeFiles/test_alloc_steady_state.dir/tests/alloc_hook.cc.o.d"
+  "CMakeFiles/test_alloc_steady_state.dir/tests/test_alloc_steady_state.cc.o"
+  "CMakeFiles/test_alloc_steady_state.dir/tests/test_alloc_steady_state.cc.o.d"
+  "test_alloc_steady_state"
+  "test_alloc_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_means.dir/tests/test_batch_means.cc.o"
+  "CMakeFiles/test_batch_means.dir/tests/test_batch_means.cc.o.d"
+  "test_batch_means"
+  "test_batch_means.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_close_flow.dir/tests/test_close_flow.cc.o"
+  "CMakeFiles/test_close_flow.dir/tests/test_close_flow.cc.o.d"
+  "test_close_flow"
+  "test_close_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_close_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edd.dir/tests/test_edd.cc.o"
+  "CMakeFiles/test_edd.dir/tests/test_edd.cc.o.d"
+  "test_edd"
+  "test_edd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo.dir/tests/test_fifo.cc.o"
+  "CMakeFiles/test_fifo.dir/tests/test_fifo.cc.o.d"
+  "test_fifo"
+  "test_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

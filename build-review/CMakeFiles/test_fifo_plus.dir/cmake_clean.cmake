@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_plus.dir/tests/test_fifo_plus.cc.o"
+  "CMakeFiles/test_fifo_plus.dir/tests/test_fifo_plus.cc.o.d"
+  "test_fifo_plus"
+  "test_fifo_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

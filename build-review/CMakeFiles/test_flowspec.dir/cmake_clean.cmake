@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowspec.dir/tests/test_flowspec.cc.o"
+  "CMakeFiles/test_flowspec.dir/tests/test_flowspec.cc.o.d"
+  "test_flowspec"
+  "test_flowspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_tables.dir/tests/test_integration_tables.cc.o"
+  "CMakeFiles/test_integration_tables.dir/tests/test_integration_tables.cc.o.d"
+  "test_integration_tables"
+  "test_integration_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

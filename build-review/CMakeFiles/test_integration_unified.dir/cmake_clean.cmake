@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_unified.dir/tests/test_integration_unified.cc.o"
+  "CMakeFiles/test_integration_unified.dir/tests/test_integration_unified.cc.o.d"
+  "test_integration_unified"
+  "test_integration_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter_edd.dir/tests/test_jitter_edd.cc.o"
+  "CMakeFiles/test_jitter_edd.dir/tests/test_jitter_edd.cc.o.d"
+  "test_jitter_edd"
+  "test_jitter_edd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter_edd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

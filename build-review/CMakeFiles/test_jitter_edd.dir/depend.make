@@ -1,0 +1,2 @@
+# Empty dependencies file for test_jitter_edd.
+# This may be replaced when dependencies are built.

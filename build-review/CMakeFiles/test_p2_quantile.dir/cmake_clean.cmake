@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p2_quantile.dir/tests/test_p2_quantile.cc.o"
+  "CMakeFiles/test_p2_quantile.dir/tests/test_p2_quantile.cc.o.d"
+  "test_p2_quantile"
+  "test_p2_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p2_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

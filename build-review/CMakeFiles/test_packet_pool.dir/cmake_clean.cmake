@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_pool.dir/tests/test_packet_pool.cc.o"
+  "CMakeFiles/test_packet_pool.dir/tests/test_packet_pool.cc.o.d"
+  "test_packet_pool"
+  "test_packet_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

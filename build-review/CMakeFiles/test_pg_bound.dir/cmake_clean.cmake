@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pg_bound.dir/tests/test_pg_bound.cc.o"
+  "CMakeFiles/test_pg_bound.dir/tests/test_pg_bound.cc.o.d"
+  "test_pg_bound"
+  "test_pg_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pg_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_playback.dir/tests/test_playback.cc.o"
+  "CMakeFiles/test_playback.dir/tests/test_playback.cc.o.d"
+  "test_playback"
+  "test_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_qualities.dir/tests/test_service_qualities.cc.o"
+  "CMakeFiles/test_service_qualities.dir/tests/test_service_qualities.cc.o.d"
+  "test_service_qualities"
+  "test_service_qualities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_qualities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

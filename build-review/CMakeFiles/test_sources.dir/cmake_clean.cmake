@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sources.dir/tests/test_sources.cc.o"
+  "CMakeFiles/test_sources.dir/tests/test_sources.cc.o.d"
+  "test_sources"
+  "test_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

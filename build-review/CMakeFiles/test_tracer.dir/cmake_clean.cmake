@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracer.dir/tests/test_tracer.cc.o"
+  "CMakeFiles/test_tracer.dir/tests/test_tracer.cc.o.d"
+  "test_tracer"
+  "test_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

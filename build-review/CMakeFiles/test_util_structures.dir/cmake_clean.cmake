@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_structures.dir/tests/test_util_structures.cc.o"
+  "CMakeFiles/test_util_structures.dir/tests/test_util_structures.cc.o.d"
+  "test_util_structures"
+  "test_util_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_clock.dir/tests/test_virtual_clock.cc.o"
+  "CMakeFiles/test_virtual_clock.dir/tests/test_virtual_clock.cc.o.d"
+  "test_virtual_clock"
+  "test_virtual_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfq.dir/tests/test_wfq.cc.o"
+  "CMakeFiles/test_wfq.dir/tests/test_wfq.cc.o.d"
+  "test_wfq"
+  "test_wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
