@@ -39,15 +39,14 @@ void run_cycle(bench::JsonReporter& report, const std::string& name,
   std::uint64_t seq = 0;
   double now = 0;
   for (int i = 0; i < backlog; ++i) {
-    auto dropped = sched->enqueue(
-        make(static_cast<net::FlowId>(i % flows), seq++, now, service,
-             static_cast<std::uint8_t>(i % 2)),
-        now);
+    sched->enqueue(make(static_cast<net::FlowId>(i % flows), seq++, now,
+                        service, static_cast<std::uint8_t>(i % 2)),
+                   now);
   }
   std::uint64_t live = 0;  // defeat whole-loop elision
   const auto r = bench::time_loop([&] {
     now += 1e-3;
-    auto dropped = sched->enqueue(
+    sched->enqueue(
         make(static_cast<net::FlowId>(seq % static_cast<std::uint64_t>(flows)),
              seq, now, service, static_cast<std::uint8_t>(seq % 2)),
         now);
@@ -78,13 +77,13 @@ void bench_mixed(bench::JsonReporter& report) {
     return make(f, i, now, net::ServiceClass::kDatagram);
   };
   for (int i = 0; i < 64; ++i) {
-    auto dropped = sched->enqueue(next(seq), now);
+    sched->enqueue(next(seq), now);
     ++seq;
   }
   std::uint64_t live = 0;
   const auto r = bench::time_loop([&] {
     now += 1e-3;
-    auto dropped = sched->enqueue(next(seq), now);
+    sched->enqueue(next(seq), now);
     ++seq;
     auto p = sched->dequeue(now);
     if (p != nullptr) ++live;

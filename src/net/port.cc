@@ -10,6 +10,14 @@ Port::Port(sim::Simulator& sim, sim::Rate rate,
     : sim_(sim), rate_(rate), scheduler_(std::move(scheduler)), peer_(peer) {
   assert(peer_ != nullptr);
   assert(rate_ <= 0 || scheduler_ != nullptr);
+  if (scheduler_ != nullptr) {
+    // Installed once; victims are destroyed (returning to their pool) when
+    // this sink returns.
+    scheduler_->set_drop_sink([this](PacketPtr victim, sim::Time now) {
+      ++drops_;
+      for (const auto& hook : on_drop_) hook(*victim, now);
+    });
+  }
 }
 
 void Port::send(PacketPtr p) {
@@ -20,11 +28,7 @@ void Port::send(PacketPtr p) {
     return;
   }
   p->enqueued_at = sim_.now();
-  auto dropped = scheduler_->enqueue(std::move(p), sim_.now());
-  for (auto& victim : dropped) {
-    ++drops_;
-    for (const auto& hook : on_drop_) hook(*victim, sim_.now());
-  }
+  scheduler_->enqueue(std::move(p), sim_.now());
   try_start();
 }
 

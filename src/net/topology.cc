@@ -59,4 +59,28 @@ DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
   return topo;
 }
 
+FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
+                           sim::Rate bottleneck_rate,
+                           const SchedulerFactory& make_scheduler) {
+  FanInTopology topo{};
+  auto& merge = net.add_switch("S-M");
+  auto& out = net.add_switch("S-out");
+  auto& sink = net.add_host("Host-out");
+  topo.merge_switch = merge.id();
+  topo.sink_switch = out.id();
+  topo.sink_host = sink.id();
+  net.connect(sink.id(), out.id(), /*rate=*/0);
+  net.connect(merge.id(), out.id(), bottleneck_rate, make_scheduler);
+  for (int i = 0; i < num_sources; ++i) {
+    auto& sw = net.add_switch("S-" + std::to_string(i + 1));
+    auto& host = net.add_host("Host-" + std::to_string(i + 1));
+    topo.edge_switches.push_back(sw.id());
+    topo.src_hosts.push_back(host.id());
+    net.connect(host.id(), sw.id(), /*rate=*/0);
+    net.connect(sw.id(), merge.id(), feed_rate, make_scheduler);
+  }
+  net.build_routes();
+  return topo;
+}
+
 }  // namespace ispn::net

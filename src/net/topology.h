@@ -43,4 +43,24 @@ struct DumbbellTopology {
 DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
                                 const SchedulerFactory& make_scheduler);
 
+/// Fan-in: several edge switches feed one merge switch whose single
+/// output port is the bottleneck — the first scenario beyond the paper's
+/// Figure 1 chain, exercising a queueing point where traffic from
+/// multiple upstream switches converges.
+///
+///   Host-1 ── S-1 ─┐ feed_rate
+///   Host-2 ── S-2 ─┼──────── S-M ──bottleneck_rate── S-out ── Host-out
+///   ...            │
+///   Host-n ── S-n ─┘
+struct FanInTopology {
+  std::vector<NodeId> src_hosts;      ///< Host-1 .. Host-n
+  std::vector<NodeId> edge_switches;  ///< S-1 .. S-n
+  NodeId merge_switch;  ///< S-M; its port towards sink_switch is the bottleneck
+  NodeId sink_switch;   ///< S-out
+  NodeId sink_host;     ///< Host-out
+};
+FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
+                           sim::Rate bottleneck_rate,
+                           const SchedulerFactory& make_scheduler);
+
 }  // namespace ispn::net

@@ -15,9 +15,7 @@ sim::Duration EddScheduler::bound(net::FlowId flow) const {
   return it == bounds_.end() ? config_.default_bound : it->second;
 }
 
-std::vector<net::PacketPtr> EddScheduler::enqueue(net::PacketPtr p,
-                                                  sim::Time now) {
-  std::vector<net::PacketPtr> dropped;
+void EddScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   const double deadline = now + bound(p->flow);
   bits_ += p->size_bits;
   queue_.insert(Entry{deadline, arrivals_++, std::move(p)});
@@ -27,10 +25,10 @@ std::vector<net::PacketPtr> EddScheduler::enqueue(net::PacketPtr p,
     // bounds this degenerates to tail drop.
     auto victim = std::prev(queue_.end());
     bits_ -= victim->packet->size_bits;
-    dropped.push_back(std::move(victim->packet));
+    net::PacketPtr evicted = std::move(victim->packet);
     queue_.erase(victim);
+    drop(std::move(evicted), now);
   }
-  return dropped;
 }
 
 net::PacketPtr EddScheduler::dequeue(sim::Time /*now*/) {

@@ -34,8 +34,7 @@ class EddScheduler final : public Scheduler {
 
   [[nodiscard]] sim::Duration bound(net::FlowId flow) const;
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }

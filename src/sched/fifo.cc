@@ -4,16 +4,13 @@
 
 namespace ispn::sched {
 
-std::vector<net::PacketPtr> FifoScheduler::enqueue(net::PacketPtr p,
-                                                   sim::Time /*now*/) {
-  std::vector<net::PacketPtr> dropped;
+void FifoScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   if (queue_.size() >= capacity_) {
-    dropped.push_back(std::move(p));
-    return dropped;
+    drop(std::move(p), now);
+    return;
   }
   bits_ += p->size_bits;
   queue_.push_back(std::move(p));
-  return dropped;
 }
 
 net::PacketPtr FifoScheduler::dequeue(sim::Time /*now*/) {

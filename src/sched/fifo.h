@@ -21,8 +21,7 @@ class FifoScheduler final : public Scheduler {
   explicit FifoScheduler(std::size_t capacity_pkts = 200)
       : capacity_(capacity_pkts) {}
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }

@@ -4,19 +4,16 @@
 
 namespace ispn::sched {
 
-std::vector<net::PacketPtr> FifoPlusScheduler::enqueue(net::PacketPtr p,
-                                                       sim::Time /*now*/) {
-  std::vector<net::PacketPtr> dropped;
+void FifoPlusScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   if (queue_.size() >= config_.capacity_pkts) {
-    dropped.push_back(std::move(p));
-    return dropped;
+    drop(std::move(p), now);
+    return;
   }
   // Order by when the packet *would* have arrived under average upstream
   // service.  enqueued_at is stamped by the port before calling us.
   const double key = p->enqueued_at - p->jitter_offset;
   bits_ += p->size_bits;
-  queue_.push(Entry{key, arrivals_++, slab_.put(std::move(p))});
-  return dropped;
+  queue_.push(SlabEntry{key, arrivals_++, slab_.put(std::move(p))});
 }
 
 net::PacketPtr FifoPlusScheduler::dequeue(sim::Time now) {

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "sched/keys.h"
 #include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "stats/ewma.h"
@@ -53,8 +54,7 @@ class FifoPlusScheduler final : public Scheduler {
   explicit FifoPlusScheduler(Config config)
       : config_(config), avg_(config.avg_gain) {}
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
@@ -69,23 +69,12 @@ class FifoPlusScheduler final : public Scheduler {
   }
 
  private:
-  struct Entry {
-    double expected_arrival = 0;  // enqueued_at - jitter_offset (ordering)
-    std::uint64_t order = 0;      // arrival tie-break
-    std::uint32_t slot = 0;       // packet's PacketSlab slot
-  };
-  struct EntryLess {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.expected_arrival != b.expected_arrival)
-        return a.expected_arrival < b.expected_arrival;
-      return a.order < b.order;
-    }
-  };
-
+  // Heap entries are sched::SlabEntry with key = expected arrival
+  // (enqueued_at - jitter_offset).
   Config config_;
   stats::Ewma avg_;
   PacketSlab slab_;
-  util::DaryHeap<Entry, EntryLess> queue_;
+  util::DaryHeap<SlabEntry, SlabEntryLess> queue_;
   std::uint64_t arrivals_ = 0;
   std::uint64_t stale_discards_ = 0;
   sim::Bits bits_ = 0;

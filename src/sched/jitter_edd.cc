@@ -16,12 +16,10 @@ sim::Duration JitterEddScheduler::bound(net::FlowId flow) const {
   return it == bounds_.end() ? config_.default_bound : it->second;
 }
 
-std::vector<net::PacketPtr> JitterEddScheduler::enqueue(net::PacketPtr p,
-                                                        sim::Time now) {
-  std::vector<net::PacketPtr> dropped;
+void JitterEddScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   if (packets() >= config_.capacity_pkts) {
-    dropped.push_back(std::move(p));
-    return dropped;
+    drop(std::move(p), now);
+    return;
   }
   const double ahead = std::max(0.0, p->jitter_offset);
   const double eligible = now + ahead;
@@ -33,7 +31,6 @@ std::vector<net::PacketPtr> JitterEddScheduler::enqueue(net::PacketPtr p,
   } else {
     holding_.insert(Entry{eligible, deadline, order, std::move(p)});
   }
-  return dropped;
 }
 
 void JitterEddScheduler::promote(sim::Time now) {

@@ -43,8 +43,7 @@ class JitterEddScheduler final : public Scheduler {
 
   [[nodiscard]] sim::Duration bound(net::FlowId flow) const;
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] sim::Time next_eligible(sim::Time now) const override;
   [[nodiscard]] bool empty() const override {

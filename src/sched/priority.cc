@@ -18,11 +18,16 @@ PriorityScheduler::PriorityScheduler(
   }
 }
 
-std::vector<net::PacketPtr> PriorityScheduler::enqueue(net::PacketPtr p,
-                                                       sim::Time now) {
+void PriorityScheduler::set_drop_sink(DropSink sink) {
+  // Each child gets its own copy; victims surface to the port directly
+  // from whichever level evicted them.
+  for (auto& child : children_) child->set_drop_sink(sink);
+}
+
+void PriorityScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   const std::size_t level = classify_(*p);
   assert(level < children_.size());
-  return children_[level]->enqueue(std::move(p), now);
+  children_[level]->enqueue(std::move(p), now);
 }
 
 net::PacketPtr PriorityScheduler::dequeue(sim::Time now) {

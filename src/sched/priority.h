@@ -26,8 +26,11 @@ class PriorityScheduler final : public Scheduler {
   explicit PriorityScheduler(std::vector<std::unique_ptr<Scheduler>> children,
                              Classifier classify = {});
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  /// Children report drops straight to the port's sink; the composite
+  /// keeps no drop state of its own.
+  void set_drop_sink(DropSink sink) override;
+
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override;
   [[nodiscard]] std::size_t packets() const override;

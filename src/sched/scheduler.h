@@ -1,15 +1,18 @@
 // The queueing-discipline interface used by every output port.
 //
 // A Scheduler owns the packets queued at one output port.  The port calls
-// enqueue() on arrival and dequeue() when the link becomes free.  enqueue()
-// returns any packets dropped as a consequence (tail drop returns the
-// offered packet; pushout disciplines may return a different victim), so
-// the port can account for drops uniformly.
+// enqueue() on arrival and dequeue() when the link becomes free.  Packets
+// dropped as a consequence of an arrival (tail drop drops the offered
+// packet; pushout disciplines may evict a different victim) are reported
+// through the DropSink the port installs once at construction — enqueue()
+// itself returns nothing, so the accept path never materialises a
+// drop-return container.
 
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <functional>
+#include <utility>
 
 #include "net/packet.h"
 #include "sim/units.h"
@@ -18,18 +21,32 @@ namespace ispn::sched {
 
 class Scheduler {
  public:
+  /// Receives every packet dropped by the discipline at enqueue time:
+  /// (victim, now).  The victim still carries its own arrival stamp
+  /// (enqueued_at) — a pushout victim was stamped when *it* arrived, not
+  /// at the arrival that evicted it.  When the sink returns, the victim is
+  /// destroyed (returning pooled storage to its PacketPool) unless the
+  /// sink moved it out.
+  using DropSink = std::function<void(net::PacketPtr, sim::Time)>;
+
   virtual ~Scheduler() = default;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Offers a packet at simulated time `now` (the packet's enqueued_at has
-  /// already been stamped by the port).  Returns the packets dropped as a
-  /// result of this arrival — empty when the packet was accepted and nothing
-  /// was evicted.
-  [[nodiscard]] virtual std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                            sim::Time now) = 0;
+  /// Installs the drop observer.  Called once by the owning Port right
+  /// after construction; without a sink, victims are silently destroyed
+  /// (standalone scheduler use in tests/benches).  Virtual so composite
+  /// disciplines (PriorityScheduler) can forward the sink to children.
+  virtual void set_drop_sink(DropSink sink) { drop_sink_ = std::move(sink); }
+
+  /// Offers a packet at simulated time `now`.  Precondition: the packet's
+  /// enqueued_at has already been stamped by the caller (the port stamps
+  /// every offered packet before calling us, whether or not the arrival
+  /// ends up evicting it or another packet).  Any drops this arrival
+  /// causes are reported to the DropSink before enqueue() returns.
+  virtual void enqueue(net::PacketPtr p, sim::Time now) = 0;
 
   /// Removes and returns the next packet to transmit, or nullptr if no
   /// packet is currently eligible.  `now` is the instant transmission
@@ -52,6 +69,17 @@ class Scheduler {
 
   /// Total queued bits.
   [[nodiscard]] virtual sim::Bits backlog_bits() const = 0;
+
+ protected:
+  /// Reports one victim to the installed sink (cold path: only ever runs
+  /// when the buffer overflows).  Destroys the victim when no sink is
+  /// installed.
+  void drop(net::PacketPtr victim, sim::Time now) {
+    if (drop_sink_) drop_sink_(std::move(victim), now);
+  }
+
+ private:
+  DropSink drop_sink_;
 };
 
 }  // namespace ispn::sched

@@ -9,6 +9,7 @@ namespace ispn::sched {
 UnifiedScheduler::UnifiedScheduler(Config config)
     : config_(config),
       flow0_weight_(config.link_rate),
+      clock_(config.link_rate, FluidClock::Flow0Policy::kTracked),
       flow0_inv_weight_(1.0 / config.link_rate) {
   assert(config_.link_rate > 0);
   assert(config_.num_predicted_classes >= 1);
@@ -36,39 +37,25 @@ void UnifiedScheduler::add_guaranteed(net::FlowId flow, sim::Rate rate) {
   g.rate = rate;
   g.inv_rate = 1.0 / rate;
   g.last_finish = 0;
-  g.fluid_backlogged = false;
   guaranteed_rate_ += rate;
-  const sim::Rate old_flow0 = flow0_weight_;
   flow0_weight_ = config_.link_rate - guaranteed_rate_;
   assert(flow0_weight_ > 0 &&
          "guaranteed clock rates must leave bandwidth for flow 0");
   flow0_inv_weight_ = 1.0 / flow0_weight_;
   // Dynamic admission: if flow 0 is currently fluid-backlogged its weight
-  // contribution must track the new value.
-  if (flow0_fluid_backlogged_) {
-    active_weight_ += flow0_weight_ - old_flow0;
-    slope_dirty_ = true;
-  }
+  // contribution must track the new value (the clock's kTracked policy).
+  clock_.reweight(kFlow0Heap, flow0_weight_);
 }
 
 void UnifiedScheduler::remove_guaranteed(net::FlowId flow) {
   GFlow* g = find_guaranteed(flow);
   assert(g != nullptr && "flow not registered");
   assert(g->queue.empty() && "drain the flow before removing it");
-  if (g->fluid_backlogged) {
-    g->fluid_backlogged = false;
-    active_weight_ -= g->rate;
-    slope_dirty_ = true;
-    fluid_.erase(heap_id(flow));
-  }
+  clock_.retire(heap_id(flow));
   guaranteed_rate_ -= g->rate;
-  const sim::Rate old_flow0 = flow0_weight_;
   flow0_weight_ = config_.link_rate - guaranteed_rate_;
   flow0_inv_weight_ = 1.0 / flow0_weight_;
-  if (flow0_fluid_backlogged_) {
-    active_weight_ += flow0_weight_ - old_flow0;
-    slope_dirty_ = true;
-  }
+  clock_.reweight(kFlow0Heap, flow0_weight_);
   g->rate = 0;
   g->inv_rate = 0;
   g->last_finish = 0;
@@ -98,47 +85,9 @@ int UnifiedScheduler::classify(const net::Packet& p) const {
   return kDatagramLevel;  // unregistered, unclassed traffic is best effort
 }
 
-void UnifiedScheduler::advance_virtual_time(sim::Time now) {
-  while (last_update_ < now) {
-    if (fluid_.empty()) {
-      last_update_ = now;
-      return;
-    }
-    assert(active_weight_ > 0);
-    if (slope_dirty_) {
-      slope_ = config_.link_rate / active_weight_;
-      inv_slope_ = active_weight_ / config_.link_rate;
-      slope_dirty_ = false;
-    }
-    const double next_finish = fluid_.top().key;
-    const sim::Time reach =
-        last_update_ + (next_finish - vtime_) * inv_slope_;
-    if (reach <= now) {
-      vtime_ = next_finish;
-      last_update_ = reach;
-      while (!fluid_.empty() && fluid_.top().key <= vtime_) {
-        const std::uint32_t id = fluid_.pop().id;
-        if (id == kFlow0Heap) {
-          flow0_fluid_backlogged_ = false;
-          active_weight_ -= flow0_weight_;
-        } else {
-          GFlow& g = guaranteed_[id - 1];
-          g.fluid_backlogged = false;
-          active_weight_ -= g.rate;
-        }
-        slope_dirty_ = true;
-      }
-      if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
-    } else {
-      vtime_ += slope_ * (now - last_update_);
-      last_update_ = now;
-    }
-  }
-}
-
 double UnifiedScheduler::virtual_time(sim::Time now) {
-  advance_virtual_time(now);
-  return vtime_;
+  clock_.advance(now);
+  return clock_.vtime();
 }
 
 std::size_t UnifiedScheduler::class_packets(int level) const {
@@ -146,10 +95,8 @@ std::size_t UnifiedScheduler::class_packets(int level) const {
   return classes_.at(static_cast<std::size_t>(level)).queue.size();
 }
 
-std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
-                                                      sim::Time now) {
-  std::vector<net::PacketPtr> dropped;
-  advance_virtual_time(now);
+void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
+  clock_.advance(now);
 
   const net::FlowId id = p->flow;
   GFlow* g = p->service == net::ServiceClass::kGuaranteed
@@ -160,29 +107,17 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
   const std::uint64_t order = arrivals_++;
 
   if (g != nullptr) {
-    const double start = std::max(vtime_, g->last_finish);
-    const double finish = start + size * g->inv_rate;
-    if (!g->fluid_backlogged) {
-      g->fluid_backlogged = true;
-      active_weight_ += g->rate;
-      slope_dirty_ = true;
-    }
+    const double finish =
+        clock_.stamp(heap_id(id), g->last_finish, size, g->rate, g->inv_rate);
     g->last_finish = finish;
-    fluid_.upsert(heap_id(id), finish);
     if (g->queue.empty()) heads_.upsert(heap_id(id), HeadKey{finish, order});
     g->queue.push_back(Tagged{std::move(p), finish, order});
   } else {
     // Flow 0: one tag per packet, in arrival order; the packet itself goes
     // into its class queue.
-    const double start = std::max(vtime_, flow0_last_finish_);
-    const double finish = start + size * flow0_inv_weight_;
-    if (!flow0_fluid_backlogged_) {
-      flow0_fluid_backlogged_ = true;
-      active_weight_ += flow0_weight_;
-      slope_dirty_ = true;
-    }
+    const double finish = clock_.stamp(kFlow0Heap, flow0_last_finish_, size,
+                                       flow0_weight_, flow0_inv_weight_);
     flow0_last_finish_ = finish;
-    fluid_.upsert(kFlow0Heap, finish);
     if (flow0_tags_.empty()) {
       heads_.upsert(kFlow0Heap, HeadKey{finish, order});
     }
@@ -194,8 +129,7 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
     } else {
       auto& cls = classes_[static_cast<std::size_t>(level)];
       const double expected = p->enqueued_at - p->jitter_offset;
-      cls.queue.push(
-          PredictedClass::Entry{expected, order, slab_.put(std::move(p))});
+      cls.queue.push(SlabEntry{expected, order, slab_.put(std::move(p))});
     }
   }
 
@@ -205,7 +139,7 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
   if (total_packets_ > config_.capacity_pkts) {
     net::PacketPtr victim = pushout_flow0();
     if (victim != nullptr) {
-      dropped.push_back(std::move(victim));
+      drop(std::move(victim), now);
     } else if (g != nullptr) {
       // Pathological: buffer full of guaranteed packets.  Drop the newest
       // packet of the arriving flow (i.e. the arrival itself).
@@ -213,10 +147,9 @@ std::vector<net::PacketPtr> UnifiedScheduler::enqueue(net::PacketPtr p,
       if (g->queue.empty()) heads_.erase(heap_id(id));
       bits_ -= last.packet->size_bits;
       --total_packets_;
-      dropped.push_back(std::move(last.packet));
+      drop(std::move(last.packet), now);
     }
   }
-  return dropped;
 }
 
 net::PacketPtr UnifiedScheduler::pushout_flow0() {
@@ -240,7 +173,7 @@ net::PacketPtr UnifiedScheduler::pushout_flow0() {
       // back to the newest packet of the class.  The heap array is scanned
       // linearly — overflow is the cold path.
       const auto& raw = cls.queue.raw();
-      const PredictedClass::EntryLess less{};
+      const SlabEntryLess less{};
       std::size_t newest = 0;
       std::size_t chosen = raw.size();  // npos
       for (std::size_t i = 0; i < raw.size(); ++i) {
@@ -314,7 +247,7 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
 
 net::PacketPtr UnifiedScheduler::dequeue(sim::Time now) {
   if (total_packets_ == 0) return nullptr;
-  advance_virtual_time(now);
+  clock_.advance(now);
 
   while (!heads_.empty()) {
     const auto entry = heads_.pop();

@@ -25,11 +25,14 @@
 //
 // Hot-path layout mirrors WfqScheduler: guaranteed per-flow state and the
 // predicted-priority map are dense vectors indexed by flow id, per-flow
-// FIFOs are power-of-two rings, and the fluid/head orderings are indexed
-// min-heaps holding exactly one re-keyable entry per flow (heap id 0 is
-// the flow-0 pseudo-flow, guaranteed flow f maps to id f+1, preserving the
-// tie-break that flow 0 wins equal finish tags).  FIFO+ class queues are
-// flat heaps of POD keys with packets parked in a slab.
+// FIFOs are power-of-two rings, and the fluid ordering (inside the shared
+// sched::FluidClock) and head ordering are indexed min-heaps holding
+// exactly one re-keyable entry per flow (heap id 0 is the flow-0
+// pseudo-flow, guaranteed flow f maps to id f+1, preserving the tie-break
+// that flow 0 wins equal finish tags).  Flow 0's weight is μ − Σ r_α and
+// changes in place when guaranteed flows are admitted or torn down — the
+// clock's kTracked flow-0 policy.  FIFO+ class queues are flat heaps of
+// POD keys with packets parked in a slab.
 //
 // Ties at equal finish tags order flow 0 first, then guaranteed flows by
 // id — the same order as the std::set layout this replaces.
@@ -40,6 +43,8 @@
 #include <functional>
 #include <vector>
 
+#include "sched/fluid_clock.h"
+#include "sched/keys.h"
 #include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "stats/ewma.h"
@@ -123,8 +128,7 @@ class UnifiedScheduler final : public Scheduler {
   /// Queued packets in a predicted class / datagram level (diagnostic).
   [[nodiscard]] std::size_t class_packets(int level) const;
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return total_packets_ == 0; }
   [[nodiscard]] std::size_t packets() const override { return total_packets_; }
@@ -141,7 +145,6 @@ class UnifiedScheduler final : public Scheduler {
     sim::Rate rate = 0;   // 0 = not registered
     double inv_rate = 0;  // cached 1/rate: tag math without division
     double last_finish = 0;
-    bool fluid_backlogged = false;
     util::Ring<Tagged> queue;
   };
   static constexpr std::int16_t kNoLevel = -1;
@@ -152,37 +155,12 @@ class UnifiedScheduler final : public Scheduler {
     return static_cast<std::uint32_t>(flow) + 1;
   }
 
-  struct HeadKey {
-    double finish = 0;
-    std::uint64_t order = 0;
-  };
-  struct HeadLess {
-    bool operator()(const HeadKey& a, const HeadKey& b) const {
-      if (a.finish != b.finish) return a.finish < b.finish;
-      return a.order < b.order;
-    }
-  };
-
-  void advance_virtual_time(sim::Time now);
-
   /// Guaranteed-flow slot, or nullptr when `id` was never add_guaranteed().
   GFlow* find_guaranteed(net::FlowId id);
 
   // ---- flow 0 internals ---------------------------------------------------
   struct PredictedClass {
-    struct Entry {
-      double expected_arrival = 0;
-      std::uint64_t order = 0;
-      std::uint32_t slot = 0;  // packet's PacketSlab slot
-    };
-    struct EntryLess {
-      bool operator()(const Entry& a, const Entry& b) const {
-        if (a.expected_arrival != b.expected_arrival)
-          return a.expected_arrival < b.expected_arrival;
-        return a.order < b.order;
-      }
-    };
-    util::DaryHeap<Entry, EntryLess> queue;
+    util::DaryHeap<SlabEntry, SlabEntryLess> queue;
     stats::Ewma avg;
   };
 
@@ -206,23 +184,15 @@ class UnifiedScheduler final : public Scheduler {
   sim::Rate guaranteed_rate_ = 0;
   sim::Rate flow0_weight_;
 
-  // Fluid/WFQ state shared by guaranteed flows and flow 0: one indexed
-  // heap entry per flow, re-keyed in place.  The V(t) slope and its
-  // reciprocal are recomputed only when the backlogged-weight sum changes.
-  double vtime_ = 0;
-  sim::Time last_update_ = 0;
-  double active_weight_ = 0;
-  double slope_ = 0;      // link_rate / active_weight_
-  double inv_slope_ = 0;  // active_weight_ / link_rate
-  bool slope_dirty_ = true;
-  util::IndexedDaryHeap<double, std::less<double>> fluid_;
+  // Fluid/WFQ state shared by guaranteed flows and flow 0: the shared
+  // V(t) machinery (tracked flow-0 weight) plus one head entry per flow.
+  FluidClock clock_;
   util::IndexedDaryHeap<HeadKey, HeadLess> heads_;
 
   // Flow 0: tag queue (arrival order) + classed packet queues.
   util::Ring<std::pair<double, std::uint64_t>> flow0_tags_;  // (F, order)
   double flow0_last_finish_ = 0;
   double flow0_inv_weight_;  // cached 1 / flow0_weight_
-  bool flow0_fluid_backlogged_ = false;
   std::vector<PredictedClass> classes_;       // K predicted levels
   PacketSlab slab_;                           // predicted-class packets
   util::Ring<net::PacketPtr> datagram_;       // level K

@@ -27,13 +27,11 @@ double VirtualClockScheduler::aux_vc(net::FlowId flow) const {
   return flows_[slot].aux_vc;
 }
 
-std::vector<net::PacketPtr> VirtualClockScheduler::enqueue(net::PacketPtr p,
-                                                           sim::Time now) {
-  std::vector<net::PacketPtr> dropped;
+void VirtualClockScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   Flow& flow = flow_ref(slot_of(p->flow));
   flow.aux_vc = std::max(now, flow.aux_vc) + p->size_bits / flow.rate;
   bits_ += p->size_bits;
-  queue_.push(Entry{flow.aux_vc, arrivals_++, slab_.put(std::move(p))});
+  queue_.push(SlabEntry{flow.aux_vc, arrivals_++, slab_.put(std::move(p))});
 
   if (queue_.size() > config_.capacity_pkts) {
     // Evict the largest stamp: the most overdrawn flow's newest packet
@@ -43,13 +41,12 @@ std::vector<net::PacketPtr> VirtualClockScheduler::enqueue(net::PacketPtr p,
     const auto& raw = queue_.raw();
     std::size_t worst = 0;
     for (std::size_t i = 1; i < raw.size(); ++i) {
-      if (EntryLess{}(raw[worst], raw[i])) worst = i;
+      if (SlabEntryLess{}(raw[worst], raw[i])) worst = i;
     }
     net::PacketPtr victim = slab_.take(queue_.remove_at(worst).slot);
     bits_ -= victim->size_bits;
-    dropped.push_back(std::move(victim));
+    drop(std::move(victim), now);
   }
-  return dropped;
 }
 
 net::PacketPtr VirtualClockScheduler::dequeue(sim::Time /*now*/) {

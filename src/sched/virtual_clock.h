@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/keys.h"
 #include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "util/dary_heap.h"
@@ -45,8 +46,7 @@ class VirtualClockScheduler final : public Scheduler {
   /// Reserves rate `rate` (bits/s) for `flow`.
   void add_flow(net::FlowId flow, sim::Rate rate);
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return queue_.empty(); }
   [[nodiscard]] std::size_t packets() const override { return queue_.size(); }
@@ -56,35 +56,19 @@ class VirtualClockScheduler final : public Scheduler {
   [[nodiscard]] double aux_vc(net::FlowId flow) const;
 
  private:
-  struct Entry {
-    double stamp = 0;
-    std::uint64_t order = 0;
-    std::uint32_t slot = 0;  // packet's PacketSlab slot
-  };
-  struct EntryLess {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.stamp != b.stamp) return a.stamp < b.stamp;
-      return a.order < b.order;
-    }
-  };
+  // Heap entries are sched::SlabEntry with key = the packet's auxVC stamp;
+  // flow ids map to dense slots via sched::slot_of (keys.h).
   struct Flow {
     sim::Rate rate = 0;
     double aux_vc = 0;
   };
-
-  /// Dense slot for a flow id: non-negative ids map to id+1, slot 0 is the
-  /// shared anonymous (kNoFlow) bucket — negative ids can never index out
-  /// of bounds.
-  static std::uint32_t slot_of(net::FlowId id) {
-    return id >= 0 ? static_cast<std::uint32_t>(id) + 1 : 0;
-  }
 
   Flow& flow_ref(std::uint32_t idx);
 
   Config config_;
   std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
   PacketSlab slab_;
-  util::DaryHeap<Entry, EntryLess> queue_;
+  util::DaryHeap<SlabEntry, SlabEntryLess> queue_;
   std::uint64_t arrivals_ = 0;
   sim::Bits bits_ = 0;
 };

@@ -5,16 +5,18 @@
 
 namespace ispn::sched {
 
-
-WfqScheduler::WfqScheduler(Config config) : config_(config) {
+WfqScheduler::WfqScheduler(Config config)
+    : config_(config),
+      clock_(config.link_rate, FluidClock::Flow0Policy::kPinned) {
   assert(config_.link_rate > 0);
   assert(config_.default_weight > 0);
 }
 
 void WfqScheduler::add_flow(net::FlowId flow, double weight) {
   assert(weight > 0);
-  Flow& f = flow_ref(slot_of(flow));
-  assert(!f.fluid_backlogged && f.queue.empty() &&
+  const std::uint32_t slot = slot_of(flow);
+  Flow& f = flow_ref(slot);
+  assert(!clock_.backlogged(slot) && f.queue.empty() &&
          "cannot re-weight a backlogged flow");
   f.weight = weight;
   f.inv_weight = 1.0 / weight;
@@ -38,63 +40,20 @@ WfqScheduler::Flow& WfqScheduler::flow_ref(std::uint32_t idx) {
   return flows_[idx];
 }
 
-void WfqScheduler::advance_virtual_time(sim::Time now) {
-  while (last_update_ < now) {
-    if (fluid_.empty()) {
-      // Fluid system idle: V frozen.
-      last_update_ = now;
-      return;
-    }
-    assert(active_weight_ > 0);
-    if (slope_dirty_) {
-      slope_ = config_.link_rate / active_weight_;
-      inv_slope_ = active_weight_ / config_.link_rate;
-      slope_dirty_ = false;
-    }
-    const double next_finish = fluid_.top().key;
-    const sim::Time reach =
-        last_update_ + (next_finish - vtime_) * inv_slope_;
-    if (reach <= now) {
-      // A flow empties in the fluid system before `now`.
-      vtime_ = next_finish;
-      last_update_ = reach;
-      while (!fluid_.empty() && fluid_.top().key <= vtime_) {
-        Flow& f = flows_[fluid_.pop().id];
-        f.fluid_backlogged = false;
-        active_weight_ -= f.weight;
-        slope_dirty_ = true;
-      }
-      if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
-    } else {
-      vtime_ += slope_ * (now - last_update_);
-      last_update_ = now;
-    }
-  }
-}
-
 double WfqScheduler::virtual_time(sim::Time now) {
-  advance_virtual_time(now);
-  return vtime_;
+  clock_.advance(now);
+  return clock_.vtime();
 }
 
-std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
-                                                  sim::Time now) {
-  std::vector<net::PacketPtr> dropped;
-  advance_virtual_time(now);
+void WfqScheduler::enqueue(net::PacketPtr p, sim::Time now) {
+  clock_.advance(now);
 
   const std::uint32_t slot = slot_of(p->flow);
   Flow& f = flow_ref(slot);
 
-  const double start = std::max(vtime_, f.last_finish);
-  const double finish = start + p->size_bits * f.inv_weight;
-
-  if (!f.fluid_backlogged) {
-    f.fluid_backlogged = true;
-    active_weight_ += f.weight;
-    slope_dirty_ = true;
-  }
+  const double finish =
+      clock_.stamp(slot, f.last_finish, p->size_bits, f.weight, f.inv_weight);
   f.last_finish = finish;
-  fluid_.upsert(slot, finish);  // re-keys in place when already present
 
   const std::uint64_t order = arrivals_++;
   if (f.queue.empty()) heads_.upsert(slot, HeadKey{finish, order});
@@ -120,14 +79,13 @@ std::vector<net::PacketPtr> WfqScheduler::enqueue(net::PacketPtr p,
     if (victim_flow.queue.empty()) heads_.erase(victim_slot);
     bits_ -= victim.packet->size_bits;
     --total_packets_;
-    dropped.push_back(std::move(victim.packet));
+    drop(std::move(victim.packet), now);
   }
-  return dropped;
 }
 
 net::PacketPtr WfqScheduler::dequeue(sim::Time now) {
   if (total_packets_ == 0) return nullptr;
-  advance_virtual_time(now);
+  clock_.advance(now);
 
   assert(!heads_.empty());
   const std::uint32_t id = heads_.pop().id;

@@ -1,26 +1,25 @@
 // Weighted Fair Queueing (packetized GPS) with exact fluid virtual time.
 //
 // This is the paper's §4 isolation mechanism.  Each flow α has a clock rate
-// (weight) φ_α in bits/second.  The fluid GPS reference system serves every
-// backlogged flow at rate  C·φ_α / Σ_{β backlogged} φ_β.  Virtual time V(t)
-// is piecewise linear with slope C / Σ_{β∈B(t)} φ_β and is frozen while the
-// fluid system is idle.  Packet k of flow α arriving at time a gets tags
+// (weight) φ_α in bits/second.  Packet k of flow α arriving at time a gets
+// tags
 //
 //     S = max(V(a), F_prev(α)),     F = S + L / φ_α,
 //
 // and the packetized scheduler transmits, whenever the link frees, the
 // queued packet with the smallest finish tag F (ties broken by arrival
-// order).  Tracking V(t) exactly requires knowing when flows empty *in the
-// fluid system*: we keep the fluid-backlogged flows ordered by their
-// largest finish tag and advance V through those departure epochs
-// ("iterated deletion", Demers–Keshav–Shenker / Parekh–Gallager).
+// order).  The fluid virtual time V(t) — slope-cached advance through the
+// fluid departure epochs — is the shared sched::FluidClock; WFQ's flows
+// have weights frozen while backlogged, which is the clock's kPinned
+// flow-0 policy.
 //
 // Hot-path layout: per-flow state is a dense vector indexed by flow id
 // (ids are small and assigned sequentially) with each flow's FIFO a
-// power-of-two ring, and both orderings — fluid departure epochs and
-// head-of-flow finish tags — are indexed min-heaps (util/indexed_heap.h)
-// holding exactly one entry per flow, re-keyed in place.  No red-black
-// trees, no per-node allocation, no stale-entry traffic.
+// power-of-two ring, and both orderings — fluid departure epochs (inside
+// FluidClock) and head-of-flow finish tags — are indexed min-heaps
+// (util/indexed_heap.h) holding exactly one entry per flow, re-keyed in
+// place.  No red-black trees, no per-node allocation, no stale-entry
+// traffic.
 //
 // With Σ φ_α ≤ C and a flow conforming to an (r, b) token bucket with
 // φ = r, the flow's queueing delay is bounded by the Parekh–Gallager bound
@@ -29,8 +28,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sched/fluid_clock.h"
+#include "sched/keys.h"
 #include "sched/scheduler.h"
 #include "util/indexed_heap.h"
 #include "util/ring.h"
@@ -60,10 +60,9 @@ class WfqScheduler final : public Scheduler {
   [[nodiscard]] double virtual_time(sim::Time now);
 
   /// Sum of weights of fluid-backlogged flows (diagnostic).
-  [[nodiscard]] double active_weight() const { return active_weight_; }
+  [[nodiscard]] double active_weight() const { return clock_.active_weight(); }
 
-  [[nodiscard]] std::vector<net::PacketPtr> enqueue(net::PacketPtr p,
-                                                    sim::Time now) override;
+  void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return total_packets_ == 0; }
   [[nodiscard]] std::size_t packets() const override { return total_packets_; }
@@ -79,47 +78,16 @@ class WfqScheduler final : public Scheduler {
     double weight = 1.0;
     double inv_weight = 1.0;  // cached 1/weight: tag math without division
     double last_finish = 0;   // F of the most recently arrived packet
-    bool fluid_backlogged = false;
     util::Ring<Tagged> queue;  // per-flow packets, FIFO within flow
   };
-  struct HeadKey {
-    double finish = 0;
-    std::uint64_t order = 0;
-  };
-  struct HeadLess {
-    bool operator()(const HeadKey& a, const HeadKey& b) const {
-      if (a.finish != b.finish) return a.finish < b.finish;
-      return a.order < b.order;
-    }
-  };
-
-  /// Advances V(t) from last_update_ to `now`, processing fluid departures.
-  void advance_virtual_time(sim::Time now);
-
-  /// Dense slot for a flow id.  Non-negative ids map to id+1; slot 0 is a
-  /// shared anonymous bucket for packets with no flow (kNoFlow), so a
-  /// negative id can never index out of bounds (the seed's std::map
-  /// accepted any id; this preserves that robustness).
-  static std::uint32_t slot_of(net::FlowId id) {
-    return id >= 0 ? static_cast<std::uint32_t>(id) + 1 : 0;
-  }
 
   Flow& flow_ref(std::uint32_t idx);
 
   Config config_;
   std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
 
-  // Fluid system state.  fluid_ holds one entry per fluid-backlogged flow,
-  // keyed by its largest finish tag.  The V(t) slope and its reciprocal
-  // are recomputed only when the backlogged-weight sum changes
-  // (slope_dirty_), so steady-state advance performs no division.
-  double vtime_ = 0;
-  sim::Time last_update_ = 0;
-  double active_weight_ = 0;
-  double slope_ = 0;      // link_rate / active_weight_
-  double inv_slope_ = 0;  // active_weight_ / link_rate
-  bool slope_dirty_ = true;
-  util::IndexedDaryHeap<double, std::less<double>> fluid_;
+  // Fluid system state: the shared V(t) machinery.
+  FluidClock clock_;
 
   // Packetized selection: one head-of-flow finish tag per backlogged flow.
   util::IndexedDaryHeap<HeadKey, HeadLess> heads_;

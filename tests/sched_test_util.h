@@ -2,9 +2,31 @@
 
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "net/packet.h"
+#include "sched/scheduler.h"
 
 namespace ispn::sched_test {
+
+/// Offers one packet the way a port would and returns the victims this
+/// single arrival dropped (empty = accepted without eviction).  Installs a
+/// transient DropSink for the duration of the call and leaves the
+/// scheduler sinkless afterwards — so use it ONLY on standalone schedulers
+/// the test constructed itself, never on one owned by a Port (it would
+/// unseat the port's accounting sink).  Tests that assert on cumulative
+/// drop accounting should install their own sink instead.
+inline std::vector<net::PacketPtr> offer(sched::Scheduler& q,
+                                         net::PacketPtr p, sim::Time now) {
+  std::vector<net::PacketPtr> dropped;
+  q.set_drop_sink([&dropped](net::PacketPtr victim, sim::Time) {
+    dropped.push_back(std::move(victim));
+  });
+  q.enqueue(std::move(p), now);
+  q.set_drop_sink({});
+  return dropped;
+}
 
 /// Makes a packet as a port would present it to a scheduler: enqueued_at
 /// stamped with the arrival time.

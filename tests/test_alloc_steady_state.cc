@@ -41,10 +41,9 @@ std::uint64_t measure_cycles(Sched& sched, net::PacketPool& pool, int flows,
   const std::uint64_t before = testhook::allocation_count();
   for (int i = 0; i < cycles; ++i) {
     *now += 1e-3;
-    auto dropped = sched.enqueue(
-        make(pool, static_cast<net::FlowId>(*seq % flows), *seq, *now,
-             service, static_cast<std::uint8_t>(*seq % 2)),
-        *now);
+    sched.enqueue(make(pool, static_cast<net::FlowId>(*seq % flows), *seq,
+                       *now, service, static_cast<std::uint8_t>(*seq % 2)),
+                  *now);
     ++*seq;
     auto p = sched.dequeue(*now);
   }
@@ -105,13 +104,56 @@ TEST(AllocSteadyState, UnifiedMixedCycleIsAllocationFree) {
         p = make(pool, f, seq, now, net::ServiceClass::kDatagram);
       }
       ++seq;
-      auto dropped = sched.enqueue(std::move(p), now);
+      sched.enqueue(std::move(p), now);
       auto out = sched.dequeue(now);
     }
     return testhook::allocation_count() - before;
   };
   cycle(20000);  // warmup
   EXPECT_EQ(cycle(200000), 0u);
+}
+
+// The drop path must be as allocation-free as the accept path: victims
+// travel scheduler -> DropSink -> PacketPool without any vector or box in
+// between.  Tiny capacities force a drop on (almost) every enqueue.
+TEST(AllocSteadyState, DropPathIsAllocationFree) {
+  net::PacketPool pool;
+  sched::FifoScheduler fifo(8);
+  sched::WfqScheduler wfq(sched::WfqScheduler::Config{1e6, 8, 1e4});
+  std::uint64_t fifo_drops = 0;
+  std::uint64_t wfq_drops = 0;
+  // Installed once, as a port would; counts victims and lets them return
+  // to the pool when the sink returns.
+  fifo.set_drop_sink(
+      [&fifo_drops](net::PacketPtr, sim::Time) { ++fifo_drops; });
+  wfq.set_drop_sink([&wfq_drops](net::PacketPtr, sim::Time) { ++wfq_drops; });
+  std::uint64_t seq = 0;
+  double now = 0;
+  auto flood = [&](int cycles) {
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < cycles; ++i) {
+      now += 1e-3;
+      // Two arrivals per dequeue: half the offered load must drop.
+      fifo.enqueue(make(pool, 0, seq, now, net::ServiceClass::kDatagram),
+                   now);
+      wfq.enqueue(make(pool, static_cast<net::FlowId>(seq % 4), seq, now,
+                       net::ServiceClass::kPredicted),
+                  now);
+      fifo.enqueue(make(pool, 0, seq, now, net::ServiceClass::kDatagram),
+                   now);
+      wfq.enqueue(make(pool, static_cast<net::FlowId>((seq + 1) % 4), seq,
+                       now, net::ServiceClass::kPredicted),
+                  now);
+      ++seq;
+      auto a = fifo.dequeue(now);
+      auto b = wfq.dequeue(now);
+    }
+    return testhook::allocation_count() - before;
+  };
+  flood(20000);  // warmup
+  const std::uint64_t drops_before = fifo_drops + wfq_drops;
+  EXPECT_EQ(flood(200000), 0u);
+  EXPECT_GT(fifo_drops + wfq_drops, drops_before);  // drop path exercised
 }
 
 TEST(AllocSteadyState, EventWheelIsAllocationFree) {

@@ -1,0 +1,233 @@
+// Drop-sink contract across the whole discipline family: the sink is
+// invoked exactly once per victim, victims keep their own arrival stamp
+// (enqueued_at), Port::drops() agrees with the sink, and dropped packets
+// flow back into their PacketPool.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet_pool.h"
+#include "net/topology.h"
+#include "sched/edd.h"
+#include "sched/fifo.h"
+#include "sched/fifo_plus.h"
+#include "sched/jitter_edd.h"
+#include "sched/priority.h"
+#include "sched/unified.h"
+#include "sched/virtual_clock.h"
+#include "sched/wfq.h"
+#include "sched_test_util.h"
+
+namespace ispn::sched {
+namespace {
+
+using sched_test::datagram_pkt;
+using sched_test::pkt;
+using sched_test::predicted_pkt;
+
+/// Installs a counting sink once (as a Port would), offers `offered`
+/// packets from a private pool, and checks the accounting identity
+///   sink invocations + packets still queued == packets offered
+/// plus that every victim reached the pool again (outstanding() ==
+/// queued).  `capacity` is whatever cap the scheduler was built with.
+void expect_sink_accounting(Scheduler& q, std::size_t capacity,
+                            std::size_t offered) {
+  net::PacketPool pool;
+  std::uint64_t sink_calls = 0;
+  q.set_drop_sink([&sink_calls](net::PacketPtr victim, sim::Time) {
+    ASSERT_NE(victim, nullptr);
+    ++sink_calls;
+  });
+  for (std::uint64_t i = 0; i < offered; ++i) {
+    auto p = net::make_packet(pool, static_cast<net::FlowId>(i % 3), i, 0, 1,
+                              0.0);
+    p->enqueued_at = 0.0;
+    p->service = net::ServiceClass::kPredicted;
+    q.enqueue(std::move(p), 0.0);
+  }
+  EXPECT_EQ(sink_calls + q.packets(), offered);
+  EXPECT_EQ(q.packets(), capacity);
+  EXPECT_EQ(pool.outstanding(), q.packets());  // victims returned to pool
+  while (!q.empty()) (void)q.dequeue(1e9);
+  EXPECT_EQ(pool.outstanding(), 0u);
+  q.set_drop_sink({});
+}
+
+TEST(DropSink, Fifo) {
+  FifoScheduler q(4);
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, FifoPlus) {
+  FifoPlusScheduler q(FifoPlusScheduler::Config{4});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, Edd) {
+  EddScheduler q({4, 0.1});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, JitterEdd) {
+  JitterEddScheduler q({4, 0.1});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, VirtualClock) {
+  VirtualClockScheduler q({4, 1e5});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, Wfq) {
+  WfqScheduler q(WfqScheduler::Config{1e6, 4, 1.0});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, Unified) {
+  UnifiedScheduler q(UnifiedScheduler::Config{1e6, 4, 2});
+  expect_sink_accounting(q, 4, 10);
+}
+
+TEST(DropSink, PriorityForwardsSinkToChildren) {
+  std::vector<std::unique_ptr<Scheduler>> children;
+  children.push_back(std::make_unique<FifoScheduler>(2));
+  children.push_back(std::make_unique<FifoScheduler>(2));
+  PriorityScheduler q(std::move(children));
+  std::uint64_t sink_calls = 0;
+  q.set_drop_sink(
+      [&sink_calls](net::PacketPtr, sim::Time) { ++sink_calls; });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    q.enqueue(predicted_pkt(1, i, 0.0, /*priority=*/0), 0.0);
+  }
+  EXPECT_EQ(sink_calls, 8u);  // level 0 holds 2, the other 8 dropped
+  EXPECT_EQ(q.packets(), 2u);
+}
+
+// Re-installing the sink (e.g. a test harness after a Port) must not
+// double-count: only the installed sink sees victims.
+TEST(DropSink, ReinstallReplacesSink) {
+  FifoScheduler q(1);
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  q.set_drop_sink([&first](net::PacketPtr, sim::Time) { ++first; });
+  q.enqueue(pkt(0, 0, 0.0), 0.0);
+  q.enqueue(pkt(0, 1, 0.0), 0.0);  // dropped -> first sink
+  q.set_drop_sink([&second](net::PacketPtr, sim::Time) { ++second; });
+  q.enqueue(pkt(0, 2, 0.0), 0.0);  // dropped -> second sink
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(second, 1u);
+}
+
+// --- drop-accounting symmetry under pushout ------------------------------
+//
+// When an arrival evicts a *different* victim, three stamps must hold:
+// the victim reaches the sink with its own arrival time in enqueued_at,
+// the accepted arrival keeps the stamp of the instant it was offered, and
+// the drop counters see exactly one drop.
+
+TEST(DropSink, PushoutVictimKeepsOwnStampWfq) {
+  WfqScheduler q(WfqScheduler::Config{1e6, 3, 1.0});
+  std::vector<net::PacketPtr> victims;
+  q.set_drop_sink([&victims](net::PacketPtr v, sim::Time) {
+    victims.push_back(std::move(v));
+  });
+  // Flow 1 backlog, stamped at distinct instants.
+  q.enqueue(pkt(1, 0, 0.00), 0.00);
+  q.enqueue(pkt(1, 1, 0.01), 0.01);
+  q.enqueue(pkt(1, 2, 0.02), 0.02);
+  // Flow 2 arrival at t=0.03 overflows; the victim is flow 1's newest.
+  q.enqueue(pkt(2, 0, 0.03), 0.03);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0]->flow, 1);
+  EXPECT_EQ(victims[0]->seq, 2u);
+  EXPECT_DOUBLE_EQ(victims[0]->enqueued_at, 0.02);  // its own arrival
+  // The offered packet was accepted with its offer-time stamp intact.
+  bool found_flow2 = false;
+  while (!q.empty()) {
+    auto p = q.dequeue(1.0);
+    if (p->flow == 2) {
+      found_flow2 = true;
+      EXPECT_DOUBLE_EQ(p->enqueued_at, 0.03);
+    }
+  }
+  EXPECT_TRUE(found_flow2);
+}
+
+TEST(DropSink, PushoutVictimKeepsOwnStampUnified) {
+  UnifiedScheduler q(UnifiedScheduler::Config{1e6, 2, 2});
+  std::vector<net::PacketPtr> victims;
+  q.set_drop_sink([&victims](net::PacketPtr v, sim::Time) {
+    victims.push_back(std::move(v));
+  });
+  // A datagram queued at t=0.0 is the pushout victim when a predicted
+  // arrival at t=0.2 overflows the shared buffer.
+  q.enqueue(datagram_pkt(9, 0, 0.0), 0.0);
+  q.enqueue(predicted_pkt(1, 0, 0.1, 0), 0.1);
+  q.enqueue(predicted_pkt(1, 1, 0.2, 0), 0.2);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0]->flow, 9);
+  EXPECT_DOUBLE_EQ(victims[0]->enqueued_at, 0.0);
+  auto first = q.dequeue(1.0);
+  ASSERT_NE(first, nullptr);
+  EXPECT_DOUBLE_EQ(first->enqueued_at, 0.1);
+  auto second = q.dequeue(1.0);
+  ASSERT_NE(second, nullptr);
+  EXPECT_DOUBLE_EQ(second->enqueued_at, 0.2);
+}
+
+// End-to-end through a Port: the port stamps the offered packet before the
+// scheduler sees it, drop hooks and drops() count sink invocations, and a
+// pushed-out victim does not disturb the accepted packet's waiting-time
+// measurement.
+TEST(DropSink, PortDropAccountingMatchesSink) {
+  net::Network net;
+  const auto topo = net::build_dumbbell(net, 1e6, [] {
+    return std::make_unique<WfqScheduler>(WfqScheduler::Config{1e6, 3, 1.0});
+  });
+  net.attach_stats_sink(1, topo.right_host);
+  net.attach_stats_sink(2, topo.right_host);
+
+  std::vector<std::pair<net::FlowId, double>> dropped;  // (flow, enqueued_at)
+  net::Port* bottleneck = net.port(topo.left_switch, topo.right_switch);
+  ASSERT_NE(bottleneck, nullptr);
+  bottleneck->add_drop_hook([&dropped](const net::Packet& p, sim::Time) {
+    dropped.push_back({p.flow, p.enqueued_at});
+  });
+  double flow2_enqueued_at = -1;
+  bottleneck->add_tx_hook([&flow2_enqueued_at](const net::Packet& p,
+                                               sim::Time) {
+    if (p.flow == 2) flow2_enqueued_at = p.enqueued_at;
+  });
+
+  // Five flow-1 packets at t=0: one in flight, three queued, one pushed
+  // out (the newest of flow 1, stamped 0.0).
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    net.host(topo.left_host)
+        .inject(net::make_packet(1, i, topo.left_host, topo.right_host, 0.0));
+  }
+  // A flow-2 packet offered mid-transmission evicts another flow-1 packet.
+  net.sim().at(0.0005, [&net, &topo] {
+    net.host(topo.left_host)
+        .inject(net::make_packet(2, 0, topo.left_host, topo.right_host,
+                                 0.0005));
+  });
+  net.sim().run();
+
+  EXPECT_EQ(bottleneck->drops(), 2u);
+  ASSERT_EQ(dropped.size(), 2u);
+  for (const auto& [flow, stamp] : dropped) {
+    EXPECT_EQ(flow, 1);  // pushout never hit the offered flow-2 packet
+    EXPECT_DOUBLE_EQ(stamp, 0.0);
+  }
+  EXPECT_EQ(net.stats(1).net_drops, 2u);
+  EXPECT_EQ(net.stats(2).net_drops, 0u);
+  EXPECT_EQ(net.stats(2).received, 1u);
+  // The accepted packet kept the stamp of its offer instant.
+  EXPECT_DOUBLE_EQ(flow2_enqueued_at, 0.0005);
+}
+
+}  // namespace
+}  // namespace ispn::sched

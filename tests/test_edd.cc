@@ -7,6 +7,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 
 TEST(Edd, EmptyDequeueReturnsNull) {
@@ -20,8 +21,8 @@ TEST(Edd, EarliestDeadlineFirst) {
   q.set_bound(2, 0.010);
   // Flow 1 arrives first but has the looser bound; flow 2's deadline is
   // earlier despite arriving later.
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.00), 0.00).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.05), 0.05).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.00), 0.00).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.05), 0.05).empty());
   EXPECT_EQ(q.dequeue(0.06)->flow, 2);
   EXPECT_EQ(q.dequeue(0.06)->flow, 1);
 }
@@ -32,7 +33,7 @@ TEST(Edd, HomogeneousBoundsDegenerateToFifo) {
   EddScheduler q({100, 0.05});
   for (std::uint64_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(
-        q.enqueue(pkt(i % 3, i, 0.001 * static_cast<double>(i)), 0.0).empty());
+        offer(q, pkt(i % 3, i, 0.001 * static_cast<double>(i)), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(q.dequeue(1.0)->seq, i);
 }
@@ -46,8 +47,8 @@ TEST(Edd, BoundLookup) {
 
 TEST(Edd, OverflowDropsLeastUrgent) {
   EddScheduler q({1, 0.1});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(1, 1, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(1, 1, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 1u);  // homogeneous bounds: tail drop
 }
@@ -56,9 +57,9 @@ TEST(Edd, OverflowSparesUrgentArrival) {
   EddScheduler q({1, 0.1});
   q.set_bound(1, 0.5);
   q.set_bound(2, 0.01);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
   // Urgent arrival evicts the queued lazy packet, not itself.
-  auto dropped = q.enqueue(pkt(2, 0, 0.0), 0.0);
+  auto dropped = offer(q, pkt(2, 0, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 1);
   EXPECT_EQ(q.dequeue(0.0)->flow, 2);
@@ -66,16 +67,16 @@ TEST(Edd, OverflowSparesUrgentArrival) {
 
 TEST(Edd, StableTieBreakByArrival) {
   EddScheduler q({10, 0.1});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.0), 0.0).empty());
   EXPECT_EQ(q.dequeue(0.0)->flow, 1);
   EXPECT_EQ(q.dequeue(0.0)->flow, 2);
 }
 
 TEST(Edd, BacklogAccounting) {
   EddScheduler q({10, 0.1});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0, 600.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0, 400.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0, 600.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 0.0, 400.0), 0.0).empty());
   EXPECT_EQ(q.packets(), 2u);
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 1000.0);
   (void)q.dequeue(0.0);

@@ -7,6 +7,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 
 TEST(Fifo, EmptyDequeueReturnsNull) {
@@ -18,7 +19,7 @@ TEST(Fifo, EmptyDequeueReturnsNull) {
 TEST(Fifo, FirstInFirstOut) {
   FifoScheduler q(10);
   for (std::uint64_t i = 0; i < 5; ++i) {
-    EXPECT_TRUE(q.enqueue(pkt(0, i, 0.0), 0.0).empty());
+    EXPECT_TRUE(offer(q, pkt(0, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) {
     EXPECT_EQ(q.dequeue(0.0)->seq, i);
@@ -27,9 +28,9 @@ TEST(Fifo, FirstInFirstOut) {
 
 TEST(Fifo, InterleavedFlowsKeepArrivalOrder) {
   FifoScheduler q(10);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.1), 0.1).empty());
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.2), 0.2).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.1), 0.1).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 0.2), 0.2).empty());
   EXPECT_EQ(q.dequeue(0.3)->flow, 1);
   EXPECT_EQ(q.dequeue(0.3)->flow, 2);
   EXPECT_EQ(q.dequeue(0.3)->flow, 1);
@@ -37,9 +38,9 @@ TEST(Fifo, InterleavedFlowsKeepArrivalOrder) {
 
 TEST(Fifo, TailDropAtCapacity) {
   FifoScheduler q(2);
-  EXPECT_TRUE(q.enqueue(pkt(0, 0, 0.0), 0.0).empty());
-  EXPECT_TRUE(q.enqueue(pkt(0, 1, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(0, 2, 0.0), 0.0);
+  EXPECT_TRUE(offer(q, pkt(0, 0, 0.0), 0.0).empty());
+  EXPECT_TRUE(offer(q, pkt(0, 1, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(0, 2, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 2u);  // the arriving packet is the victim
   EXPECT_EQ(q.packets(), 2u);
@@ -47,8 +48,8 @@ TEST(Fifo, TailDropAtCapacity) {
 
 TEST(Fifo, BacklogBitsTracked) {
   FifoScheduler q(10);
-  ASSERT_TRUE(q.enqueue(pkt(0, 0, 0.0, 1000), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(0, 1, 0.0, 500), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 0, 0.0, 1000), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 1, 0.0, 500), 0.0).empty());
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 1500.0);
   (void)q.dequeue(0.0);
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 500.0);
@@ -56,10 +57,10 @@ TEST(Fifo, BacklogBitsTracked) {
 
 TEST(Fifo, DrainThenReuse) {
   FifoScheduler q(2);
-  ASSERT_TRUE(q.enqueue(pkt(0, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 0, 0.0), 0.0).empty());
   (void)q.dequeue(0.0);
   EXPECT_TRUE(q.empty());
-  ASSERT_TRUE(q.enqueue(pkt(0, 1, 1.0), 1.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 1, 1.0), 1.0).empty());
   EXPECT_EQ(q.dequeue(1.0)->seq, 1u);
 }
 

@@ -7,6 +7,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 using sched_test::predicted_pkt;
 
@@ -18,7 +19,7 @@ TEST(FifoPlus, EmptyDequeueReturnsNull) {
 TEST(FifoPlus, ZeroOffsetsBehaveLikeFifo) {
   FifoPlusScheduler q;
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(0, i, 0.1 * static_cast<double>(i)), 0.0)
+    ASSERT_TRUE(offer(q, pkt(0, i, 0.1 * static_cast<double>(i)), 0.0)
                     .empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(1.0)->seq, i);
@@ -29,8 +30,8 @@ TEST(FifoPlus, PositiveOffsetJumpsAhead) {
   // Packet A arrives at t=1 with no offset; packet B arrives at t=1.05 but
   // was unlucky upstream (offset 0.1): expected arrival 0.95 < 1.0, so B
   // goes first.
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 1.05, 0, 0.1), 1.05).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 1.05, 0, 0.1), 1.05).empty());
   EXPECT_EQ(q.dequeue(1.1)->flow, 2);
   EXPECT_EQ(q.dequeue(1.1)->flow, 1);
 }
@@ -38,8 +39,8 @@ TEST(FifoPlus, PositiveOffsetJumpsAhead) {
 TEST(FifoPlus, NegativeOffsetWaits) {
   FifoPlusScheduler q;
   // Lucky packet (negative offset) yields to a later plain arrival.
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 1.0, 0, -0.2), 1.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 1.1, 0), 1.1).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 1.0, 0, -0.2), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 1.1, 0), 1.1).empty());
   EXPECT_EQ(q.dequeue(1.2)->flow, 2);
   EXPECT_EQ(q.dequeue(1.2)->flow, 1);
 }
@@ -48,29 +49,29 @@ TEST(FifoPlus, OffsetAccumulatesOwnMinusAverage) {
   FifoPlusScheduler q(FifoPlusScheduler::Config{200, 0.5, true});
   // First packet: waits 0.4; EWMA warm-starts at 0.4, so its offset
   // increment is 0.4 - 0.4 = 0.
-  ASSERT_TRUE(q.enqueue(pkt(0, 0, 1.0), 1.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 0, 1.0), 1.0).empty());
   auto p0 = q.dequeue(1.4);
   EXPECT_NEAR(p0->jitter_offset, 0.0, 1e-12);
   EXPECT_NEAR(q.class_average(), 0.4, 1e-12);
   // Second packet waits 0.0: avg <- 0.4 + 0.5*(0 - 0.4) = 0.2;
   // offset += 0.0 - 0.2 = -0.2 (it was lucky).
-  ASSERT_TRUE(q.enqueue(pkt(0, 1, 2.0), 2.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 1, 2.0), 2.0).empty());
   auto p1 = q.dequeue(2.0);
   EXPECT_NEAR(p1->jitter_offset, -0.2, 1e-12);
 }
 
 TEST(FifoPlus, UpdateOffsetsDisabledLeavesHeaderUntouched) {
   FifoPlusScheduler q(FifoPlusScheduler::Config{200, 0.5, false});
-  ASSERT_TRUE(q.enqueue(predicted_pkt(0, 0, 1.0, 0, 0.05), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(0, 0, 1.0, 0, 0.05), 1.0).empty());
   auto p = q.dequeue(1.5);
   EXPECT_DOUBLE_EQ(p->jitter_offset, 0.05);
 }
 
 TEST(FifoPlus, TailDropAtCapacity) {
   FifoPlusScheduler q(FifoPlusScheduler::Config{2, 1.0 / 128.0, true});
-  ASSERT_TRUE(q.enqueue(pkt(0, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(0, 1, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(0, 2, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(0, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 1, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(0, 2, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 2u);
 }
@@ -78,8 +79,8 @@ TEST(FifoPlus, TailDropAtCapacity) {
 TEST(FifoPlus, StableOrderForEqualKeys) {
   FifoPlusScheduler q;
   // Same expected arrival: arrival order decides.
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 1.0, 0), 1.0).empty());
   EXPECT_EQ(q.dequeue(1.0)->flow, 1);
   EXPECT_EQ(q.dequeue(1.0)->flow, 2);
 }
@@ -88,21 +89,21 @@ TEST(FifoPlus, ClassAverageConvergesUnderConstantWait) {
   FifoPlusScheduler q(FifoPlusScheduler::Config{200, 1.0 / 8.0, true});
   double t = 0.0;
   for (int i = 0; i < 200; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(0, static_cast<std::uint64_t>(i), t), t).empty());
+    ASSERT_TRUE(offer(q, pkt(0, static_cast<std::uint64_t>(i), t), t).empty());
     (void)q.dequeue(t + 0.25);  // every packet waits exactly 0.25
     t += 1.0;
   }
   EXPECT_NEAR(q.class_average(), 0.25, 1e-6);
   // A steady-state packet accumulates ~zero offset.
-  ASSERT_TRUE(q.enqueue(pkt(0, 999, t), t).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 999, t), t).empty());
   auto p = q.dequeue(t + 0.25);
   EXPECT_NEAR(p->jitter_offset, 0.0, 1e-6);
 }
 
 TEST(FifoPlus, BacklogAccounting) {
   FifoPlusScheduler q;
-  ASSERT_TRUE(q.enqueue(pkt(0, 0, 0.0, 800.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(0, 1, 0.0, 200.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 0, 0.0, 800.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(0, 1, 0.0, 200.0), 0.0).empty());
   EXPECT_EQ(q.packets(), 2u);
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 1000.0);
   (void)q.dequeue(0.0);

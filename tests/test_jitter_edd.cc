@@ -10,6 +10,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 
 net::PacketPtr ahead_pkt(net::FlowId flow, std::uint64_t seq,
@@ -21,7 +22,7 @@ net::PacketPtr ahead_pkt(net::FlowId flow, std::uint64_t seq,
 
 TEST(JitterEdd, ZeroAheadIsImmediatelyEligible) {
   JitterEddScheduler q({10, 0.1});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 1.0), 1.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 1.0), 1.0).empty());
   EXPECT_DOUBLE_EQ(q.next_eligible(1.0), 1.0);
   EXPECT_NE(q.dequeue(1.0), nullptr);
 }
@@ -29,7 +30,7 @@ TEST(JitterEdd, ZeroAheadIsImmediatelyEligible) {
 TEST(JitterEdd, AheadPacketIsHeld) {
   JitterEddScheduler q({10, 0.1});
   // Arrived 30 ms ahead of its reconstructed schedule: held until then.
-  ASSERT_TRUE(q.enqueue(ahead_pkt(1, 0, 1.0, 0.03), 1.0).empty());
+  ASSERT_TRUE(offer(q, ahead_pkt(1, 0, 1.0, 0.03), 1.0).empty());
   EXPECT_EQ(q.holding(), 1u);
   EXPECT_DOUBLE_EQ(q.next_eligible(1.0), 1.03);
   EXPECT_EQ(q.dequeue(1.0), nullptr);  // not eligible yet
@@ -39,7 +40,7 @@ TEST(JitterEdd, AheadPacketIsHeld) {
 TEST(JitterEdd, DepartureStampsAheadOfDeadline) {
   JitterEddScheduler q({10, 0.1});
   q.set_bound(1, 0.050);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 1.0), 1.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 1.0), 1.0).empty());
   // Deadline 1.05; departing at 1.01 means 40 ms ahead.
   auto p = q.dequeue(1.01);
   ASSERT_NE(p, nullptr);
@@ -49,7 +50,7 @@ TEST(JitterEdd, DepartureStampsAheadOfDeadline) {
 TEST(JitterEdd, LateDepartureStampsZero) {
   JitterEddScheduler q({10, 0.1});
   q.set_bound(1, 0.02);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 1.0), 1.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 1.0), 1.0).empty());
   auto p = q.dequeue(1.5);  // long after the 1.02 deadline
   ASSERT_NE(p, nullptr);
   EXPECT_DOUBLE_EQ(p->jitter_offset, 0.0);
@@ -59,16 +60,16 @@ TEST(JitterEdd, EddOrderAmongEligible) {
   JitterEddScheduler q({10, 0.1});
   q.set_bound(1, 0.5);
   q.set_bound(2, 0.01);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.0), 0.0).empty());
   EXPECT_EQ(q.dequeue(0.0)->flow, 2);
   EXPECT_EQ(q.dequeue(0.0)->flow, 1);
 }
 
 TEST(JitterEdd, HeldPacketYieldsToEligibleOne) {
   JitterEddScheduler q({10, 0.1});
-  ASSERT_TRUE(q.enqueue(ahead_pkt(1, 0, 0.0, 0.5), 0.0).empty());  // held
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.01), 0.01).empty());
+  ASSERT_TRUE(offer(q, ahead_pkt(1, 0, 0.0, 0.5), 0.0).empty());  // held
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.01), 0.01).empty());
   auto p = q.dequeue(0.02);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->flow, 2);
@@ -77,15 +78,15 @@ TEST(JitterEdd, HeldPacketYieldsToEligibleOne) {
 
 TEST(JitterEdd, TailDropAtCapacity) {
   JitterEddScheduler q({1, 0.1});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(1, 1, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(1, 1, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
 }
 
 TEST(JitterEdd, CountsIncludeHeldPackets) {
   JitterEddScheduler q({10, 0.1});
-  ASSERT_TRUE(q.enqueue(ahead_pkt(1, 0, 0.0, 1.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, ahead_pkt(1, 0, 0.0, 1.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 0.0), 0.0).empty());
   EXPECT_EQ(q.packets(), 2u);
   EXPECT_FALSE(q.empty());
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 2000.0);

@@ -115,8 +115,9 @@ TEST(PacketPool, DroppedPacketsReturnToThePool) {
   sched::FifoScheduler fifo(4);
   const std::size_t before = pool.outstanding();
   for (std::uint64_t i = 0; i < 16; ++i) {
-    auto dropped = fifo.enqueue(make_packet(pool, 0, i, 0, 1, 0.0), 0.0);
-    // Tail drop: overflowing arrivals come back; let them die here.
+    // Tail drop: overflowing arrivals hit the (absent) drop sink and are
+    // destroyed there, returning straight to the pool.
+    fifo.enqueue(make_packet(pool, 0, i, 0, 1, 0.0), 0.0);
   }
   EXPECT_EQ(fifo.packets(), 4u);
   EXPECT_EQ(pool.outstanding(), before + 4);
@@ -128,10 +129,8 @@ TEST(PacketPool, PushoutVictimsRecycleThroughWfq) {
   PacketPool pool;
   sched::WfqScheduler wfq(sched::WfqScheduler::Config{1e6, 8, 1.0});
   for (std::uint64_t i = 0; i < 64; ++i) {
-    auto dropped =
-        wfq.enqueue(make_packet(pool, static_cast<FlowId>(i % 4), i, 0, 1,
-                                0.0),
-                    0.0);
+    wfq.enqueue(make_packet(pool, static_cast<FlowId>(i % 4), i, 0, 1, 0.0),
+                0.0);
   }
   EXPECT_EQ(wfq.packets(), 8u);
   while (!wfq.empty()) (void)wfq.dequeue(1e9);

@@ -9,6 +9,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::predicted_pkt;
 
 std::unique_ptr<PriorityScheduler> make_two_level(std::size_t cap = 10) {
@@ -20,8 +21,8 @@ std::unique_ptr<PriorityScheduler> make_two_level(std::size_t cap = 10) {
 
 TEST(Priority, HighLevelAlwaysFirst) {
   auto q = make_two_level();
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 0, 0.0, 1), 0.0).empty());  // low
-  ASSERT_TRUE(q->enqueue(predicted_pkt(2, 0, 0.1, 0), 0.1).empty());  // high
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 0, 0.0, 1), 0.0).empty());  // low
+  ASSERT_TRUE(offer(*q, predicted_pkt(2, 0, 0.1, 0), 0.1).empty());  // high
   EXPECT_EQ(q->dequeue(0.2)->flow, 2);
   EXPECT_EQ(q->dequeue(0.2)->flow, 1);
 }
@@ -29,14 +30,14 @@ TEST(Priority, HighLevelAlwaysFirst) {
 TEST(Priority, FifoWithinLevel) {
   auto q = make_two_level();
   for (std::uint64_t i = 0; i < 3; ++i) {
-    ASSERT_TRUE(q->enqueue(predicted_pkt(1, i, 0.0, 0), 0.0).empty());
+    ASSERT_TRUE(offer(*q, predicted_pkt(1, i, 0.0, 0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(q->dequeue(0.0)->seq, i);
 }
 
 TEST(Priority, ClampsOutOfRangePriority) {
   auto q = make_two_level();
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 0, 0.0, 9), 0.0).empty());
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 0, 0.0, 9), 0.0).empty());
   EXPECT_EQ(q->level(1).packets(), 1u);  // clamped to lowest level
 }
 
@@ -47,16 +48,16 @@ TEST(Priority, CustomClassifier) {
   PriorityScheduler q(std::move(children), [](const net::Packet& p) {
     return p.flow == 7 ? std::size_t{0} : std::size_t{1};
   });
-  ASSERT_TRUE(q.enqueue(predicted_pkt(3, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(7, 0, 0.1, 1), 0.1).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(3, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(7, 0, 0.1, 1), 0.1).empty());
   EXPECT_EQ(q.dequeue(0.2)->flow, 7);  // classifier promotes flow 7
 }
 
 TEST(Priority, EmptyAndCounts) {
   auto q = make_two_level();
   EXPECT_TRUE(q->empty());
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 1, 0.0, 1), 0.0).empty());
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 1, 0.0, 1), 0.0).empty());
   EXPECT_EQ(q->packets(), 2u);
   EXPECT_DOUBLE_EQ(q->backlog_bits(), 2000.0);
   EXPECT_FALSE(q->empty());
@@ -64,11 +65,11 @@ TEST(Priority, EmptyAndCounts) {
 
 TEST(Priority, PerLevelDropPolicy) {
   auto q = make_two_level(1);
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
-  auto dropped = q->enqueue(predicted_pkt(1, 1, 0.0, 1), 0.0);
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
+  auto dropped = offer(*q, predicted_pkt(1, 1, 0.0, 1), 0.0);
   EXPECT_EQ(dropped.size(), 1u);
   // The high level is unaffected.
-  EXPECT_TRUE(q->enqueue(predicted_pkt(2, 0, 0.0, 0), 0.0).empty());
+  EXPECT_TRUE(offer(*q, predicted_pkt(2, 0, 0.0, 0), 0.0).empty());
 }
 
 TEST(Priority, ComposesWithFifoPlusChildren) {
@@ -77,8 +78,8 @@ TEST(Priority, ComposesWithFifoPlusChildren) {
   children.push_back(std::make_unique<FifoPlusScheduler>());
   PriorityScheduler q(std::move(children));
   // Unlucky low-priority packet still waits for the high class.
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 1, 0.5), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 0.2, 0), 0.2).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 1, 0.5), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 0.2, 0), 0.2).empty());
   EXPECT_EQ(q.dequeue(0.3)->flow, 2);
   EXPECT_EQ(q.dequeue(0.3)->flow, 1);
 }
@@ -88,9 +89,9 @@ TEST(Priority, JitterShiftsToLowerClass) {
   // High-class burst delays the low class, never vice versa.
   auto q = make_two_level(100);
   // Low packet arrives first, then a 5-packet high burst.
-  ASSERT_TRUE(q->enqueue(predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
+  ASSERT_TRUE(offer(*q, predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q->enqueue(predicted_pkt(2, i, 0.01, 0), 0.01).empty());
+    ASSERT_TRUE(offer(*q, predicted_pkt(2, i, 0.01, 0), 0.01).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q->dequeue(0.02)->flow, 2);
   EXPECT_EQ(q->dequeue(0.02)->flow, 1);

@@ -10,6 +10,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::datagram_pkt;
 using sched_test::predicted_pkt;
 
@@ -32,11 +33,11 @@ TEST(Importance, PushoutPrefersLessImportantPredicted) {
   auto enhance = predicted_pkt(1, 1, 0.0, 1);
   enhance->less_important = true;
   auto base2 = predicted_pkt(1, 2, 0.0, 1);
-  ASSERT_TRUE(q.enqueue(std::move(enhance), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(std::move(base), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(std::move(base2), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(enhance), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(base), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(base2), 0.0).empty());
   // Overflow: the less-important packet goes, not the newest.
-  auto dropped = q.enqueue(predicted_pkt(1, 3, 0.0, 1), 0.0);
+  auto dropped = offer(q, predicted_pkt(1, 3, 0.0, 1), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 1u);
   EXPECT_TRUE(dropped[0]->less_important);
@@ -47,9 +48,9 @@ TEST(Importance, PushoutPrefersLessImportantDatagram) {
   auto keep = datagram_pkt(9, 0, 0.0);
   auto shed = datagram_pkt(9, 1, 0.0);
   shed->less_important = true;
-  ASSERT_TRUE(q.enqueue(std::move(shed), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(std::move(keep), 0.0).empty());
-  auto dropped = q.enqueue(datagram_pkt(9, 2, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, std::move(shed), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(keep), 0.0).empty());
+  auto dropped = offer(q, datagram_pkt(9, 2, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 1u);
 }
@@ -57,9 +58,9 @@ TEST(Importance, PushoutPrefersLessImportantDatagram) {
 TEST(Importance, FallsBackToNewestWhenAllEqual) {
   UnifiedScheduler q(unified_cfg(2));
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 0.1, 0), 0.1).empty());
-  auto dropped = q.enqueue(predicted_pkt(1, 2, 0.2, 0), 0.2);
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 0.1, 0), 0.1).empty());
+  auto dropped = offer(q, predicted_pkt(1, 2, 0.2, 0), 0.2);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 2u);  // the newest (the arrival itself)
 }
@@ -74,7 +75,7 @@ TEST(Importance, SustainedOverloadKeepsOnlyImportantPackets) {
   for (std::uint64_t i = 0; i < 100; ++i) {
     auto p = predicted_pkt(1, i, 0.0, 0);
     p->less_important = (i % 2 == 1);
-    for (auto& victim : q.enqueue(std::move(p), 0.0)) {
+    for (auto& victim : offer(q, std::move(p), 0.0)) {
       (victim->less_important ? shed_enhance : shed_important)++;
     }
   }
@@ -94,8 +95,8 @@ TEST(StaleDiscard, UnifiedDropsPacketsBeyondOffsetThreshold) {
   q.set_predicted_priority(1, 0);
   auto stale = predicted_pkt(1, 0, 0.0, 0, /*jitter_offset=*/0.2);
   auto fresh = predicted_pkt(1, 1, 0.0, 0);
-  ASSERT_TRUE(q.enqueue(std::move(fresh), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(std::move(stale), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(fresh), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(stale), 0.0).empty());
   // The stale packet sorts first (offset pulls it forward) but is
   // discarded at dequeue; the fresh one transmits.
   auto p = q.dequeue(0.01);
@@ -113,8 +114,8 @@ TEST(StaleDiscard, DiscardHookInvoked) {
     ++discarded;
     EXPECT_GT(p.jitter_offset, 0.05);
   });
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0, 0.2), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0, 0.2), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
   (void)q.dequeue(0.01);
   EXPECT_EQ(discarded, 1);
 }
@@ -123,7 +124,7 @@ TEST(StaleDiscard, AllStaleYieldsNullAndCleanState) {
   UnifiedScheduler q(unified_cfg(10, 0.05));
   q.set_predicted_priority(1, 0);
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(predicted_pkt(1, i, 0.0, 0, 0.3), 0.0).empty());
+    ASSERT_TRUE(offer(q, predicted_pkt(1, i, 0.0, 0, 0.3), 0.0).empty());
   }
   EXPECT_EQ(q.dequeue(0.01), nullptr);
   EXPECT_EQ(q.stale_discards(), 5u);
@@ -131,7 +132,7 @@ TEST(StaleDiscard, AllStaleYieldsNullAndCleanState) {
   EXPECT_EQ(q.packets(), 0u);
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 0.0);
   // The scheduler is fully reusable afterwards.
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 9, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 9, 1.0, 0), 1.0).empty());
   auto p = q.dequeue(1.0);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->seq, 9u);
@@ -142,7 +143,7 @@ TEST(StaleDiscard, GuaranteedTrafficNeverDiscarded) {
   q.add_guaranteed(1, 1e5);
   auto p = sched_test::guaranteed_pkt(1, 0, 0.0);
   p->jitter_offset = 10.0;  // absurd offset; guaranteed path ignores it
-  ASSERT_TRUE(q.enqueue(std::move(p), 0.0).empty());
+  ASSERT_TRUE(offer(q, std::move(p), 0.0).empty());
   auto out = q.dequeue(0.01);
   ASSERT_NE(out, nullptr);
   EXPECT_EQ(q.stale_discards(), 0u);
@@ -153,8 +154,8 @@ TEST(StaleDiscard, FifoPlusStandaloneDiscards) {
   config.capacity_pkts = 10;
   config.stale_offset_threshold = 0.05;
   FifoPlusScheduler q(config);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0, 0.2), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0, 0.2), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
   auto p = q.dequeue(0.01);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->seq, 1u);
@@ -165,7 +166,7 @@ TEST(StaleDiscard, FifoPlusAllStaleReturnsNull) {
   FifoPlusScheduler::Config config;
   config.stale_offset_threshold = 0.01;
   FifoPlusScheduler q(config);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0, 0.5), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0, 0.5), 0.0).empty());
   EXPECT_EQ(q.dequeue(0.0), nullptr);
   EXPECT_TRUE(q.empty());
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 0.0);
@@ -174,7 +175,7 @@ TEST(StaleDiscard, FifoPlusAllStaleReturnsNull) {
 TEST(StaleDiscard, DisabledByDefault) {
   UnifiedScheduler q(unified_cfg(10));
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0, 100.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0, 100.0), 0.0).empty());
   auto p = q.dequeue(0.01);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(q.stale_discards(), 0u);

@@ -7,6 +7,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::datagram_pkt;
 using sched_test::guaranteed_pkt;
 using sched_test::predicted_pkt;
@@ -38,7 +39,7 @@ TEST(Unified, EmptyDequeueReturnsNull) {
 TEST(Unified, DatagramOnlyBehavesFifo) {
   UnifiedScheduler q(cfg());
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(q.enqueue(datagram_pkt(9, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, datagram_pkt(9, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(q.dequeue(0.0)->seq, i);
 }
@@ -47,9 +48,9 @@ TEST(Unified, PredictedClassesAreStrictPriorities) {
   UnifiedScheduler q(cfg());
   q.set_predicted_priority(1, 1);  // low
   q.set_predicted_priority(2, 0);  // high
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 0.1, 0), 0.1).empty());
-  ASSERT_TRUE(q.enqueue(datagram_pkt(3, 0, 0.2), 0.2).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 0.1, 0), 0.1).empty());
+  ASSERT_TRUE(offer(q, datagram_pkt(3, 0, 0.2), 0.2).empty());
   EXPECT_EQ(q.dequeue(0.3)->flow, 2);  // high class
   EXPECT_EQ(q.dequeue(0.3)->flow, 1);  // low class
   EXPECT_EQ(q.dequeue(0.3)->flow, 3);  // datagram last
@@ -57,9 +58,9 @@ TEST(Unified, PredictedClassesAreStrictPriorities) {
 
 TEST(Unified, UnregisteredPredictedUsesPacketPriority) {
   UnifiedScheduler q(cfg());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(5, 0, 0.0, 1), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(5, 0, 0.0, 1), 0.0).empty());
   EXPECT_EQ(q.class_packets(1), 1u);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(6, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(6, 0, 0.0, 0), 0.0).empty());
   EXPECT_EQ(q.class_packets(0), 1u);
 }
 
@@ -71,8 +72,8 @@ TEST(Unified, GuaranteedIsolatedFromPredictedBurst) {
   q.add_guaranteed(1, 500.0);
   q.set_predicted_priority(2, 0);
   for (std::uint64_t i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.enqueue(guaranteed_pkt(1, i, 0.0), 0.0).empty());
-    ASSERT_TRUE(q.enqueue(predicted_pkt(2, i, 0.0, 0), 0.0).empty());
+    ASSERT_TRUE(offer(q, guaranteed_pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, predicted_pkt(2, i, 0.0, 0), 0.0).empty());
   }
   int guaranteed_in_first_10 = 0;
   for (int i = 0; i < 10; ++i) {
@@ -87,10 +88,10 @@ TEST(Unified, Flow0PacketsGateOnTags) {
   UnifiedScheduler q(cfg(1000.0, 10000));
   q.add_guaranteed(1, 900.0);
   for (std::uint64_t i = 0; i < 20; ++i) {
-    ASSERT_TRUE(q.enqueue(guaranteed_pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, guaranteed_pkt(1, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(datagram_pkt(2, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, datagram_pkt(2, i, 0.0), 0.0).empty());
   }
   // First 10 departures: flow 0 should get about 1 (weight 10%).
   int flow0 = 0;
@@ -104,11 +105,11 @@ TEST(Unified, Flow0PacketsGateOnTags) {
 TEST(Unified, PushoutPrefersDatagramVictim) {
   UnifiedScheduler q(cfg(1e6, 3));
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(datagram_pkt(9, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, datagram_pkt(9, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
   // Buffer full; a new predicted arrival pushes out the datagram packet.
-  auto dropped = q.enqueue(predicted_pkt(1, 2, 0.0, 0), 0.0);
+  auto dropped = offer(q, predicted_pkt(1, 2, 0.0, 0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 9);
   EXPECT_EQ(q.packets(), 3u);
@@ -118,9 +119,9 @@ TEST(Unified, PushoutFallsBackToLowestPredictedClass) {
   UnifiedScheduler q(cfg(1e6, 2));
   q.set_predicted_priority(1, 0);
   q.set_predicted_priority(2, 1);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(2, 0, 0.0, 1), 0.0).empty());
-  auto dropped = q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0);
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(2, 0, 0.0, 1), 0.0).empty());
+  auto dropped = offer(q, predicted_pkt(1, 1, 0.0, 0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 2);  // lowest class loses
 }
@@ -128,9 +129,9 @@ TEST(Unified, PushoutFallsBackToLowestPredictedClass) {
 TEST(Unified, ArrivingDatagramIsOwnVictimWhenFull) {
   UnifiedScheduler q(cfg(1e6, 2));
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
-  auto dropped = q.enqueue(datagram_pkt(9, 0, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 0.0, 0), 0.0).empty());
+  auto dropped = offer(q, datagram_pkt(9, 0, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 9);
 }
@@ -140,10 +141,10 @@ TEST(Unified, FifoPlusOffsetsUpdatedWithinClass) {
   c.avg_gain = 0.5;
   UnifiedScheduler q(c);
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
   auto p = q.dequeue(1.4);  // waits 0.4; first sample primes the average
   EXPECT_NEAR(p->jitter_offset, 0.0, 1e-12);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 1, 2.0, 0), 2.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 1, 2.0, 0), 2.0).empty());
   auto p2 = q.dequeue(2.0);  // waits 0; avg -> 0.2; offset -0.2
   EXPECT_NEAR(p2->jitter_offset, -0.2, 1e-12);
 }
@@ -153,7 +154,7 @@ TEST(Unified, FifoPlusDisabledLeavesOffsets) {
   c.fifo_plus = false;
   UnifiedScheduler q(c);
   q.set_predicted_priority(1, 0);
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 1.0, 0), 1.0).empty());
   EXPECT_DOUBLE_EQ(q.dequeue(1.4)->jitter_offset, 0.0);
 }
 
@@ -164,8 +165,8 @@ TEST(Unified, WaitObserverSeesClassAndDatagram) {
   q.set_wait_observer([&](int klass, sim::Duration wait, sim::Time) {
     seen.emplace_back(klass, wait);
   });
-  ASSERT_TRUE(q.enqueue(predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(datagram_pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, predicted_pkt(1, 0, 0.0, 1), 0.0).empty());
+  ASSERT_TRUE(offer(q, datagram_pkt(2, 0, 0.0), 0.0).empty());
   (void)q.dequeue(0.5);
   (void)q.dequeue(0.7);
   ASSERT_EQ(seen.size(), 2u);
@@ -182,8 +183,8 @@ TEST(Unified, TagPacketInvariantSurvivesPushoutChurn) {
   std::uint64_t seq = 0;
   for (int round = 0; round < 10; ++round) {
     for (int i = 0; i < 8; ++i) {
-      (void)q.enqueue(predicted_pkt(1, seq++, 0.0, 0), 0.0);
-      (void)q.enqueue(datagram_pkt(2, seq++, 0.0), 0.0);
+      (void)offer(q, predicted_pkt(1, seq++, 0.0, 0), 0.0);
+      (void)offer(q, datagram_pkt(2, seq++, 0.0), 0.0);
     }
     for (int i = 0; i < 3; ++i) (void)q.dequeue(0.1);
   }
@@ -202,7 +203,7 @@ TEST(Unified, GuaranteedFifoWithinFlow) {
   UnifiedScheduler q(cfg());
   q.add_guaranteed(1, 1e5);
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(guaranteed_pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, guaranteed_pkt(1, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->seq, i);
 }

@@ -9,6 +9,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 
 TEST(VirtualClock, EmptyDequeueReturnsNull) {
@@ -19,7 +20,7 @@ TEST(VirtualClock, EmptyDequeueReturnsNull) {
 TEST(VirtualClock, SingleFlowIsFifo) {
   VirtualClockScheduler q({100, 1e5});
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(0, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(0, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->seq, i);
 }
@@ -27,19 +28,19 @@ TEST(VirtualClock, SingleFlowIsFifo) {
 TEST(VirtualClock, AuxVcAdvancesByServiceTime) {
   VirtualClockScheduler q({100, 1e5});
   q.add_flow(1, 1000.0);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
   EXPECT_DOUBLE_EQ(q.aux_vc(1), 1.0);  // 1000 bits / 1000 b/s
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 0.0), 0.0).empty());
   EXPECT_DOUBLE_EQ(q.aux_vc(1), 2.0);
 }
 
 TEST(VirtualClock, IdleFlowResetsToRealTime) {
   VirtualClockScheduler q({100, 1e5});
   q.add_flow(1, 1000.0);
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
   (void)q.dequeue(0.0);
   // Long idle: auxVC restarts from `now`, not from the stale clock.
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 100.0), 100.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 100.0), 100.0).empty());
   EXPECT_DOUBLE_EQ(q.aux_vc(1), 101.0);
 }
 
@@ -50,9 +51,9 @@ TEST(VirtualClock, OverdrawingFlowFallsBehind) {
   // Flow 1 dumps 6 packets at t=0; flow 2 sends one.  Flow 1's later
   // stamps (2, 4, ..., 12 s) fall behind flow 2's (2 s).
   for (std::uint64_t i = 0; i < 6; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(1, i, 0.0), 0.0).empty());
   }
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.0), 0.0).empty());
   EXPECT_EQ(q.dequeue(0.0)->flow, 1);  // stamp 2 (tie, earlier arrival)
   EXPECT_EQ(q.dequeue(0.0)->flow, 2);  // stamp 2
   for (int i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->flow, 1);
@@ -60,14 +61,14 @@ TEST(VirtualClock, OverdrawingFlowFallsBehind) {
 
 TEST(VirtualClock, UnregisteredFlowUsesDefaultRate) {
   VirtualClockScheduler q({100, 2000.0});
-  ASSERT_TRUE(q.enqueue(pkt(7, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(7, 0, 0.0), 0.0).empty());
   EXPECT_DOUBLE_EQ(q.aux_vc(7), 0.5);
 }
 
 TEST(VirtualClock, OverflowDropsLargestStamp) {
   VirtualClockScheduler q({1, 1e5});
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(1, 1, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(1, 1, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 1u);  // same flow: the newest stamp
 }
@@ -77,10 +78,10 @@ TEST(VirtualClock, OverflowPunishesOverdrawnFlow) {
   q.add_flow(1, 1000.0);
   q.add_flow(2, 1000.0);
   // Flow 2 overdraws: its stamps run far ahead of real time.
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 1, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 1, 0.0), 0.0).empty());
   // Conforming flow 1 arrives: flow 2's newest (stamp 2.0) is evicted.
-  auto dropped = q.enqueue(pkt(1, 0, 0.0), 0.0);
+  auto dropped = offer(q, pkt(1, 0, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 2);
   EXPECT_EQ(dropped[0]->seq, 1u);
@@ -123,8 +124,8 @@ TEST(VirtualClock, AcceptsPacketsWithoutAFlowId) {
   auto mk = [](net::FlowId f, std::uint64_t seq) {
     return net::make_packet(f, seq, 0, 1, 0.0);
   };
-  ASSERT_TRUE(q.enqueue(mk(net::kNoFlow, 0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(mk(net::kNoFlow, 1), 0.0).empty());
+  ASSERT_TRUE(offer(q, mk(net::kNoFlow, 0), 0.0).empty());
+  ASSERT_TRUE(offer(q, mk(net::kNoFlow, 1), 0.0).empty());
   EXPECT_EQ(q.packets(), 2u);
   EXPECT_NE(q.dequeue(0.0), nullptr);
   EXPECT_NE(q.dequeue(0.0), nullptr);

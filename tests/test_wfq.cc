@@ -18,6 +18,7 @@
 namespace ispn::sched {
 namespace {
 
+using sched_test::offer;
 using sched_test::pkt;
 
 WfqScheduler::Config cfg(double link_rate = 1000.0,
@@ -32,9 +33,9 @@ TEST(Wfq, AcceptsPacketsWithoutAFlowId) {
   WfqScheduler q(cfg());
   for (std::uint64_t i = 0; i < 3; ++i) {
     auto p = pkt(net::kNoFlow, i, 0.0);
-    ASSERT_TRUE(q.enqueue(std::move(p), 0.0).empty());
+    ASSERT_TRUE(offer(q, std::move(p), 0.0).empty());
   }
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
   EXPECT_EQ(q.packets(), 4u);
   std::uint64_t drained = 0;
   while (!q.empty()) {
@@ -53,7 +54,7 @@ TEST(Wfq, EmptyDequeueReturnsNull) {
 TEST(Wfq, SingleFlowIsFifo) {
   WfqScheduler q(cfg());
   for (std::uint64_t i = 0; i < 5; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(0, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(0, i, 0.0), 0.0).empty());
   }
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(q.dequeue(0.0)->seq, i);
 }
@@ -63,8 +64,8 @@ TEST(Wfq, EqualWeightsAlternateBetweenBackloggedFlows) {
   // Two flows, each with 3 packets arriving at t=0; equal weights mean
   // finish tags interleave 1:1.
   for (std::uint64_t i = 0; i < 3; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(1, i, 0.0), 0.0).empty());
-    ASSERT_TRUE(q.enqueue(pkt(2, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(2, i, 0.0), 0.0).empty());
   }
   std::vector<net::FlowId> order;
   while (!q.empty()) order.push_back(q.dequeue(0.0)->flow);
@@ -76,8 +77,8 @@ TEST(Wfq, WeightsSkewService) {
   q.add_flow(1, 3.0);
   q.add_flow(2, 1.0);
   for (std::uint64_t i = 0; i < 8; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(1, i, 0.0), 0.0).empty());
-    ASSERT_TRUE(q.enqueue(pkt(2, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(2, i, 0.0), 0.0).empty());
   }
   // In the first 8 departures, flow 1 (weight 3) should get ~6.
   int flow1 = 0;
@@ -95,7 +96,7 @@ TEST(Wfq, VirtualTimeFrozenWhenIdle) {
 
 TEST(Wfq, VirtualTimeAdvancesWithBacklog) {
   WfqScheduler q(cfg(1000.0));
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0, 1000.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0, 1000.0), 0.0).empty());
   // One backlogged flow of weight 1: slope = 1000/1 = 1000 per second,
   // until the fluid finishes the 1000-bit packet at V = 1000 (t = 1s).
   EXPECT_NEAR(q.virtual_time(0.5), 500.0, 1e-9);
@@ -104,7 +105,7 @@ TEST(Wfq, VirtualTimeAdvancesWithBacklog) {
 
 TEST(Wfq, FluidBacklogClearsAtFinishTag) {
   WfqScheduler q(cfg(1000.0));
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0, 1000.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0, 1000.0), 0.0).empty());
   EXPECT_GT(q.active_weight(), 0.0);
   (void)q.virtual_time(1.5);
   EXPECT_DOUBLE_EQ(q.active_weight(), 0.0);
@@ -116,9 +117,9 @@ TEST(Wfq, LateArrivalGetsVirtualTimeStart) {
   // S = V(0.5), not 0 — i.e. it is not penalised for past idleness and
   // does not leapfrog either.
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(1, i, 0.0, 1000.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(1, i, 0.0, 1000.0), 0.0).empty());
   }
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.5, 1000.0), 0.5).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.5, 1000.0), 0.5).empty());
   // V(0.5) = 500; flow 2's tag = 1500.  Flow 1 tags: 1000, 2000, ...
   // Departure order: f1(1000), f2(1500), f1(2000), ...
   EXPECT_EQ(q.dequeue(0.5)->flow, 1);
@@ -128,9 +129,9 @@ TEST(Wfq, LateArrivalGetsVirtualTimeStart) {
 
 TEST(Wfq, SingleFlowOverflowDropsOwnNewest) {
   WfqScheduler q(cfg(1000.0, 2));
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(1, 1, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(1, 2, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 1, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(1, 2, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->seq, 2u);
 }
@@ -140,9 +141,9 @@ TEST(Wfq, OverflowDropsFromLongestQueue) {
   // the conforming arrival.
   WfqScheduler q(cfg(1000.0, 4));
   for (std::uint64_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(q.enqueue(pkt(2, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(offer(q, pkt(2, i, 0.0), 0.0).empty());
   }
-  auto dropped = q.enqueue(pkt(1, 0, 0.0), 0.0);
+  auto dropped = offer(q, pkt(1, 0, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0]->flow, 2);
   EXPECT_EQ(dropped[0]->seq, 3u);  // flow 2's newest
@@ -159,8 +160,8 @@ TEST(Wfq, OverflowKeepsHeadSetConsistent) {
   // Evicting the only packet of the longest flow must remove its head
   // entry; churn then drain without corruption.
   WfqScheduler q(cfg(1000.0, 1));
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0), 0.0).empty());
-  auto dropped = q.enqueue(pkt(2, 0, 0.0), 0.0);
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0), 0.0).empty());
+  auto dropped = offer(q, pkt(2, 0, 0.0), 0.0);
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(q.packets(), 1u);
   auto p = q.dequeue(0.0);
@@ -177,8 +178,8 @@ TEST(Wfq, WeightLookup) {
 
 TEST(Wfq, PacketsAndBitsAccounting) {
   WfqScheduler q(cfg());
-  ASSERT_TRUE(q.enqueue(pkt(1, 0, 0.0, 700.0), 0.0).empty());
-  ASSERT_TRUE(q.enqueue(pkt(2, 0, 0.0, 300.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(1, 0, 0.0, 700.0), 0.0).empty());
+  ASSERT_TRUE(offer(q, pkt(2, 0, 0.0, 300.0), 0.0).empty());
   EXPECT_EQ(q.packets(), 2u);
   EXPECT_DOUBLE_EQ(q.backlog_bits(), 1000.0);
   (void)q.dequeue(0.0);
