@@ -38,11 +38,9 @@ net::ChainTopology IspnNetwork::build_chain(int num_switches) {
             static_cast<int>(config_.class_targets.size()),
             config_.fifo_plus_gain, config_.fifo_plus,
             config_.stale_offset_threshold});
-    // Stale discards happen inside the scheduler, invisible to the port's
-    // drop accounting; route them into the same per-flow counters.
-    scheduler->set_discard_hook([this](const net::Packet& p, sim::Time) {
-      ++net_.stats(p.flow).net_drops;
-    });
+    // Stale discards flow through the scheduler's DropSink like every
+    // other loss, so the port's drop hook already folds them into the
+    // per-flow net_drops counters — no side-channel wiring needed.
     scheduler->set_wait_observer(
         [meas](int klass, sim::Duration wait, sim::Time now) {
           meas->on_class_wait(klass, wait, now);

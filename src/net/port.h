@@ -9,11 +9,11 @@
 //
 // Drop accounting rides the scheduler's DropSink, installed once at
 // construction: every victim (the offered packet under tail drop, a
-// different one under pushout) increments drops() and fans out to the
-// additive drop hooks, then returns to its PacketPool.  The offered
-// packet's enqueued_at is stamped before the scheduler sees it, so its
-// stamp is the same whether it is accepted, immediately evicted, or
-// evicts somebody else.
+// different one under pushout, a stale packet discarded at dequeue)
+// increments drops() and fans out to the additive drop hooks, then
+// returns to its PacketPool.  The offered packet's enqueued_at is stamped
+// before the scheduler sees it, so its stamp is the same whether it is
+// accepted, immediately evicted, or evicts somebody else.
 //
 // A non-positive rate means "infinitely fast" (the paper's host-switch
 // links): the packet bypasses the queue and is delivered immediately.

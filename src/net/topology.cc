@@ -62,6 +62,16 @@ DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
 FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
                            sim::Rate bottleneck_rate,
                            const SchedulerFactory& make_scheduler) {
+  return build_fan_in(net,
+                      std::vector<sim::Rate>(
+                          static_cast<std::size_t>(num_sources), feed_rate),
+                      bottleneck_rate, make_scheduler);
+}
+
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const SchedulerFactory& make_scheduler) {
   FanInTopology topo{};
   auto& merge = net.add_switch("S-M");
   auto& out = net.add_switch("S-out");
@@ -71,13 +81,13 @@ FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
   topo.sink_host = sink.id();
   net.connect(sink.id(), out.id(), /*rate=*/0);
   net.connect(merge.id(), out.id(), bottleneck_rate, make_scheduler);
-  for (int i = 0; i < num_sources; ++i) {
+  for (std::size_t i = 0; i < feed_rates.size(); ++i) {
     auto& sw = net.add_switch("S-" + std::to_string(i + 1));
     auto& host = net.add_host("Host-" + std::to_string(i + 1));
     topo.edge_switches.push_back(sw.id());
     topo.src_hosts.push_back(host.id());
     net.connect(host.id(), sw.id(), /*rate=*/0);
-    net.connect(sw.id(), merge.id(), feed_rate, make_scheduler);
+    net.connect(sw.id(), merge.id(), feed_rates[i], make_scheduler);
   }
   net.build_routes();
   return topo;

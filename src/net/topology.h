@@ -63,4 +63,14 @@ FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
                            sim::Rate bottleneck_rate,
                            const SchedulerFactory& make_scheduler);
 
+/// Asymmetric-rate fan-in: one feed rate per source (feed_rates[i] is the
+/// S-i -> S-M link; <= 0 means infinitely fast).  A fast feed beside slow
+/// ones makes the merge port the paper's "parking lot" — cross traffic
+/// entering at different rates and contending for one bottleneck — which
+/// the soak test drives with millions of packets.
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const SchedulerFactory& make_scheduler);
+
 }  // namespace ispn::net

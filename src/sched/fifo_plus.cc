@@ -23,8 +23,11 @@ net::PacketPtr FifoPlusScheduler::dequeue(sim::Time now) {
 
     // §10: a packet whose offset says it is hopelessly behind its class's
     // average service is discarded, freeing the link for live packets.
+    // Reported through the DropSink like every other loss, so the port's
+    // drop accounting sees dequeue-time discards too.
     if (p->jitter_offset > config_.stale_offset_threshold) {
       ++stale_discards_;
+      drop(std::move(p), now);
       continue;
     }
 

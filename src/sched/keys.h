@@ -11,8 +11,13 @@
 #include <cstdint>
 
 #include "net/packet.h"
+#include "util/calendar_queue.h"
 
 namespace ispn::sched {
+
+/// Which virtual-time ordering structure a scheduler uses (heap vs
+/// calendar queue) — re-exported so configs can say sched::OrderBackend.
+using util::OrderBackend;
 
 /// Key of a flow's head packet in the packetized WFQ selection: smallest
 /// (finish tag, arrival order) transmits next.
@@ -27,6 +32,16 @@ struct HeadLess {
     return a.order < b.order;
   }
 };
+
+/// Virtual-time projection of a HeadKey, for calendar-queue bucketing.
+/// HeadLess orders primarily by this projection (ties by arrival order),
+/// which is exactly the consistency the calendar requires.
+struct HeadProject {
+  double operator()(const HeadKey& k) const { return k.finish; }
+};
+
+/// The selectable head-of-flow ordering used by WFQ and unified.
+using HeadOrder = util::OrderIndex<HeadKey, HeadLess, HeadProject>;
 
 /// Heap entry for a packet parked in a PacketSlab: 24 trivially-copyable
 /// bytes ordered by (key, order), so sifts move raw words instead of

@@ -21,12 +21,13 @@ namespace ispn::sched {
 
 class Scheduler {
  public:
-  /// Receives every packet dropped by the discipline at enqueue time:
-  /// (victim, now).  The victim still carries its own arrival stamp
-  /// (enqueued_at) — a pushout victim was stamped when *it* arrived, not
-  /// at the arrival that evicted it.  When the sink returns, the victim is
-  /// destroyed (returning pooled storage to its PacketPool) unless the
-  /// sink moved it out.
+  /// Receives every packet the discipline drops after accepting custody:
+  /// tail drops and pushout victims at enqueue time, and §10 stale
+  /// discards at dequeue time — (victim, now).  The victim still carries
+  /// its own arrival stamp (enqueued_at) — a pushout victim was stamped
+  /// when *it* arrived, not at the arrival that evicted it.  When the sink
+  /// returns, the victim is destroyed (returning pooled storage to its
+  /// PacketPool) unless the sink moved it out.
   using DropSink = std::function<void(net::PacketPtr, sim::Time)>;
 
   virtual ~Scheduler() = default;

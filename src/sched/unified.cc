@@ -9,7 +9,9 @@ namespace ispn::sched {
 UnifiedScheduler::UnifiedScheduler(Config config)
     : config_(config),
       flow0_weight_(config.link_rate),
-      clock_(config.link_rate, FluidClock::Flow0Policy::kTracked),
+      clock_(config.link_rate, FluidClock::Flow0Policy::kTracked,
+             config.order_backend),
+      heads_(config.order_backend),
       flow0_inv_weight_(1.0 / config.link_rate) {
   assert(config_.link_rate > 0);
   assert(config_.num_predicted_classes >= 1);
@@ -224,6 +226,10 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
         --total_packets_;
         retire_tag_for_discard();
         if (discard_hook_) discard_hook_(*p, now);
+        // A stale discard is a loss like any other: report it through the
+        // DropSink so Port::drops() and the per-flow stats stay complete
+        // at merge points (they used to see enqueue-time drops only).
+        drop(std::move(p), now);
         continue;
       }
       const sim::Duration wait = now - p->enqueued_at;

@@ -72,6 +72,9 @@ class UnifiedScheduler final : public Scheduler {
     /// point it could have met, so its bandwidth is better spent on the
     /// packets behind it.  Infinity disables the feature (default).
     sim::Duration stale_offset_threshold = sim::kTimeInfinity;
+    /// Ordering structure for the fluid epochs and head finish tags; every
+    /// backend departs packets in the identical order.
+    OrderBackend order_backend = OrderBackend::kAuto;
   };
 
   /// Observer invoked at each predicted/datagram dequeue with
@@ -105,9 +108,12 @@ class UnifiedScheduler final : public Scheduler {
 
   void set_wait_observer(WaitObserver obs) { observer_ = std::move(obs); }
 
-  /// Observer invoked for packets dropped inside the scheduler after
-  /// acceptance (stale discards), which the port's enqueue-drop accounting
-  /// cannot see.
+  /// Observer invoked specifically for §10 stale discards, just before the
+  /// victim is also reported to the DropSink.  Loss *accounting* needs no
+  /// hook — stale discards already reach Port::drops() and the per-flow
+  /// stats through the sink like every other loss; wiring this hook into
+  /// the same counters would double-count.  It exists for observers that
+  /// want to distinguish discards from other drops (tests, diagnostics).
   using DiscardHook = std::function<void(const net::Packet&, sim::Time)>;
   void set_discard_hook(DiscardHook hook) { discard_hook_ = std::move(hook); }
 
@@ -187,7 +193,7 @@ class UnifiedScheduler final : public Scheduler {
   // Fluid/WFQ state shared by guaranteed flows and flow 0: the shared
   // V(t) machinery (tracked flow-0 weight) plus one head entry per flow.
   FluidClock clock_;
-  util::IndexedDaryHeap<HeadKey, HeadLess> heads_;
+  HeadOrder heads_;
 
   // Flow 0: tag queue (arrival order) + classed packet queues.
   util::Ring<std::pair<double, std::uint64_t>> flow0_tags_;  // (F, order)

@@ -61,6 +61,11 @@ class EventQueue {
     if (free_.empty()) {
       slot = static_cast<std::uint32_t>(slots_.size());
       slots_.emplace_back();
+      // Keep the free list able to hold every slot without reallocating:
+      // retire() must stay allocation-free even when a burst of one-shot
+      // events drains and the freelist grows past any size seen before
+      // (the soak test pins this with the counting allocator).
+      free_.reserve(slots_.capacity());
     } else {
       slot = free_.back();
       free_.pop_back();

@@ -229,5 +229,108 @@ TEST(DropSink, PortDropAccountingMatchesSink) {
   EXPECT_DOUBLE_EQ(flow2_enqueued_at, 0.0005);
 }
 
+// --- §10 stale discards fold into the same accounting --------------------
+//
+// A dequeue-time stale discard must be indistinguishable, accounting-wise,
+// from an enqueue-time drop: one DropSink invocation, one Port::drops()
+// increment, one per-flow net_drops increment.  Exercised at a fan-in
+// merge point where two switches feed the discarding bottleneck port.
+
+TEST(DropSink, StaleDiscardCountsAsDropStandalone) {
+  UnifiedScheduler q(UnifiedScheduler::Config{1e6, 10, 2, 1.0 / 4096.0, true,
+                                              /*stale=*/0.05});
+  q.set_predicted_priority(1, 0);
+  std::uint64_t sink_calls = 0;
+  q.set_drop_sink([&sink_calls](net::PacketPtr v, sim::Time) {
+    ASSERT_NE(v, nullptr);
+    EXPECT_GT(v->jitter_offset, 0.05);
+    ++sink_calls;
+  });
+  auto stale = predicted_pkt(1, 0, 0.0, 0, /*jitter_offset=*/0.2);
+  auto fresh = predicted_pkt(1, 1, 0.0, 0);
+  q.enqueue(std::move(fresh), 0.0);
+  q.enqueue(std::move(stale), 0.0);
+  auto p = q.dequeue(0.01);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->seq, 1u);
+  EXPECT_EQ(q.stale_discards(), 1u);
+  EXPECT_EQ(sink_calls, 1u);  // the discard reached the sink
+  q.set_drop_sink({});
+}
+
+TEST(DropSink, FifoPlusStaleDiscardCountsAsDrop) {
+  FifoPlusScheduler::Config config;
+  config.capacity_pkts = 10;
+  config.stale_offset_threshold = 0.05;
+  FifoPlusScheduler q(config);
+  std::uint64_t sink_calls = 0;
+  q.set_drop_sink(
+      [&sink_calls](net::PacketPtr, sim::Time) { ++sink_calls; });
+  q.enqueue(predicted_pkt(1, 0, 0.0, 0, 0.2), 0.0);
+  q.enqueue(predicted_pkt(1, 1, 0.0, 0), 0.0);
+  auto p = q.dequeue(0.01);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(q.stale_discards(), 1u);
+  EXPECT_EQ(sink_calls, 1u);
+  q.set_drop_sink({});
+}
+
+TEST(DropSink, MergePointStaleDiscardsAgreeAcrossPortSinkAndStats) {
+  net::Network net;
+  // Infinitely fast feed links (rate 0): the merge port's unified
+  // scheduler is the only queueing — and hence the only discarding — hop.
+  const auto topo = net::build_fan_in(net, 2, /*feed_rate=*/0, 1e6, [] {
+    UnifiedScheduler::Config cfg;
+    cfg.link_rate = 1e6;
+    cfg.capacity_pkts = 200;
+    cfg.stale_offset_threshold = 0.05;
+    return std::make_unique<UnifiedScheduler>(cfg);
+  });
+  net.attach_stats_sink(1, topo.sink_host);
+  net.attach_stats_sink(2, topo.sink_host);
+
+  net::Port* merge_port = net.port(topo.merge_switch, topo.sink_switch);
+  ASSERT_NE(merge_port, nullptr);
+  std::uint64_t merge_hook_drops = 0;
+  merge_port->add_drop_hook([&merge_hook_drops](const net::Packet& p,
+                                                sim::Time) {
+    EXPECT_GT(p.jitter_offset, 0.05);  // only stale discards drop here
+    ++merge_hook_drops;
+  });
+
+  // Two flows converge on the merge port; flow 1's packets carry absurd
+  // accumulated jitter offsets and are discarded at dequeue, flow 2's are
+  // clean.  Arrivals are spaced so nothing overflows: every loss in this
+  // scenario is a dequeue-time stale discard.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const double t = 0.002 * static_cast<double>(i);
+    net.sim().at(t, [&net, &topo, i, t] {
+      auto p = net::make_packet(1, i, topo.src_hosts[0], topo.sink_host, t);
+      p->service = net::ServiceClass::kPredicted;
+      p->jitter_offset = 0.5;
+      net.host(topo.src_hosts[0]).inject(std::move(p));
+    });
+    net.sim().at(t + 0.001, [&net, &topo, i, t] {
+      auto p = net::make_packet(2, i, topo.src_hosts[1], topo.sink_host,
+                                t + 0.001);
+      p->service = net::ServiceClass::kPredicted;
+      net.host(topo.src_hosts[1]).inject(std::move(p));
+    });
+  }
+  net.sim().run();
+
+  // All of flow 1 was discarded as stale at the merge port; flow 2 sailed
+  // through.  drops() == drop hook == per-flow stats, stale included.
+  EXPECT_EQ(net.stats(1).received, 0u);
+  EXPECT_EQ(net.stats(1).net_drops, 10u);
+  EXPECT_EQ(net.stats(2).received, 10u);
+  EXPECT_EQ(net.stats(2).net_drops, 0u);
+  EXPECT_EQ(merge_port->drops(), 10u);
+  EXPECT_EQ(merge_hook_drops, 10u);
+  const auto& sched =
+      static_cast<UnifiedScheduler&>(merge_port->scheduler());
+  EXPECT_EQ(sched.stale_discards(), 10u);
+}
+
 }  // namespace
 }  // namespace ispn::sched
