@@ -10,14 +10,22 @@
 //   medium  32-byte capture — multi-pointer closures (tracer, measurement)
 //   large   64-byte capture — cold-path escape hatch (heap-boxed)
 //
+// All wheel_* rows run the default EventBackend::kAuto (heap below 64
+// pending, timing wheel above); event_heap / event_wheel pin the pure
+// backends on the small shape so both stay measured across the
+// trajectory, and timer_rearm measures the persistent-timer path that
+// ports and sources use (one slab slot for life, re-arm = key insert).
+//
 // Results are appended to BENCH_event_core.json (see bench/common.h).
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 
 namespace {
 
@@ -27,8 +35,9 @@ using namespace ispn;
 /// earliest and schedules one more `horizon` seconds out.
 template <typename MakeAction>
 void wheel(bench::JsonReporter& report, const std::string& name, int pending,
-           MakeAction make_action) {
-  sim::Simulator sim;
+           MakeAction make_action,
+           sim::EventBackend backend = sim::EventBackend::kAuto) {
+  sim::Simulator sim(backend);
   std::uint64_t fired = 0;
   const double horizon = 1e-3 * pending;
   for (int i = 0; i < pending; ++i) {
@@ -40,6 +49,27 @@ void wheel(bench::JsonReporter& report, const std::string& name, int pending,
   });
   if (fired == 0) std::printf("(!) no events fired in %s\n", name.c_str());
   report.add(name, "pending=" + std::to_string(pending), r);
+}
+
+/// Persistent-timer wheel: the port/source hot path.  `pending` timers
+/// each re-arm themselves `horizon` out when they fire — no slot churn,
+/// no action reconstruction; one step() fires exactly one timer.
+void timer_wheel(bench::JsonReporter& report, int pending) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::vector<sim::Timer> timers;
+  timers.reserve(static_cast<std::size_t>(pending));
+  const double horizon = 1e-3 * pending;
+  for (int i = 0; i < pending; ++i) {
+    timers.emplace_back(sim, [&timers, &fired, horizon, i] {
+      ++fired;
+      timers[static_cast<std::size_t>(i)].arm_after(horizon);
+    });
+    timers.back().arm_after(1e-3 * (i + 1));
+  }
+  const auto r = bench::time_loop([&] { sim.step(); });
+  if (fired == 0) std::printf("(!) no timers fired\n");
+  report.add("timer_rearm", "pending=" + std::to_string(pending), r);
 }
 
 /// Cancellation wheel: each cycle schedules two events, cancels one, fires
@@ -68,12 +98,13 @@ int main() {
   bench::header("event_core: kernel schedule/pop/cancel throughput");
   bench::JsonReporter report("event_core");
 
+  const auto small = [](std::uint64_t& fired) {
+    return [&fired] { ++fired; };
+  };
   for (int pending : {16, 256, 4096}) {
-    wheel(report, "wheel_small", pending, [](std::uint64_t& fired) {
-      return [&fired] { ++fired; };
-    });
+    wheel(report, "wheel_small", pending, small);
   }
-  for (int pending : {16, 256}) {
+  for (int pending : {16, 256, 4096}) {
     wheel(report, "wheel_medium", pending, [](std::uint64_t& fired) {
       struct Capture {
         std::uint64_t* a;
@@ -84,7 +115,7 @@ int main() {
       return [cap] { ++*cap.a; };
     });
   }
-  for (int pending : {16, 256}) {
+  for (int pending : {16, 256, 4096}) {
     wheel(report, "wheel_large", pending, [](std::uint64_t& fired) {
       struct Capture {
         std::uint64_t* a;
@@ -93,7 +124,14 @@ int main() {
       return [cap] { ++*cap.a; };
     });
   }
+  // Pure backends, kept measured so the trajectory shows both curves.
+  for (int pending : {256, 4096}) {
+    wheel(report, "event_heap", pending, small, sim::EventBackend::kHeap);
+    wheel(report, "event_wheel", pending, small, sim::EventBackend::kWheel);
+  }
+  for (int pending : {256, 4096}) timer_wheel(report, pending);
   cancel_wheel(report, 256);
+  cancel_wheel(report, 4096);
 
   const std::string path = report.write();
   std::printf("trajectory appended to %s\n", path.c_str());

@@ -29,6 +29,7 @@ export ISPN_BENCH_JSON_DIR="$BUILD_DIR"
 export ISPN_BENCH_LABEL="smoke"
 ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_event_core" >/dev/null
 ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_sched_micro" >/dev/null
+ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_e2e" >/dev/null
 ISPN_BENCH_SECONDS=2 "$BUILD_DIR/bench_table1" >/dev/null
 
 echo "OK"

@@ -10,6 +10,21 @@ PlaybackApp::PlaybackApp(Config config)
       point_(config.initial_point),
       max_point_(config.initial_point) {}
 
+void PlaybackApp::attach_clock(sim::Simulator& sim) {
+  sim_ = &sim;
+  replay_ = sim::Timer(sim, [this] { drain(sim_->now()); });
+}
+
+void PlaybackApp::drain(sim::Time now) {
+  // Replay every packet whose instant has arrived (equal instants drain
+  // together), then re-arm for the next outstanding one.
+  while (!deadlines_.empty() && deadlines_.top() <= now) {
+    deadlines_.pop();
+    ++played_;
+  }
+  if (!deadlines_.empty()) replay_.arm_at(deadlines_.top());
+}
+
 void PlaybackApp::on_packet(net::PacketPtr p, sim::Time now) {
   const sim::Duration delay = now - p->created_at;
   ++received_;
@@ -17,6 +32,17 @@ void PlaybackApp::on_packet(net::PacketPtr p, sim::Time now) {
     ++late_;
   } else {
     slack_.add(point_ - delay);
+    if (sim_ != nullptr) {
+      // Buffer until the playback instant fixed at arrival.  Re-arm only
+      // when this packet becomes the earliest (an adaptive point move can
+      // reorder instants) — a pure in-place supersede.
+      const sim::Time instant = p->created_at + point_;
+      deadlines_.push(instant);
+      max_buffered_ = std::max(max_buffered_, deadlines_.size());
+      if (!replay_.pending() || instant < replay_.expiry()) {
+        replay_.arm_at(instant);
+      }
+    }
   }
   if (config_.mode == Mode::kAdaptive) {
     estimator_.add(delay);

@@ -15,6 +15,14 @@
 // headroom, and the playback-point history — the "post facto vs a-priori
 // bound" comparison at the heart of the paper's argument for predicted
 // service.
+//
+// With attach_clock(), the app additionally models the replay side: a
+// persistent timer fires at each buffered packet's playback instant
+// (creation + playback point, fixed at arrival), draining the buffer and
+// tracking its occupancy — the receiver de-jitter buffer depth the paper's
+// §2 playback argument is about.  The timer is re-armed to the earliest
+// outstanding playback instant, so a steady stream costs one key insert
+// per packet and no allocation.
 
 #pragma once
 
@@ -23,7 +31,9 @@
 
 #include "app/adaptive.h"
 #include "net/host.h"
+#include "sim/timer.h"
 #include "stats/online_stats.h"
+#include "util/dary_heap.h"
 
 namespace ispn::app {
 
@@ -48,6 +58,13 @@ class PlaybackApp final : public net::FlowSink {
   };
 
   explicit PlaybackApp(Config config);
+
+  // Not movable: the replay timer's action captures `this`, so the app
+  // must be address-stable once attach_clock() has run.
+  PlaybackApp(const PlaybackApp&) = delete;
+  PlaybackApp& operator=(const PlaybackApp&) = delete;
+  PlaybackApp(PlaybackApp&&) = delete;
+  PlaybackApp& operator=(PlaybackApp&&) = delete;
 
   void on_packet(net::PacketPtr p, sim::Time now) override;
 
@@ -77,8 +94,20 @@ class PlaybackApp final : public net::FlowSink {
   /// delay bound.
   [[nodiscard]] sim::Duration max_point() const { return max_point_; }
 
+  /// Enables the replay clock: on-time packets are buffered until their
+  /// playback instant and drained by a persistent timer.  Call before the
+  /// run; the app must outlive no arm (destroy it before `sim`).
+  void attach_clock(sim::Simulator& sim);
+
+  /// Packets currently waiting in the de-jitter buffer / its high-water
+  /// mark / total packets replayed (clock-attached mode only).
+  [[nodiscard]] std::size_t buffered() const { return deadlines_.size(); }
+  [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
+  [[nodiscard]] std::uint64_t played() const { return played_; }
+
  private:
   void maybe_adapt(sim::Time now);
+  void drain(sim::Time now);
 
   Config config_;
   DelayQuantileEstimator estimator_;
@@ -89,6 +118,13 @@ class PlaybackApp final : public net::FlowSink {
   std::uint64_t since_adapt_ = 0;
   stats::OnlineStats slack_;
   std::vector<PointChange> history_;
+
+  // Replay clock (attach_clock).
+  sim::Simulator* sim_ = nullptr;
+  sim::Timer replay_;  ///< fires at the earliest buffered playback instant
+  util::DaryHeap<sim::Time> deadlines_;  ///< outstanding playback instants
+  std::size_t max_buffered_ = 0;
+  std::uint64_t played_ = 0;
 };
 
 }  // namespace ispn::app

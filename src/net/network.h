@@ -27,7 +27,11 @@ using DirectionalSchedulerFactory =
 
 class Network {
  public:
-  Network() = default;
+  /// `backend` selects the simulator's event-ordering structure; every
+  /// backend produces the identical packet schedule (proven by
+  /// tests/test_event_backend_diff.cc), so it is purely a perf knob.
+  explicit Network(sim::EventBackend backend = sim::EventBackend::kAuto)
+      : sim_(backend) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;

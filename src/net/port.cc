@@ -10,6 +10,12 @@ Port::Port(sim::Simulator& sim, sim::Rate rate,
     : sim_(sim), rate_(rate), scheduler_(std::move(scheduler)), peer_(peer) {
   assert(peer_ != nullptr);
   assert(rate_ <= 0 || scheduler_ != nullptr);
+  if (rate_ > 0) {
+    // Persistent timers: closures constructed once here, re-armed per
+    // packet.  Infinitely fast links never transmit-complete or retry.
+    complete_timer_ = sim::Timer(sim_, [this] { complete(); });
+    retry_timer_ = sim::Timer(sim_, [this] { try_start(); });
+  }
   if (scheduler_ != nullptr) {
     // Installed once; victims are destroyed (returning to their pool) when
     // this sink returns.
@@ -23,7 +29,10 @@ Port::Port(sim::Simulator& sim, sim::Rate rate,
 void Port::send(PacketPtr p) {
   assert(p != nullptr);
   if (rate_ <= 0) {
-    // Infinitely fast link: no queueing, no transmission delay.
+    // Infinitely fast link: no queueing, no transmission delay.  Stamp the
+    // arrival anyway so downstream observers (tracers, sinks on all-fast
+    // routes) never see a stale or default arrival time.
+    p->enqueued_at = sim_.now();
     peer_->receive(std::move(p));
     return;
   }
@@ -38,13 +47,10 @@ void Port::try_start() {
   // scheduler's next eligibility instant, re-arming if it moves earlier.
   const sim::Time eligible = scheduler_->next_eligible(sim_.now());
   if (eligible > sim_.now()) {
-    if (retry_timer_ == sim::kInvalidEventId || eligible < retry_at_) {
-      if (retry_timer_ != sim::kInvalidEventId) sim_.cancel(retry_timer_);
-      retry_at_ = eligible;
-      retry_timer_ = sim_.at(eligible, [this] {
-        retry_timer_ = sim::kInvalidEventId;
-        try_start();
-      });
+    // Re-arm only when eligibility moved earlier; arming supersedes the
+    // pending arm in place (no cancel, no slot churn).
+    if (!retry_timer_.pending() || eligible < retry_timer_.expiry()) {
+      retry_timer_.arm_at(eligible);
     }
     return;
   }
@@ -57,7 +63,7 @@ void Port::try_start() {
   ++in_flight_->hops;
   busy_ = true;
   const sim::Duration tx_time = in_flight_->size_bits / rate_;
-  sim_.after(tx_time, [this] { complete(); });
+  complete_timer_.arm_after(tx_time);
 }
 
 void Port::complete() {

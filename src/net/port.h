@@ -16,7 +16,15 @@
 // accepted, immediately evicted, or evicts somebody else.
 //
 // A non-positive rate means "infinitely fast" (the paper's host-switch
-// links): the packet bypasses the queue and is delivered immediately.
+// links): the packet bypasses the queue and is delivered immediately —
+// still stamped, so tracers and hooks downstream never observe an
+// uninitialised arrival time on host-switch hops.
+//
+// The two per-packet events — transmit-complete and the eligibility
+// retry of non-work-conserving disciplines — are persistent sim::Timers:
+// the closure is built once at construction and every (re)schedule is a
+// pure key insert.  Moving the retry earlier is a single re-arm (the
+// pending arm is superseded in place), not a cancel+schedule pair.
 
 #pragma once
 
@@ -28,6 +36,7 @@
 #include "net/packet.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 
 namespace ispn::net {
 
@@ -78,8 +87,8 @@ class Port {
 
   PacketPtr in_flight_;
   bool busy_ = false;
-  sim::EventId retry_timer_ = sim::kInvalidEventId;  ///< eligibility poll
-  sim::Time retry_at_ = 0;
+  sim::Timer complete_timer_;  ///< in-flight transmission completion
+  sim::Timer retry_timer_;     ///< eligibility poll
   std::uint64_t transmitted_ = 0;
   std::uint64_t drops_ = 0;
   sim::Bits bits_sent_ = 0;

@@ -10,37 +10,113 @@ bool EventQueue::cancel(EventId id) {
   const auto slot = static_cast<std::uint32_t>(slot_part - 1);
   const auto gen = static_cast<std::uint32_t>(id);
   Slot& s = slots_[slot];
+  // Persistent timer slots are managed through sim::Timer only; a stale
+  // one-shot id whose slot was recycled into a timer must not be able to
+  // tear the timer down.
+  if (s.persistent) return false;
   if (!s.live || s.gen != gen) return false;  // already fired or cancelled
-  retire(slot);
+  release_slot(slot);
+  --live_;
   return true;
 }
 
 void EventQueue::drop_stale() {
+  if (on_wheel_) {
+    for (;;) {
+      const Key* k = wheel_.peek();
+      if (k == nullptr || key_live(*k)) return;
+      wheel_.pop_front();
+    }
+  }
   while (!heap_.empty()) {
-    const Key& k = heap_.top();
-    const Slot& s = slots_[k.slot];
-    if (s.live && s.gen == k.gen) return;
+    if (key_live(heap_.top())) return;
     heap_.pop();
   }
 }
 
+void EventQueue::migrate_to_wheel() {
+  wheel_.reset(tick_of(last_pop_time_));
+  for (const Key& k : heap_.raw()) wheel_.insert(k, tick_of(k.time));
+  heap_.clear();
+  on_wheel_ = true;
+}
+
 Time EventQueue::next_time() const {
   assert(live_ > 0);
-  // Skimming stale keys mutates only the heap, not observable state; the
-  // first live key determines the next time.
+  // Skimming stale keys (and advancing the wheel cursor) mutates only the
+  // ordering structure, not observable state; the first live key
+  // determines the next time.
   auto* self = const_cast<EventQueue*>(this);
   self->drop_stale();
-  return self->heap_.top().time;
+  return self->on_wheel_ ? self->wheel_.peek()->time : self->heap_.top().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_stale();
-  assert(!heap_.empty());
-  const Key k = heap_.pop();
+  const Key k = on_wheel_ ? wheel_.pop_front() : heap_.pop();
+  assert(key_live(k));
   Slot& s = slots_[k.slot];
-  Fired fired{k.time, std::move(s.action)};
-  retire(k.slot);
+  last_pop_time_ = k.time;
+  Fired fired;
+  fired.time = k.time;
+  if (s.persistent) {
+    // Marked idle *before* the action runs so the action can re-arm; the
+    // action itself lives in the Timer object, immune to slab growth.
+    s.live = false;
+    fired.in_place = s.external;
+  } else {
+    fired.action = std::move(s.action);
+    release_slot(k.slot);
+  }
+  --live_;
+  if (live_ == 0 && backend_ == EventBackend::kAuto && on_wheel_) {
+    // Free reset point: nothing live to migrate, so drop any stale keys
+    // and fall back to the heap (the better backend while small).
+    wheel_.reset(tick_of(last_pop_time_));
+    on_wheel_ = false;
+  }
   return fired;
+}
+
+TimerSlot EventQueue::create_timer(InlineAction* action) {
+  assert(action != nullptr);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.persistent = true;
+  s.external = action;
+  return slot;
+}
+
+void EventQueue::rebind_timer(TimerSlot t, InlineAction* action) {
+  assert(t < slots_.size() && slots_[t].persistent && action != nullptr);
+  slots_[t].external = action;
+}
+
+void EventQueue::destroy_timer(TimerSlot t) {
+  assert(t < slots_.size() && slots_[t].persistent);
+  if (slots_[t].live) --live_;  // pending key goes stale via the gen bump
+  release_slot(t);
+}
+
+void EventQueue::arm_timer(TimerSlot t, Time at) {
+  assert(t < slots_.size() && slots_[t].persistent);
+  Slot& s = slots_[t];
+  ++s.gen;  // supersedes any pending key atomically
+  if (!s.live) {
+    s.live = true;
+    ++live_;
+  }
+  push_key(Key{at, next_seq_++, t, s.gen});
+}
+
+bool EventQueue::disarm_timer(TimerSlot t) {
+  assert(t < slots_.size() && slots_[t].persistent);
+  Slot& s = slots_[t];
+  if (!s.live) return false;
+  s.live = false;
+  ++s.gen;  // pending key goes stale
+  --live_;
+  return true;
 }
 
 }  // namespace ispn::sim

@@ -10,12 +10,32 @@
 //     free list.  An EventId encodes (slot index, generation); cancel() is
 //     an O(1) generation check that frees the slot immediately — there is
 //     no cancelled-id set to probe on every pop, and a cancelled id can
-//     never leak (the stale heap key is discarded by generation mismatch
-//     when it surfaces).
-//   * Ordering lives in a 4-ary min-heap of small (time, seq, slot, gen)
-//     keys — contiguous, shallow, and cheap to sift.
+//     never leak (the stale ordering key is discarded by generation
+//     mismatch when it surfaces).
+//   * Ordering lives in one of two interchangeable backends holding small
+//     (time, seq, slot, gen) keys:
+//       - EventBackend::kHeap  — a 4-ary min-heap; O(log n) sift, the
+//         better constant below a few dozen pending events;
+//       - EventBackend::kWheel — a hierarchical timing wheel
+//         (util/timing_wheel.h); O(1) insert with lazy cascade, the
+//         winner at the hundreds-to-thousands of pending events that
+//         multi-hop Table runs keep in flight;
+//       - EventBackend::kAuto  — starts on the heap, migrates every key
+//         to the wheel when the pending count first exceeds
+//         kAutoWheelThreshold, and falls back to the heap when the queue
+//         drains empty (a free reset point: nothing to migrate).
+//     Both backends pop in the identical (time, seq) total order — proven
+//     byte-for-byte by tests/test_event_backend_diff.cc — so the knob is
+//     purely a performance choice.
 //   * Actions are InlineAction: closures up to 48 bytes are stored in the
 //     slot itself; larger ones heap-box once (the cold-path escape hatch).
+//   * Persistent timers (sim/timer.h) occupy a slab slot for their whole
+//     lifetime but keep their action *outside* the slab (in the Timer
+//     object, whose address is stable), so re-arming is a pure key insert:
+//     no slot churn, no InlineAction reconstruction, and the slot pointer
+//     stays valid even if firing the action grows the slab.  Re-arming
+//     bumps the slot generation, which atomically invalidates any pending
+//     key — arm-over-arm needs no cancel.
 //
 // Generations are 32-bit and wrap after 2^32 schedules of one slot; with a
 // handful of outstanding ids per slot (ports hold at most one retry timer)
@@ -31,6 +51,7 @@
 #include "sim/inline_action.h"
 #include "sim/units.h"
 #include "util/dary_heap.h"
+#include "util/timing_wheel.h"
 
 namespace ispn::sim {
 
@@ -43,12 +64,22 @@ using EventId = std::uint64_t;
 /// Sentinel returned when no event was scheduled.
 inline constexpr EventId kInvalidEventId = 0;
 
-/// Slab-allocated min-heap of timed events with stable same-time ordering,
-/// O(log n) schedule/pop and O(1) cancel.  Not thread-safe: the simulator
-/// is single-threaded by design.
+/// Slab slot index of a persistent timer (sim/timer.h owns the lifetime).
+using TimerSlot = std::uint32_t;
+
+/// Sentinel for "no timer slot".
+inline constexpr TimerSlot kInvalidTimerSlot = ~TimerSlot{0};
+
+/// Real-time ordering structure; see the header comment for the trade-off.
+enum class EventBackend : std::uint8_t { kHeap, kWheel, kAuto };
+
+/// Slab-allocated timed-event queue with stable same-time ordering, O(1)
+/// cancel, and a heap or timing-wheel ordering backend.  Not thread-safe:
+/// the simulator is single-threaded by design.
 class EventQueue {
  public:
-  EventQueue() = default;
+  explicit EventQueue(EventBackend backend = EventBackend::kAuto)
+      : backend_(backend), on_wheel_(backend == EventBackend::kWheel) {}
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -57,24 +88,11 @@ class EventQueue {
   /// Returns a handle that can later be passed to cancel().
   template <typename F>
   EventId schedule(Time at, F&& action) {
-    std::uint32_t slot;
-    if (free_.empty()) {
-      slot = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-      // Keep the free list able to hold every slot without reallocating:
-      // retire() must stay allocation-free even when a burst of one-shot
-      // events drains and the freelist grows past any size seen before
-      // (the soak test pins this with the counting allocator).
-      free_.reserve(slots_.capacity());
-    } else {
-      slot = free_.back();
-      free_.pop_back();
-    }
+    const std::uint32_t slot = acquire_slot();
     Slot& s = slots_[slot];
-    assert(!s.live);
     s.action = InlineAction(std::forward<F>(action));
     s.live = true;
-    heap_.push(Key{at, next_seq_++, slot, s.gen});
+    push_key(Key{at, next_seq_++, slot, s.gen});
     ++live_;
     return make_id(slot, s.gen);
   }
@@ -82,7 +100,7 @@ class EventQueue {
   /// Cancels a previously scheduled event.  Returns true if the event was
   /// still pending; the slot and its captured state are released
   /// immediately and the id can never match a recycled slot (generation
-  /// check).
+  /// check).  Persistent timer slots are not cancellable through ids.
   bool cancel(EventId id);
 
   /// True if no live events remain.
@@ -92,14 +110,53 @@ class EventQueue {
   [[nodiscard]] Time next_time() const;
 
   /// Removes and returns the earliest live event, advancing past any stale
-  /// heap keys.  Precondition: !empty().
+  /// ordering keys.  For a one-shot event the action is moved out and the
+  /// slot retired; for a persistent timer the action is invoked in place
+  /// (it lives in the Timer object, not the slab).
   struct Fired {
     Time time = 0;
-    EventAction action;
+    EventAction action;               ///< one-shot payload
+    EventAction* in_place = nullptr;  ///< persistent timer payload
+    void operator()() {
+      if (in_place != nullptr) {
+        (*in_place)();
+      } else {
+        action();
+      }
+    }
   };
   Fired pop();
 
-  /// Number of live (non-cancelled) events.
+  // --- persistent timers (wrapped by sim::Timer) ---------------------------
+
+  /// Acquires a slot whose action lives at `*action` (a stable address
+  /// owned by the caller) for the life of the timer.
+  TimerSlot create_timer(InlineAction* action);
+
+  /// Re-points the slot's action (Timer move support).
+  void rebind_timer(TimerSlot t, InlineAction* action);
+
+  /// Releases the slot; a pending arm is cancelled.
+  void destroy_timer(TimerSlot t);
+
+  /// (Re-)arms the timer for absolute time `at`.  A pending arm is
+  /// superseded atomically (generation bump); no cancel round-trip.
+  void arm_timer(TimerSlot t, Time at);
+
+  /// Disarms a pending timer.  Returns false if it was not pending (never
+  /// armed, already fired, or already disarmed).
+  bool disarm_timer(TimerSlot t);
+
+  /// True while an arm is pending (becomes false just before the action
+  /// runs, so the action may re-arm).
+  [[nodiscard]] bool timer_armed(TimerSlot t) const {
+    assert(t < slots_.size() && slots_[t].persistent);
+    return slots_[t].live;
+  }
+
+  // --- diagnostics ---------------------------------------------------------
+
+  /// Number of live (non-cancelled) events, armed timers included.
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Total events ever scheduled (diagnostic).
@@ -110,11 +167,23 @@ class EventQueue {
   [[nodiscard]] std::size_t slab_slots() const { return slots_.size(); }
   [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
 
+  /// The backend requested at construction / the structure currently
+  /// holding the keys (kAuto migrates between the two).
+  [[nodiscard]] EventBackend backend() const { return backend_; }
+  [[nodiscard]] EventBackend active_backend() const {
+    return on_wheel_ ? EventBackend::kWheel : EventBackend::kHeap;
+  }
+
+  /// kAuto's heap -> wheel migration point (pending count).
+  static constexpr std::size_t kAutoWheelThreshold = 64;
+
  private:
   struct Slot {
-    InlineAction action;
-    std::uint32_t gen = 1;  // bumped on every fire/cancel
-    bool live = false;
+    InlineAction action;             ///< one-shot payload
+    InlineAction* external = nullptr;  ///< persistent payload (Timer-owned)
+    std::uint32_t gen = 1;  ///< bumped on every retire / (re-)arm
+    bool live = false;      ///< one-shot pending / timer armed
+    bool persistent = false;
   };
   struct Key {
     Time time = 0;
@@ -128,28 +197,93 @@ class EventQueue {
       return a.seq < b.seq;
     }
   };
+  using Wheel = util::TimingWheel<Key, KeyLess>;
+
+  /// Wheel resolution: 2^17 ticks per second (~7.6 us).  Fine enough that
+  /// distinct transmission instants land in distinct buckets (a 1 Mbit/s
+  /// link transmits one packet per ~131 ticks), coarse enough that typical
+  /// horizons need only two or three wheel levels — sub-tick coincidences
+  /// are resolved exactly by the sorted run, so resolution is purely a
+  /// performance knob.
+  static constexpr double kTicksPerSec = 131072.0;
+
+  static Wheel::Tick tick_of(Time t) {
+    const double scaled = t * kTicksPerSec;
+    if (scaled <= 0.0) return 0;
+    // Clamp far-future sentinels (kTimeInfinity) below the uint64 edge;
+    // they order among themselves by exact time in the overflow list.
+    constexpr double kMax = 9.0e18;
+    if (scaled >= kMax) return static_cast<Wheel::Tick>(kMax);
+    return static_cast<Wheel::Tick>(scaled);
+  }
 
   static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
     // slot+1 keeps every valid id distinct from kInvalidEventId.
     return (static_cast<EventId>(slot) + 1) << 32 | gen;
   }
 
-  /// Releases a slot back to the free list, invalidating outstanding ids.
-  void retire(std::uint32_t slot) {
+  std::uint32_t acquire_slot() {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+      // Keep the free list able to hold every slot without reallocating:
+      // release_slot() must stay allocation-free even when a burst of
+      // one-shot events drains and the freelist grows past any size seen
+      // before (the soak test pins this with the counting allocator).
+      free_.reserve(slots_.capacity());
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    assert(!slots_[slot].live && !slots_[slot].persistent);
+    return slot;
+  }
+
+  /// Returns a slot to the free list, invalidating outstanding ids.  The
+  /// caller accounts for live_.
+  void release_slot(std::uint32_t slot) {
     Slot& s = slots_[slot];
     s.live = false;
+    s.persistent = false;
+    s.external = nullptr;
     ++s.gen;
     s.action.reset();
     free_.push_back(slot);
-    --live_;
   }
 
-  /// Discards heap keys whose slot has been fired/cancelled since.
+  [[nodiscard]] bool key_live(const Key& k) const {
+    const Slot& s = slots_[k.slot];
+    return s.live && s.gen == k.gen;
+  }
+
+  void push_key(const Key& k) {
+    if (!on_wheel_ && backend_ == EventBackend::kAuto &&
+        live_ >= kAutoWheelThreshold) {
+      migrate_to_wheel();
+    }
+    if (on_wheel_) {
+      wheel_.insert(k, tick_of(k.time));
+    } else {
+      heap_.push(k);
+    }
+  }
+
+  /// Moves every key from the heap onto the wheel (kAuto upgrade).  Stale
+  /// keys migrate too and are skimmed as usual when they surface.
+  void migrate_to_wheel();
+
+  /// Discards ordering keys whose slot has been fired/cancelled/re-armed
+  /// since, leaving the earliest live key on top.
   void drop_stale();
 
   std::vector<Slot> slots_;         // slab; addressed by index only
   std::vector<std::uint32_t> free_;
   util::DaryHeap<Key, KeyLess, 4> heap_;
+  Wheel wheel_;
+  EventBackend backend_ = EventBackend::kAuto;
+  bool on_wheel_ = false;
+  Time last_pop_time_ = 0;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };

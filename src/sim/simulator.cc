@@ -9,7 +9,7 @@ bool Simulator::step() {
   auto fired = queue_.pop();
   now_ = fired.time;
   ++processed_;
-  fired.action();
+  fired();
   return true;
 }
 

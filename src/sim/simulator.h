@@ -1,13 +1,16 @@
 // The simulation kernel: a clock plus an event queue.
 //
 // Usage:
-//   Simulator sim;
+//   Simulator sim;                  // EventBackend::kAuto by default
 //   sim.at(1.0, [&]{ ... });        // absolute time
 //   sim.after(0.5, [&]{ ... });     // relative to now()
+//   auto t = sim.make_timer([&]{ ... });  // persistent timer (sim/timer.h)
 //   sim.run_until(600.0);
 //
 // The kernel is strictly single-threaded and deterministic: events at equal
-// times fire in scheduling order.
+// times fire in scheduling order, and the ordering backend (heap, timing
+// wheel, or auto) never changes the firing order — only the cost of
+// maintaining it.
 
 #pragma once
 
@@ -21,9 +24,12 @@
 
 namespace ispn::sim {
 
+class Timer;
+
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EventBackend backend = EventBackend::kAuto)
+      : queue_(backend) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -52,6 +58,11 @@ class Simulator {
   /// Cancels a pending event.  Returns true if it had not yet fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
+  /// Creates a persistent re-armable timer bound to `action`.  Defined in
+  /// sim/timer.h (include it at call sites).
+  template <typename F>
+  Timer make_timer(F&& action);
+
   /// Runs until the queue drains or the clock passes `end`.  Events scheduled
   /// exactly at `end` still fire.  Returns the number of events processed.
   std::uint64_t run_until(Time end);
@@ -70,6 +81,10 @@ class Simulator {
 
   /// Total events processed so far (diagnostic).
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// The underlying event queue (timer plumbing, slab diagnostics).
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

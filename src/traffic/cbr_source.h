@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include "sim/timer.h"
 #include "traffic/source.h"
 
 namespace ispn::traffic {
@@ -24,11 +25,10 @@ class CbrSource final : public Source {
             net::FlowStats* stats = nullptr,
             std::optional<TokenBucketSpec> police = std::nullopt)
       : Source(sim, flow, src, dst, std::move(emit), stats, police),
-        config_(config) {}
+        config_(config),
+        tick_(sim, [this] { tick(); }) {}
 
-  void start(sim::Time at) override {
-    sim_.at(at, [this] { tick(); });
-  }
+  void start(sim::Time at) override { tick_.arm_at(at); }
 
   void stop() { stopped_ = true; }
 
@@ -38,10 +38,11 @@ class CbrSource final : public Source {
     if (config_.limit != 0 && sent_ >= config_.limit) return;
     generate(config_.packet_bits);
     ++sent_;
-    sim_.after(1.0 / config_.rate_pps, [this] { tick(); });
+    tick_.arm_after(1.0 / config_.rate_pps);
   }
 
   Config config_;
+  sim::Timer tick_;  ///< the one emission event, re-armed per packet
   std::uint64_t sent_ = 0;
   bool stopped_ = false;
 };

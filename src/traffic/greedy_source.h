@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include "sim/timer.h"
 #include "traffic/source.h"
 
 namespace ispn::traffic {
@@ -28,7 +29,8 @@ class GreedySource final : public Source {
       // same filter verifies conformance (a property test does exactly
       // that), so pass it through as the edge policer.
       : Source(sim, flow, src, dst, std::move(emit), stats, config.bucket),
-        config_(config) {}
+        config_(config),
+        tick_(sim, [this] { tick(); }) {}
 
   void start(sim::Time at) override {
     sim_.at(at, [this] {
@@ -40,7 +42,7 @@ class GreedySource final : public Source {
         generate(config_.packet_bits);
         ++sent_;
       }
-      tick();
+      arm_next();
     });
   }
 
@@ -51,18 +53,21 @@ class GreedySource final : public Source {
     return stopped_ || (config_.limit != 0 && sent_ >= config_.limit);
   }
 
+  /// After the burst, tokens accrue at rate r: one packet per p/r seconds.
+  void arm_next() {
+    if (done()) return;
+    tick_.arm_after(config_.packet_bits / config_.bucket.rate);
+  }
+
   void tick() {
     if (done()) return;
-    // After the burst, tokens accrue at rate r: one packet per p/r seconds.
-    sim_.after(config_.packet_bits / config_.bucket.rate, [this] {
-      if (done()) return;
-      generate(config_.packet_bits);
-      ++sent_;
-      tick();
-    });
+    generate(config_.packet_bits);
+    ++sent_;
+    arm_next();
   }
 
   Config config_;
+  sim::Timer tick_;  ///< token-paced emission, re-armed per packet
   std::uint64_t sent_ = 0;
   bool stopped_ = false;
 };

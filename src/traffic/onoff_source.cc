@@ -10,35 +10,32 @@ OnOffSource::OnOffSource(sim::Simulator& sim, Config config, sim::Rng rng,
                          std::optional<TokenBucketSpec> police)
     : Source(sim, flow, src, dst, std::move(emit), stats, police),
       config_(config),
-      rng_(rng) {}
+      rng_(rng),
+      tick_(sim, [this] { emit_next(); }) {}
 
 void OnOffSource::start(sim::Time at) {
   // Begin with an idle period so sources with different streams desynchronise.
   sim_.at(at, [this] {
     if (stopped_) return;
-    sim_.after(rng_.exponential(config_.mean_idle()),
-               [this] { begin_burst(); });
+    tick_.arm_after(rng_.exponential(config_.mean_idle()));
   });
 }
 
-void OnOffSource::begin_burst() {
+void OnOffSource::emit_next() {
   if (stopped_) return;
-  const std::uint64_t burst = rng_.geometric1(config_.mean_burst_pkts);
-  emit_next(burst);
-}
-
-void OnOffSource::emit_next(std::uint64_t remaining) {
-  if (stopped_) return;
+  if (remaining_ == 0) {
+    // Start of a burst: draw its geometric length.
+    remaining_ = rng_.geometric1(config_.mean_burst_pkts);
+  }
   generate(config_.packet_bits);
-  if (remaining > 1) {
-    sim_.after(1.0 / config_.peak_pps(),
-               [this, remaining] { emit_next(remaining - 1); });
+  if (--remaining_ > 0) {
+    tick_.arm_after(1.0 / config_.peak_pps());
   } else {
     // The last packet still occupies a 1/P slot before the idle period, so
     // that E[cycle] = B/P + I and the average rate is exactly A
     // (A^{-1} = I/B + 1/P).
-    sim_.after(1.0 / config_.peak_pps() + rng_.exponential(config_.mean_idle()),
-               [this] { begin_burst(); });
+    tick_.arm_after(1.0 / config_.peak_pps() +
+                    rng_.exponential(config_.mean_idle()));
   }
 }
 

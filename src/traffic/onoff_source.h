@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include "sim/timer.h"
 #include "traffic/source.h"
 
 namespace ispn::traffic {
@@ -60,11 +61,14 @@ class OnOffSource final : public Source {
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
-  void begin_burst();
-  void emit_next(std::uint64_t remaining);
+  void emit_next();
 
   Config config_;
   sim::Rng rng_;
+  /// The one generation event: fires at each emission instant; the burst
+  /// countdown lives in remaining_ rather than in per-event closures.
+  sim::Timer tick_;
+  std::uint64_t remaining_ = 0;  ///< packets left in the current burst
   bool stopped_ = false;
 };
 

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include "sim/timer.h"
 #include "traffic/source.h"
 
 namespace ispn::traffic {
@@ -22,11 +23,10 @@ class PoissonSource final : public Source {
                 std::optional<TokenBucketSpec> police = std::nullopt)
       : Source(sim, flow, src, dst, std::move(emit), stats, police),
         config_(config),
-        rng_(rng) {}
+        rng_(rng),
+        tick_(sim, [this] { tick(); }) {}
 
-  void start(sim::Time at) override {
-    sim_.at(at, [this] { tick(); });
-  }
+  void start(sim::Time at) override { tick_.arm_at(at); }
 
   void stop() { stopped_ = true; }
 
@@ -34,11 +34,12 @@ class PoissonSource final : public Source {
   void tick() {
     if (stopped_) return;
     generate(config_.packet_bits);
-    sim_.after(rng_.exponential(1.0 / config_.rate_pps), [this] { tick(); });
+    tick_.arm_after(rng_.exponential(1.0 / config_.rate_pps));
   }
 
   Config config_;
   sim::Rng rng_;
+  sim::Timer tick_;  ///< the one arrival event, re-armed per packet
   bool stopped_ = false;
 };
 

@@ -20,7 +20,8 @@ TcpSource::TcpSource(sim::Simulator& sim, Config config, net::FlowId flow,
       stats_(stats),
       cwnd_(config.initial_cwnd),
       ssthresh_(config.initial_ssthresh),
-      rto_(config.initial_rto) {}
+      rto_(config.initial_rto),
+      rto_timer_(sim, [this] { on_rto(); }) {}
 
 void TcpSource::start(sim::Time at) {
   sim_.at(at, [this] {
@@ -31,10 +32,7 @@ void TcpSource::start(sim::Time at) {
 
 void TcpSource::stop() {
   running_ = false;
-  if (rto_timer_ != sim::kInvalidEventId) {
-    sim_.cancel(rto_timer_);
-    rto_timer_ = sim::kInvalidEventId;
-  }
+  rto_timer_.disarm();
 }
 
 void TcpSource::send_segment(std::uint64_t seq, bool is_retransmit) {
@@ -66,15 +64,10 @@ void TcpSource::send_available() {
     send_segment(next_seq_, /*is_retransmit=*/false);
     ++next_seq_;
   }
-  if (inflight() > 0 && rto_timer_ == sim::kInvalidEventId) arm_rto();
+  if (inflight() > 0 && !rto_timer_.pending()) arm_rto();
 }
 
-void TcpSource::arm_rto() {
-  rto_timer_ = sim_.after(rto_, [this] {
-    rto_timer_ = sim::kInvalidEventId;
-    on_rto();
-  });
-}
+void TcpSource::arm_rto() { rto_timer_.arm_after(rto_); }
 
 void TcpSource::on_rto() {
   if (!running_ || inflight() == 0) return;
@@ -130,12 +123,13 @@ void TcpSource::on_packet(net::PacketPtr p, sim::Time now) {
     } else {
       cwnd_ += 1.0 / cwnd_;  // congestion avoidance
     }
-    // Restart the retransmission timer for remaining data.
-    if (rto_timer_ != sim::kInvalidEventId) {
-      sim_.cancel(rto_timer_);
-      rto_timer_ = sim::kInvalidEventId;
+    // Restart the retransmission timer for remaining data: a re-arm
+    // supersedes the pending one in place.
+    if (inflight() > 0) {
+      arm_rto();
+    } else {
+      rto_timer_.disarm();
     }
-    if (inflight() > 0) arm_rto();
   } else if (ack == snd_una_ && inflight() > 0) {
     ++dup_acks_;
     if (!in_recovery_ && dup_acks_ == 3) {

@@ -17,6 +17,7 @@
 #include "net/host.h"
 #include "net/flow.h"
 #include "sim/simulator.h"
+#include "sim/timer.h"
 #include "traffic/source.h"
 
 namespace ispn::traffic {
@@ -92,7 +93,7 @@ class TcpSource final : public net::FlowSink {
   sim::Time timed_sent_at_ = 0;
   bool timing_ = false;
 
-  sim::EventId rto_timer_ = sim::kInvalidEventId;
+  sim::Timer rto_timer_;  ///< persistent retransmission timer, re-armed in place
   bool running_ = false;
 
   std::uint64_t sent_segments_ = 0;

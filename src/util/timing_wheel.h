@@ -1,0 +1,318 @@
+// A hierarchical timing wheel over integer ticks.
+//
+// The event core's real-time ordering problem is the classic one solved by
+// the Linux kernel's timer wheel (kernel/time/timer.c) and FreeBSD's
+// callout wheel (kern/kern_timeout.c): most pending timers sit a short,
+// bounded distance in the future, inserts vastly outnumber everything
+// else, and O(log n) heap sifts — fine at a few dozen entries — become the
+// dominant cost at the thousands of pending events a multi-hop,
+// million-packet run keeps in flight.  A wheel makes insert O(1): bucket
+// an entry by the highest radix-64 digit in which its tick differs from
+// the cursor, and lazily cascade a higher-level bucket into the levels
+// below when the cursor enters its range.  Each entry is relinked at most
+// once per level, so the amortized per-event cost is a small constant.
+//
+// Unlike an OS wheel, a discrete-event simulator must pop in *exact*
+// (time, seq) order, not merely per-tick order: determinism is the
+// contract (the differential harness asserts byte-identical firing order
+// against the binary heap).  Two properties deliver that:
+//
+//   * tick(t) is monotone in t, so ordering coarsely by tick and exactly
+//     within a tick window reproduces the global (time, seq) order;
+//   * consumption happens through a sorted *run*: when the cursor enters a
+//     64-tick level-0 window — whose entries all precede every entry still
+//     bucketed at level 1 and above — the window's entries are pulled into
+//     one vector, sorted by the caller's comparator, and consumed through
+//     a head index (the calendar queue's sorted-run idiom).  Entries
+//     landing inside the active window after the sort (same-instant or
+//     near-instant schedules from inside a firing event) are placed by
+//     binary search.
+//
+// Entries scheduled at a tick already passed by the cursor clamp into the
+// active run: they sort by the exact comparator against whatever is still
+// pending, which is exactly where a heap would surface them.
+//
+// Ticks beyond the wheel's span (64^kLevels from the cursor — days of
+// simulated time at the event core's resolution; in practice only
+// kTimeInfinity sentinels) sit in an overflow list that is re-bucketed on
+// the rare occasion the cursor exhausts every level.
+//
+// Storage is an index-linked node pool: buckets are singly-linked lists of
+// pool indices, so inserts, cascades and overflow re-homing are pure
+// relinks — no per-bucket arrays that could re-grow when a rare alignment
+// piles entries into one bucket.  The pool and the run vector only ever
+// grow to the high-water mark, so steady state performs zero heap
+// allocation (asserted by the alloc-hook tests).  Not thread-safe; the
+// simulator is single-threaded by design.
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ispn::util {
+
+/// `K` is a small POD key; `Less` a strict weak ordering consistent with
+/// the tick mapping (t1 < t2 by Less implies tick(t1) <= tick(t2), which
+/// any monotone quantisation of the primary sort field satisfies).
+template <typename K, typename Less>
+class TimingWheel {
+ public:
+  using Tick = std::uint64_t;
+
+  static constexpr unsigned kLevelBits = 6;
+  static constexpr unsigned kSlotsPerLevel = 1u << kLevelBits;  // 64
+  static constexpr unsigned kLevels = 6;
+  /// Ticks covered from the cursor before entries overflow (64^6).
+  static constexpr Tick kSpan = Tick{1} << (kLevelBits * kLevels);
+
+  TimingWheel() { buckets_.fill(kNil); }
+  explicit TimingWheel(Less less) : less_(std::move(less)) {
+    buckets_.fill(kNil);
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] Tick cursor() const { return cursor_; }
+
+  /// Inserts `k` at `tick`.  Ticks behind the cursor clamp into the active
+  /// run (the "next to pop" region, matching heap behaviour).
+  ///
+  /// An insert landing inside the active window binary-places into the
+  /// sorted run: O(1) when it lands at the tail (the common monotone
+  /// pattern — e.g. a port re-arming its completion a fixed tx-time out),
+  /// O(run) memmove otherwise.  If a future fabric keeps thousands of
+  /// out-of-order keys pending inside one 64-tick window, shrink the
+  /// window by raising the tick resolution (see EventQueue::kTicksPerSec)
+  /// before reaching for a cleverer run structure.
+  void insert(const K& k, Tick tick) {
+    ++count_;
+    if (tick < run_limit_ && run_active_) {
+      // Inside the active window: the run is already sorted (and possibly
+      // partially consumed); binary-place so the next peek stays O(1).
+      const auto pos =
+          std::lower_bound(run_.begin() + static_cast<std::ptrdiff_t>(head_),
+                           run_.end(), k, less_);
+      run_.insert(pos, k);
+      return;
+    }
+    const std::uint32_t n = acquire_node();
+    pool_[n].tick = tick < cursor_ ? cursor_ : tick;
+    pool_[n].key = k;
+    link(n);
+  }
+
+  /// Earliest entry by (tick, Less); nullptr iff empty.  Advances the
+  /// cursor and cascades higher levels as a side effect (ordering-internal
+  /// mutation only, same contract as a heap's lazy sift).
+  [[nodiscard]] const K* peek() {
+    if (head_ < run_.size()) return &run_[head_];
+    if (count_ == 0) return nullptr;
+    for (;;) {
+      if (run_active_) {
+        run_.clear();
+        head_ = 0;
+        run_active_ = false;
+      }
+      // Entries linked into the current level-0 window precede everything
+      // still bucketed at level 1 and above; pull them all at once.
+      const Tick word0 =
+          occ_[0] & (~Tick{0} << static_cast<unsigned>(cursor_ & kSlotMask));
+      if (word0 != 0) {
+        pull_window(word0);
+        return &run_[head_];
+      }
+      refill();
+      if (head_ < run_.size()) return &run_[head_];
+    }
+  }
+
+  /// Removes the entry peek() would return.  Precondition: !empty().
+  K pop_front() {
+    const K* k = peek();
+    assert(k != nullptr);
+    K out = *k;
+    ++head_;
+    --count_;
+    return out;
+  }
+
+  /// Discards every entry and restarts the wheel at `cursor` (used when a
+  /// drained queue migrates backends).  Keeps pool and run capacities.
+  void reset(Tick cursor) {
+    buckets_.fill(kNil);
+    occ_.fill(0);
+    overflow_ = kNil;
+    run_.clear();
+    head_ = 0;
+    run_active_ = false;
+    run_limit_ = 0;
+    count_ = 0;
+    cursor_ = cursor;
+    // Rebuild the node freelist wholesale; cheaper than walking lists.
+    free_.clear();
+    for (std::uint32_t n = 0; n < pool_.size(); ++n) free_.push_back(n);
+  }
+
+ private:
+  static constexpr Tick kSlotMask = kSlotsPerLevel - 1;
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Node {
+    Tick tick = 0;
+    K key{};
+    std::uint32_t next = kNil;
+  };
+
+  [[nodiscard]] std::uint32_t& bucket_at(unsigned level, unsigned idx) {
+    return buckets_[level * kSlotsPerLevel + idx];
+  }
+
+  std::uint32_t acquire_node() {
+    std::uint32_t n;
+    if (free_.empty()) {
+      n = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+      // Mirror the event slab's trick: keep the freelist able to hold
+      // every node so releasing a burst never reallocates.
+      free_.reserve(pool_.capacity());
+    } else {
+      n = free_.back();
+      free_.pop_back();
+    }
+    return n;
+  }
+
+  /// Links node `n` into the bucket its tick selects relative to the
+  /// cursor, or onto the overflow list.  While a run is active, level 0
+  /// receives nothing (in-window ticks went into the run), so level-0
+  /// links occur only on a fresh or reset wheel.
+  void link(std::uint32_t n) {
+    const Tick tick = pool_[n].tick;
+    const Tick diff = tick ^ cursor_;
+    unsigned level = 0;
+    if (diff != 0) {
+      level =
+          (63u - static_cast<unsigned>(std::countl_zero(diff))) / kLevelBits;
+      if (level >= kLevels) {
+        pool_[n].next = overflow_;
+        overflow_ = n;
+        return;
+      }
+    }
+    const unsigned idx =
+        static_cast<unsigned>((tick >> (level * kLevelBits)) & kSlotMask);
+    std::uint32_t& head = bucket_at(level, idx);
+    pool_[n].next = head;
+    head = n;
+    occ_[level] |= Tick{1} << idx;
+  }
+
+  /// Appends a node list's keys to the run, returning the nodes.
+  void pull_list(std::uint32_t n) {
+    while (n != kNil) {
+      const std::uint32_t next = pool_[n].next;
+      run_.push_back(pool_[n].key);
+      free_.push_back(n);
+      n = next;
+    }
+  }
+
+  void finish_run(Tick window_base) {
+    if (run_.size() > 1) std::sort(run_.begin(), run_.end(), less_);
+    head_ = 0;
+    run_active_ = true;
+    run_limit_ = window_base + kSlotsPerLevel;
+  }
+
+  /// Pulls every occupied level-0 bucket at or past the cursor (the set
+  /// bits of `word0`) into one sorted run.
+  void pull_window(Tick word0) {
+    const Tick base = cursor_ & ~kSlotMask;
+    cursor_ = base | static_cast<Tick>(std::countr_zero(word0));
+    Tick word = word0;
+    while (word != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+      word &= word - 1;
+      pull_list(bucket_at(0, b));
+      bucket_at(0, b) = kNil;
+    }
+    occ_[0] &= ~word0;
+    finish_run(base);
+  }
+
+  /// One lazy-cascade step: enter the next occupied bucket of the lowest
+  /// non-empty level.  A level-1 bucket — whose 64-tick range precedes
+  /// every other bucketed entry — becomes the run directly; higher levels
+  /// relink one level down and the caller rescans; an empty wheel with
+  /// overflow entries re-homes them.  Precondition: count_ > head_==run
+  /// exhausted, level-0 window empty.
+  void refill() {
+    for (unsigned level = 1; level < kLevels; ++level) {
+      const unsigned idx = static_cast<unsigned>(
+          (cursor_ >> (level * kLevelBits)) & kSlotMask);
+      // Buckets at the cursor's own index hold nothing (their entries
+      // cascaded when the cursor entered), so masking from idx is safe.
+      const Tick word = occ_[level] & (~Tick{0} << idx);
+      if (word == 0) continue;
+      const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+      const Tick stride = Tick{1} << (level * kLevelBits);
+      cursor_ = (cursor_ & ~(stride * kSlotsPerLevel - 1)) |
+                (static_cast<Tick>(b) * stride);
+      occ_[level] &= ~(Tick{1} << b);
+      std::uint32_t n = bucket_at(level, b);
+      bucket_at(level, b) = kNil;
+      if (level == 1) {
+        // The new level-0 window; no lower bucket can hold entries for it.
+        pull_list(n);
+        finish_run(cursor_);
+        return;
+      }
+      while (n != kNil) {
+        const std::uint32_t next = pool_[n].next;
+        link(n);  // spills strictly below `level`; pure relink
+        n = next;
+      }
+      return;  // caller rescans from level 0
+    }
+    // Every level is empty: remaining entries live past the wheel's span.
+    assert(overflow_ != kNil);
+    rehome_overflow();
+  }
+
+  /// Jumps the cursor to the earliest overflow tick and re-buckets every
+  /// overflow entry now within the span.  Rare by construction.
+  void rehome_overflow() {
+    Tick min_tick = pool_[overflow_].tick;
+    for (std::uint32_t n = overflow_; n != kNil; n = pool_[n].next) {
+      min_tick = std::min(min_tick, pool_[n].tick);
+    }
+    cursor_ = min_tick;
+    std::uint32_t n = overflow_;
+    overflow_ = kNil;  // detach: link() may push still-far entries back
+    while (n != kNil) {
+      const std::uint32_t next = pool_[n].next;
+      link(n);
+      n = next;
+    }
+  }
+
+  std::array<std::uint32_t, kLevels * kSlotsPerLevel> buckets_{};
+  std::array<Tick, kLevels> occ_{};
+  std::uint32_t overflow_ = kNil;
+  std::vector<Node> pool_;
+  std::vector<std::uint32_t> free_;
+  std::vector<K> run_;  ///< sorted entries of the active level-0 window
+  Tick cursor_ = 0;
+  Tick run_limit_ = 0;  ///< first tick past the active window
+  std::size_t head_ = 0;  ///< consumed prefix of the run
+  bool run_active_ = false;
+  std::size_t count_ = 0;
+  Less less_;
+};
+
+}  // namespace ispn::util

@@ -214,5 +214,167 @@ TEST(EventQueue, ManyCancelledEntriesDoNotAccumulate) {
   EXPECT_LE(q.slab_slots(), 32u);
 }
 
+// --- backend-parameterized ordering and staleness tests -------------------
+// The heap and the timing wheel must be observationally identical; these
+// run the ordering-sensitive cases against both (and kAuto, which
+// migrates between them mid-run).
+
+class EventQueueBackendTest : public ::testing::TestWithParam<EventBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueBackendTest,
+                         ::testing::Values(EventBackend::kHeap,
+                                           EventBackend::kWheel,
+                                           EventBackend::kAuto),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EventBackend::kHeap: return "heap";
+                             case EventBackend::kWheel: return "wheel";
+                             case EventBackend::kAuto: return "auto";
+                           }
+                           return "unknown";
+                         });
+
+TEST_P(EventQueueBackendTest, PopsInTimeThenFifoOrder) {
+  EventQueue q(GetParam());
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(30); });
+  q.schedule(1.0, [&] { fired.push_back(10); });
+  q.schedule(1.0, [&] { fired.push_back(11); });  // same time: FIFO
+  q.schedule(2.0, [&] { fired.push_back(20); });
+  q.schedule(1.0, [&] { fired.push_back(12); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{10, 11, 12, 20, 30}));
+}
+
+TEST_P(EventQueueBackendTest, SubTickCoincidencesStayExactlyOrdered) {
+  // Times closer together than any coarse bucketing the backend might use
+  // (nanoseconds apart) must still pop in exact time order.
+  EventQueue q(GetParam());
+  std::vector<int> fired;
+  q.schedule(1.0 + 3e-9, [&] { fired.push_back(3); });
+  q.schedule(1.0 + 1e-9, [&] { fired.push_back(1); });
+  q.schedule(1.0 + 2e-9, [&] { fired.push_back(2); });
+  q.schedule(1.0, [&] { fired.push_back(0); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_P(EventQueueBackendTest, ScheduleDuringPopAtSameInstantFiresInOrder) {
+  // An event firing at t may schedule more work at t; it must run after
+  // everything already pending at t (FIFO), even if the backend had
+  // already sorted that instant's run.
+  EventQueue q(GetParam());
+  std::vector<int> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1);
+    q.schedule(1.0, [&] { fired.push_back(3); });
+  });
+  q.schedule(1.0, [&] { fired.push_back(2); });
+  q.schedule(2.0, [&] { fired.push_back(4); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4}));
+}
+
+// Satellite: next_time()/pop() must advance cleanly over large bands of
+// stale keys left by cancel bursts (the port retry pattern at scale).
+TEST_P(EventQueueBackendTest, StaleKeyAdvanceAfterHeavyCancelBursts) {
+  EventQueue q(GetParam());
+  std::vector<int> fired;
+  // Interleave survivors with doomed events across a wide time range so
+  // stale keys pepper every wheel level, then cancel in bursts.
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 500; ++i) {
+    const double t = 0.01 * (i + 1);
+    if (i % 10 == 0) {
+      q.schedule(t, [&fired, i] { fired.push_back(i); });
+    } else {
+      doomed.push_back(q.schedule(t, [&fired] { fired.push_back(-1); }));
+    }
+  }
+  for (EventId id : doomed) EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 50u);
+  // next_time must skim every stale prefix and report the live head.
+  EXPECT_DOUBLE_EQ(q.next_time(), 0.01);
+  int expected = 0;
+  while (!q.empty()) {
+    const Time t = q.next_time();
+    auto f = q.pop();
+    EXPECT_DOUBLE_EQ(f.time, t);
+    f.action();
+    EXPECT_EQ(fired.back(), expected);
+    expected += 10;
+  }
+  EXPECT_EQ(fired.size(), 50u);
+  // Every slot is recyclable afterwards: nothing leaked.
+  EXPECT_EQ(q.free_slots(), q.slab_slots());
+}
+
+// Satellite: cancel() on an already-fired id must return false and never
+// touch a recycled slot, even after the slot has cycled through many
+// generations (the 32-bit generation makes an accidental match need 2^32
+// reuses; this pins the mechanism across a dense slice of them).
+TEST_P(EventQueueBackendTest, StaleIdsNeverCancelAcrossGenerations) {
+  EventQueue q(GetParam());
+  EventId first = kInvalidEventId;
+  EventId previous = kInvalidEventId;
+  for (int round = 0; round < 50000; ++round) {
+    // One live event at a time: every round recycles the same slot with a
+    // fresh generation.
+    const EventId id = q.schedule(1.0 + round * 1e-5, [] {});
+    EXPECT_NE(id, previous);
+    if (first == kInvalidEventId) first = id;
+    // Ids from every earlier generation must have gone inert.
+    if (round > 0) {
+      EXPECT_FALSE(q.cancel(previous));
+      EXPECT_FALSE(q.cancel(first));
+    }
+    q.pop();
+    EXPECT_FALSE(q.cancel(id));  // cancel-after-fire
+    previous = id;
+  }
+  EXPECT_LE(q.slab_slots(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_P(EventQueueBackendTest, CancelBurstThenRefillReusesSlots) {
+  EventQueue q(GetParam());
+  for (int wave = 0; wave < 20; ++wave) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      ids.push_back(q.schedule(0.001 * i + wave, [] {}));
+    }
+    // Cancel all but every 7th, pop the survivors.
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 7 != 0) {
+        EXPECT_TRUE(q.cancel(ids[i]));
+      } else {
+        ++live;
+      }
+    }
+    EXPECT_EQ(q.size(), live);
+    while (!q.empty()) q.pop();
+  }
+  // Slab bounded by one wave's peak, not the 4000 events scheduled.
+  EXPECT_LE(q.slab_slots(), 256u);
+  EXPECT_EQ(q.free_slots(), q.slab_slots());
+}
+
+TEST(EventQueueAuto, MigratesToWheelAndBackAtDrain) {
+  EventQueue q(EventBackend::kAuto);
+  EXPECT_EQ(q.active_backend(), EventBackend::kHeap);
+  for (int i = 0; i < 200; ++i) q.schedule(0.001 * (i + 1), [] {});
+  EXPECT_EQ(q.active_backend(), EventBackend::kWheel);
+  std::vector<Time> times;
+  while (!q.empty()) times.push_back(q.pop().time);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+  // Drained: reverts to the heap, and small loads stay there.
+  EXPECT_EQ(q.active_backend(), EventBackend::kHeap);
+  q.schedule(1.0, [] {});
+  EXPECT_EQ(q.active_backend(), EventBackend::kHeap);
+}
+
 }  // namespace
 }  // namespace ispn::sim

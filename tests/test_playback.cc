@@ -134,6 +134,69 @@ TEST(Playback, AdaptiveMovesDownAfterImprovement) {
   EXPECT_LT(app.playback_point(), 0.01);
 }
 
+// --- replay clock (persistent-timer buffer drain) -------------------------
+
+TEST(PlaybackClock, DrainsAtPlaybackInstants) {
+  sim::Simulator sim;
+  PlaybackApp app({.mode = PlaybackApp::Mode::kRigid, .initial_point = 0.1});
+  app.attach_clock(sim);
+  // Deliver three on-time packets from inside the simulation; each is
+  // buffered until creation + 0.1.
+  for (int i = 0; i < 3; ++i) {
+    const sim::Time created = 0.02 * i;
+    sim.at(created + 0.01, [&app, created, i] {
+      app.on_packet(net::make_packet(1, static_cast<std::uint64_t>(i), 0, 1,
+                                     created),
+                    created + 0.01);
+    });
+  }
+  sim.run_until(0.05);
+  EXPECT_EQ(app.buffered(), 3u);  // all awaiting their instants
+  sim.run_until(0.105);           // first instant: 0.0 + 0.1
+  EXPECT_EQ(app.played(), 1u);
+  EXPECT_EQ(app.buffered(), 2u);
+  sim.run();
+  EXPECT_EQ(app.played(), 3u);
+  EXPECT_EQ(app.buffered(), 0u);
+  EXPECT_EQ(app.max_buffered(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.14);  // last instant: 0.04 + 0.1
+}
+
+TEST(PlaybackClock, LatePacketsAreNotBuffered) {
+  sim::Simulator sim;
+  PlaybackApp app({.mode = PlaybackApp::Mode::kRigid, .initial_point = 0.05});
+  app.attach_clock(sim);
+  sim.at(0.2, [&app] {
+    app.on_packet(net::make_packet(1, 0, 0, 1, /*created=*/0.0), 0.2);
+  });
+  sim.run();
+  EXPECT_EQ(app.late(), 1u);
+  EXPECT_EQ(app.buffered(), 0u);
+  EXPECT_EQ(app.played(), 0u);
+}
+
+TEST(PlaybackClock, SteadyStreamReArmsOneTimer) {
+  sim::Simulator sim;
+  PlaybackApp app({.mode = PlaybackApp::Mode::kRigid, .initial_point = 0.03});
+  app.attach_clock(sim);
+  // A CBR-ish delivery process entirely inside the sim: 200 packets, 5 ms
+  // apart, constant 10 ms network delay.
+  for (int i = 0; i < 200; ++i) {
+    const sim::Time created = 0.005 * i;
+    sim.at(created + 0.01, [&app, created, i] {
+      app.on_packet(net::make_packet(1, static_cast<std::uint64_t>(i), 0, 1,
+                                     created),
+                    created + 0.01);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(app.played(), 200u);
+  EXPECT_EQ(app.buffered(), 0u);
+  // 20 ms of buffering at one packet per 5 ms: about 4 resident packets.
+  EXPECT_GE(app.max_buffered(), 4u);
+  EXPECT_LE(app.max_buffered(), 5u);
+}
+
 TEST(Playback, HistoryTimestampsMonotone) {
   PlaybackApp app({.mode = PlaybackApp::Mode::kAdaptive,
                    .initial_point = 0.1,

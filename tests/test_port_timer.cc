@@ -1,0 +1,130 @@
+// Port timer regression tests (the retry-timer churn satellite): the
+// eligibility poll of non-work-conserving disciplines is a persistent
+// timer that re-arms in place when eligibility moves earlier — no
+// cancel+schedule pair, no slab-slot churn — and the transmit-complete
+// event reuses one slot for the life of the port.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "sched/jitter_edd.h"
+#include "sim/simulator.h"
+
+namespace ispn::net {
+namespace {
+
+/// Terminal node recording delivery instants.
+class SinkNode final : public Node {
+ public:
+  SinkNode(sim::Simulator& sim, NodeId id) : Node(id, "sink"), sim_(sim) {}
+  void receive(PacketPtr p) override {
+    arrivals_.push_back({p->flow, p->seq, sim_.now()});
+  }
+  struct Arrival {
+    FlowId flow;
+    std::uint64_t seq;
+    sim::Time at;
+  };
+  [[nodiscard]] const std::vector<Arrival>& arrivals() const {
+    return arrivals_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<Arrival> arrivals_;
+};
+
+/// A packet whose upstream "ahead" stamp makes Jitter-EDD hold it until
+/// now + ahead.
+PacketPtr held_packet(FlowId flow, std::uint64_t seq, double ahead) {
+  auto p = make_packet(flow, seq, 0, 1, 0.0);
+  p->jitter_offset = ahead;
+  return p;
+}
+
+TEST(PortTimer, EligibilityMovingEarlierRearmsWithoutSlotChurn) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 99);
+  auto sched = std::make_unique<sched::JitterEddScheduler>(
+      sched::JitterEddScheduler::Config{200, 0.001});
+  Port port(sim, 1e6, std::move(sched), &sink);
+
+  // The port owns exactly its two persistent timer slots; nothing else
+  // runs on this simulator.
+  const std::size_t slots = sim.queue().slab_slots();
+  EXPECT_EQ(slots, 2u);
+  EXPECT_EQ(sim.queue().free_slots(), 0u);
+
+  // A far-held packet arms the retry; a nearer one must re-arm earlier.
+  port.send(held_packet(1, 0, 0.5));
+  EXPECT_EQ(sim.queue().size(), 1u);  // the retry arm
+  port.send(held_packet(2, 1, 0.2));
+  // Re-arm in place: same pending count, same slab, nothing freed.
+  EXPECT_EQ(sim.queue().size(), 1u);
+  EXPECT_EQ(sim.queue().slab_slots(), slots);
+  EXPECT_EQ(sim.queue().free_slots(), 0u);
+
+  sim.run();
+  // The near packet transmits first (eligible at 0.2), the far one at its
+  // own eligibility (its deadline ordering is irrelevant here: it is not
+  // yet eligible when the link frees at 0.201).
+  ASSERT_EQ(sink.arrivals().size(), 2u);
+  EXPECT_EQ(sink.arrivals()[0].flow, 2);
+  EXPECT_NEAR(sink.arrivals()[0].at, 0.201, 1e-9);
+  EXPECT_EQ(sink.arrivals()[1].flow, 1);
+  EXPECT_NEAR(sink.arrivals()[1].at, 0.501, 1e-9);
+  // Everything drained; the port's timer slots are still resident (not
+  // recycled), which is exactly the no-churn property.
+  EXPECT_EQ(sim.queue().slab_slots(), slots);
+  EXPECT_EQ(sim.queue().free_slots(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(PortTimer, SteadyRetryTrafficPinsSlab) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 99);
+  auto sched = std::make_unique<sched::JitterEddScheduler>(
+      sched::JitterEddScheduler::Config{10000, 0.001});
+  Port port(sim, 1e6, std::move(sched), &sink);
+  const std::size_t slots = sim.queue().slab_slots();
+
+  // Hundreds of rounds of the cancel-prone pattern: a held arrival arms
+  // the retry far out, then a nearer arrival drags it earlier, twice per
+  // round.  The slab must never grow and never free (both timers stay
+  // resident for the port's life).
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 300; ++round) {
+    port.send(held_packet(1, seq++, 0.40));
+    port.send(held_packet(2, seq++, 0.25));
+    port.send(held_packet(3, seq++, 0.10));
+    sim.run();  // drain: transmissions + retries all fire
+    EXPECT_EQ(sim.queue().slab_slots(), slots) << "round " << round;
+    EXPECT_EQ(sim.queue().free_slots(), 0u) << "round " << round;
+  }
+  EXPECT_EQ(sink.arrivals().size(), 900u);
+}
+
+TEST(PortTimer, LaterEligibilityDoesNotDisturbPendingRetry) {
+  sim::Simulator sim;
+  SinkNode sink(sim, 99);
+  auto sched = std::make_unique<sched::JitterEddScheduler>(
+      sched::JitterEddScheduler::Config{200, 0.001});
+  Port port(sim, 1e6, std::move(sched), &sink);
+
+  port.send(held_packet(1, 0, 0.2));
+  const std::size_t pending = sim.queue().size();
+  // A later-eligible arrival must not touch the armed retry at all.
+  port.send(held_packet(2, 1, 0.7));
+  EXPECT_EQ(sim.queue().size(), pending);
+  sim.run();
+  ASSERT_EQ(sink.arrivals().size(), 2u);
+  EXPECT_EQ(sink.arrivals()[0].flow, 1);
+  EXPECT_NEAR(sink.arrivals()[0].at, 0.201, 1e-9);
+}
+
+}  // namespace
+}  // namespace ispn::net

@@ -95,6 +95,48 @@ TEST(Tracer, CsvRoundTrip) {
   EXPECT_NE(csv.find(",tx,"), std::string::npos);
 }
 
+// Satellite regression: infinitely fast links stamp enqueued_at like any
+// other hop, so an observer behind the tracer on an all-fast route never
+// sees a default or stale arrival time on host-switch hops.
+TEST(Tracer, InfiniteLinksStampArrivalTime) {
+  class StampChecker final : public FlowSink {
+   public:
+    void on_packet(PacketPtr p, sim::Time) override {
+      stamps.push_back(p->enqueued_at);
+    }
+    std::vector<sim::Time> stamps;
+  };
+
+  Network net;
+  auto& s = net.add_switch("S");
+  auto& h1 = net.add_host("H-1");
+  auto& h2 = net.add_host("H-2");
+  net.connect(h1.id(), s.id(), /*rate=*/0);  // whole route infinitely fast
+  net.connect(h2.id(), s.id(), /*rate=*/0);
+  net.build_routes();
+
+  PacketTracer tracer;
+  tracer.attach(net);
+  StampChecker checker;
+  net.attach_stats_sink(1, h2.id(), tracer.wrap_sink(&checker));
+
+  auto& src = net.host(h1.id());
+  net.sim().at(1.5, [&src, &h1, &h2] {
+    src.inject(make_packet(1, 0, h1.id(), h2.id(), 1.5));
+  });
+  net.sim().at(2.25, [&src, &h1, &h2] {
+    src.inject(make_packet(1, 1, h1.id(), h2.id(), 2.25));
+  });
+  net.sim().run();
+
+  // Without the stamp the packets would arrive with enqueued_at == 0 (the
+  // make_packet default) because no finite-rate port ever touched them.
+  ASSERT_EQ(checker.stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(checker.stamps[0], 1.5);
+  EXPECT_DOUBLE_EQ(checker.stamps[1], 2.25);
+  EXPECT_EQ(tracer.count(PacketTracer::Event::kDeliver), 2u);
+}
+
 TEST(Tracer, BoundedRecording) {
   Network net;
   const auto topo = build_dumbbell(net, 1e6, fifo_factory());
