@@ -1,0 +1,138 @@
+// Scenario-fabric throughput: delivered packets per wall-clock second
+// through whole generated fabrics driven by the ScenarioRunner.
+//
+// Where bench_e2e measures one hand-built dumbbell, these rows measure
+// the scenario layer itself: a fan-in aggregation tree (one QoS hop per
+// packet, the headline scale row), a deeper tree (two hops), and a
+// multi-bottleneck parking lot with per-hop entry/exit cross traffic.
+// The closing row runs the fan-in fabric with LIVE measurement-based
+// admission over a guaranteed/predicted/datagram mix — the price of the
+// full paper machinery (admission itself is per-flow, so the per-packet
+// cost is the unified scheduler + measurement hooks).
+//
+// Offered load is pinned at 90% of each fabric's bottleneck tier.
+// Results append to BENCH_scenario.json.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "scenario/runner.h"
+
+namespace {
+
+using namespace ispn;
+
+constexpr double kLinkRate = 1e8;  ///< 100k pkt/s of 1000-bit packets
+constexpr double kLoad = 0.9;
+
+/// Baseline spec: batch workload (all flows at t=0), never departing,
+/// datagram CBR — pure fabric forwarding cost.
+scenario::ScenarioSpec base_spec() {
+  scenario::ScenarioSpec spec;
+  spec.link_rate = kLinkRate;
+  spec.arrival_rate = 0;    // deterministic batch at t=0
+  spec.mean_hold = 0;       // flows never depart
+  spec.p_guaranteed = 0;
+  spec.p_predicted = 0;     // all datagram
+  spec.source = scenario::SourceKind::kCbr;
+  spec.run_seconds = 1e9;   // the bench slices wall time, not sim time
+  spec.seed = 7;
+  return spec;
+}
+
+/// Sets per-flow CBR rate so the fabric's bottleneck tier runs at kLoad.
+/// `bottleneck_links` = number of parallel links in the loaded tier,
+/// `tier_rate` = rate of one such link.
+void set_load(scenario::ScenarioSpec& spec, int flows, int bottleneck_links,
+              double tier_rate) {
+  spec.target_flows = flows;
+  const double total_pps =
+      kLoad * tier_rate * bottleneck_links / spec.packet_bits;
+  spec.avg_rate_pps = total_pps / flows;
+}
+
+bench::MicroResult run_fabric(const scenario::ScenarioSpec& spec) {
+  scenario::ScenarioRunner runner(spec);
+  runner.prepare();
+
+  // Warm the pipeline: fills queues, pools, slabs, measurement windows.
+  sim::Time horizon = 0.5;
+  runner.net().sim().run_until(horizon);
+
+  using Clock = std::chrono::steady_clock;
+  const double budget = bench::micro_seconds();
+  const double total_pps =
+      spec.avg_rate_pps * static_cast<double>(spec.target_flows);
+  const sim::Duration slice = 20000.0 / total_pps;
+  const std::uint64_t base = runner.delivered();
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    horizon += slice;
+    runner.net().sim().run_until(horizon);
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < budget);
+  return bench::MicroResult{runner.delivered() - base, elapsed};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("scenario fabrics: delivered pkt/s end to end");
+  bench::JsonReporter report("scenario");
+
+  // Fan-in tree, depth 2: `width` leaf links feed the root, one QoS hop
+  // per packet.  The headline scale row.
+  for (int flows : {64, 1024}) {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kFanInTree;
+    spec.tree_depth = 2;
+    spec.tree_width = 4;
+    set_load(spec, flows, /*bottleneck_links=*/4, kLinkRate);
+    report.add("fan_in d2w4", "flows=" + std::to_string(flows),
+               run_fabric(spec));
+  }
+
+  // Deeper tree: two QoS hops per packet (leaf tier at kLoad; the four
+  // level-0 links each aggregate two leaf links, so they run hotter).
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kFanInTree;
+    spec.tree_depth = 3;
+    spec.tree_width = 2;  // 4 leaves over 2 mid switches
+    set_load(spec, 256, /*bottleneck_links=*/4, 0.5 * kLinkRate);
+    report.add("fan_in d3w2", "flows=256", run_fabric(spec));
+  }
+
+  // Parking lot: 4 bottlenecks, per-hop entry/exit cross traffic plus
+  // long multi-bottleneck flows.
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kParkingLot;
+    spec.parking_hops = 4;
+    spec.long_flow_fraction = 0.35;
+    set_load(spec, 256, /*bottleneck_links=*/4, kLinkRate);
+    report.add("parking_lot h4", "flows=256", run_fabric(spec));
+  }
+
+  // The full machinery: live measurement-based admission over the paper's
+  // service mix on the fan-in fabric (on/off sources, policed edges).
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kFanInTree;
+    spec.tree_depth = 2;
+    spec.tree_width = 4;
+    spec.p_guaranteed = 0.2;
+    spec.p_predicted = 0.5;
+    spec.source = scenario::SourceKind::kOnOff;
+    spec.target_delay = 0.05;
+    set_load(spec, 256, /*bottleneck_links=*/4, kLinkRate);
+    report.add("fan_in admission", "flows=256", run_fabric(spec));
+  }
+
+  const std::string path = report.write();
+  std::printf("trajectory appended to %s\n", path.c_str());
+  return 0;
+}

@@ -22,6 +22,15 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "== scenario smoke =="
+# Small configs through the scenario CLI; scenario_run exits non-zero on a
+# conservation violation, so CI trips on any packet-accounting bug.  (The
+# golden-trace determinism suite test_scenario_golden already ran under
+# ctest above.)
+"$BUILD_DIR/scenario_run" --preset fan_in --scale smoke arrival_rate=0 target_flows=8 >/dev/null
+"$BUILD_DIR/scenario_run" --preset parking_lot --scale smoke arrival_rate=0 target_flows=12 >/dev/null
+"$BUILD_DIR/scenario_run" --preset churn --scale smoke run_seconds=2 >/dev/null
+
 echo "== bench smoke =="
 # Keep the smoke outputs out of the repo root so the committed perf
 # trajectory files only record deliberate runs.
@@ -30,6 +39,7 @@ export ISPN_BENCH_LABEL="smoke"
 ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_event_core" >/dev/null
 ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_sched_micro" >/dev/null
 ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_e2e" >/dev/null
+ISPN_BENCH_MICRO_SECONDS=0.02 "$BUILD_DIR/bench_scenario" >/dev/null
 ISPN_BENCH_SECONDS=2 "$BUILD_DIR/bench_table1" >/dev/null
 
 echo "OK"

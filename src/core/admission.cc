@@ -90,17 +90,19 @@ ServiceCommitment AdmissionController::request(const FlowSpec& spec,
 
   if (spec.service == net::ServiceClass::kGuaranteed) {
     const sim::Rate r = spec.guaranteed->clock_rate;
-    for (const LinkId& id : path) {
-      LinkState& link = links_.at(id);
+    for (std::size_t hop = 0; hop < path.size(); ++hop) {
+      LinkState& link = links_.at(path[hop]);
       // WFQ clock rates must never oversubscribe the real-time share.
       if (link.guaranteed_rate + r >=
           (1.0 - config_.datagram_quota) * link.rate) {
         commitment.reason = "guaranteed clock rates would oversubscribe link";
+        commitment.rejected_hop = static_cast<int>(hop);
         return commitment;
       }
       std::string why;
       if (!check(link, r, /*b=*/0.0, /*level=*/-1, now, &why)) {
         commitment.reason = why;
+        commitment.rejected_hop = static_cast<int>(hop);
         return commitment;
       }
     }
@@ -121,7 +123,8 @@ ServiceCommitment AdmissionController::request(const FlowSpec& spec,
   std::vector<int> levels;
   levels.reserve(path.size());
   sim::Duration advertised = 0;
-  for (const LinkId& id : path) {
+  for (std::size_t hop = 0; hop < path.size(); ++hop) {
+    const LinkId& id = path[hop];
     LinkState& link = links_.at(id);
     int chosen = -1;
     for (int j = static_cast<int>(link.class_targets.size()) - 1; j >= 0;
@@ -138,12 +141,14 @@ ServiceCommitment AdmissionController::request(const FlowSpec& spec,
           << id.second << "): need " << per_hop_target * 1000.0
           << " ms per hop";
       commitment.reason = out.str();
+      commitment.rejected_hop = static_cast<int>(hop);
       return commitment;
     }
     std::string why;
     if (!check(link, predicted.bucket.rate, predicted.bucket.depth, chosen,
                now, &why)) {
       commitment.reason = why;
+      commitment.rejected_hop = static_cast<int>(hop);
       return commitment;
     }
     levels.push_back(chosen);
@@ -167,9 +172,12 @@ void AdmissionController::release(const FlowSpec& spec,
     if (spec.service == net::ServiceClass::kGuaranteed) {
       link.guaranteed_rate -= spec.guaranteed->clock_rate;
       assert(link.guaranteed_rate > -1e-6);
+      // Clamp float residue so drift cannot accumulate over long churn.
+      if (link.guaranteed_rate < 0) link.guaranteed_rate = 0;
     } else {
       link.predicted_rate -= spec.predicted->bucket.rate;
       assert(link.predicted_rate > -1e-6);
+      if (link.predicted_rate < 0) link.predicted_rate = 0;
     }
   }
 }

@@ -7,37 +7,32 @@
 namespace ispn::core {
 
 IspnNetwork::IspnNetwork(Config config)
-    : config_(std::move(config)), admission_(config_.admission) {
+    : config_(std::move(config)),
+      net_(config_.event_backend),
+      admission_(config_.admission) {
   assert(!config_.class_targets.empty());
   assert(std::is_sorted(config_.class_targets.begin(),
                         config_.class_targets.end()));
 }
 
-net::ChainTopology IspnNetwork::build_chain(int num_switches) {
-  net::ChainTopology topo;
-  for (int i = 0; i < num_switches; ++i) {
-    auto& sw = net_.add_switch("S-" + std::to_string(i + 1));
-    topo.switches.push_back(sw.id());
-    auto& host = net_.add_host("Host-" + std::to_string(i + 1));
-    topo.hosts.push_back(host.id());
-    net_.connect(host.id(), sw.id(), /*rate=*/0);
-  }
-
-  auto make_link = [this](net::NodeId from, net::NodeId to)
-      -> std::unique_ptr<sched::Scheduler> {
+net::LinkSchedulerFactory IspnNetwork::qos_link_factory() {
+  return [this](net::NodeId from, net::NodeId to,
+                sim::Rate rate) -> std::unique_ptr<sched::Scheduler> {
     const LinkId link{from, to};
     auto measurement = std::make_unique<LinkMeasurement>(LinkMeasurement::Config{
-        config_.link_rate, static_cast<int>(config_.class_targets.size()),
-        config_.measurement_window, config_.measurement_safety});
+        rate, static_cast<int>(config_.class_targets.size()),
+        config_.measurement_window, config_.measurement_safety,
+        config_.measurement_estimator, config_.measurement_ewma_gain});
     LinkMeasurement* meas = measurement.get();
     measurements_[link] = std::move(measurement);
 
-    auto scheduler = std::make_unique<sched::UnifiedScheduler>(
-        sched::UnifiedScheduler::Config{
-            config_.link_rate, config_.buffer_pkts,
-            static_cast<int>(config_.class_targets.size()),
-            config_.fifo_plus_gain, config_.fifo_plus,
-            config_.stale_offset_threshold});
+    sched::UnifiedScheduler::Config sched_config{
+        rate, config_.buffer_pkts,
+        static_cast<int>(config_.class_targets.size()),
+        config_.fifo_plus_gain, config_.fifo_plus,
+        config_.stale_offset_threshold};
+    sched_config.order_backend = config_.order_backend;
+    auto scheduler = std::make_unique<sched::UnifiedScheduler>(sched_config);
     // Stale discards flow through the scheduler's DropSink like every
     // other loss, so the port's drop hook already folds them into the
     // per-flow net_drops counters — no side-channel wiring needed.
@@ -46,31 +41,58 @@ net::ChainTopology IspnNetwork::build_chain(int num_switches) {
           meas->on_class_wait(klass, wait, now);
         });
     schedulers_[link] = scheduler.get();
+    link_order_.push_back(link);
+    link_rates_[link] = rate;
 
-    admission_.register_link(link, config_.link_rate, config_.class_targets,
-                             meas);
+    admission_.register_link(link, rate, config_.class_targets, meas);
     return scheduler;
   };
+}
 
-  for (int i = 0; i + 1 < num_switches; ++i) {
-    const net::NodeId a = topo.switches[static_cast<std::size_t>(i)];
-    const net::NodeId b = topo.switches[static_cast<std::size_t>(i + 1)];
-    net_.connect(a, b, config_.link_rate,
-                 net::DirectionalSchedulerFactory(make_link));
-    // Feed the real-time utilisation meters from transmissions.
-    for (const LinkId& link : {LinkId{a, b}, LinkId{b, a}}) {
-      LinkMeasurement* meas = measurements_.at(link).get();
-      sim::Bits* total = &realtime_bits_[link];
-      net_.port(link.first, link.second)
-          ->add_tx_hook([meas, total](const net::Packet& p, sim::Time now) {
-            if (p.service != net::ServiceClass::kDatagram) {
-              meas->on_realtime_tx(p.size_bits, now);
-              *total += p.size_bits;
-            }
-          });
-    }
+void IspnNetwork::instrument_links() {
+  // Feed the real-time utilisation meters from transmissions.  Ports exist
+  // once the topology builder has connected the link, so instrumentation
+  // runs as a second pass over everything registered since the last call.
+  for (; instrumented_upto_ < link_order_.size(); ++instrumented_upto_) {
+    const LinkId link = link_order_[instrumented_upto_];
+    LinkMeasurement* meas = measurements_.at(link).get();
+    sim::Bits* total = &realtime_bits_[link];
+    net::Port* port = net_.port(link.first, link.second);
+    assert(port != nullptr && "instrument_links before the link's port exists");
+    port->add_tx_hook([meas, total](const net::Packet& p, sim::Time now) {
+      if (p.service != net::ServiceClass::kDatagram) {
+        meas->on_realtime_tx(p.size_bits, now);
+        *total += p.size_bits;
+      }
+    });
   }
-  net_.build_routes();
+}
+
+net::ChainTopology IspnNetwork::build_chain(int num_switches) {
+  auto topo =
+      net::build_chain(net_, num_switches, config_.link_rate, qos_link_factory());
+  instrument_links();
+  return topo;
+}
+
+net::FanTreeTopology IspnNetwork::build_fan_tree(
+    int depth, int width, std::vector<sim::Rate> level_rates) {
+  if (level_rates.empty()) {
+    level_rates.assign(static_cast<std::size_t>(depth - 1), config_.link_rate);
+  }
+  auto topo =
+      net::build_fan_tree(net_, depth, width, level_rates, qos_link_factory());
+  instrument_links();
+  return topo;
+}
+
+net::ParkingLotTopology IspnNetwork::build_parking_lot(
+    int num_hops, std::vector<sim::Rate> hop_rates) {
+  if (hop_rates.empty()) {
+    hop_rates.assign(static_cast<std::size_t>(num_hops), config_.link_rate);
+  }
+  auto topo = net::build_parking_lot(net_, hop_rates, qos_link_factory());
+  instrument_links();
   return topo;
 }
 
@@ -85,6 +107,36 @@ std::vector<LinkId> IspnNetwork::route_links(net::NodeId src,
     }
   }
   return links;
+}
+
+void IspnNetwork::configure_flow(const FlowHandle& handle) {
+  const FlowSpec& spec = handle.spec;
+  if (spec.service == net::ServiceClass::kGuaranteed) {
+    for (const LinkId& link : handle.links) {
+      schedulers_.at(link)->add_guaranteed(spec.flow,
+                                           spec.guaranteed->clock_rate);
+    }
+  } else if (spec.service == net::ServiceClass::kPredicted) {
+    assert(handle.commitment.priority_per_hop.size() == handle.links.size());
+    for (std::size_t i = 0; i < handle.links.size(); ++i) {
+      schedulers_.at(handle.links[i])
+          ->set_predicted_priority(spec.flow,
+                                   handle.commitment.priority_per_hop[i]);
+    }
+  }
+}
+
+IspnNetwork::FlowHandle IspnNetwork::try_open_flow(const FlowSpec& spec) {
+  assert(spec.valid());
+  FlowHandle handle;
+  handle.spec = spec;
+  handle.links = route_links(spec.src, spec.dst);
+  handle.commitment =
+      admission_.request(spec, handle.links, net_.sim().now());
+  // A rejected flow configures nothing: every scheduler and ledger along
+  // the path is exactly as if the request had never been made.
+  if (handle.commitment.admitted) configure_flow(handle);
+  return handle;
 }
 
 IspnNetwork::FlowHandle IspnNetwork::open_flow(const FlowSpec& spec) {
@@ -120,20 +172,7 @@ IspnNetwork::FlowHandle IspnNetwork::open_flow(const FlowSpec& spec) {
     }
   }
 
-  // Configure the schedulers along the path.
-  if (spec.service == net::ServiceClass::kGuaranteed) {
-    for (const LinkId& link : handle.links) {
-      schedulers_.at(link)->add_guaranteed(spec.flow,
-                                           spec.guaranteed->clock_rate);
-    }
-  } else if (spec.service == net::ServiceClass::kPredicted) {
-    assert(handle.commitment.priority_per_hop.size() == handle.links.size());
-    for (std::size_t i = 0; i < handle.links.size(); ++i) {
-      schedulers_.at(handle.links[i])
-          ->set_predicted_priority(spec.flow,
-                                   handle.commitment.priority_per_hop[i]);
-    }
-  }
+  configure_flow(handle);
   return handle;
 }
 
@@ -210,10 +249,10 @@ void IspnNetwork::attach_sink(const FlowHandle& handle, net::FlowSink* app) {
 }
 
 sim::Duration IspnNetwork::guaranteed_bound(
-    const FlowHandle& handle, const traffic::TokenBucketSpec& bucket) const {
+    const FlowHandle& handle, const traffic::TokenBucketSpec& bucket,
+    sim::Bits packet_bits) const {
   assert(handle.spec.service == net::ServiceClass::kGuaranteed);
-  return pg_paper_bound(bucket, handle.links.size(),
-                        sim::paper::kPacketBits);
+  return pg_paper_bound(bucket, handle.links.size(), packet_bits);
 }
 
 double IspnNetwork::link_utilization(LinkId link, sim::Time now) {
@@ -224,7 +263,7 @@ double IspnNetwork::realtime_utilization(LinkId link, sim::Time now) const {
   if (now <= 0) return 0.0;
   auto it = realtime_bits_.find(link);
   if (it == realtime_bits_.end()) return 0.0;
-  return it->second / (config_.link_rate * now);
+  return it->second / (link_rates_.at(link) * now);
 }
 
 }  // namespace ispn::core

@@ -12,6 +12,15 @@
 //   ispn.attach_sink(flow);                      // stats (+ optional app)
 //   ispn.net().sim().run_until(600.0);
 //   ispn.net().stats(flow.spec.flow).mean_qdelay_pkt();
+//
+// Beyond the paper's chain, arbitrary fabrics compose from two pieces:
+// qos_link_factory() hands any net::build_* topology builder a factory
+// that equips every finite-rate link direction with a unified scheduler,
+// a LinkMeasurement and an admission registration, and
+// instrument_links() (called once, after topology construction) wires the
+// transmit hooks that feed the ν̂ meters.  build_chain/build_fan_tree/
+// build_parking_lot below are those compositions; src/scenario/ builds
+// whole parameterized fabrics on top of them.
 
 #pragma once
 
@@ -51,7 +60,15 @@ class IspnNetwork {
     bool enforce_admission = true;
     sim::Duration measurement_window = 10.0;
     double measurement_safety = 1.2;
+    LinkMeasurement::Estimator measurement_estimator =
+        LinkMeasurement::Estimator::kPeakEpoch;
+    double measurement_ewma_gain = 0.25;
     std::uint64_t seed = 1;
+    /// Engine knobs: both are pure performance choices — every backend
+    /// yields byte-identical schedules (differential harnesses, PR 3/4,
+    /// and the scenario golden-trace suite).
+    sim::EventBackend event_backend = sim::EventBackend::kAuto;
+    sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
   };
 
   /// An admitted (or force-configured) flow.
@@ -63,14 +80,46 @@ class IspnNetwork {
 
   explicit IspnNetwork(Config config);
 
+  /// Per-direction, rate-aware link factory: unified scheduler +
+  /// LinkMeasurement + admission registration, keyed (from, to) and sized
+  /// to the link's actual rate (per-hop rates in parking lots and trees
+  /// flow through to every layer).  Hand it to any net::build_* builder
+  /// (or net().connect directly), then call instrument_links() once the
+  /// topology is complete.
+  [[nodiscard]] net::LinkSchedulerFactory qos_link_factory();
+
+  /// Installs the transmit hooks that feed every registered link's ν̂
+  /// meter.  Idempotent per link: only links registered since the last
+  /// call are instrumented, so staged topology construction works.
+  void instrument_links();
+
   /// Builds the paper's Figure-1 chain (one host per switch) with unified
   /// schedulers + measurement on every inter-switch link direction.
   net::ChainTopology build_chain(int num_switches);
+
+  /// Builds a `width`-ary aggregation tree of `depth` switch levels (all
+  /// QoS links at config link_rate unless `level_rates` overrides, one
+  /// rate per level).  See net::build_fan_tree.
+  net::FanTreeTopology build_fan_tree(
+      int depth, int width, std::vector<sim::Rate> level_rates = {});
+
+  /// Builds a multi-bottleneck parking lot of `num_hops` QoS links with
+  /// per-hop entry/exit hosts (all at config link_rate unless `hop_rates`
+  /// overrides).  See net::build_parking_lot.
+  net::ParkingLotTopology build_parking_lot(
+      int num_hops, std::vector<sim::Rate> hop_rates = {});
 
   /// Requests service for `spec` (admission control + scheduler setup).
   /// Throws std::runtime_error if rejected while enforce_admission is on;
   /// otherwise configures the flow regardless and records the decision.
   FlowHandle open_flow(const FlowSpec& spec);
+
+  /// Non-throwing admission: the decision is recorded in the returned
+  /// handle's commitment, and schedulers along the path are configured
+  /// ONLY when the flow is admitted — a rejected flow leaves every
+  /// scheduler, measurement and admission ledger untouched (pinned by the
+  /// scenario property suite).
+  FlowHandle try_open_flow(const FlowSpec& spec);
 
   /// Tears down an admitted flow: releases its admission-control
   /// commitments and deregisters it from every scheduler on its path.
@@ -99,8 +148,11 @@ class IspnNetwork {
 
   /// Advertised a-priori bound for a guaranteed flow whose traffic conforms
   /// to `bucket`: the paper's Parekh–Gallager form over the flow's path.
+  /// `packet_bits` is the flow's packet size (the per-hop term scales with
+  /// it; default: the paper's 1000 bits).
   [[nodiscard]] sim::Duration guaranteed_bound(
-      const FlowHandle& handle, const traffic::TokenBucketSpec& bucket) const;
+      const FlowHandle& handle, const traffic::TokenBucketSpec& bucket,
+      sim::Bits packet_bits = sim::paper::kPacketBits) const;
 
   [[nodiscard]] net::Network& net() { return net_; }
   [[nodiscard]] AdmissionController& admission() { return admission_; }
@@ -114,6 +166,12 @@ class IspnNetwork {
     return *measurements_.at(link);
   }
 
+  /// Every registered QoS link, in registration order (both directions of
+  /// each inter-switch connection).
+  [[nodiscard]] const std::vector<LinkId>& links() const {
+    return link_order_;
+  }
+
   /// Directed inter-switch links on the current route src -> dst.
   [[nodiscard]] std::vector<LinkId> route_links(net::NodeId src,
                                                 net::NodeId dst) const;
@@ -125,12 +183,18 @@ class IspnNetwork {
   [[nodiscard]] double realtime_utilization(LinkId link, sim::Time now) const;
 
  private:
+  /// Configures the schedulers along an (accepted or forced) flow's path.
+  void configure_flow(const FlowHandle& handle);
+
   Config config_;
   net::Network net_;
   AdmissionController admission_;
   std::map<LinkId, sched::UnifiedScheduler*> schedulers_;
   std::map<LinkId, std::unique_ptr<LinkMeasurement>> measurements_;
   std::map<LinkId, sim::Bits> realtime_bits_;
+  std::map<LinkId, sim::Rate> link_rates_;  ///< actual per-link rates
+  std::vector<LinkId> link_order_;      ///< registration order
+  std::size_t instrumented_upto_ = 0;   ///< links with tx hooks installed
   std::vector<std::unique_ptr<traffic::Source>> sources_;
   std::vector<std::unique_ptr<traffic::TcpSource>> tcp_sources_;
   std::vector<std::unique_ptr<traffic::TcpSink>> tcp_sinks_;

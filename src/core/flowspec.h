@@ -63,6 +63,9 @@ struct ServiceCommitment {
   std::vector<int> priority_per_hop;
   /// Human-readable reason when rejected.
   std::string reason;
+  /// Index into the requested path of the link that refused the flow
+  /// (-1 when admitted, or when the rejection is not tied to one hop).
+  int rejected_hop = -1;
 };
 
 /// Renders a one-line description ("G r=170kb/s", "P (85kb/s,50kb) D=5ms

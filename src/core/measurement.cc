@@ -4,20 +4,45 @@
 
 namespace ispn::core {
 
+namespace {
+/// Epoch count shared by both ν̂ estimators and the d̂_j windows.
+constexpr std::size_t kEpochs = 10;
+}  // namespace
+
 LinkMeasurement::LinkMeasurement(Config config)
-    : config_(config), realtime_bits_(config.window, 10) {
+    : config_(config),
+      realtime_bits_(config.window, kEpochs),
+      epoch_len_(config.window / static_cast<double>(kEpochs)) {
   assert(config_.link_rate > 0);
   assert(config_.num_predicted_classes >= 1);
   assert(config_.safety_factor >= 1.0);
+  assert(config_.ewma_gain > 0.0 && config_.ewma_gain <= 1.0);
   class_delay_.reserve(
       static_cast<std::size_t>(config_.num_predicted_classes) + 1);
   for (int i = 0; i <= config_.num_predicted_classes; ++i) {
-    class_delay_.emplace_back(config_.window, 10);
+    class_delay_.emplace_back(config_.window, kEpochs);
+  }
+}
+
+void LinkMeasurement::settle_ewma(sim::Time now) {
+  const auto epoch = static_cast<long long>(now / epoch_len_);
+  while (ewma_epoch_ < epoch) {
+    const double rate = epoch_bits_ / epoch_len_;
+    if (!ewma_primed_) {
+      ewma_bps_ = rate;
+      ewma_primed_ = true;
+    } else {
+      ewma_bps_ += config_.ewma_gain * (rate - ewma_bps_);
+    }
+    epoch_bits_ = 0;
+    ++ewma_epoch_;
   }
 }
 
 void LinkMeasurement::on_realtime_tx(sim::Bits bits, sim::Time now) {
   realtime_bits_.add(now, bits);
+  settle_ewma(now);
+  epoch_bits_ += bits;
 }
 
 void LinkMeasurement::on_class_wait(int klass, sim::Duration wait,
@@ -27,7 +52,15 @@ void LinkMeasurement::on_class_wait(int klass, sim::Duration wait,
   class_delay_[static_cast<std::size_t>(klass)].add(now, wait);
 }
 
+sim::Rate LinkMeasurement::ewma_rate(sim::Time now) {
+  settle_ewma(now);
+  return ewma_bps_;
+}
+
 double LinkMeasurement::measured_utilization(sim::Time now) {
+  if (config_.estimator == Estimator::kEwma) {
+    return config_.safety_factor * ewma_rate(now) / config_.link_rate;
+  }
   return config_.safety_factor * realtime_bits_.peak_rate(now) /
          config_.link_rate;
 }

@@ -4,8 +4,14 @@
 // choose appropriately conservative measures for ν̂ and d̂_j."
 //
 // LinkMeasurement tracks, per directed link:
-//   * ν̂  — real-time utilisation: peak epoch rate of real-time bits over a
-//          sliding window (RateMeter), divided by link speed;
+//   * ν̂  — real-time utilisation, from one of two estimators:
+//       kPeakEpoch — peak epoch rate of real-time bits over a sliding
+//                    window (RateMeter), the most conservative choice;
+//       kEwma      — per-epoch EWMA of the epoch rate: each completed
+//                    epoch folds its rate into avg <- avg + g·(rate − avg),
+//                    and idle epochs fold zeros, so an idle interval of k
+//                    epochs decays the estimate by (1 − g)^k — smoother
+//                    under churny admission workloads, still deterministic;
 //   * d̂_j — per-class maximal queueing delay over the window (WindowedMax).
 //
 // A safety factor (>= 1) scales both, providing the "consistently
@@ -24,11 +30,21 @@ namespace ispn::core {
 
 class LinkMeasurement {
  public:
+  /// ν̂ estimator choice (both are always maintained; this selects which
+  /// one measured_utilization() reports).
+  enum class Estimator {
+    kPeakEpoch,  ///< peak epoch rate over the window (default)
+    kEwma,       ///< per-epoch EWMA with idle-epoch decay
+  };
+
   struct Config {
     sim::Rate link_rate = sim::paper::kLinkRate;
     int num_predicted_classes = 2;
     sim::Duration window = 10.0;   ///< measurement horizon (seconds)
     double safety_factor = 1.2;    ///< conservatism multiplier on ν̂ and d̂
+    Estimator estimator = Estimator::kPeakEpoch;
+    /// Per-epoch EWMA gain g in (0, 1] (kEwma only).
+    double ewma_gain = 0.25;
   };
 
   explicit LinkMeasurement(Config config);
@@ -47,12 +63,29 @@ class LinkMeasurement {
   /// d̂_j : conservative measured maximal delay of class j (seconds).
   [[nodiscard]] sim::Duration measured_delay(int klass, sim::Time now);
 
+  /// The EWMA epoch-rate estimate (bits/s) with completed epochs settled
+  /// up to `now`, unscaled.  Exposed for exact-value tests.
+  [[nodiscard]] sim::Rate ewma_rate(sim::Time now);
+
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:
+  /// Folds every epoch completed before `now` into the EWMA: the epoch in
+  /// which traffic accumulated contributes bits/epoch_len, every idle
+  /// epoch since contributes zero (the decay path).
+  void settle_ewma(sim::Time now);
+
   Config config_;
   stats::RateMeter realtime_bits_;
   std::vector<stats::WindowedMax> class_delay_;  // K + 1 entries
+
+  // kEwma state: bits of the current (incomplete) epoch plus the running
+  // average over completed epochs.
+  double epoch_len_;
+  double epoch_bits_ = 0;
+  long long ewma_epoch_ = 0;
+  double ewma_bps_ = 0;
+  bool ewma_primed_ = false;
 };
 
 }  // namespace ispn::core

@@ -52,14 +52,14 @@ Switch& Network::switch_node(NodeId id) {
 }
 
 void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
-                           const DirectionalSchedulerFactory& make_scheduler) {
+                           const LinkSchedulerFactory& make_scheduler) {
   assert(a != b);
 
   auto install = [&](NodeId from, NodeId to) {
     std::unique_ptr<sched::Scheduler> scheduler;
     if (rate > 0) {
       assert(make_scheduler && "finite-rate link needs a scheduler factory");
-      scheduler = make_scheduler(from, to);
+      scheduler = make_scheduler(from, to, rate);
       assert(scheduler != nullptr);
     }
     Node* to_node = nodes_.at(to).get();
@@ -84,15 +84,16 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
 
 void Network::connect(NodeId a, NodeId b, sim::Rate rate,
                       const SchedulerFactory& make_scheduler) {
-  DirectionalSchedulerFactory directional;
-  if (make_scheduler) {
-    directional = [&make_scheduler](NodeId, NodeId) { return make_scheduler(); };
-  }
-  connect_impl(a, b, rate, directional);
+  connect_impl(a, b, rate, rate_aware(make_scheduler));
 }
 
 void Network::connect(NodeId a, NodeId b, sim::Rate rate,
                       const DirectionalSchedulerFactory& make_scheduler) {
+  connect_impl(a, b, rate, rate_aware(make_scheduler));
+}
+
+void Network::connect(NodeId a, NodeId b, sim::Rate rate,
+                      const LinkSchedulerFactory& make_scheduler) {
   connect_impl(a, b, rate, make_scheduler);
 }
 

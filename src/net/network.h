@@ -25,6 +25,31 @@ using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
 using DirectionalSchedulerFactory =
     std::function<std::unique_ptr<sched::Scheduler>(NodeId from, NodeId to)>;
 
+/// Rate-aware variant: additionally receives the link rate, so fabrics
+/// with per-hop rates (parking lots, aggregation trees) can size each
+/// scheduler, measurement window and admission registration to the link
+/// it actually serves.
+using LinkSchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>(
+    NodeId from, NodeId to, sim::Rate rate)>;
+
+/// Adapts the simpler factory shapes to the rate-aware one (an empty
+/// factory stays empty, so infinitely fast links still need none).  The
+/// single adaptation point for Network::connect and the topology
+/// builders.
+[[nodiscard]] inline LinkSchedulerFactory rate_aware(SchedulerFactory make) {
+  if (!make) return {};
+  return [make = std::move(make)](NodeId, NodeId, sim::Rate) {
+    return make();
+  };
+}
+[[nodiscard]] inline LinkSchedulerFactory rate_aware(
+    DirectionalSchedulerFactory make) {
+  if (!make) return {};
+  return [make = std::move(make)](NodeId from, NodeId to, sim::Rate) {
+    return make(from, to);
+  };
+}
+
 class Network {
  public:
   /// `backend` selects the simulator's event-ordering structure; every
@@ -55,6 +80,10 @@ class Network {
   /// As above, with a direction-aware factory.
   void connect(NodeId a, NodeId b, sim::Rate rate,
                const DirectionalSchedulerFactory& make_scheduler);
+
+  /// As above, with a direction- and rate-aware factory.
+  void connect(NodeId a, NodeId b, sim::Rate rate,
+               const LinkSchedulerFactory& make_scheduler);
 
   /// True if `id` names a host (false: a switch).
   [[nodiscard]] bool is_host(NodeId id) const { return is_host_.at(id); }
@@ -93,7 +122,7 @@ class Network {
   class RecordingSink;
 
   void connect_impl(NodeId a, NodeId b, sim::Rate rate,
-                    const DirectionalSchedulerFactory& make_scheduler);
+                    const LinkSchedulerFactory& make_scheduler);
 
   sim::Simulator sim_;
   std::vector<std::unique_ptr<Node>> nodes_;

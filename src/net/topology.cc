@@ -1,27 +1,60 @@
 #include "net/topology.h"
 
+#include <algorithm>
+#include <cassert>
 #include <sstream>
 
 namespace ispn::net {
 
+namespace {
+
+/// Shared core of build_chain and build_parking_lot: hop_rates.size()+1
+/// switches S-1..S-n each with a Host-i on an infinitely fast link, hop i
+/// connecting S-(i+1) -> S-(i+2) at hop_rates[i].
+void chain_core(Network& net, const std::vector<sim::Rate>& hop_rates,
+                const LinkSchedulerFactory& make_scheduler,
+                std::vector<NodeId>* switches, std::vector<NodeId>* hosts) {
+  const std::size_t num_switches = hop_rates.size() + 1;
+  for (std::size_t i = 0; i < num_switches; ++i) {
+    auto& sw = net.add_switch("S-" + std::to_string(i + 1));
+    switches->push_back(sw.id());
+    auto& host = net.add_host("Host-" + std::to_string(i + 1));
+    hosts->push_back(host.id());
+    net.connect(host.id(), sw.id(), /*rate=*/0);  // infinitely fast
+  }
+  for (std::size_t i = 0; i < hop_rates.size(); ++i) {
+    net.connect((*switches)[i], (*switches)[i + 1], hop_rates[i],
+                make_scheduler);
+  }
+  net.build_routes();
+}
+
+}  // namespace
+
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const LinkSchedulerFactory& make_scheduler) {
+  ChainTopology topo;
+  chain_core(net,
+             std::vector<sim::Rate>(
+                 static_cast<std::size_t>(std::max(num_switches - 1, 0)),
+                 inter_switch_rate),
+             make_scheduler, &topo.switches, &topo.hosts);
+  return topo;
+}
+
 ChainTopology build_chain(Network& net, int num_switches,
                           sim::Rate inter_switch_rate,
                           const SchedulerFactory& make_scheduler) {
-  ChainTopology topo;
-  for (int i = 0; i < num_switches; ++i) {
-    auto& sw = net.add_switch("S-" + std::to_string(i + 1));
-    topo.switches.push_back(sw.id());
-    auto& host = net.add_host("Host-" + std::to_string(i + 1));
-    topo.hosts.push_back(host.id());
-    net.connect(host.id(), sw.id(), /*rate=*/0);  // infinitely fast
-  }
-  for (int i = 0; i + 1 < num_switches; ++i) {
-    net.connect(topo.switches[static_cast<std::size_t>(i)],
-                topo.switches[static_cast<std::size_t>(i + 1)],
-                inter_switch_rate, make_scheduler);
-  }
-  net.build_routes();
-  return topo;
+  return build_chain(net, num_switches, inter_switch_rate,
+                     rate_aware(make_scheduler));
+}
+
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const DirectionalSchedulerFactory& make_scheduler) {
+  return build_chain(net, num_switches, inter_switch_rate,
+                     rate_aware(make_scheduler));
 }
 
 std::string chain_ascii(const ChainTopology& topo) {
@@ -42,7 +75,7 @@ std::string chain_ascii(const ChainTopology& topo) {
 }
 
 DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
-                                const SchedulerFactory& make_scheduler) {
+                                const DirectionalSchedulerFactory& make_scheduler) {
   DumbbellTopology topo{};
   auto& s1 = net.add_switch("S-left");
   auto& s2 = net.add_switch("S-right");
@@ -59,6 +92,15 @@ DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
   return topo;
 }
 
+DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
+                                const SchedulerFactory& make_scheduler) {
+  DirectionalSchedulerFactory directional;
+  if (make_scheduler) {
+    directional = [make_scheduler](NodeId, NodeId) { return make_scheduler(); };
+  }
+  return build_dumbbell(net, bottleneck_rate, directional);
+}
+
 FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
                            sim::Rate bottleneck_rate,
                            const SchedulerFactory& make_scheduler) {
@@ -71,7 +113,7 @@ FanInTopology build_fan_in(Network& net, int num_sources, sim::Rate feed_rate,
 FanInTopology build_fan_in(Network& net,
                            const std::vector<sim::Rate>& feed_rates,
                            sim::Rate bottleneck_rate,
-                           const SchedulerFactory& make_scheduler) {
+                           const LinkSchedulerFactory& make_scheduler) {
   FanInTopology topo{};
   auto& merge = net.add_switch("S-M");
   auto& out = net.add_switch("S-out");
@@ -90,6 +132,77 @@ FanInTopology build_fan_in(Network& net,
     net.connect(sw.id(), merge.id(), feed_rates[i], make_scheduler);
   }
   net.build_routes();
+  return topo;
+}
+
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const SchedulerFactory& make_scheduler) {
+  return build_fan_in(net, feed_rates, bottleneck_rate,
+                      rate_aware(make_scheduler));
+}
+
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const DirectionalSchedulerFactory& make_scheduler) {
+  return build_fan_in(net, feed_rates, bottleneck_rate,
+                      rate_aware(make_scheduler));
+}
+
+FanTreeTopology build_fan_tree(Network& net, int depth, int width,
+                               const std::vector<sim::Rate>& level_rates,
+                               const LinkSchedulerFactory& make_scheduler) {
+  assert(depth >= 2 && "a tree needs a root level and at least one below");
+  assert(width >= 1);
+  assert(level_rates.size() == static_cast<std::size_t>(depth - 1));
+  FanTreeTopology topo;
+  topo.depth = depth;
+  topo.width = width;
+  topo.levels.resize(static_cast<std::size_t>(depth));
+
+  auto& root = net.add_switch("T-0.0");
+  topo.root_switch = root.id();
+  topo.levels[0].push_back(root.id());
+  auto& root_host = net.add_host("Host-root");
+  topo.root_host = root_host.id();
+  net.connect(root_host.id(), root.id(), /*rate=*/0);
+
+  for (int d = 1; d < depth; ++d) {
+    const auto& parents = topo.levels[static_cast<std::size_t>(d - 1)];
+    auto& level = topo.levels[static_cast<std::size_t>(d)];
+    for (std::size_t p = 0; p < parents.size(); ++p) {
+      for (int c = 0; c < width; ++c) {
+        auto& sw = net.add_switch(
+            "T-" + std::to_string(d) + "." +
+            std::to_string(p * static_cast<std::size_t>(width) +
+                           static_cast<std::size_t>(c)));
+        level.push_back(sw.id());
+        net.connect(parents[p], sw.id(),
+                    level_rates[static_cast<std::size_t>(d - 1)],
+                    make_scheduler);
+      }
+    }
+  }
+
+  topo.leaf_switches = topo.levels[static_cast<std::size_t>(depth - 1)];
+  topo.leaf_hosts.reserve(topo.leaf_switches.size());
+  for (std::size_t i = 0; i < topo.leaf_switches.size(); ++i) {
+    auto& host = net.add_host("Host-leaf-" + std::to_string(i));
+    topo.leaf_hosts.push_back(host.id());
+    net.connect(host.id(), topo.leaf_switches[i], /*rate=*/0);
+  }
+  net.build_routes();
+  return topo;
+}
+
+ParkingLotTopology build_parking_lot(Network& net,
+                                     const std::vector<sim::Rate>& hop_rates,
+                                     const LinkSchedulerFactory& make_scheduler) {
+  assert(!hop_rates.empty());
+  ParkingLotTopology topo;
+  chain_core(net, hop_rates, make_scheduler, &topo.switches, &topo.hosts);
   return topo;
 }
 

@@ -6,6 +6,11 @@
 //
 // Hosts attach by infinitely fast links; queueing happens only at the
 // inter-switch links, each carrying 10 flows in the paper's Tables 2/3.
+//
+// Every builder has two flavours: one taking the plain SchedulerFactory
+// and one taking the DirectionalSchedulerFactory, for callers that key
+// per-link state (measurement, admission) by direction — the scenario
+// fabric generator composes the directional ones.
 
 #pragma once
 
@@ -28,6 +33,12 @@ struct ChainTopology {
 ChainTopology build_chain(Network& net, int num_switches,
                           sim::Rate inter_switch_rate,
                           const SchedulerFactory& make_scheduler);
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const DirectionalSchedulerFactory& make_scheduler);
+ChainTopology build_chain(Network& net, int num_switches,
+                          sim::Rate inter_switch_rate,
+                          const LinkSchedulerFactory& make_scheduler);
 
 /// Renders the chain as ASCII art (used by bench_table2 to echo Figure 1).
 [[nodiscard]] std::string chain_ascii(const ChainTopology& topo);
@@ -42,6 +53,8 @@ struct DumbbellTopology {
 };
 DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
                                 const SchedulerFactory& make_scheduler);
+DumbbellTopology build_dumbbell(Network& net, sim::Rate bottleneck_rate,
+                                const DirectionalSchedulerFactory& make_scheduler);
 
 /// Fan-in: several edge switches feed one merge switch whose single
 /// output port is the bottleneck — the first scenario beyond the paper's
@@ -72,5 +85,58 @@ FanInTopology build_fan_in(Network& net,
                            const std::vector<sim::Rate>& feed_rates,
                            sim::Rate bottleneck_rate,
                            const SchedulerFactory& make_scheduler);
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const DirectionalSchedulerFactory& make_scheduler);
+FanInTopology build_fan_in(Network& net,
+                           const std::vector<sim::Rate>& feed_rates,
+                           sim::Rate bottleneck_rate,
+                           const LinkSchedulerFactory& make_scheduler);
+
+/// Complete `width`-ary aggregation tree of `depth` switch levels: the
+/// root (level 0) carries the sink host, every leaf switch (level
+/// depth-1) carries a source host, and the links between level d and
+/// level d+1 run at level_rates[d].  Traffic from the leaves converges
+/// level by level towards the root — a fan-in fabric whose contention
+/// deepens with `depth` (reversed flows make it a fan-out tree; the
+/// topology is symmetric).
+///
+///   depth=3, width=2:   Host-root -- S-0            (level 0)
+///                                   /    |
+///                                S-1     S-2        (level 1)
+///                               /  |     |  |
+///                             S-3 S-4   S-5 S-6     (level 2, leaves)
+///                              |   |     |   |
+///                            Host Host Host Host
+struct FanTreeTopology {
+  int depth = 0;  ///< number of switch levels
+  int width = 0;  ///< children per switch
+  std::vector<std::vector<NodeId>> levels;  ///< levels[d] = switches at depth d
+  NodeId root_switch = kNoNode;
+  NodeId root_host = kNoNode;              ///< sink side, attached to the root
+  std::vector<NodeId> leaf_switches;       ///< == levels[depth-1]
+  std::vector<NodeId> leaf_hosts;          ///< one per leaf switch
+};
+FanTreeTopology build_fan_tree(Network& net, int depth, int width,
+                               const std::vector<sim::Rate>& level_rates,
+                               const LinkSchedulerFactory& make_scheduler);
+
+/// Multi-bottleneck parking lot: a chain of switches where EVERY switch
+/// carries an entry/exit host and every hop may run at its own rate, so
+/// cross traffic enters and leaves at each hop while long flows cross
+/// several consecutive bottlenecks (hop_rates[i] is the S-i -> S-i+1
+/// link).  This is the classic multi-bottleneck fairness topology the
+/// ROADMAP's scale-scenarios item calls for.
+struct ParkingLotTopology {
+  std::vector<NodeId> switches;  ///< S-1 .. S-(n+1) for n hops
+  std::vector<NodeId> hosts;     ///< entry/exit host per switch
+  [[nodiscard]] int hops() const {
+    return static_cast<int>(switches.size()) - 1;
+  }
+};
+ParkingLotTopology build_parking_lot(Network& net,
+                                     const std::vector<sim::Rate>& hop_rates,
+                                     const LinkSchedulerFactory& make_scheduler);
 
 }  // namespace ispn::net

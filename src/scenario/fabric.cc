@@ -1,0 +1,78 @@
+#include "scenario/fabric.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ispn::scenario {
+
+namespace {
+
+Fabric build_chain_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kChain;
+  const auto topo = ispn.build_chain(spec.chain_switches);
+  const auto& hosts = topo.hosts;
+  for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+    fabric.od_short.emplace_back(hosts[i], hosts[i + 1]);
+  }
+  // Long pairs span 2..4 hops (the paper's layout tops out at 4).
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t span = 2; span <= 4 && i + span < hosts.size(); ++span) {
+      fabric.od_long.emplace_back(hosts[i], hosts[i + span]);
+    }
+  }
+  return fabric;
+}
+
+Fabric build_tree_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kFanInTree;
+  const auto topo = ispn.build_fan_tree(spec.tree_depth, spec.tree_width);
+  // Every flow aggregates from a leaf towards the root sink; the pair is
+  // "long" exactly when it crosses more than one queueing level.
+  for (const net::NodeId leaf : topo.leaf_hosts) {
+    if (spec.tree_depth > 2) {
+      fabric.od_long.emplace_back(leaf, topo.root_host);
+    } else {
+      fabric.od_short.emplace_back(leaf, topo.root_host);
+    }
+  }
+  if (fabric.od_long.empty()) fabric.od_long = fabric.od_short;
+  if (fabric.od_short.empty()) fabric.od_short = fabric.od_long;
+  return fabric;
+}
+
+Fabric build_parking_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kParkingLot;
+  std::vector<sim::Rate> rates;
+  rates.reserve(static_cast<std::size_t>(spec.parking_hops));
+  for (int i = 0; i < spec.parking_hops; ++i) {
+    rates.push_back(spec.link_rate * std::pow(spec.parking_rate_step, i));
+  }
+  const auto topo = ispn.build_parking_lot(spec.parking_hops, rates);
+  const auto& hosts = topo.hosts;
+  for (std::size_t i = 0; i + 1 < hosts.size(); ++i) {
+    fabric.od_short.emplace_back(hosts[i], hosts[i + 1]);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = i + 2; j < hosts.size(); ++j) {
+      fabric.od_long.emplace_back(hosts[i], hosts[j]);
+    }
+  }
+  return fabric;
+}
+
+}  // namespace
+
+Fabric build_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  switch (spec.fabric) {
+    case FabricKind::kChain: return build_chain_fabric(ispn, spec);
+    case FabricKind::kFanInTree: return build_tree_fabric(ispn, spec);
+    case FabricKind::kParkingLot: return build_parking_fabric(ispn, spec);
+  }
+  assert(false && "unknown fabric kind");
+  return {};
+}
+
+}  // namespace ispn::scenario

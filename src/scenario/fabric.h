@@ -1,0 +1,37 @@
+// Fabric generation: turns a ScenarioSpec's topology half into a built
+// IspnNetwork fabric plus the origin-destination structure the workload
+// draws from.
+//
+// Three families (FabricKind):
+//   * kChain — the paper's Figure-1 chain, scaled to chain_switches;
+//     short pairs are adjacent hosts, long pairs span 2..4 hops like the
+//     paper's 22-flow layout.
+//   * kFanInTree — a width-ary aggregation tree of tree_depth levels;
+//     every pair is leaf -> root, so contention deepens level by level.
+//   * kParkingLot — parking_hops bottlenecks with an entry/exit host at
+//     every switch; short pairs cross one hop (per-hop entry/exit cross
+//     traffic), long pairs cross two or more consecutive bottlenecks.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace ispn::scenario {
+
+/// A built fabric: QoS links are registered and instrumented inside the
+/// IspnNetwork that built it; this carries what the workload needs.
+struct Fabric {
+  FabricKind kind = FabricKind::kChain;
+  using OdPair = std::pair<net::NodeId, net::NodeId>;
+  std::vector<OdPair> od_long;   ///< multi-bottleneck pairs
+  std::vector<OdPair> od_short;  ///< single-hop / leaf-to-root pairs
+};
+
+/// Builds the fabric described by `spec` into `ispn` (topology + QoS
+/// links + measurement instrumentation) and returns the OD structure.
+Fabric build_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec);
+
+}  // namespace ispn::scenario

@@ -1,0 +1,134 @@
+// ScenarioReport: everything one scenario run produces.
+//
+// Aggregation is O(1) per delivered packet (Welford means, P² tail
+// quantiles, windowless counters) so million-packet runs stay inside the
+// engine's zero-steady-state-allocation discipline — only the per-flow
+// outcome table and the admission decision log grow, and those grow with
+// FLOWS, not packets.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "net/packet.h"
+#include "stats/online_stats.h"
+#include "stats/p2_quantile.h"
+
+namespace ispn::scenario {
+
+/// One admission-control event, as seen by the runner.
+struct AdmissionDecision {
+  enum class Kind : std::uint8_t {
+    kAdmitted,
+    kRejected,
+    kPreempted,  ///< torn down to make room for a rejected guaranteed flow
+  };
+  sim::Time time = 0;
+  net::FlowId flow = net::kNoFlow;
+  net::ServiceClass service = net::ServiceClass::kDatagram;
+  Kind kind = Kind::kAdmitted;
+  int rejected_hop = -1;     ///< path index that refused (kRejected only)
+  std::string reason;        ///< controller's explanation (kRejected only)
+};
+
+[[nodiscard]] const char* to_string(AdmissionDecision::Kind kind);
+
+/// Per-service-class delivery statistics, O(1) per packet.
+struct ClassStats {
+  std::uint64_t delivered = 0;
+  stats::OnlineStats delay;                 ///< e2e queueing delay (s)
+  stats::P2Quantile p50{0.5};
+  stats::P2Quantile p99{0.99};
+  stats::P2Quantile p999{0.999};
+  /// |successive delay delta| computed WITHIN each flow (the per-flow
+  /// previous delay lives with the flow), then aggregated per class —
+  /// interleaved flows with different path lengths must not masquerade
+  /// as jitter.
+  stats::OnlineStats jitter;
+
+  void add_delay(double delay_s) {
+    ++delivered;
+    delay.add(delay_s);
+    p50.add(delay_s);
+    p99.add(delay_s);
+    p999.add(delay_s);
+  }
+};
+
+/// One flow's fate.
+struct FlowOutcome {
+  net::FlowId flow = net::kNoFlow;
+  net::ServiceClass service = net::ServiceClass::kDatagram;
+  bool admitted = false;
+  std::size_t hops = 0;          ///< queueing links on the path
+  sim::Time opened = 0;
+  sim::Time closed = -1;         ///< < 0: still open at run end
+  std::uint64_t delivered = 0;
+  double max_delay = 0;          ///< max accumulated queueing delay (s)
+  /// Advertised bound (s): Parekh–Gallager for guaranteed, summed class
+  /// targets for predicted; 0 = none (datagram / rejected).
+  double bound = 0;
+};
+
+/// Per-link utilisation row.
+struct LinkReport {
+  core::LinkId link{net::kNoNode, net::kNoNode};
+  double utilization = 0;           ///< all traffic, over [0, end]
+  double realtime_utilization = 0;  ///< guaranteed + predicted only
+};
+
+struct ScenarioReport {
+  std::string spec_summary;
+  sim::Time end_time = 0;
+  std::uint64_t events = 0;  ///< simulator events processed
+
+  // ---- packet conservation ledger -------------------------------------
+  // generated == source_drops + injected           (edge policing)
+  // injected  == delivered + net_drops + queued_end + unclaimed
+  std::uint64_t generated = 0;
+  std::uint64_t source_drops = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t net_drops = 0;
+  std::uint64_t queued_end = 0;
+  std::uint64_t unclaimed = 0;
+
+  // ---- admission -------------------------------------------------------
+  std::uint64_t flows_offered = 0;
+  std::uint64_t flows_admitted = 0;   ///< includes always-admitted datagram
+  std::uint64_t flows_rejected = 0;
+  std::uint64_t flows_preempted = 0;
+  std::vector<AdmissionDecision> decisions;
+
+  // ---- delivery quality ------------------------------------------------
+  std::array<ClassStats, 3> classes;  ///< indexed by ServiceClass
+  std::vector<FlowOutcome> flows;
+  std::vector<LinkReport> links;
+
+  [[nodiscard]] bool conserved() const {
+    return generated == source_drops + injected &&
+           injected == delivered + net_drops + queued_end + unclaimed;
+  }
+  [[nodiscard]] double admission_ratio() const {
+    return flows_offered == 0 ? 1.0
+                              : static_cast<double>(flows_admitted) /
+                                    static_cast<double>(flows_offered);
+  }
+
+  /// FNV-1a over the full decision log (times bit-exact), for the
+  /// golden-trace determinism suite.
+  [[nodiscard]] std::uint64_t decision_hash() const;
+
+  /// Human-readable summary table.
+  void to_text(std::ostream& out) const;
+  /// Machine-readable JSON (one object).  The decision log is summarised
+  /// as counts plus decision_hash rather than emitted per entry.
+  void to_json(std::ostream& out) const;
+};
+
+}  // namespace ispn::scenario

@@ -1,0 +1,403 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "traffic/cbr_source.h"
+#include "traffic/onoff_source.h"
+#include "traffic/poisson_source.h"
+
+namespace ispn::scenario {
+
+namespace {
+
+/// Rng stream ids: the workload stream and the per-flow source streams
+/// must never collide — flow ids are 32-bit, so basing the source
+/// streams above 2^32 keeps them disjoint from any small constant.
+constexpr std::uint64_t kWorkloadStream = 0xFAB;
+constexpr std::uint64_t kSourceStreamBase = 1ull << 32;
+
+}  // namespace
+
+void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time) {
+  const double delay = p->queueing_delay;
+  ++rec_->delivered;
+  if (delay > rec_->max_delay) rec_->max_delay = delay;
+  ClassStats& cls = runner_->classes_[static_cast<std::size_t>(p->service)];
+  cls.add_delay(delay);
+  // Jitter is within-flow: the previous delay belongs to this flow, so
+  // interleaved deliveries of other flows cannot fake it.
+  if (rec_->has_last) {
+    cls.jitter.add(delay > rec_->last_delay ? delay - rec_->last_delay
+                                            : rec_->last_delay - delay);
+  }
+  rec_->last_delay = delay;
+  rec_->has_last = true;
+  ++runner_->delivered_total_;
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_((spec.validate(), std::move(spec))),
+      ispn_(spec_.network_config()),
+      rng_(spec_.seed, kWorkloadStream) {}
+
+void ScenarioRunner::prepare() {
+  if (prepared_) return;
+  prepared_ = true;
+  fabric_ = build_fabric(ispn_, spec_);
+  arrival_deadline_ = spec_.arrival_window > 0
+                          ? std::min(spec_.arrival_window, spec_.run_seconds)
+                          : spec_.run_seconds;
+
+  if (spec_.arrival_rate > 0) {
+    schedule_next_arrival();
+  } else {
+    // Bench/soak mode: one deterministic batch at t=0, source starts
+    // staggered across roughly one mean inter-packet gap so emissions
+    // interleave instead of bursting in lockstep.
+    const double spread =
+        spec_.avg_rate_pps * std::max(1, spec_.target_flows);
+    for (int f = 0; f < spec_.target_flows; ++f) {
+      const core::FlowSpec fs = draw_spec();
+      open_flow(fs, static_cast<double>(f) / spread);
+    }
+  }
+  net().sim().at(spec_.run_seconds, [this] { stop_all(); });
+}
+
+void ScenarioRunner::schedule_next_arrival() {
+  const sim::Time next =
+      net().sim().now() + rng_.exponential(1.0 / spec_.arrival_rate);
+  if (next > arrival_deadline_) return;
+  net().sim().at(next, [this] { on_arrival(); });
+}
+
+void ScenarioRunner::on_arrival() {
+  if (halted_) return;  // finish() ended the workload; drain only
+  if (open_count_ < spec_.target_flows) {
+    const core::FlowSpec fs = draw_spec();
+    open_flow(fs, 0.0);
+  }
+  schedule_next_arrival();
+}
+
+core::FlowSpec ScenarioRunner::draw_spec() {
+  core::FlowSpec fs;
+  fs.flow = next_flow_++;
+
+  const bool want_long = rng_.bernoulli(spec_.long_flow_fraction);
+  const auto& primary = want_long ? fabric_.od_long : fabric_.od_short;
+  const auto& fallback = want_long ? fabric_.od_short : fabric_.od_long;
+  const auto& pool = primary.empty() ? fallback : primary;
+  assert(!pool.empty() && "fabric offered no origin-destination pairs");
+  const Fabric::OdPair od = pool[rng_.below(pool.size())];
+  fs.src = od.first;
+  fs.dst = od.second;
+
+  const sim::Rate avg_bps = spec_.avg_rate_pps * spec_.packet_bits;
+  const sim::Bits depth = sim::paper::kBucketPackets * spec_.packet_bits;
+  const double u = rng_.uniform();
+  if (u < spec_.p_guaranteed) {
+    fs.service = net::ServiceClass::kGuaranteed;
+    fs.guaranteed = core::GuaranteedSpec{avg_bps * spec_.peak_factor};
+  } else if (u < spec_.p_guaranteed + spec_.p_predicted) {
+    fs.service = net::ServiceClass::kPredicted;
+    fs.predicted = core::PredictedSpec{
+        {avg_bps, depth}, spec_.target_delay, spec_.target_loss};
+  } else {
+    fs.service = net::ServiceClass::kDatagram;
+  }
+  return fs;
+}
+
+void ScenarioRunner::record(const AdmissionDecision& d) {
+  decisions_.push_back(d);
+}
+
+void ScenarioRunner::open_flow(const core::FlowSpec& fs,
+                               sim::Duration start_offset) {
+  assert(static_cast<std::size_t>(fs.flow) == flows_.size());
+  const sim::Time now = net().sim().now();
+  flows_.emplace_back();
+  FlowRec& rec = flows_.back();
+  rec.opened = now;
+
+  auto outcome = [&](const core::IspnNetwork::FlowHandle& h) {
+    AdmissionDecision d;
+    d.time = now;
+    d.flow = fs.flow;
+    d.service = fs.service;
+    d.kind = h.commitment.admitted ? AdmissionDecision::Kind::kAdmitted
+                                   : AdmissionDecision::Kind::kRejected;
+    d.rejected_hop = h.commitment.rejected_hop;
+    d.reason = h.commitment.reason;
+    return d;
+  };
+
+  rec.handle = ispn_.try_open_flow(fs);
+  record(outcome(rec.handle));
+  // Guaranteed rejections may make room by evicting predicted flows on
+  // the refusing hop, one victim per retry.  Each eviction releases the
+  // victim's committed rate immediately, so under parameter-based
+  // admission the loop converges; under measurement-based admission the
+  // measured ν̂ only decays with the estimator, so the cap bounds how
+  // many victims a stubborn rejection may cost.
+  for (int attempt = 0;
+       attempt < 8 && !rec.handle.commitment.admitted &&
+       spec_.preempt_on_reject &&
+       fs.service == net::ServiceClass::kGuaranteed;
+       ++attempt) {
+    const int hop = rec.handle.commitment.rejected_hop;
+    if (hop < 0 || hop >= static_cast<int>(rec.handle.links.size()) ||
+        !preempt_on(rec.handle.links[static_cast<std::size_t>(hop)])) {
+      break;
+    }
+    rec.handle = ispn_.try_open_flow(fs);
+    record(outcome(rec.handle));
+  }
+
+  if (!rec.handle.commitment.admitted) {
+    ++flows_rejected_;
+    return;
+  }
+  ++flows_admitted_;
+  ++open_count_;
+  rec.active = true;
+  active_.push_back(fs.flow);
+
+  if (fs.service == net::ServiceClass::kGuaranteed) {
+    const traffic::TokenBucketSpec bucket{
+        fs.guaranteed->clock_rate,
+        sim::paper::kBucketPackets * spec_.packet_bits};
+    rec.bound =
+        ispn_.guaranteed_bound(rec.handle, bucket, spec_.packet_bits);
+  } else if (fs.service == net::ServiceClass::kPredicted) {
+    rec.bound = rec.handle.commitment.advertised_bound.value_or(0.0);
+  }
+
+  attach_source(rec, start_offset);
+  rec.sink = std::make_unique<Sink>(this, &rec);
+  net::FlowSink* sink = rec.sink.get();
+  if (tracer_ != nullptr) sink = tracer_->wrap_sink(sink);
+  net().host(fs.dst).register_sink(fs.flow, sink);
+  depart_later(fs.flow);
+}
+
+bool ScenarioRunner::preempt_on(core::LinkId link) {
+  for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
+    FlowRec& cand = flows_[static_cast<std::size_t>(*it)];
+    if (cand.handle.spec.service != net::ServiceClass::kPredicted) continue;
+    const auto& links = cand.handle.links;
+    if (std::find(links.begin(), links.end(), link) == links.end()) continue;
+
+    cand.source->stop();
+    ispn_.close_flow(cand.handle);
+    cand.active = false;
+    cand.closed = net().sim().now();
+    --open_count_;
+    ++flows_preempted_;
+    AdmissionDecision d;
+    d.time = net().sim().now();
+    d.flow = cand.handle.spec.flow;
+    d.service = cand.handle.spec.service;
+    d.kind = AdmissionDecision::Kind::kPreempted;
+    record(d);
+    active_.erase(std::next(it).base());
+    return true;
+  }
+  return false;
+}
+
+void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
+  const core::FlowSpec& fs = rec.handle.spec;
+  net::Host& host = net().host(fs.src);
+  auto emit = [&host](net::PacketPtr p) { host.inject(std::move(p)); };
+  net::FlowStats* stats = &net().stats(fs.flow);
+  const sim::Rng rng(spec_.seed,
+                     kSourceStreamBase + static_cast<std::uint64_t>(fs.flow));
+
+  // Edge policing: guaranteed flows conform to their own clock rate (so
+  // the Parekh–Gallager bound applies), predicted flows to their declared
+  // filter (paper §8), datagram flows are unpoliced.
+  std::optional<traffic::TokenBucketSpec> police;
+  if (fs.service == net::ServiceClass::kGuaranteed) {
+    police = traffic::TokenBucketSpec{
+        fs.guaranteed->clock_rate,
+        sim::paper::kBucketPackets * spec_.packet_bits};
+  } else if (fs.service == net::ServiceClass::kPredicted) {
+    police = fs.predicted->bucket;
+  }
+
+  switch (spec_.source) {
+    case SourceKind::kOnOff: {
+      traffic::OnOffSource::Config cfg;
+      cfg.avg_rate_pps = spec_.avg_rate_pps;
+      cfg.peak_factor = spec_.peak_factor;
+      cfg.packet_bits = spec_.packet_bits;
+      rec.source = std::make_unique<traffic::OnOffSource>(
+          net().sim(), cfg, rng, fs.flow, fs.src, fs.dst, emit, stats,
+          police);
+      break;
+    }
+    case SourceKind::kCbr: {
+      traffic::CbrSource::Config cfg;
+      cfg.rate_pps = spec_.avg_rate_pps;
+      cfg.packet_bits = spec_.packet_bits;
+      rec.source = std::make_unique<traffic::CbrSource>(
+          net().sim(), cfg, fs.flow, fs.src, fs.dst, emit, stats, police);
+      break;
+    }
+    case SourceKind::kPoisson: {
+      traffic::PoissonSource::Config cfg;
+      cfg.rate_pps = spec_.avg_rate_pps;
+      cfg.packet_bits = spec_.packet_bits;
+      rec.source = std::make_unique<traffic::PoissonSource>(
+          net().sim(), cfg, rng, fs.flow, fs.src, fs.dst, emit, stats,
+          police);
+      break;
+    }
+  }
+
+  const std::uint8_t priority =
+      rec.handle.commitment.priority_per_hop.empty()
+          ? 0
+          : static_cast<std::uint8_t>(
+                rec.handle.commitment.priority_per_hop[0]);
+  rec.source->set_service(fs.service, priority);
+  rec.source->start(net().sim().now() + start_offset);
+}
+
+void ScenarioRunner::depart_later(net::FlowId flow) {
+  if (spec_.mean_hold <= 0) return;
+  // The hold is drawn at open time so the workload stream's call order
+  // never depends on event interleaving.
+  const sim::Time t =
+      net().sim().now() + rng_.exponential(spec_.mean_hold);
+  if (t >= spec_.run_seconds) return;  // the global stop covers it
+  net().sim().at(t, [this, flow] {
+    FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+    if (!rec.active) return;  // preempted in the meantime
+    rec.source->stop();
+    net().sim().after(spec_.drain_grace, [this, flow] { try_close(flow); });
+  });
+}
+
+void ScenarioRunner::try_close(net::FlowId flow) {
+  FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+  if (!rec.active) return;
+  if (rec.handle.spec.service == net::ServiceClass::kGuaranteed) {
+    // Drained means every injected packet has been accounted for end to
+    // end — delivered or dropped.  Polling the per-hop queues instead
+    // would race the last packet's in-flight window (dequeued at one hop,
+    // not yet enqueued at the next), and closing inside that window would
+    // demote the packet to datagram service downstream.
+    const net::FlowStats& st = net().stats(flow);
+    if (st.injected > rec.delivered + st.net_drops) {
+      // Still draining: WFQ guarantees the clock rate, so this
+      // terminates; poll again one grace period later.
+      net().sim().after(spec_.drain_grace,
+                        [this, flow] { try_close(flow); });
+      return;
+    }
+  }
+  ispn_.close_flow(rec.handle);
+  rec.active = false;
+  rec.closed = net().sim().now();
+  --open_count_;
+  active_.erase(std::find(active_.begin(), active_.end(), flow));
+}
+
+void ScenarioRunner::stop_all() {
+  halted_ = true;  // no further arrivals may open flows
+  for (const net::FlowId flow : active_) {
+    flows_[static_cast<std::size_t>(flow)].source->stop();
+  }
+}
+
+std::uint64_t ScenarioRunner::queued_now() {
+  std::uint64_t queued = 0;
+  for (const core::LinkId& link : ispn_.links()) {
+    net::Port* port = net().port(link.first, link.second);
+    queued += port->scheduler().packets() + (port->busy() ? 1 : 0);
+  }
+  return queued;
+}
+
+ScenarioReport ScenarioRunner::run() {
+  prepare();
+  net().sim().run();
+  return finish();
+}
+
+ScenarioReport ScenarioRunner::finish() {
+  assert(prepared_ && "finish() before prepare()");
+  assert(!finished_ && "finish() called twice");
+  finished_ = true;
+  if (!net().sim().idle()) {
+    // Manual driving stopped mid-run: end the workload and drain.
+    stop_all();
+    net().sim().run();
+  }
+
+  ScenarioReport report;
+  report.spec_summary = spec_.describe();
+  report.end_time = net().sim().now();
+  report.events = net().sim().processed();
+
+  for (const FlowRec& rec : flows_) {
+    const net::FlowStats& st = net().stats(rec.handle.spec.flow);
+    report.generated += st.generated;
+    report.source_drops += st.source_drops;
+    report.injected += st.injected;
+    report.net_drops += st.net_drops;
+
+    FlowOutcome out;
+    out.flow = rec.handle.spec.flow;
+    out.service = rec.handle.spec.service;
+    out.admitted = rec.handle.commitment.admitted;
+    out.hops = rec.handle.links.size();
+    out.opened = rec.opened;
+    out.closed = rec.closed;
+    out.delivered = rec.delivered;
+    out.max_delay = rec.max_delay;
+    out.bound = rec.bound;
+    report.flows.push_back(out);
+  }
+  report.delivered = delivered_total_;
+  report.queued_end = queued_now();
+
+  std::set<net::NodeId> hosts;
+  for (const auto& [a, b] : fabric_.od_long) {
+    hosts.insert(a);
+    hosts.insert(b);
+  }
+  for (const auto& [a, b] : fabric_.od_short) {
+    hosts.insert(a);
+    hosts.insert(b);
+  }
+  for (const net::NodeId h : hosts) {
+    report.unclaimed += net().host(h).unclaimed();
+  }
+
+  report.flows_offered = flows_.size();
+  report.flows_admitted = flows_admitted_;
+  report.flows_rejected = flows_rejected_;
+  report.flows_preempted = flows_preempted_;
+  report.decisions = decisions_;
+  report.classes = classes_;
+
+  for (const core::LinkId& link : ispn_.links()) {
+    LinkReport lr;
+    lr.link = link;
+    lr.utilization = report.end_time > 0
+                         ? ispn_.link_utilization(link, report.end_time)
+                         : 0.0;
+    lr.realtime_utilization =
+        ispn_.realtime_utilization(link, report.end_time);
+    report.links.push_back(lr);
+  }
+  return report;
+}
+
+}  // namespace ispn::scenario

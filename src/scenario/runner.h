@@ -1,0 +1,140 @@
+// ScenarioRunner: executes one ScenarioSpec end to end.
+//
+// The runner owns an IspnNetwork, builds the spec's fabric, and drives a
+// LIVE workload: flows arrive over simulated time (Poisson arrivals, or
+// one deterministic batch at t=0 for bench/soak specs), each presents a
+// FlowSpec to the admission controller — whose ν̂ / d̂_j inputs come from
+// the per-link measurement modules fed by the very traffic already
+// admitted — and is admitted, rejected, or (optionally) makes room by
+// preempting the youngest predicted flow on the refusing link.  Admitted
+// flows get a source and a counting sink, hold for an exponential time,
+// then stop and close (guaranteed flows wait for their WFQ queues to
+// drain before releasing their clock rate).
+//
+// Every decision lands in the ScenarioReport's admission log and every
+// delivery in O(1) per-class aggregates, so the golden-trace suite can
+// hash a full run and the million-packet soak stays allocation-free in
+// steady state.
+//
+// Driving modes:
+//   * run()            — the whole scenario: prepare + drain + report.
+//   * prepare() + net().sim().run_until(...) + finish() — incremental
+//     (bench_scenario slices wall-clock time this way).
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/tracer.h"
+#include "scenario/fabric.h"
+#include "scenario/report.h"
+#include "scenario/scenario.h"
+#include "traffic/source.h"
+
+namespace ispn::scenario {
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  /// Builds the fabric and schedules the workload.  Idempotent.
+  void prepare();
+
+  /// prepare(), run the simulation to completion (arrivals end, sources
+  /// stop at run_seconds, queues drain), then finish().
+  ScenarioReport run();
+
+  /// Stops every active source, drains the simulator, and assembles the
+  /// report (callable once, after manual driving or inside run()).
+  ScenarioReport finish();
+
+  /// Optional: route every delivery through `tracer` (wrap_sink) so the
+  /// golden-trace suite sees deliver records too.  Set before prepare().
+  void set_tracer(net::PacketTracer* tracer) { tracer_ = tracer; }
+
+  [[nodiscard]] core::IspnNetwork& ispn() { return ispn_; }
+  [[nodiscard]] net::Network& net() { return ispn_.net(); }
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+  /// The built fabric (valid after prepare()).
+  [[nodiscard]] const Fabric& fabric() const { return fabric_; }
+
+  /// Packets delivered so far across all flows (bench progress counter).
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_total_; }
+
+  /// Admission decisions so far (grows during the run).
+  [[nodiscard]] const std::vector<AdmissionDecision>& decisions() const {
+    return decisions_;
+  }
+
+ private:
+  struct FlowRec;
+
+  /// Per-flow counting sink: O(1) per packet, feeds the per-class
+  /// aggregates and the flow's own tallies.
+  class Sink final : public net::FlowSink {
+   public:
+    Sink(ScenarioRunner* runner, FlowRec* rec)
+        : runner_(runner), rec_(rec) {}
+    void on_packet(net::PacketPtr p, sim::Time now) override;
+
+   private:
+    ScenarioRunner* runner_;
+    FlowRec* rec_;
+  };
+
+  struct FlowRec {
+    core::IspnNetwork::FlowHandle handle;
+    std::unique_ptr<traffic::Source> source;
+    std::unique_ptr<Sink> sink;
+    sim::Time opened = 0;
+    sim::Time closed = -1;
+    std::uint64_t delivered = 0;
+    double max_delay = 0;
+    double bound = 0;
+    double last_delay = 0;  ///< previous delivery's delay (jitter deltas)
+    bool has_last = false;
+    bool active = false;  ///< admitted and not yet closed
+  };
+
+  void schedule_next_arrival();
+  void on_arrival();
+  [[nodiscard]] core::FlowSpec draw_spec();
+  /// Opens one flow (admission + source + sink + departure schedule).
+  /// `start_offset` staggers the source's first emission.
+  void open_flow(const core::FlowSpec& fs, sim::Duration start_offset);
+  /// Tears down the youngest active predicted flow crossing `link`;
+  /// returns true when a victim was found.
+  bool preempt_on(core::LinkId link);
+  void attach_source(FlowRec& rec, sim::Duration start_offset);
+  void record(const AdmissionDecision& d);
+  void depart_later(net::FlowId flow);
+  void try_close(net::FlowId flow);
+  void stop_all();
+  [[nodiscard]] std::uint64_t queued_now();
+
+  ScenarioSpec spec_;
+  core::IspnNetwork ispn_;
+  Fabric fabric_;
+  net::PacketTracer* tracer_ = nullptr;
+  sim::Rng rng_;
+
+  bool prepared_ = false;
+  bool finished_ = false;
+  bool halted_ = false;  ///< workload ended: arrivals become no-ops
+  sim::Duration arrival_deadline_ = 0;
+  net::FlowId next_flow_ = 0;
+  int open_count_ = 0;
+  std::deque<FlowRec> flows_;          ///< indexed by FlowId; stable refs
+  std::vector<net::FlowId> active_;    ///< open order (preemption scans back)
+  std::vector<AdmissionDecision> decisions_;
+  std::array<ClassStats, 3> classes_{};
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t flows_admitted_ = 0;
+  std::uint64_t flows_rejected_ = 0;
+  std::uint64_t flows_preempted_ = 0;
+};
+
+}  // namespace ispn::scenario

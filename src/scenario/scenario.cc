@@ -1,0 +1,385 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ispn::scenario {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& key, const std::string& what) {
+  throw std::invalid_argument("scenario config: " + what + " '" + key + "'");
+}
+
+double parse_double(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  double out = 0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    fail(key, "malformed number for");
+  }
+  if (used != v.size()) fail(key, "malformed number for");
+  return out;
+}
+
+int parse_int(const std::string& key, const std::string& v) {
+  const double d = parse_double(key, v);
+  // Range-check before the cast: casting an unrepresentable double to
+  // int is undefined behaviour.
+  if (d < -2147483648.0 || d > 2147483647.0) {
+    fail(key, "integer out of range for");
+  }
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) fail(key, "expected an integer for");
+  return i;
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  fail(key, "expected true/false for");
+}
+
+std::vector<double> parse_list(const std::string& key, const std::string& v) {
+  std::vector<double> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(parse_double(key, item));
+  if (out.empty()) fail(key, "expected a comma-separated list for");
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FabricKind kind) {
+  switch (kind) {
+    case FabricKind::kChain: return "chain";
+    case FabricKind::kFanInTree: return "fan_in_tree";
+    case FabricKind::kParkingLot: return "parking_lot";
+  }
+  return "?";
+}
+
+const char* to_string(SourceKind kind) {
+  switch (kind) {
+    case SourceKind::kOnOff: return "onoff";
+    case SourceKind::kCbr: return "cbr";
+    case SourceKind::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+void ScenarioSpec::validate() const {
+  const auto check = [](bool ok, const char* field) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("scenario config: ") + field +
+                                  " out of range");
+    }
+  };
+  check(chain_switches >= 2, "chain_switches (need >= 2)");
+  check(tree_depth >= 2, "tree_depth (need >= 2)");
+  check(tree_width >= 1, "tree_width (need >= 1)");
+  check(parking_hops >= 1, "parking_hops (need >= 1)");
+  check(link_rate > 0, "link_rate (need > 0)");
+  check(parking_rate_step > 0, "parking_rate_step (need > 0)");
+  check(buffer_pkts >= 1, "buffer_pkts (need >= 1)");
+  check(!class_targets.empty() &&
+            std::is_sorted(class_targets.begin(), class_targets.end()) &&
+            class_targets.front() > 0,
+        "class_targets (need ascending positives)");
+  check(target_flows >= 1, "target_flows (need >= 1)");
+  check(p_guaranteed >= 0 && p_predicted >= 0 &&
+            p_guaranteed + p_predicted <= 1.0 + 1e-12,
+        "p_guaranteed/p_predicted (need a sub-unit mix)");
+  check(long_flow_fraction >= 0 && long_flow_fraction <= 1,
+        "long_flow_fraction (need [0,1])");
+  check(avg_rate_pps > 0, "avg_rate_pps (need > 0)");
+  check(peak_factor >= 1, "peak_factor (need >= 1)");
+  check(packet_bits > 0, "packet_bits (need > 0)");
+  check(target_delay > 0, "target_delay (need > 0)");
+  check(run_seconds > 0, "run_seconds (need > 0)");
+  check(drain_grace > 0, "drain_grace (need > 0)");
+  check(datagram_quota > 0 && datagram_quota < 1,
+        "datagram_quota (need (0,1))");
+  check(measurement_window > 0, "measurement_window (need > 0)");
+  check(measurement_safety >= 1, "measurement_safety (need >= 1)");
+  check(measurement_ewma_gain > 0 && measurement_ewma_gain <= 1,
+        "measurement_ewma_gain (need (0,1])");
+}
+
+core::IspnNetwork::Config ScenarioSpec::network_config() const {
+  core::IspnNetwork::Config cfg;
+  cfg.link_rate = link_rate;
+  cfg.buffer_pkts = buffer_pkts;
+  cfg.class_targets = class_targets;
+  cfg.admission = {admission_mode, datagram_quota};
+  cfg.enforce_admission = false;  // the runner records, never throws
+  cfg.measurement_window = measurement_window;
+  cfg.measurement_safety = measurement_safety;
+  cfg.measurement_estimator = measurement_estimator;
+  cfg.measurement_ewma_gain = measurement_ewma_gain;
+  cfg.seed = seed;
+  cfg.event_backend = event_backend;
+  cfg.order_backend = order_backend;
+  return cfg;
+}
+
+std::string ScenarioSpec::describe() const {
+  std::ostringstream out;
+  out << "fabric=" << to_string(fabric);
+  switch (fabric) {
+    case FabricKind::kChain: out << " switches=" << chain_switches; break;
+    case FabricKind::kFanInTree:
+      out << " depth=" << tree_depth << " width=" << tree_width;
+      break;
+    case FabricKind::kParkingLot:
+      out << " hops=" << parking_hops << " step=" << parking_rate_step;
+      break;
+  }
+  out << " link=" << link_rate / 1e6 << "Mb/s flows<=" << target_flows
+      << " arrivals=" << arrival_rate << "/s hold=" << mean_hold << "s mix=G"
+      << p_guaranteed << "/P" << p_predicted << " source="
+      << to_string(source) << " run=" << run_seconds << "s seed=" << seed;
+  return out.str();
+}
+
+ScenarioSpec preset(const std::string& name) {
+  ScenarioSpec spec;
+  if (name == "chain") {
+    spec.fabric = FabricKind::kChain;
+    spec.chain_switches = 8;
+  } else if (name == "fan_in") {
+    spec.fabric = FabricKind::kFanInTree;
+    spec.tree_depth = 2;
+    spec.tree_width = 4;
+    spec.target_flows = 16;
+    spec.arrival_rate = 4.0;
+  } else if (name == "parking_lot") {
+    spec.fabric = FabricKind::kParkingLot;
+    spec.parking_hops = 4;
+    spec.target_flows = 24;
+  } else if (name == "churn") {
+    // Admission churn: tight links under fast arrivals and departures, so
+    // the live ν̂/d̂ feed actually refuses (and with preemption, evicts).
+    spec.fabric = FabricKind::kChain;
+    spec.chain_switches = 6;
+    spec.arrival_rate = 10.0;
+    spec.mean_hold = 3.0;
+    spec.target_flows = 48;
+    spec.p_guaranteed = 0.35;
+    spec.p_predicted = 0.45;
+    spec.preempt_on_reject = true;
+  } else {
+    throw std::invalid_argument("unknown scenario preset '" + name + "'");
+  }
+  return spec;
+}
+
+void apply_scale(ScenarioSpec& spec, const std::string& scale) {
+  if (scale == "smoke") {
+    spec.run_seconds = 1.0;
+    spec.drain_grace = 0.25;
+  } else if (scale == "small") {
+    spec.run_seconds = 6.0;
+    spec.drain_grace = 0.5;
+  } else if (scale == "large") {
+    // Million-packet class: 10x links, 10x source rates, longer run.
+    spec.link_rate *= 10.0;
+    spec.avg_rate_pps *= 10.0;
+    spec.target_flows = std::max(spec.target_flows, 48);
+    spec.run_seconds = 120.0;
+  } else {
+    throw std::invalid_argument("unknown scenario scale '" + scale + "'");
+  }
+}
+
+void apply_override(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value) {
+  if (key == "preset") {
+    const ScenarioSpec base = preset(value);
+    spec = base;
+  } else if (key == "scale") {
+    apply_scale(spec, value);
+  } else if (key == "fabric") {
+    if (value == "chain") spec.fabric = FabricKind::kChain;
+    else if (value == "fan_in_tree" || value == "fan_in")
+      spec.fabric = FabricKind::kFanInTree;
+    else if (value == "parking_lot") spec.fabric = FabricKind::kParkingLot;
+    else fail(key, "unknown fabric for");
+  } else if (key == "chain_switches") {
+    spec.chain_switches = parse_int(key, value);
+  } else if (key == "tree_depth") {
+    spec.tree_depth = parse_int(key, value);
+  } else if (key == "tree_width") {
+    spec.tree_width = parse_int(key, value);
+  } else if (key == "parking_hops") {
+    spec.parking_hops = parse_int(key, value);
+  } else if (key == "link_rate") {
+    spec.link_rate = parse_double(key, value);
+  } else if (key == "parking_rate_step") {
+    spec.parking_rate_step = parse_double(key, value);
+  } else if (key == "buffer_pkts") {
+    spec.buffer_pkts = static_cast<std::size_t>(parse_int(key, value));
+  } else if (key == "class_targets") {
+    spec.class_targets = parse_list(key, value);
+  } else if (key == "arrival_rate") {
+    spec.arrival_rate = parse_double(key, value);
+  } else if (key == "arrival_window") {
+    spec.arrival_window = parse_double(key, value);
+  } else if (key == "target_flows") {
+    spec.target_flows = parse_int(key, value);
+  } else if (key == "mean_hold") {
+    spec.mean_hold = parse_double(key, value);
+  } else if (key == "p_guaranteed") {
+    spec.p_guaranteed = parse_double(key, value);
+  } else if (key == "p_predicted") {
+    spec.p_predicted = parse_double(key, value);
+  } else if (key == "long_flow_fraction") {
+    spec.long_flow_fraction = parse_double(key, value);
+  } else if (key == "source") {
+    if (value == "onoff") spec.source = SourceKind::kOnOff;
+    else if (value == "cbr") spec.source = SourceKind::kCbr;
+    else if (value == "poisson") spec.source = SourceKind::kPoisson;
+    else fail(key, "unknown source kind for");
+  } else if (key == "avg_rate_pps") {
+    spec.avg_rate_pps = parse_double(key, value);
+  } else if (key == "peak_factor") {
+    spec.peak_factor = parse_double(key, value);
+  } else if (key == "packet_bits") {
+    spec.packet_bits = parse_double(key, value);
+  } else if (key == "target_delay") {
+    spec.target_delay = parse_double(key, value);
+  } else if (key == "target_loss") {
+    spec.target_loss = parse_double(key, value);
+  } else if (key == "preempt_on_reject") {
+    spec.preempt_on_reject = parse_bool(key, value);
+  } else if (key == "run_seconds") {
+    spec.run_seconds = parse_double(key, value);
+  } else if (key == "drain_grace") {
+    spec.drain_grace = parse_double(key, value);
+  } else if (key == "seed") {
+    spec.seed = static_cast<std::uint64_t>(parse_double(key, value));
+  } else if (key == "admission_mode") {
+    if (value == "measurement")
+      spec.admission_mode = core::AdmissionController::Mode::kMeasurementBased;
+    else if (value == "parameter")
+      spec.admission_mode = core::AdmissionController::Mode::kParameterBased;
+    else fail(key, "unknown admission mode for");
+  } else if (key == "datagram_quota") {
+    spec.datagram_quota = parse_double(key, value);
+  } else if (key == "measurement_window") {
+    spec.measurement_window = parse_double(key, value);
+  } else if (key == "measurement_safety") {
+    spec.measurement_safety = parse_double(key, value);
+  } else if (key == "measurement_estimator") {
+    if (value == "peak")
+      spec.measurement_estimator = core::LinkMeasurement::Estimator::kPeakEpoch;
+    else if (value == "ewma")
+      spec.measurement_estimator = core::LinkMeasurement::Estimator::kEwma;
+    else fail(key, "unknown estimator for");
+  } else if (key == "measurement_ewma_gain") {
+    spec.measurement_ewma_gain = parse_double(key, value);
+  } else if (key == "event_backend") {
+    if (value == "heap") spec.event_backend = sim::EventBackend::kHeap;
+    else if (value == "wheel") spec.event_backend = sim::EventBackend::kWheel;
+    else if (value == "auto") spec.event_backend = sim::EventBackend::kAuto;
+    else fail(key, "unknown event backend for");
+  } else if (key == "order_backend") {
+    if (value == "heap") spec.order_backend = sched::OrderBackend::kHeap;
+    else if (value == "calendar")
+      spec.order_backend = sched::OrderBackend::kCalendar;
+    else if (value == "auto") spec.order_backend = sched::OrderBackend::kAuto;
+    else fail(key, "unknown order backend for");
+  } else {
+    fail(key, "unknown key");
+  }
+}
+
+namespace {
+
+/// Tokenizes the JSON-ish object into (key, value) pairs.  Grammar:
+/// optional outer { }; entries "key": value or key = value, separated by
+/// commas and/or newlines; values are bare tokens or quoted strings; '#'
+/// starts a comment.
+std::vector<std::pair<std::string, std::string>> tokenize(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::size_t i = 0;
+  const auto skip = [&] {
+    while (i < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+          text[i] == ',' || text[i] == '{' || text[i] == '}') {
+        ++i;
+      } else if (text[i] == '#') {
+        while (i < text.size() && text[i] != '\n') ++i;
+      } else {
+        break;
+      }
+    }
+  };
+  const auto token = [&]() -> std::string {
+    if (i < text.size() && text[i] == '"') {
+      const std::size_t start = ++i;
+      while (i < text.size() && text[i] != '"') ++i;
+      if (i >= text.size()) {
+        throw std::invalid_argument("scenario config: unterminated string");
+      }
+      return text.substr(start, i++ - start);
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) == 0 &&
+           text[i] != ':' && text[i] != '=' && text[i] != ',' &&
+           text[i] != '}' && text[i] != '#') {
+      ++i;
+    }
+    return text.substr(start, i - start);
+  };
+  while (true) {
+    skip();
+    if (i >= text.size()) break;
+    const std::string key = token();
+    if (key.empty()) {
+      throw std::invalid_argument("scenario config: expected a key");
+    }
+    skip();
+    if (i < text.size() && (text[i] == ':' || text[i] == '=')) ++i;
+    skip();
+    const std::string value = token();
+    if (value.empty()) {
+      throw std::invalid_argument("scenario config: missing value for '" +
+                                  key + "'");
+    }
+    pairs.emplace_back(key, value);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+bool apply_json(ScenarioSpec& spec, const std::string& text) {
+  auto pairs = tokenize(text);
+  // Apply preset first (it REPLACES the spec), then scale, then every
+  // other key — so overrides always win regardless of file order.
+  std::stable_partition(pairs.begin(), pairs.end(),
+                        [](const auto& kv) { return kv.first == "scale"; });
+  std::stable_partition(pairs.begin(), pairs.end(),
+                        [](const auto& kv) { return kv.first == "preset"; });
+  bool contained_preset = false;
+  for (const auto& [key, value] : pairs) {
+    contained_preset = contained_preset || key == "preset";
+    apply_override(spec, key, value);
+  }
+  return contained_preset;
+}
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  ScenarioSpec spec;
+  apply_json(spec, text);
+  return spec;
+}
+
+}  // namespace ispn::scenario

@@ -1,0 +1,147 @@
+// Parameterized scenario fabrics (ROADMAP "scale scenarios").
+//
+// A ScenarioSpec describes one complete experiment beyond the paper's
+// fixed Figure-1 runs: a fabric (scaled-up chain, fan-in/fan-out
+// aggregation tree, or multi-bottleneck parking lot with per-hop
+// entry/exit traffic), an engine configuration (event/order backends,
+// buffer sizes, link rates), an admission-control configuration
+// (measurement-based by default — the paper's design), and a workload of
+// flows that ARRIVE OVER SIMULATED TIME with FlowSpecs, get admitted or
+// refused by the live measurement feed, hold for a while and depart.
+//
+// Specs come from three places: C++ presets (preset()), the JSON-ish
+// config files of tools/scenario_run (spec_from_json), and tests/benches
+// constructing them directly.  ScenarioRunner (runner.h) executes a spec;
+// ScenarioReport (report.h) is the result.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "sim/units.h"
+
+namespace ispn::scenario {
+
+/// Which fabric the generator builds.
+enum class FabricKind {
+  kChain,      ///< scaled-up Figure-1 chain (chain_switches long)
+  kFanInTree,  ///< width-ary aggregation tree, tree_depth levels
+  kParkingLot, ///< parking_hops bottlenecks, entry/exit host per hop
+};
+
+/// Which generation process drives each flow.
+enum class SourceKind {
+  kOnOff,    ///< the paper's two-state Markov source
+  kCbr,      ///< deterministic constant bit rate
+  kPoisson,  ///< exponential gaps
+};
+
+struct ScenarioSpec {
+  // ---- fabric ----------------------------------------------------------
+  FabricKind fabric = FabricKind::kChain;
+  int chain_switches = 8;
+  int tree_depth = 2;   ///< switch levels (>= 2)
+  int tree_width = 4;   ///< children per switch
+  int parking_hops = 4; ///< bottleneck links
+  sim::Rate link_rate = sim::paper::kLinkRate;
+  /// Per-hop rate multiplier for the parking lot (hop i runs at
+  /// link_rate * parking_rate_step^i): != 1 gives asymmetric bottlenecks.
+  double parking_rate_step = 1.0;
+  std::size_t buffer_pkts = sim::paper::kBufferPackets;
+  std::vector<sim::Duration> class_targets = {0.008, 0.064};
+
+  // ---- workload --------------------------------------------------------
+  /// Flow arrival rate (flows/s, Poisson).  <= 0: open target_flows in one
+  /// deterministic batch at t=0 (bench/soak mode).
+  double arrival_rate = 2.0;
+  /// Arrivals stop after this window (<= 0: the whole run).
+  sim::Duration arrival_window = 0;
+  /// Cap on concurrently open flows (and the t=0 batch size).
+  int target_flows = 24;
+  /// Mean exponential holding time before a flow departs (<= 0: never).
+  sim::Duration mean_hold = 20.0;
+  double p_guaranteed = 0.2;  ///< service mix: P(guaranteed)
+  double p_predicted = 0.5;   ///< P(predicted); the rest is datagram
+  /// Fraction of flows drawn from the fabric's long (multi-bottleneck)
+  /// origin-destination pairs; the rest take short/per-hop pairs.
+  double long_flow_fraction = 0.35;
+  SourceKind source = SourceKind::kOnOff;
+  double avg_rate_pps = sim::paper::kAvgPacketRate;
+  double peak_factor = sim::paper::kPeakFactor;
+  sim::Bits packet_bits = sim::paper::kPacketBits;
+  sim::Duration target_delay = 0.1;  ///< predicted flows' requested D
+  double target_loss = 0.01;         ///< predicted flows' requested L
+  /// On a guaranteed rejection, tear down the youngest predicted flow on
+  /// the refusing hop and retry, up to 8 victims per request (each
+  /// eviction recorded as kPreempted).
+  bool preempt_on_reject = false;
+
+  // ---- run -------------------------------------------------------------
+  sim::Duration run_seconds = 30.0;
+  sim::Duration drain_grace = 1.0;  ///< close-retry period for guaranteed
+  std::uint64_t seed = 1;
+
+  // ---- admission / measurement ----------------------------------------
+  core::AdmissionController::Mode admission_mode =
+      core::AdmissionController::Mode::kMeasurementBased;
+  double datagram_quota = 0.1;
+  sim::Duration measurement_window = 10.0;
+  double measurement_safety = 1.2;
+  core::LinkMeasurement::Estimator measurement_estimator =
+      core::LinkMeasurement::Estimator::kPeakEpoch;
+  double measurement_ewma_gain = 0.25;
+
+  // ---- engine ----------------------------------------------------------
+  sim::EventBackend event_backend = sim::EventBackend::kAuto;
+  sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
+
+  /// Throws std::invalid_argument naming the offending field when the
+  /// spec is out of range.  ScenarioRunner validates on construction, so
+  /// hostile CLI/config values fail cleanly even in Release builds
+  /// (where the library's asserts are compiled out).
+  void validate() const;
+
+  /// The IspnNetwork configuration this spec implies.
+  [[nodiscard]] core::IspnNetwork::Config network_config() const;
+
+  /// One-line summary for logs and reports.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Named presets: "chain", "fan_in", "parking_lot", "churn" (an
+/// admission-churn chain: fast arrivals/departures against tight links).
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] ScenarioSpec preset(const std::string& name);
+
+/// Scales a preset: "smoke" (sub-second), "small" (a few seconds, the
+/// golden-trace size), "large" (million-packet class).
+void apply_scale(ScenarioSpec& spec, const std::string& scale);
+
+/// Parses a flat JSON-ish object ({"key": value, ...}; keys may be bare,
+/// values are numbers, booleans or strings; '#' comments allowed) into an
+/// existing spec — unknown keys or malformed values throw
+/// std::invalid_argument with the offending key.  Accepted keys mirror
+/// the field names above plus "preset" and "scale" (applied first, in
+/// that order, regardless of file position).  Returns true when the text
+/// contained a "preset" key — callers layering configs use this to
+/// refuse a preset that would discard earlier settings.
+bool apply_json(ScenarioSpec& spec, const std::string& text);
+
+/// apply_json onto a default-constructed (or preset-selected) spec.
+[[nodiscard]] ScenarioSpec spec_from_json(const std::string& text);
+
+/// Applies one key=value override (the CLI's trailing args).  Throws
+/// std::invalid_argument on unknown keys.  NOTE: "preset" REPLACES the
+/// whole spec (discarding earlier overrides) — apply_json orders preset
+/// before scale before everything else for exactly this reason, and the
+/// CLI refuses --preset after other settings.
+void apply_override(ScenarioSpec& spec, const std::string& key,
+                    const std::string& value);
+
+[[nodiscard]] const char* to_string(FabricKind kind);
+[[nodiscard]] const char* to_string(SourceKind kind);
+
+}  // namespace ispn::scenario

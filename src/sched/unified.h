@@ -134,6 +134,16 @@ class UnifiedScheduler final : public Scheduler {
   /// Queued packets in a predicted class / datagram level (diagnostic).
   [[nodiscard]] std::size_t class_packets(int level) const;
 
+  /// Queued packets of a guaranteed flow (0 when not registered) — a
+  /// teardown diagnostic: remove_guaranteed() requires a drained queue.
+  /// Note this sees only THIS hop's queue; end-to-end drain checks should
+  /// compare the flow's injected/delivered/dropped ledger instead.
+  [[nodiscard]] std::size_t guaranteed_packets(net::FlowId flow) const {
+    const auto idx = static_cast<std::size_t>(flow);
+    return flow >= 0 && idx < guaranteed_.size() ? guaranteed_[idx].queue.size()
+                                                 : 0;
+  }
+
   void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return total_packets_ == 0; }

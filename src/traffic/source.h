@@ -46,6 +46,11 @@ class Source {
   /// Starts the generation process at simulated time `at`.
   virtual void start(sim::Time at) = 0;
 
+  /// Stops generating after the current event chain unwinds.  Every
+  /// concrete source implements this; the scenario runner relies on it to
+  /// tear flows down mid-run.
+  virtual void stop() = 0;
+
   /// Service class stamped onto each generated packet.
   void set_service(net::ServiceClass service, std::uint8_t priority = 0) {
     service_ = service;

@@ -53,5 +53,86 @@ TEST(Measurement, FreshMeterReportsZero) {
   EXPECT_DOUBLE_EQ(m.measured_delay(3, 0.0), 0.0);
 }
 
+// ---- exact-value decay pins -----------------------------------------------
+// The estimators are deterministic state machines over 1-second epochs
+// (window 10 s / 10 epochs); these tests pin their decay behaviour
+// against hand-computed sequences, bit-exact (all values are small binary
+// fractions, so EXPECT_DOUBLE_EQ is an identity check).
+
+TEST(Measurement, PeakEpochExactWindowBoundaryDecay) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  m.on_realtime_tx(500000.0, 0.5);  // epoch 0
+  // Visible for the full 10-epoch window: at t=9.999 nine buckets have
+  // rotated away but epoch 0's survives...
+  EXPECT_DOUBLE_EQ(m.measured_utilization(9.999), 0.5);
+  // ...and the very first instant of epoch 10 overwrites it: exact zero,
+  // not a gradual tail.
+  EXPECT_DOUBLE_EQ(m.measured_utilization(10.0), 0.0);
+}
+
+TEST(Measurement, PeakEpochAccumulatesWithinOneEpoch) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  m.on_realtime_tx(500000.0, 0.25);
+  m.on_realtime_tx(100000.0, 0.75);  // same epoch: 600 kb total
+  EXPECT_DOUBLE_EQ(m.measured_utilization(1.5), 0.6);
+}
+
+TEST(Measurement, EwmaExactHandComputedSequence) {
+  // gain 0.5: avg' = avg + 0.5 (rate - avg), first fold primes directly.
+  LinkMeasurement m({1e6, 2, 10.0, 1.0,
+                     LinkMeasurement::Estimator::kEwma, 0.5});
+  m.on_realtime_tx(500000.0, 0.5);           // epoch 0 accumulates 500 kb
+  EXPECT_DOUBLE_EQ(m.ewma_rate(1.2), 500000.0);   // primes with 500 kb/s
+  m.on_realtime_tx(300000.0, 1.5);           // epoch 1 accumulates 300 kb
+  // fold epoch 1: 500000 + 0.5*(300000 - 500000) = 400000.
+  EXPECT_DOUBLE_EQ(m.ewma_rate(2.2), 400000.0);
+  EXPECT_DOUBLE_EQ(m.measured_utilization(2.2), 0.4);
+}
+
+TEST(Measurement, EwmaIdleIntervalDecaysPerElapsedEpoch) {
+  // The idle-interval edge case: an interval of k empty epochs folds k
+  // zeros, so the estimate decays by exactly (1-g)^k — it neither freezes
+  // at its last value nor snaps to zero.
+  LinkMeasurement m({1e6, 2, 10.0, 1.0,
+                     LinkMeasurement::Estimator::kEwma, 0.5});
+  m.on_realtime_tx(800000.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.ewma_rate(1.1), 800000.0);
+  // 3 idle epochs (1, 2, 3) completed by t=4.2: 800000 * 0.5^3 = 100000.
+  EXPECT_DOUBLE_EQ(m.ewma_rate(4.2), 100000.0);
+  EXPECT_DOUBLE_EQ(m.measured_utilization(4.2), 0.1);
+  // 10 more idle epochs: decay continues geometrically past the window.
+  EXPECT_DOUBLE_EQ(m.ewma_rate(14.2), 100000.0 / 1024.0);
+}
+
+TEST(Measurement, EwmaSafetyFactorScales) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.5,
+                     LinkMeasurement::Estimator::kEwma, 0.5});
+  m.on_realtime_tx(400000.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.measured_utilization(1.2), 0.6);  // 1.5 * 0.4
+}
+
+TEST(Measurement, EwmaQueryDoesNotPerturbPeakEstimator) {
+  // Both estimators are always maintained ON THE SAME OBJECT;
+  // interleaving queries of one must not disturb the other.  This meter
+  // reports peak-epoch, and ewma_rate() (public regardless of the
+  // configured estimator) is queried between peak reads.
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});  // default ewma_gain 0.25
+  m.on_realtime_tx(500000.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.measured_utilization(1.2), 0.5);
+  EXPECT_DOUBLE_EQ(m.ewma_rate(3.2), 281250.0);  // 500000 * 0.75^2
+  // The peak-epoch view of the same object is unchanged by the EWMA
+  // settle that just ran.
+  EXPECT_DOUBLE_EQ(m.measured_utilization(3.2), 0.5);
+  // And vice versa: the peak reads did not perturb the EWMA sequence.
+  EXPECT_DOUBLE_EQ(m.ewma_rate(4.2), 210937.5);  // one more 0.75 decay
+}
+
+TEST(Measurement, WindowedDelayExactBoundaryDecay) {
+  LinkMeasurement m({1e6, 2, 10.0, 1.0});
+  m.on_class_wait(1, 0.04, 0.5);
+  EXPECT_DOUBLE_EQ(m.measured_delay(1, 9.999), 0.04);
+  EXPECT_DOUBLE_EQ(m.measured_delay(1, 10.0), 0.0);
+}
+
 }  // namespace
 }  // namespace ispn::core

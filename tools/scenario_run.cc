@@ -1,0 +1,125 @@
+// scenario_run: drive one scenario fabric from the command line.
+//
+// Usage:
+//   scenario_run --preset fan_in [--scale smoke|small|large] [key=value ...]
+//   scenario_run path/to/config.json [key=value ...]
+//   scenario_run --list
+//
+// The config file is the flat JSON-ish object scenario::apply_json
+// accepts (keys mirror ScenarioSpec fields; "preset" and "scale" keys are
+// applied first).  Trailing key=value args override either form.
+//
+// Output: the human-readable report on stdout; --json PATH additionally
+// writes the machine-readable report.
+//
+// Exit codes: 0 success, 1 CONSERVATION VIOLATED (CI trips on this),
+// 2 usage/config error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--preset NAME | CONFIG.json) [--scale SCALE] "
+               "[--json PATH] [key=value ...]\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ispn;
+
+  scenario::ScenarioSpec spec;
+  bool have_spec = false;
+  bool have_overrides = false;
+  std::string json_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--list") {
+        std::printf("presets: chain fan_in parking_lot churn\n");
+        std::printf("scales:  smoke small large\n");
+        return 0;
+      }
+      if (arg == "--preset") {
+        if (++i >= argc) return usage(argv[0]);
+        if (have_overrides) {
+          // A preset REPLACES the spec; accepting it here would silently
+          // discard the settings already applied.
+          std::fprintf(stderr,
+                       "--preset must be the first setting (it replaces "
+                       "the whole spec)\n");
+          return 2;
+        }
+        spec = scenario::preset(argv[i]);
+        have_spec = true;
+        have_overrides = true;  // a later preset (flag or config key)
+                                // would silently replace this choice
+      } else if (arg == "--scale") {
+        if (++i >= argc) return usage(argv[0]);
+        scenario::apply_scale(spec, argv[i]);
+        have_overrides = true;  // a later --preset would discard it
+      } else if (arg == "--json") {
+        if (++i >= argc) return usage(argv[0]);
+        json_path = argv[i];
+      } else if (arg.find('=') != std::string::npos) {
+        const auto eq = arg.find('=');
+        scenario::apply_override(spec, arg.substr(0, eq), arg.substr(eq + 1));
+        have_spec = true;
+        have_overrides = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        std::ifstream in(arg);
+        if (!in) {
+          std::fprintf(stderr, "cannot open config '%s'\n", arg.c_str());
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        if (scenario::apply_json(spec, ss.str()) && have_overrides) {
+          std::fprintf(stderr,
+                       "config '%s' contains a preset that would discard "
+                       "the settings given before it\n",
+                       arg.c_str());
+          return 2;
+        }
+        have_spec = true;
+        have_overrides = true;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+    if (!have_spec) return usage(argv[0]);
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  scenario::ScenarioRunner runner(spec);
+  const scenario::ScenarioReport report = runner.run();
+  report.to_text(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    report.to_json(out);
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+
+  if (!report.conserved()) {
+    std::fprintf(stderr, "CONSERVATION VIOLATED\n");
+    return 1;
+  }
+  return 0;
+}
