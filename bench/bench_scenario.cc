@@ -132,6 +132,26 @@ int main() {
     report.add("fan_in admission", "flows=256", run_fabric(spec));
   }
 
+  // Mesh under churn: link failures keep firing (capped per link), every
+  // failure reroutes the batch datagram workload and flushes the dead
+  // port — the price of topology churn on the forwarding path.
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kMesh;
+    spec.mesh_rows = 3;
+    spec.mesh_cols = 3;
+    spec.long_flow_fraction = 0.5;
+    // The bench only simulates a few seconds of a nominally endless run,
+    // so churn must be fast to land inside the measured window; the
+    // per-link schedule cap keeps the event list finite regardless.
+    spec.link_failure_rate = 2.0;
+    spec.link_repair_mean = 0.25;
+    // 12 inter-switch duplex links; corner-to-corner traffic concentrates
+    // on the interior, so load the tier conservatively.
+    set_load(spec, 256, /*bottleneck_links=*/8, kLinkRate);
+    report.add("mesh 3x3 failures", "flows=256", run_fabric(spec));
+  }
+
   const std::string path = report.write();
   std::printf("trajectory appended to %s\n", path.c_str());
   return 0;

@@ -107,6 +107,8 @@ ServiceCommitment AdmissionController::request(const FlowSpec& spec,
       }
     }
     for (const LinkId& id : path) links_.at(id).guaranteed_rate += r;
+    assert(!committed_.contains(spec.flow) && "flow already holds a commitment");
+    committed_[spec.flow] = Commitment{spec.service, r, path};
     commitment.admitted = true;
     // The a-priori bound is b(r)/r-based and computed by the caller, which
     // knows the client's bucket; the network only commits the rate.
@@ -158,28 +160,35 @@ ServiceCommitment AdmissionController::request(const FlowSpec& spec,
   for (const LinkId& id : path) {
     links_.at(id).predicted_rate += predicted.bucket.rate;
   }
+  assert(!committed_.contains(spec.flow) && "flow already holds a commitment");
+  committed_[spec.flow] = Commitment{spec.service, predicted.bucket.rate, path};
   commitment.admitted = true;
   commitment.advertised_bound = advertised;
   commitment.priority_per_hop = std::move(levels);
   return commitment;
 }
 
-void AdmissionController::release(const FlowSpec& spec,
-                                  const std::vector<LinkId>& path) {
-  if (spec.service == net::ServiceClass::kDatagram) return;
-  for (const LinkId& id : path) {
+bool AdmissionController::release(const FlowSpec& spec,
+                                  const std::vector<LinkId>& /*path*/) {
+  if (spec.service == net::ServiceClass::kDatagram) return false;
+  const auto it = committed_.find(spec.flow);
+  if (it == committed_.end()) return false;  // already released, or never held
+  const Commitment& held = it->second;
+  for (const LinkId& id : held.path) {
     LinkState& link = links_.at(id);
-    if (spec.service == net::ServiceClass::kGuaranteed) {
-      link.guaranteed_rate -= spec.guaranteed->clock_rate;
+    if (held.service == net::ServiceClass::kGuaranteed) {
+      link.guaranteed_rate -= held.rate;
       assert(link.guaranteed_rate > -1e-6);
       // Clamp float residue so drift cannot accumulate over long churn.
       if (link.guaranteed_rate < 0) link.guaranteed_rate = 0;
     } else {
-      link.predicted_rate -= spec.predicted->bucket.rate;
+      link.predicted_rate -= held.rate;
       assert(link.predicted_rate > -1e-6);
       if (link.predicted_rate < 0) link.predicted_rate = 0;
     }
   }
+  committed_.erase(it);
+  return true;
 }
 
 sim::Rate AdmissionController::guaranteed_rate(LinkId link) const {

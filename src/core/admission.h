@@ -60,8 +60,20 @@ class AdmissionController {
   ServiceCommitment request(const FlowSpec& spec,
                             const std::vector<LinkId>& path, sim::Time now);
 
-  /// Releases a previously admitted flow's resources.
-  void release(const FlowSpec& spec, const std::vector<LinkId>& path);
+  /// Releases a previously admitted flow's resources.  Idempotent: the
+  /// rate, service class and path actually committed at request() time are
+  /// looked up by flow id, so a release racing a reroute (teardown arrives
+  /// after the flow already moved or was torn down) subtracts the right
+  /// amounts from the right links exactly once.  Returns false — and
+  /// touches nothing — when the flow holds no commitment (never admitted,
+  /// datagram, or already released); `path` is accepted for call-site
+  /// symmetry but the stored path is authoritative.
+  bool release(const FlowSpec& spec, const std::vector<LinkId>& path);
+
+  /// True while `flow` holds a committed reservation.
+  [[nodiscard]] bool committed(net::FlowId flow) const {
+    return committed_.contains(flow);
+  }
 
   /// Committed guaranteed clock-rate sum on a link (diagnostic).
   [[nodiscard]] sim::Rate guaranteed_rate(LinkId link) const;
@@ -79,6 +91,16 @@ class AdmissionController {
     sim::Rate predicted_rate = 0;
   };
 
+  /// What request() actually committed for one flow — release() subtracts
+  /// from this record, not from caller-supplied arguments, so stale
+  /// teardowns (after a reroute changed the path) cannot double-release
+  /// or release from the wrong links.
+  struct Commitment {
+    net::ServiceClass service = net::ServiceClass::kDatagram;
+    sim::Rate rate = 0;
+    std::vector<LinkId> path;
+  };
+
   /// ν̂ for one link, as a fraction of link rate.
   [[nodiscard]] double utilization(LinkState& link, sim::Time now) const;
   /// d̂_j for one link (seconds).
@@ -92,6 +114,7 @@ class AdmissionController {
 
   Config config_;
   std::map<LinkId, LinkState> links_;
+  std::map<net::FlowId, Commitment> committed_;
 };
 
 }  // namespace ispn::core

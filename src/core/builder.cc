@@ -1,5 +1,6 @@
 #include "core/builder.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -96,6 +97,27 @@ net::ParkingLotTopology IspnNetwork::build_parking_lot(
   return topo;
 }
 
+net::MeshTopology IspnNetwork::build_mesh(int rows, int cols) {
+  auto topo =
+      net::build_mesh(net_, rows, cols, config_.link_rate, qos_link_factory());
+  instrument_links();
+  return topo;
+}
+
+net::RingTopology IspnNetwork::build_ring(int num_switches) {
+  auto topo =
+      net::build_ring(net_, num_switches, config_.link_rate, qos_link_factory());
+  instrument_links();
+  return topo;
+}
+
+net::ClosTopology IspnNetwork::build_clos(int spines, int leaves) {
+  auto topo =
+      net::build_clos(net_, spines, leaves, config_.link_rate, qos_link_factory());
+  instrument_links();
+  return topo;
+}
+
 std::vector<LinkId> IspnNetwork::route_links(net::NodeId src,
                                              net::NodeId dst) const {
   std::vector<LinkId> links;
@@ -178,18 +200,112 @@ IspnNetwork::FlowHandle IspnNetwork::open_flow(const FlowSpec& spec) {
 
 void IspnNetwork::close_flow(const FlowHandle& handle) {
   const FlowSpec& spec = handle.spec;
+  if (spec.service == net::ServiceClass::kDatagram) return;
+  if (handle.commitment.admitted &&
+      !admission_.release(spec, handle.links)) {
+    // The ledger shows no commitment: an earlier close or a reroute
+    // already released this flow (and deregistered its schedulers).
+    // Proceeding would hand the bandwidth back a second time.
+    return;
+  }
   if (spec.service == net::ServiceClass::kGuaranteed) {
     for (const LinkId& link : handle.links) {
       schedulers_.at(link)->remove_guaranteed(spec.flow);
     }
-  } else if (spec.service == net::ServiceClass::kPredicted) {
+  } else {
     for (const LinkId& link : handle.links) {
       schedulers_.at(link)->remove_predicted(spec.flow);
     }
   }
-  if (handle.commitment.admitted) {
-    admission_.release(spec, handle.links);
+}
+
+IspnNetwork::RerouteOutcome IspnNetwork::reroute_flow(
+    FlowHandle& handle, bool degrade_to_datagram) {
+  FlowSpec& spec = handle.spec;
+  assert(spec.service != net::ServiceClass::kDatagram &&
+         "datagram flows follow the routing tables; nothing to re-offer");
+  assert(handle.commitment.admitted && "reroute is for admitted flows");
+  const sim::Time now = net_.sim().now();
+  const std::vector<LinkId> old_links = handle.links;
+  const std::vector<LinkId> new_links = route_links(spec.src, spec.dst);
+  const bool reachable = !net_.route(spec.src, spec.dst).empty();
+
+  // Removes this flow from one link's scheduler.  Guaranteed packets still
+  // queued there are casualties of the path change — they would otherwise
+  // pin a WFQ registration whose clock rate we are about to hand back.
+  auto expel = [&](const LinkId& link) {
+    if (spec.service == net::ServiceClass::kGuaranteed) {
+      schedulers_.at(link)->expel_guaranteed(
+          spec.flow, now, [this, &spec](net::PacketPtr, sim::Time) {
+            ++net_.stats(spec.flow).failed_link_drops;
+          });
+    } else {
+      schedulers_.at(link)->remove_predicted(spec.flow);
+    }
+  };
+
+  // Release first: the re-offer must compete against live state that no
+  // longer counts this flow's own reservation.  Idempotent, so a racing
+  // teardown cannot double-release.
+  admission_.release(spec, old_links);
+
+  if (!reachable) {
+    for (const LinkId& link : old_links) expel(link);
+    handle.links.clear();
+    handle.commitment = ServiceCommitment{};
+    return RerouteOutcome::kOrphaned;
   }
+
+  ServiceCommitment fresh = admission_.request(spec, new_links, now);
+  if (fresh.admitted) {
+    if (spec.service == net::ServiceClass::kGuaranteed) {
+      // Links on both the old and new path keep their registration and
+      // their queued packets — only the divergence changes hands.
+      for (const LinkId& link : old_links) {
+        if (std::find(new_links.begin(), new_links.end(), link) ==
+            new_links.end()) {
+          expel(link);
+        }
+      }
+      for (const LinkId& link : new_links) {
+        if (std::find(old_links.begin(), old_links.end(), link) ==
+            old_links.end()) {
+          schedulers_.at(link)->add_guaranteed(spec.flow,
+                                               spec.guaranteed->clock_rate);
+        }
+      }
+    } else {
+      for (const LinkId& link : old_links) {
+        if (std::find(new_links.begin(), new_links.end(), link) ==
+            new_links.end()) {
+          schedulers_.at(link)->remove_predicted(spec.flow);
+        }
+      }
+      assert(fresh.priority_per_hop.size() == new_links.size());
+      for (std::size_t i = 0; i < new_links.size(); ++i) {
+        schedulers_.at(new_links[i])
+            ->set_predicted_priority(spec.flow, fresh.priority_per_hop[i]);
+      }
+    }
+    handle.links = new_links;
+    handle.commitment = std::move(fresh);
+    return RerouteOutcome::kRerouted;
+  }
+
+  // Refused on the new path: this flow's reservation is gone everywhere.
+  for (const LinkId& link : old_links) expel(link);
+  if (degrade_to_datagram) {
+    spec.service = net::ServiceClass::kDatagram;
+    spec.guaranteed.reset();
+    spec.predicted.reset();
+    handle.links = new_links;
+    handle.commitment = ServiceCommitment{};
+    handle.commitment.admitted = true;  // datagram service is never refused
+    return RerouteOutcome::kDegraded;
+  }
+  handle.links.clear();
+  handle.commitment = ServiceCommitment{};
+  return RerouteOutcome::kClosed;
 }
 
 traffic::OnOffSource& IspnNetwork::attach_onoff_source(

@@ -109,6 +109,16 @@ class IspnNetwork {
   net::ParkingLotTopology build_parking_lot(
       int num_hops, std::vector<sim::Rate> hop_rates = {});
 
+  /// Builds a rows x cols grid with QoS links between adjacent switches
+  /// (alternate paths for the failure scenarios).  See net::build_mesh.
+  net::MeshTopology build_mesh(int rows, int cols);
+
+  /// Builds an n-switch cycle.  See net::build_ring.
+  net::RingTopology build_ring(int num_switches);
+
+  /// Builds a two-level folded Clos.  See net::build_clos.
+  net::ClosTopology build_clos(int spines, int leaves);
+
   /// Requests service for `spec` (admission control + scheduler setup).
   /// Throws std::runtime_error if rejected while enforce_admission is on;
   /// otherwise configures the flow regardless and records the decision.
@@ -124,8 +134,31 @@ class IspnNetwork {
   /// Tears down an admitted flow: releases its admission-control
   /// commitments and deregisters it from every scheduler on its path.
   /// Stop the flow's source first; guaranteed flows must have drained
-  /// (their per-flow queues empty) before closing.
+  /// (their per-flow queues empty) before closing.  Idempotent against
+  /// double teardown: when the admission ledger shows the flow already
+  /// released (an earlier close, or a reroute that moved it), the call is
+  /// a no-op — bandwidth is never handed back twice.
   void close_flow(const FlowHandle& handle);
+
+  /// What happened to an admitted flow re-offered after a topology change.
+  enum class RerouteOutcome {
+    kRerouted,  ///< re-admitted on the new shortest path, commitments moved
+    kDegraded,  ///< refused on the new path; now carried as datagram
+    kClosed,    ///< refused and degrade declined: torn down (preempted)
+    kOrphaned,  ///< destination unreachable: torn down, nothing re-offered
+  };
+
+  /// Re-offers an admitted guaranteed/predicted flow on the current
+  /// shortest path after a topology change (paper §9 criteria against the
+  /// live ν̂/d̂_j — the old reservation is released first, so the flow
+  /// competes only with everyone else).  Path links shared between the old
+  /// and new route keep their scheduler registration and queued packets;
+  /// links left behind are expelled, with stranded guaranteed packets
+  /// accounted to the flow's failed_link_drops.  On refusal the flow is
+  /// degraded to the datagram class when `degrade_to_datagram` (the spec's
+  /// service is rewritten), else fully torn down.  `handle` is updated in
+  /// place to describe the new state.
+  RerouteOutcome reroute_flow(FlowHandle& handle, bool degrade_to_datagram);
 
   /// Creates the paper's two-state Markov source for `flow`.  Predicted
   /// flows are policed at the edge with their declared bucket; guaranteed

@@ -21,6 +21,11 @@ struct FlowStats {
   std::uint64_t source_drops = 0;  ///< dropped by the edge token-bucket filter
   std::uint64_t injected = 0;      ///< entered the network
   std::uint64_t net_drops = 0;     ///< dropped at switch buffers
+  /// Lost to topology churn rather than congestion: in flight or queued on
+  /// a link when it failed, expelled from a rerouted guaranteed flow's WFQ
+  /// queue, or arriving at a switch with no route (partition).  Kept apart
+  /// from net_drops so the conservation ledger attributes every loss.
+  std::uint64_t failed_link_drops = 0;
   std::uint64_t received = 0;      ///< delivered to the sink
   sim::Bits bits_received = 0;
 

@@ -38,6 +38,10 @@ Switch& Network::add_switch(const std::string& name) {
   Switch& ref = *sw;
   nodes_.push_back(std::move(sw));
   is_host_[id] = false;
+  // A packet stranded by a partition is a failure casualty of the owning
+  // flow, not a congestion drop.
+  ref.set_no_route_hook(
+      [this](const Packet& p) { ++stats_[p.flow].failed_link_drops; });
   return ref;
 }
 
@@ -67,6 +71,9 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
         std::make_unique<Port>(sim_, rate, std::move(scheduler), to_node);
     port->add_drop_hook(
         [this](const Packet& p, sim::Time) { ++stats_[p.flow].net_drops; });
+    port->add_link_drop_hook([this](const Packet& p, sim::Time) {
+      ++stats_[p.flow].failed_link_drops;
+    });
     if (is_host_.at(from)) {
       host(from).set_uplink(std::move(port));
     } else {
@@ -98,17 +105,39 @@ void Network::connect(NodeId a, NodeId b, sim::Rate rate,
 }
 
 void Network::build_routes() {
-  // Deterministic BFS: neighbor lists sorted.
+  // Deterministic BFS: neighbor lists sorted.  filter_adjacency preserves
+  // this order, so rebuilds after failures keep the same tie-breaks.
   for (auto& [_, neighbors] : adjacency_) {
     std::sort(neighbors.begin(), neighbors.end());
   }
+  rebuild_routes();
+}
+
+void Network::rebuild_routes() {
+  const Adjacency active = active_adjacency();
   for (const auto& node : nodes_) {
     if (is_host_.at(node->id())) continue;  // hosts send via their uplink
     auto& sw = static_cast<Switch&>(*node);
-    for (const auto& [dst, next] : compute_next_hops(adjacency_, sw.id())) {
+    sw.clear_routes();
+    for (const auto& [dst, next] : compute_next_hops(active, sw.id())) {
       sw.set_route(dst, next);
     }
   }
+}
+
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  assert(link_rate_.contains({a, b}) && "no such link");
+  const auto key = undirected(a, b);
+  if (up != down_links_.contains(key)) return;  // already in that state
+  if (up) {
+    down_links_.erase(key);
+  } else {
+    down_links_.insert(key);
+  }
+  const sim::Time now = sim_.now();
+  if (Port* p = port(a, b)) p->set_link_up(up, now);
+  if (Port* p = port(b, a)) p->set_link_up(up, now);
+  rebuild_routes();
 }
 
 Port* Network::port(NodeId from, NodeId to) {
@@ -123,7 +152,8 @@ void Network::attach_stats_sink(FlowId flow, NodeId dst, FlowSink* next) {
 }
 
 std::vector<NodeId> Network::route(NodeId src, NodeId dst) const {
-  return shortest_path(adjacency_, src, dst);
+  if (down_links_.empty()) return shortest_path(adjacency_, src, dst);
+  return shortest_path(active_adjacency(), src, dst);
 }
 
 std::size_t Network::queueing_hops(NodeId src, NodeId dst) const {

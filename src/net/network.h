@@ -6,7 +6,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/flow.h"
@@ -92,6 +94,27 @@ class Network {
   /// Call after all links exist and before traffic starts.
   void build_routes();
 
+  /// Takes the duplex link a<->b down (up=false) or back up (up=true) at
+  /// the simulator's current time, then recomputes every switch's routing
+  /// table over the surviving links.  Packets in flight or queued on a
+  /// failing link are lost and attributed to the owning flow's
+  /// failed_link_drops.  No-op when the link is already in that state.
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// True when the a<->b link is currently up.
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const {
+    return !down_links_.contains(undirected(a, b));
+  }
+
+  /// The as-built graph minus currently failed links.
+  [[nodiscard]] Adjacency active_adjacency() const {
+    return filter_adjacency(adjacency_, down_links_);
+  }
+
+  /// Reinstalls next-hop tables over the active adjacency (what
+  /// set_link_up does after flipping a link).
+  void rebuild_routes();
+
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] Host& host(NodeId id);
   [[nodiscard]] Switch& switch_node(NodeId id);
@@ -110,12 +133,14 @@ class Network {
   /// TCP sink).
   void attach_stats_sink(FlowId flow, NodeId dst, FlowSink* next = nullptr);
 
-  /// Route (node sequence) currently used from src to dst.
+  /// Route (node sequence) currently used from src to dst over the ACTIVE
+  /// adjacency; empty when failed links leave dst unreachable.
   [[nodiscard]] std::vector<NodeId> route(NodeId src, NodeId dst) const;
 
   /// Number of finite-rate (queueing) links on the route src -> dst.
   [[nodiscard]] std::size_t queueing_hops(NodeId src, NodeId dst) const;
 
+  /// The as-built graph, failed links included; see active_adjacency().
   [[nodiscard]] const Adjacency& adjacency() const { return adjacency_; }
 
  private:
@@ -128,6 +153,7 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<NodeId, bool> is_host_;
   Adjacency adjacency_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;  // undirected (min,max)
   std::map<std::pair<NodeId, NodeId>, sim::Rate> link_rate_;
   std::map<FlowId, FlowStats> stats_;
   std::vector<std::unique_ptr<FlowSink>> sinks_;

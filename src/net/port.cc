@@ -28,6 +28,14 @@ Port::Port(sim::Simulator& sim, sim::Rate rate,
 
 void Port::send(PacketPtr p) {
   assert(p != nullptr);
+  if (!link_up_) {
+    // The link is down: the packet is lost the instant it is offered.
+    // Stamp it anyway so link-drop observers never see a default arrival
+    // time.
+    p->enqueued_at = sim_.now();
+    link_drop(std::move(p), sim_.now());
+    return;
+  }
   if (rate_ <= 0) {
     // Infinitely fast link: no queueing, no transmission delay.  Stamp the
     // arrival anyway so downstream observers (tracers, sinks on all-fast
@@ -42,7 +50,7 @@ void Port::send(PacketPtr p) {
 }
 
 void Port::try_start() {
-  if (busy_ || scheduler_->empty()) return;
+  if (!link_up_ || busy_ || scheduler_->empty()) return;
   // Non-work-conserving disciplines may hold packets: wait until the
   // scheduler's next eligibility instant, re-arming if it moves earlier.
   const sim::Time eligible = scheduler_->next_eligible(sim_.now());
@@ -75,6 +83,39 @@ void Port::complete() {
   for (const auto& hook : on_tx_) hook(*p, sim_.now());
   peer_->receive(std::move(p));
   try_start();
+}
+
+void Port::link_drop(PacketPtr p, sim::Time now) {
+  ++link_drops_;
+  for (const auto& hook : on_link_drop_) hook(*p, now);
+  // `p` destroyed here: pooled storage returns to its PacketPool.
+}
+
+void Port::set_link_up(bool up, sim::Time now) {
+  if (up == link_up_) return;
+  link_up_ = up;
+  if (up) {
+    // The queue was flushed at failure time and send() refused everything
+    // since, so the queue is empty — but poll anyway in case a discipline
+    // holds state that became eligible.
+    try_start();
+    return;
+  }
+  // Failure: cancel the pending events, lose the packet on the wire, and
+  // drain the queue into the link-drop path.
+  if (rate_ > 0) {
+    complete_timer_.disarm();
+    retry_timer_.disarm();
+  }
+  busy_ = false;
+  if (in_flight_ != nullptr) link_drop(std::move(in_flight_), now);
+  if (scheduler_ != nullptr) {
+    scheduler_->flush(
+        [this](PacketPtr victim, sim::Time t) {
+          link_drop(std::move(victim), t);
+        },
+        now);
+  }
 }
 
 double Port::utilization(sim::Time now) const {

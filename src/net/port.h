@@ -61,6 +61,20 @@ class Port {
   /// tracing) may watch the same port.
   void add_drop_hook(DropHook hook) { on_drop_.push_back(std::move(hook)); }
   void add_tx_hook(TxHook hook) { on_tx_.push_back(std::move(hook)); }
+  /// Separate from add_drop_hook: a link-failure casualty is not a buffer
+  /// drop, and observers (per-flow stats) attribute the two to different
+  /// ledger buckets.
+  void add_link_drop_hook(DropHook hook) {
+    on_link_drop_.push_back(std::move(hook));
+  }
+
+  /// Takes the link up or down.  Going down cancels the in-flight
+  /// transmission (the packet is lost mid-wire), flushes the queue, and
+  /// refuses future sends until the link recovers; every casualty is
+  /// reported to the link-drop hooks.  Going up resumes service from an
+  /// empty queue.
+  void set_link_up(bool up, sim::Time now);
+  [[nodiscard]] bool link_up() const { return link_up_; }
 
   [[nodiscard]] sim::Rate rate() const { return rate_; }
   [[nodiscard]] Node& peer() const { return *peer_; }
@@ -69,6 +83,9 @@ class Port {
 
   [[nodiscard]] std::uint64_t transmitted() const { return transmitted_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  /// Packets lost to link failure (in flight, queued at failure, or
+  /// offered while down).  Never overlaps drops().
+  [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
   [[nodiscard]] sim::Bits bits_sent() const { return bits_sent_; }
 
   /// Link utilisation over [0, now] (bits sent / capacity).
@@ -77,20 +94,24 @@ class Port {
  private:
   void try_start();
   void complete();
+  void link_drop(PacketPtr p, sim::Time now);
 
   sim::Simulator& sim_;
   sim::Rate rate_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   Node* peer_;
   std::vector<DropHook> on_drop_;
+  std::vector<DropHook> on_link_drop_;
   std::vector<TxHook> on_tx_;
 
   PacketPtr in_flight_;
   bool busy_ = false;
+  bool link_up_ = true;
   sim::Timer complete_timer_;  ///< in-flight transmission completion
   sim::Timer retry_timer_;     ///< eligibility poll
   std::uint64_t transmitted_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t link_drops_ = 0;
   sim::Bits bits_sent_ = 0;
 };
 

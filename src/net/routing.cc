@@ -28,6 +28,20 @@ std::map<NodeId, NodeId> bfs_parents(const Adjacency& adj, NodeId source) {
 
 }  // namespace
 
+Adjacency filter_adjacency(const Adjacency& adj,
+                           const std::set<std::pair<NodeId, NodeId>>& down) {
+  if (down.empty()) return adj;
+  Adjacency out;
+  for (const auto& [node, neighbors] : adj) {
+    auto& kept = out[node];  // keep the node even if fully isolated
+    kept.reserve(neighbors.size());
+    for (NodeId v : neighbors) {
+      if (!down.contains(undirected(node, v))) kept.push_back(v);
+    }
+  }
+  return out;
+}
+
 NextHops compute_next_hops(const Adjacency& adj, NodeId source) {
   const auto parent = bfs_parents(adj, source);
   NextHops hops;

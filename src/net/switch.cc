@@ -24,7 +24,14 @@ Port* Switch::port_to(NodeId neighbor) {
 
 void Switch::receive(PacketPtr p) {
   auto it = routes_.find(p->dst);
-  assert(it != routes_.end() && "no route to destination");
+  if (it == routes_.end()) {
+    // Partition: links failed and no alternate path exists.  The packet is
+    // lost here; the hook lets the network attribute it to the owning
+    // flow's failed_link_drops so the conservation ledger still balances.
+    ++no_route_drops_;
+    if (no_route_) no_route_(*p);
+    return;
+  }
   ports_.at(it->second)->send(std::move(p));
 }
 

@@ -2,6 +2,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -20,8 +22,24 @@ class Switch final : public Node {
   /// Routes packets destined to `dst` via `next_hop` (must have a port).
   void set_route(NodeId dst, NodeId next_hop);
 
-  /// Forwards the packet along its route.  Dropping on a missing route is a
-  /// configuration error and asserts.
+  /// Empties the routing table (a topology change is about to install a
+  /// fresh one).  Ports and their queues are untouched.
+  void clear_routes() { routes_.clear(); }
+
+  /// Observer for packets arriving with no route to their destination
+  /// (network partition).  The packet is counted and dropped, not
+  /// asserted on — under link failures a missing route is a legitimate
+  /// runtime condition, not a configuration error.
+  using NoRouteHook = std::function<void(const Packet&)>;
+  void set_no_route_hook(NoRouteHook hook) { no_route_ = std::move(hook); }
+
+  /// Packets dropped for lack of a route.
+  [[nodiscard]] std::uint64_t no_route_drops() const {
+    return no_route_drops_;
+  }
+
+  /// Forwards the packet along its route, or counts and drops it when no
+  /// route exists (possible whenever links can fail).
   void receive(PacketPtr p) override;
 
   [[nodiscard]] Port* port_to(NodeId neighbor);
@@ -35,6 +53,8 @@ class Switch final : public Node {
  private:
   std::map<NodeId, std::unique_ptr<Port>> ports_;  // keyed by neighbor
   std::map<NodeId, NodeId> routes_;                // dst -> next hop
+  NoRouteHook no_route_;
+  std::uint64_t no_route_drops_ = 0;
 };
 
 }  // namespace ispn::net

@@ -206,4 +206,81 @@ ParkingLotTopology build_parking_lot(Network& net,
   return topo;
 }
 
+MeshTopology build_mesh(Network& net, int rows, int cols, sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler) {
+  assert(rows >= 1 && cols >= 1);
+  assert(rows * cols >= 2 && "a mesh needs at least two switches");
+  MeshTopology topo;
+  topo.rows = rows;
+  topo.cols = cols;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      auto& sw = net.add_switch("M-" + std::to_string(r) + "." +
+                                std::to_string(c));
+      topo.switches.push_back(sw.id());
+      auto& host = net.add_host("Host-" + std::to_string(r) + "." +
+                                std::to_string(c));
+      topo.hosts.push_back(host.id());
+      net.connect(host.id(), sw.id(), /*rate=*/0);  // infinitely fast
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        net.connect(topo.at(r, c), topo.at(r, c + 1), link_rate,
+                    make_scheduler);
+      }
+      if (r + 1 < rows) {
+        net.connect(topo.at(r, c), topo.at(r + 1, c), link_rate,
+                    make_scheduler);
+      }
+    }
+  }
+  net.build_routes();
+  return topo;
+}
+
+RingTopology build_ring(Network& net, int num_switches, sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler) {
+  assert(num_switches >= 3 && "a ring needs at least three switches");
+  RingTopology topo;
+  for (int i = 0; i < num_switches; ++i) {
+    auto& sw = net.add_switch("R-" + std::to_string(i));
+    topo.switches.push_back(sw.id());
+    auto& host = net.add_host("Host-" + std::to_string(i));
+    topo.hosts.push_back(host.id());
+    net.connect(host.id(), sw.id(), /*rate=*/0);
+  }
+  for (int i = 0; i < num_switches; ++i) {
+    net.connect(topo.switches[static_cast<std::size_t>(i)],
+                topo.switches[static_cast<std::size_t>((i + 1) % num_switches)],
+                link_rate, make_scheduler);
+  }
+  net.build_routes();
+  return topo;
+}
+
+ClosTopology build_clos(Network& net, int spines, int leaves,
+                        sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler) {
+  assert(spines >= 1 && leaves >= 2);
+  ClosTopology topo;
+  for (int s = 0; s < spines; ++s) {
+    auto& sw = net.add_switch("Spine-" + std::to_string(s));
+    topo.spines.push_back(sw.id());
+  }
+  for (int l = 0; l < leaves; ++l) {
+    auto& sw = net.add_switch("Leaf-" + std::to_string(l));
+    topo.leaves.push_back(sw.id());
+    auto& host = net.add_host("Host-" + std::to_string(l));
+    topo.hosts.push_back(host.id());
+    net.connect(host.id(), sw.id(), /*rate=*/0);
+    for (const NodeId spine : topo.spines) {
+      net.connect(sw.id(), spine, link_rate, make_scheduler);
+    }
+  }
+  net.build_routes();
+  return topo;
+}
+
 }  // namespace ispn::net

@@ -139,4 +139,46 @@ ParkingLotTopology build_parking_lot(Network& net,
                                      const std::vector<sim::Rate>& hop_rates,
                                      const LinkSchedulerFactory& make_scheduler);
 
+/// rows x cols grid of switches, each with one host, connected to the
+/// right and downward neighbor — the smallest fabric where a single link
+/// failure leaves an alternate path for every pair, which is what the
+/// failure scenarios need.  switches[r*cols + c] is the switch at (r, c).
+///
+///   rows=2, cols=3:    S00 ── S01 ── S02
+///                       |      |      |
+///                      S10 ── S11 ── S12      (every switch has a host)
+struct MeshTopology {
+  int rows = 0;
+  int cols = 0;
+  std::vector<NodeId> switches;  ///< row-major, rows*cols entries
+  std::vector<NodeId> hosts;     ///< hosts[i] attached to switches[i]
+  [[nodiscard]] NodeId at(int r, int c) const {
+    return switches[static_cast<std::size_t>(r * cols + c)];
+  }
+};
+MeshTopology build_mesh(Network& net, int rows, int cols, sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler);
+
+/// n switches in a cycle, one host each: exactly two disjoint paths
+/// between every pair, so any single failure reroutes the long way round.
+struct RingTopology {
+  std::vector<NodeId> switches;
+  std::vector<NodeId> hosts;
+};
+RingTopology build_ring(Network& net, int num_switches, sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler);
+
+/// Two-level folded Clos: every leaf connects to every spine, hosts hang
+/// off the leaves.  Leaf-to-leaf traffic has `spines` equal-length paths;
+/// BFS tie-breaking pins each pair to one, and a spine-link failure moves
+/// it deterministically to the next spine.
+struct ClosTopology {
+  std::vector<NodeId> spines;
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> hosts;  ///< hosts[i] attached to leaves[i]
+};
+ClosTopology build_clos(Network& net, int spines, int leaves,
+                        sim::Rate link_rate,
+                        const LinkSchedulerFactory& make_scheduler);
+
 }  // namespace ispn::net

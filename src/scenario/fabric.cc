@@ -63,6 +63,68 @@ Fabric build_parking_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
   return fabric;
 }
 
+Fabric build_mesh_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kMesh;
+  const auto topo = ispn.build_mesh(spec.mesh_rows, spec.mesh_cols);
+  // Short pairs are grid-adjacent hosts (one queueing hop); long pairs
+  // are Manhattan distance >= 2 — the ones with alternate paths worth
+  // rerouting onto when a link fails.
+  const auto host_at = [&](int r, int c) {
+    return topo.hosts[static_cast<std::size_t>(r * spec.mesh_cols + c)];
+  };
+  for (int r = 0; r < spec.mesh_rows; ++r) {
+    for (int c = 0; c < spec.mesh_cols; ++c) {
+      for (int r2 = r; r2 < spec.mesh_rows; ++r2) {
+        for (int c2 = (r2 == r ? c + 1 : 0); c2 < spec.mesh_cols; ++c2) {
+          const int dist = std::abs(r2 - r) + std::abs(c2 - c);
+          if (dist == 1) {
+            fabric.od_short.emplace_back(host_at(r, c), host_at(r2, c2));
+          } else {
+            fabric.od_long.emplace_back(host_at(r, c), host_at(r2, c2));
+          }
+        }
+      }
+    }
+  }
+  if (fabric.od_long.empty()) fabric.od_long = fabric.od_short;
+  return fabric;
+}
+
+Fabric build_ring_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kRing;
+  const auto topo = ispn.build_ring(spec.ring_switches);
+  const int n = spec.ring_switches;
+  const auto& hosts = topo.hosts;
+  for (int i = 0; i < n; ++i) {
+    fabric.od_short.emplace_back(hosts[static_cast<std::size_t>(i)],
+                                 hosts[static_cast<std::size_t>((i + 1) % n)]);
+    for (int span = 2; span <= n / 2; ++span) {
+      fabric.od_long.emplace_back(
+          hosts[static_cast<std::size_t>(i)],
+          hosts[static_cast<std::size_t>((i + span) % n)]);
+    }
+  }
+  if (fabric.od_long.empty()) fabric.od_long = fabric.od_short;
+  return fabric;
+}
+
+Fabric build_clos_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
+  Fabric fabric;
+  fabric.kind = FabricKind::kClos;
+  const auto topo = ispn.build_clos(spec.clos_spines, spec.clos_leaves);
+  // Every leaf pair crosses exactly two queueing hops (leaf-spine-leaf):
+  // no distance structure, so short and long draw from the same pool.
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.hosts.size(); ++j) {
+      fabric.od_short.emplace_back(topo.hosts[i], topo.hosts[j]);
+    }
+  }
+  fabric.od_long = fabric.od_short;
+  return fabric;
+}
+
 }  // namespace
 
 Fabric build_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
@@ -70,6 +132,9 @@ Fabric build_fabric(core::IspnNetwork& ispn, const ScenarioSpec& spec) {
     case FabricKind::kChain: return build_chain_fabric(ispn, spec);
     case FabricKind::kFanInTree: return build_tree_fabric(ispn, spec);
     case FabricKind::kParkingLot: return build_parking_fabric(ispn, spec);
+    case FabricKind::kMesh: return build_mesh_fabric(ispn, spec);
+    case FabricKind::kRing: return build_ring_fabric(ispn, spec);
+    case FabricKind::kClos: return build_clos_fabric(ispn, spec);
   }
   assert(false && "unknown fabric kind");
   return {};

@@ -11,6 +11,16 @@
 //   * kParkingLot — parking_hops bottlenecks with an entry/exit host at
 //     every switch; short pairs cross one hop (per-hop entry/exit cross
 //     traffic), long pairs cross two or more consecutive bottlenecks.
+//
+// Three more families exist for the failure scenarios — every pair keeps
+// an alternate path, so a link failure triggers rerouting rather than a
+// partition:
+//   * kMesh — mesh_rows x mesh_cols grid; short pairs are grid-adjacent,
+//     long pairs have Manhattan distance >= 2.
+//   * kRing — ring_switches cycle; short pairs adjacent, long pairs span
+//     2..n/2 the short way round.
+//   * kClos — clos_spines x clos_leaves folded Clos; every leaf pair is
+//     exactly two hops, so short and long draw from the same pool.
 
 #pragma once
 

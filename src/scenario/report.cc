@@ -38,6 +38,9 @@ const char* to_string(AdmissionDecision::Kind kind) {
     case AdmissionDecision::Kind::kAdmitted: return "admitted";
     case AdmissionDecision::Kind::kRejected: return "rejected";
     case AdmissionDecision::Kind::kPreempted: return "preempted";
+    case AdmissionDecision::Kind::kRerouted: return "rerouted";
+    case AdmissionDecision::Kind::kDegraded: return "degraded";
+    case AdmissionDecision::Kind::kOrphaned: return "orphaned";
   }
   return "?";
 }
@@ -63,9 +66,15 @@ void ScenarioReport::to_text(std::ostream& out) const {
   out << "admission: offered " << flows_offered << ", admitted "
       << flows_admitted << ", rejected " << flows_rejected << ", preempted "
       << flows_preempted << " (ratio " << admission_ratio() << ")\n";
+  if (links_failed > 0 || links_repaired > 0) {
+    out << "failures: " << links_failed << " link-down, " << links_repaired
+        << " link-up; flows rerouted " << flows_rerouted << ", degraded "
+        << flows_degraded << ", orphaned " << flows_orphaned << "\n";
+  }
   out << "conservation: generated " << generated << " = source_drops "
       << source_drops << " + injected " << injected << "; injected = delivered "
-      << delivered << " + net_drops " << net_drops << " + queued " << queued_end
+      << delivered << " + net_drops " << net_drops << " + failed_link "
+      << failed_link_drops << " + queued " << queued_end
       << " + unclaimed " << unclaimed
       << (conserved() ? "  [OK]" : "  [VIOLATED]") << "\n";
   out << "per-class delay (ms): mean / p50 / p99 / p999 / max, jitter mean\n";
@@ -96,13 +105,18 @@ void ScenarioReport::to_json(std::ostream& out) const {
   out << "  \"conservation\": { \"generated\": " << generated
       << ", \"source_drops\": " << source_drops << ", \"injected\": "
       << injected << ", \"delivered\": " << delivered << ", \"net_drops\": "
-      << net_drops << ", \"queued_end\": " << queued_end
+      << net_drops << ", \"failed_link_drops\": " << failed_link_drops
+      << ", \"queued_end\": " << queued_end
       << ", \"unclaimed\": " << unclaimed << " },\n";
   out << "  \"admission\": { \"offered\": " << flows_offered
       << ", \"admitted\": " << flows_admitted << ", \"rejected\": "
       << flows_rejected << ", \"preempted\": " << flows_preempted
       << ", \"ratio\": " << admission_ratio() << ", \"decision_hash\": \""
       << decision_hash() << "\" },\n";
+  out << "  \"failures\": { \"links_failed\": " << links_failed
+      << ", \"links_repaired\": " << links_repaired << ", \"rerouted\": "
+      << flows_rerouted << ", \"degraded\": " << flows_degraded
+      << ", \"orphaned\": " << flows_orphaned << " },\n";
   out << "  \"classes\": {\n";
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const ClassStats& c = classes[i];

@@ -27,6 +27,9 @@ struct AdmissionDecision {
     kAdmitted,
     kRejected,
     kPreempted,  ///< torn down to make room for a rejected guaranteed flow
+    kRerouted,   ///< path failed; re-admitted on the new shortest path
+    kDegraded,   ///< path failed; refused re-admission, now datagram
+    kOrphaned,   ///< path failed; destination unreachable, torn down
   };
   sim::Time time = 0;
   net::FlowId flow = net::kNoFlow;
@@ -71,8 +74,11 @@ struct FlowOutcome {
   std::uint64_t delivered = 0;
   double max_delay = 0;          ///< max accumulated queueing delay (s)
   /// Advertised bound (s): Parekh–Gallager for guaranteed, summed class
-  /// targets for predicted; 0 = none (datagram / rejected).
+  /// targets for predicted; 0 = none (datagram / rejected).  Recomputed
+  /// when a reroute changes the path length.
   double bound = 0;
+  int reroutes = 0;      ///< successful re-admissions after path failures
+  bool degraded = false; ///< ended as datagram after a refused re-offer
 };
 
 /// Per-link utilisation row.
@@ -89,12 +95,16 @@ struct ScenarioReport {
 
   // ---- packet conservation ledger -------------------------------------
   // generated == source_drops + injected           (edge policing)
-  // injected  == delivered + net_drops + queued_end + unclaimed
+  // injected  == delivered + net_drops + failed_link_drops
+  //              + queued_end + unclaimed
   std::uint64_t generated = 0;
   std::uint64_t source_drops = 0;
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   std::uint64_t net_drops = 0;
+  /// Lost to topology churn (on a failing link, expelled by a reroute, or
+  /// stranded by a partition) — never silently dropped from the ledger.
+  std::uint64_t failed_link_drops = 0;
   std::uint64_t queued_end = 0;
   std::uint64_t unclaimed = 0;
 
@@ -105,6 +115,13 @@ struct ScenarioReport {
   std::uint64_t flows_preempted = 0;
   std::vector<AdmissionDecision> decisions;
 
+  // ---- failures / rerouting -------------------------------------------
+  std::uint64_t links_failed = 0;     ///< link-down events applied
+  std::uint64_t links_repaired = 0;   ///< link-up events applied
+  std::uint64_t flows_rerouted = 0;   ///< re-admitted on a new path
+  std::uint64_t flows_degraded = 0;   ///< refused; carried on as datagram
+  std::uint64_t flows_orphaned = 0;   ///< unreachable; torn down
+
   // ---- delivery quality ------------------------------------------------
   std::array<ClassStats, 3> classes;  ///< indexed by ServiceClass
   std::vector<FlowOutcome> flows;
@@ -112,7 +129,8 @@ struct ScenarioReport {
 
   [[nodiscard]] bool conserved() const {
     return generated == source_drops + injected &&
-           injected == delivered + net_drops + queued_end + unclaimed;
+           injected == delivered + net_drops + failed_link_drops +
+                           queued_end + unclaimed;
   }
   [[nodiscard]] double admission_ratio() const {
     return flows_offered == 0 ? 1.0

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "traffic/cbr_source.h"
 #include "traffic/onoff_source.h"
@@ -17,6 +19,12 @@ namespace {
 /// streams above 2^32 keeps them disjoint from any small constant.
 constexpr std::uint64_t kWorkloadStream = 0xFAB;
 constexpr std::uint64_t kSourceStreamBase = 1ull << 32;
+/// Failure-schedule stream: drawn entirely at prepare(), so link churn
+/// never perturbs the workload stream's call order.
+constexpr std::uint64_t kFailureStream = 0xFA11;
+/// Generated-schedule cap per link — bounds the schedule even for specs
+/// with an effectively unbounded horizon (bench drives run_seconds=1e9).
+constexpr int kMaxFailuresPerLink = 8;
 
 }  // namespace
 
@@ -46,6 +54,7 @@ void ScenarioRunner::prepare() {
   if (prepared_) return;
   prepared_ = true;
   fabric_ = build_fabric(ispn_, spec_);
+  schedule_failures();
   arrival_deadline_ = spec_.arrival_window > 0
                           ? std::min(spec_.arrival_window, spec_.run_seconds)
                           : spec_.run_seconds;
@@ -71,6 +80,147 @@ void ScenarioRunner::schedule_next_arrival() {
       net().sim().now() + rng_.exponential(1.0 / spec_.arrival_rate);
   if (next > arrival_deadline_) return;
   net().sim().at(next, [this] { on_arrival(); });
+}
+
+void ScenarioRunner::schedule_failures() {
+  net::FailureSchedule schedule;
+
+  // Explicit failures first, validated against the as-built graph so a
+  // typoed --fail-link fails loudly instead of silently never firing.
+  for (const LinkFailureSpec& f : spec_.link_failures) {
+    const auto& adj = net().adjacency();
+    const auto it = adj.find(f.src);
+    if (it == adj.end() || std::find(it->second.begin(), it->second.end(),
+                                     f.dst) == it->second.end()) {
+      throw std::invalid_argument("fail_link: no link " +
+                                  std::to_string(f.src) + "<->" +
+                                  std::to_string(f.dst) + " in this fabric");
+    }
+    schedule.push_back({f.down_at, f.src, f.dst, false});
+    if (f.up_at >= 0) schedule.push_back({f.up_at, f.src, f.dst, true});
+  }
+
+  // Seeded generator: per undirected QoS link, alternating exponential
+  // down/up times.  The whole schedule is drawn here, in link
+  // registration order, off a dedicated Rng stream — byte-reproducible
+  // and independent of everything the workload stream does.
+  if (spec_.link_failure_rate > 0) {
+    sim::Rng frng(spec_.seed, kFailureStream);
+    std::set<std::pair<net::NodeId, net::NodeId>> seen;
+    for (const core::LinkId& link : ispn_.links()) {
+      const auto key = net::undirected(link.first, link.second);
+      if (!seen.insert(key).second) continue;  // other direction, same link
+      sim::Time t = 0;
+      for (int k = 0; k < kMaxFailuresPerLink; ++k) {
+        t += frng.exponential(1.0 / spec_.link_failure_rate);
+        if (t >= spec_.run_seconds) break;
+        schedule.push_back({t, key.first, key.second, false});
+        if (spec_.link_repair_mean <= 0) break;  // no repair: stays down
+        t += frng.exponential(spec_.link_repair_mean);
+        if (t >= spec_.run_seconds) break;
+        schedule.push_back({t, key.first, key.second, true});
+      }
+    }
+  }
+
+  for (const net::LinkEvent& ev : schedule) {
+    net().sim().at(ev.time,
+                   [this, ev] { on_link_event(ev.a, ev.b, ev.up); });
+  }
+}
+
+void ScenarioRunner::on_link_event(net::NodeId a, net::NodeId b, bool up) {
+  // Overlapping explicit + generated events may agree on the state; the
+  // first one wins and the rest collapse to no-ops.
+  if (net().link_up(a, b) == up) return;
+  net().set_link_up(a, b, up);
+  if (up) {
+    ++links_repaired_;
+  } else {
+    ++links_failed_;
+  }
+  revalidate_active_flows();
+}
+
+void ScenarioRunner::revalidate_active_flows() {
+  const sim::Time now = net().sim().now();
+  // Forwarding is destination-based: once the routing tables change, a
+  // flow's packets follow the NEW shortest path regardless of where its
+  // scheduler registrations live.  So every admitted real-time flow whose
+  // registered links differ from the current route must be re-offered —
+  // including flows whose old path still physically exists.
+  const std::vector<net::FlowId> snapshot = active_;
+  for (const net::FlowId flow : snapshot) {
+    FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+    if (!rec.active) continue;  // torn down earlier in this sweep
+    if (!rec.handle.commitment.admitted) continue;
+    if (rec.handle.spec.service == net::ServiceClass::kDatagram) continue;
+    const net::NodeId src = rec.handle.spec.src;
+    const net::NodeId dst = rec.handle.spec.dst;
+    const bool reachable = !net().route(src, dst).empty();
+    if (reachable && ispn_.route_links(src, dst) == rec.handle.links) {
+      continue;  // path survived this event untouched
+    }
+
+    // reroute_flow rewrites the spec on degrade; record the decision
+    // under the service the flow HELD when the link failed.
+    const net::ServiceClass original = rec.handle.spec.service;
+    const auto outcome = ispn_.reroute_flow(
+        rec.handle, spec_.reroute_policy == ReroutePolicy::kDegrade);
+
+    AdmissionDecision d;
+    d.time = now;
+    d.flow = flow;
+    d.service = original;
+    switch (outcome) {
+      case core::IspnNetwork::RerouteOutcome::kRerouted: {
+        ++flows_rerouted_;
+        ++rec.reroutes;
+        if (original == net::ServiceClass::kGuaranteed) {
+          const traffic::TokenBucketSpec bucket{
+              rec.handle.spec.guaranteed->clock_rate,
+              sim::paper::kBucketPackets * spec_.packet_bits};
+          rec.bound =
+              ispn_.guaranteed_bound(rec.handle, bucket, spec_.packet_bits);
+        } else {
+          rec.bound =
+              rec.handle.commitment.advertised_bound.value_or(rec.bound);
+        }
+        // The new path may carry a different per-hop class assignment.
+        const std::uint8_t priority =
+            rec.handle.commitment.priority_per_hop.empty()
+                ? 0
+                : static_cast<std::uint8_t>(
+                      rec.handle.commitment.priority_per_hop[0]);
+        rec.source->set_service(rec.handle.spec.service, priority);
+        d.kind = AdmissionDecision::Kind::kRerouted;
+        break;
+      }
+      case core::IspnNetwork::RerouteOutcome::kDegraded:
+        ++flows_degraded_;
+        rec.degraded = true;
+        rec.bound = 0;
+        rec.source->set_service(net::ServiceClass::kDatagram, 0);
+        d.kind = AdmissionDecision::Kind::kDegraded;
+        break;
+      case core::IspnNetwork::RerouteOutcome::kClosed:
+      case core::IspnNetwork::RerouteOutcome::kOrphaned:
+        rec.source->stop();
+        rec.active = false;
+        rec.closed = now;
+        --open_count_;
+        active_.erase(std::find(active_.begin(), active_.end(), flow));
+        if (outcome == core::IspnNetwork::RerouteOutcome::kClosed) {
+          ++flows_preempted_;
+          d.kind = AdmissionDecision::Kind::kPreempted;
+        } else {
+          ++flows_orphaned_;
+          d.kind = AdmissionDecision::Kind::kOrphaned;
+        }
+        break;
+    }
+    record(d);
+  }
 }
 
 void ScenarioRunner::on_arrival() {
@@ -293,7 +443,7 @@ void ScenarioRunner::try_close(net::FlowId flow) {
     // not yet enqueued at the next), and closing inside that window would
     // demote the packet to datagram service downstream.
     const net::FlowStats& st = net().stats(flow);
-    if (st.injected > rec.delivered + st.net_drops) {
+    if (st.injected > rec.delivered + st.net_drops + st.failed_link_drops) {
       // Still draining: WFQ guarantees the clock rate, so this
       // terminates; poll again one grace period later.
       net().sim().after(spec_.drain_grace,
@@ -351,6 +501,7 @@ ScenarioReport ScenarioRunner::finish() {
     report.source_drops += st.source_drops;
     report.injected += st.injected;
     report.net_drops += st.net_drops;
+    report.failed_link_drops += st.failed_link_drops;
 
     FlowOutcome out;
     out.flow = rec.handle.spec.flow;
@@ -362,6 +513,8 @@ ScenarioReport ScenarioRunner::finish() {
     out.delivered = rec.delivered;
     out.max_delay = rec.max_delay;
     out.bound = rec.bound;
+    out.reroutes = rec.reroutes;
+    out.degraded = rec.degraded;
     report.flows.push_back(out);
   }
   report.delivered = delivered_total_;
@@ -384,6 +537,11 @@ ScenarioReport ScenarioRunner::finish() {
   report.flows_admitted = flows_admitted_;
   report.flows_rejected = flows_rejected_;
   report.flows_preempted = flows_preempted_;
+  report.links_failed = links_failed_;
+  report.links_repaired = links_repaired_;
+  report.flows_rerouted = flows_rerouted_;
+  report.flows_degraded = flows_degraded_;
+  report.flows_orphaned = flows_orphaned_;
   report.decisions = decisions_;
   report.classes = classes_;
 

@@ -97,6 +97,8 @@ class ScenarioRunner {
     double last_delay = 0;  ///< previous delivery's delay (jitter deltas)
     bool has_last = false;
     bool active = false;  ///< admitted and not yet closed
+    int reroutes = 0;     ///< successful re-admissions after path failures
+    bool degraded = false;  ///< refused re-admission; carried as datagram
   };
 
   void schedule_next_arrival();
@@ -109,6 +111,17 @@ class ScenarioRunner {
   /// returns true when a victim was found.
   bool preempt_on(core::LinkId link);
   void attach_source(FlowRec& rec, sim::Duration start_offset);
+  /// Assembles the failure schedule (explicit specs + the seeded
+  /// generator) and registers every event with the simulator.  Called
+  /// once from prepare(); the whole schedule is drawn up front so the
+  /// failure Rng stream never interleaves with workload decisions.
+  void schedule_failures();
+  /// Applies one link up/down event, then re-validates affected flows.
+  void on_link_event(net::NodeId a, net::NodeId b, bool up);
+  /// Re-offers every admitted real-time flow whose current shortest path
+  /// no longer matches its scheduler registrations (paper §9 criteria
+  /// against the live measurements).
+  void revalidate_active_flows();
   void record(const AdmissionDecision& d);
   void depart_later(net::FlowId flow);
   void try_close(net::FlowId flow);
@@ -135,6 +148,11 @@ class ScenarioRunner {
   std::uint64_t flows_admitted_ = 0;
   std::uint64_t flows_rejected_ = 0;
   std::uint64_t flows_preempted_ = 0;
+  std::uint64_t links_failed_ = 0;
+  std::uint64_t links_repaired_ = 0;
+  std::uint64_t flows_rerouted_ = 0;
+  std::uint64_t flows_degraded_ = 0;
+  std::uint64_t flows_orphaned_ = 0;
 };
 
 }  // namespace ispn::scenario

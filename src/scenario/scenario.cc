@@ -52,6 +52,28 @@ std::vector<double> parse_list(const std::string& key, const std::string& v) {
   return out;
 }
 
+/// Parses the fail_link grammar SRC:DST@T[,up@T2] (the tools/scenario_run
+/// --fail-link value).
+LinkFailureSpec parse_fail_link(const std::string& key, const std::string& v) {
+  LinkFailureSpec f;
+  const auto comma = v.find(',');
+  const std::string head = v.substr(0, comma);
+  const auto colon = head.find(':');
+  const auto at = head.find('@');
+  if (colon == std::string::npos || at == std::string::npos || at < colon) {
+    fail(key, "expected SRC:DST@T[,up@T2] for");
+  }
+  f.src = parse_int(key, head.substr(0, colon));
+  f.dst = parse_int(key, head.substr(colon + 1, at - colon - 1));
+  f.down_at = parse_double(key, head.substr(at + 1));
+  if (comma != std::string::npos) {
+    const std::string tail = v.substr(comma + 1);
+    if (tail.rfind("up@", 0) != 0) fail(key, "expected ',up@T2' in");
+    f.up_at = parse_double(key, tail.substr(3));
+  }
+  return f;
+}
+
 }  // namespace
 
 const char* to_string(FabricKind kind) {
@@ -59,6 +81,9 @@ const char* to_string(FabricKind kind) {
     case FabricKind::kChain: return "chain";
     case FabricKind::kFanInTree: return "fan_in_tree";
     case FabricKind::kParkingLot: return "parking_lot";
+    case FabricKind::kMesh: return "mesh";
+    case FabricKind::kRing: return "ring";
+    case FabricKind::kClos: return "clos";
   }
   return "?";
 }
@@ -83,6 +108,20 @@ void ScenarioSpec::validate() const {
   check(tree_depth >= 2, "tree_depth (need >= 2)");
   check(tree_width >= 1, "tree_width (need >= 1)");
   check(parking_hops >= 1, "parking_hops (need >= 1)");
+  check(mesh_rows >= 1 && mesh_cols >= 1 && mesh_rows * mesh_cols >= 2,
+        "mesh_rows/mesh_cols (need a >= 2 switch grid)");
+  check(ring_switches >= 3, "ring_switches (need >= 3)");
+  check(clos_spines >= 1, "clos_spines (need >= 1)");
+  check(clos_leaves >= 2, "clos_leaves (need >= 2)");
+  check(link_failure_rate >= 0, "link_failure_rate (need >= 0)");
+  check(link_repair_mean >= 0, "link_repair_mean (need >= 0)");
+  for (const auto& f : link_failures) {
+    check(f.src >= 0 && f.dst >= 0 && f.src != f.dst,
+          "link_failures (need distinct non-negative node ids)");
+    check(f.down_at >= 0, "link_failures (need down_at >= 0)");
+    check(f.up_at < 0 || f.up_at > f.down_at,
+          "link_failures (need up_at > down_at)");
+  }
   check(link_rate > 0, "link_rate (need > 0)");
   check(parking_rate_step > 0, "parking_rate_step (need > 0)");
   check(buffer_pkts >= 1, "buffer_pkts (need >= 1)");
@@ -138,11 +177,27 @@ std::string ScenarioSpec::describe() const {
     case FabricKind::kParkingLot:
       out << " hops=" << parking_hops << " step=" << parking_rate_step;
       break;
+    case FabricKind::kMesh:
+      out << " grid=" << mesh_rows << "x" << mesh_cols;
+      break;
+    case FabricKind::kRing: out << " switches=" << ring_switches; break;
+    case FabricKind::kClos:
+      out << " spines=" << clos_spines << " leaves=" << clos_leaves;
+      break;
   }
   out << " link=" << link_rate / 1e6 << "Mb/s flows<=" << target_flows
       << " arrivals=" << arrival_rate << "/s hold=" << mean_hold << "s mix=G"
       << p_guaranteed << "/P" << p_predicted << " source="
       << to_string(source) << " run=" << run_seconds << "s seed=" << seed;
+  if (!link_failures.empty() || link_failure_rate > 0) {
+    out << " failures=" << link_failures.size();
+    if (link_failure_rate > 0) {
+      out << "+rate" << link_failure_rate << "/s";
+      if (link_repair_mean > 0) out << " repair=" << link_repair_mean << "s";
+    }
+    out << " policy="
+        << (reroute_policy == ReroutePolicy::kDegrade ? "degrade" : "preempt");
+  }
   return out.str();
 }
 
@@ -172,6 +227,25 @@ ScenarioSpec preset(const std::string& name) {
     spec.p_guaranteed = 0.35;
     spec.p_predicted = 0.45;
     spec.preempt_on_reject = true;
+    // Churn needs a ν̂ that decays when flows leave: the time-window peak
+    // estimator holds a departed flow's peak for a full window, starving
+    // admission of freed capacity.
+    spec.measurement_estimator = core::LinkMeasurement::Estimator::kEwma;
+  } else if (name == "failure") {
+    // Link failures on a mesh: every pair keeps an alternate path, so
+    // failures trigger rerouting + admission re-validation instead of
+    // partition.  The EWMA estimator decays the dead link's history.
+    spec.fabric = FabricKind::kMesh;
+    spec.mesh_rows = 3;
+    spec.mesh_cols = 3;
+    spec.arrival_rate = 6.0;
+    spec.mean_hold = 8.0;
+    spec.target_flows = 36;
+    spec.p_guaranteed = 0.3;
+    spec.p_predicted = 0.4;
+    spec.link_failure_rate = 0.04;
+    spec.link_repair_mean = 4.0;
+    spec.measurement_estimator = core::LinkMeasurement::Estimator::kEwma;
   } else {
     throw std::invalid_argument("unknown scenario preset '" + name + "'");
   }
@@ -208,6 +282,9 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     else if (value == "fan_in_tree" || value == "fan_in")
       spec.fabric = FabricKind::kFanInTree;
     else if (value == "parking_lot") spec.fabric = FabricKind::kParkingLot;
+    else if (value == "mesh") spec.fabric = FabricKind::kMesh;
+    else if (value == "ring") spec.fabric = FabricKind::kRing;
+    else if (value == "clos") spec.fabric = FabricKind::kClos;
     else fail(key, "unknown fabric for");
   } else if (key == "chain_switches") {
     spec.chain_switches = parse_int(key, value);
@@ -217,6 +294,27 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     spec.tree_width = parse_int(key, value);
   } else if (key == "parking_hops") {
     spec.parking_hops = parse_int(key, value);
+  } else if (key == "mesh_rows") {
+    spec.mesh_rows = parse_int(key, value);
+  } else if (key == "mesh_cols") {
+    spec.mesh_cols = parse_int(key, value);
+  } else if (key == "ring_switches") {
+    spec.ring_switches = parse_int(key, value);
+  } else if (key == "clos_spines") {
+    spec.clos_spines = parse_int(key, value);
+  } else if (key == "clos_leaves") {
+    spec.clos_leaves = parse_int(key, value);
+  } else if (key == "fail_link") {
+    // Appends (several --fail-link flags compose).
+    spec.link_failures.push_back(parse_fail_link(key, value));
+  } else if (key == "link_failure_rate") {
+    spec.link_failure_rate = parse_double(key, value);
+  } else if (key == "link_repair_mean") {
+    spec.link_repair_mean = parse_double(key, value);
+  } else if (key == "reroute_policy") {
+    if (value == "degrade") spec.reroute_policy = ReroutePolicy::kDegrade;
+    else if (value == "preempt") spec.reroute_policy = ReroutePolicy::kPreempt;
+    else fail(key, "unknown reroute policy for");
   } else if (key == "link_rate") {
     spec.link_rate = parse_double(key, value);
   } else if (key == "parking_rate_step") {

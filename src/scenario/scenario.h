@@ -30,6 +30,9 @@ enum class FabricKind {
   kChain,      ///< scaled-up Figure-1 chain (chain_switches long)
   kFanInTree,  ///< width-ary aggregation tree, tree_depth levels
   kParkingLot, ///< parking_hops bottlenecks, entry/exit host per hop
+  kMesh,       ///< mesh_rows x mesh_cols grid (alternate paths everywhere)
+  kRing,       ///< ring_switches cycle (exactly two disjoint paths)
+  kClos,       ///< clos_spines x clos_leaves folded Clos
 };
 
 /// Which generation process drives each flow.
@@ -39,6 +42,21 @@ enum class SourceKind {
   kPoisson,  ///< exponential gaps
 };
 
+/// One explicit link failure: the switch-to-switch link src<->dst goes
+/// down at down_at and (when up_at >= 0) recovers at up_at.
+struct LinkFailureSpec {
+  net::NodeId src = -1;
+  net::NodeId dst = -1;
+  sim::Duration down_at = 0;
+  sim::Duration up_at = -1;  ///< < 0: stays down for the rest of the run
+};
+
+/// What happens to an admitted flow refused on its post-failure path.
+enum class ReroutePolicy {
+  kDegrade,  ///< carry it on as datagram (the paper's fallback class)
+  kPreempt,  ///< tear it down
+};
+
 struct ScenarioSpec {
   // ---- fabric ----------------------------------------------------------
   FabricKind fabric = FabricKind::kChain;
@@ -46,6 +64,11 @@ struct ScenarioSpec {
   int tree_depth = 2;   ///< switch levels (>= 2)
   int tree_width = 4;   ///< children per switch
   int parking_hops = 4; ///< bottleneck links
+  int mesh_rows = 3;    ///< mesh fabric grid height
+  int mesh_cols = 3;    ///< mesh fabric grid width
+  int ring_switches = 6;
+  int clos_spines = 2;
+  int clos_leaves = 4;
   sim::Rate link_rate = sim::paper::kLinkRate;
   /// Per-hop rate multiplier for the parking lot (hop i runs at
   /// link_rate * parking_rate_step^i): != 1 gives asymmetric bottlenecks.
@@ -78,6 +101,19 @@ struct ScenarioSpec {
   /// the refusing hop and retry, up to 8 victims per request (each
   /// eviction recorded as kPreempted).
   bool preempt_on_reject = false;
+
+  // ---- failures --------------------------------------------------------
+  /// Explicit failures (tools --fail-link, tests).  Validated against the
+  /// built fabric at prepare() time; a nonexistent link throws.
+  std::vector<LinkFailureSpec> link_failures;
+  /// Seeded generation: each QoS link independently fails at exponential
+  /// rate link_failure_rate (failures/s; 0 disables)...
+  double link_failure_rate = 0;
+  /// ...and repairs after an exponential holding time of this mean
+  /// (seconds; 0: failures are permanent).
+  sim::Duration link_repair_mean = 0;
+  /// Policy for admitted flows refused re-admission after a reroute.
+  ReroutePolicy reroute_policy = ReroutePolicy::kDegrade;
 
   // ---- run -------------------------------------------------------------
   sim::Duration run_seconds = 30.0;
@@ -112,7 +148,9 @@ struct ScenarioSpec {
 };
 
 /// Named presets: "chain", "fan_in", "parking_lot", "churn" (an
-/// admission-churn chain: fast arrivals/departures against tight links).
+/// admission-churn chain: fast arrivals/departures against tight links),
+/// "failure" (a mesh under seeded link failures and repairs with the EWMA
+/// estimator, exercising rerouting and admission re-validation).
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] ScenarioSpec preset(const std::string& name);
 

@@ -62,6 +62,22 @@ class Scheduler {
     return now;
   }
 
+  /// Removes every queued packet, handing each to `sink` (link teardown:
+  /// the owning port flushes its queue when its link fails).  Flushed
+  /// packets do NOT go through the DropSink — the caller owns their
+  /// accounting (they are link casualties, not congestion losses).  The
+  /// default walks the normal dequeue path; disciplines with dequeue-time
+  /// side effects (FIFO+ averages, wait observers, stale discards)
+  /// override or suppress them so a flush never perturbs measured state.
+  virtual void flush(const std::function<void(net::PacketPtr, sim::Time)>& sink,
+                     sim::Time now) {
+    while (!empty()) {
+      net::PacketPtr p = dequeue(now);
+      if (p == nullptr) break;  // remainder self-discarded via the DropSink
+      sink(std::move(p), now);
+    }
+  }
+
   /// True when no packet is queued.
   [[nodiscard]] virtual bool empty() const = 0;
 

@@ -63,6 +63,30 @@ void UnifiedScheduler::remove_guaranteed(net::FlowId flow) {
   g->last_finish = 0;
 }
 
+void UnifiedScheduler::expel_guaranteed(
+    net::FlowId flow, sim::Time now,
+    const std::function<void(net::PacketPtr, sim::Time)>& sink) {
+  clock_.advance(now);
+  GFlow* g = find_guaranteed(flow);
+  assert(g != nullptr && "flow not registered");
+  while (!g->queue.empty()) {
+    Tagged head = g->queue.pop_front();
+    bits_ -= head.packet->size_bits;
+    --total_packets_;
+    sink(std::move(head.packet), now);
+  }
+  heads_.erase(heap_id(flow));
+  remove_guaranteed(flow);
+}
+
+void UnifiedScheduler::flush(
+    const std::function<void(net::PacketPtr, sim::Time)>& sink,
+    sim::Time now) {
+  flushing_ = true;
+  Scheduler::flush(sink, now);
+  flushing_ = false;
+}
+
 void UnifiedScheduler::set_predicted_priority(net::FlowId flow, int level) {
   assert(level >= 0 && level < config_.num_predicted_classes);
   assert(flow >= 0 && "predicted flow ids must be non-negative");
@@ -220,7 +244,8 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
       net::PacketPtr p = slab_.take(cls.queue.pop().slot);
       // §10 stale discard: the offset says this packet is already far
       // behind its class's average service; drop it and serve the next.
-      if (p->jitter_offset > config_.stale_offset_threshold) {
+      // Suppressed during a flush — the flush sink owns every packet.
+      if (!flushing_ && p->jitter_offset > config_.stale_offset_threshold) {
         ++stale_discards_;
         bits_ -= p->size_bits;
         --total_packets_;
@@ -233,17 +258,17 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
         continue;
       }
       const sim::Duration wait = now - p->enqueued_at;
-      if (config_.fifo_plus) {
+      if (config_.fifo_plus && !flushing_) {
         const double avg = cls.avg.update(wait);
         p->jitter_offset += wait - avg;
       }
-      if (observer_) observer_(level, wait, now);
+      if (observer_ && !flushing_) observer_(level, wait, now);
       return p;
     }
   }
   if (!datagram_.empty()) {
     net::PacketPtr p = datagram_.pop_front();
-    if (observer_) {
+    if (observer_ && !flushing_) {
       observer_(config_.num_predicted_classes, now - p->enqueued_at, now);
     }
     return p;

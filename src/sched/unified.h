@@ -93,6 +93,16 @@ class UnifiedScheduler final : public Scheduler {
   /// must be drained first; flow 0 recovers the clock rate.
   void remove_guaranteed(net::FlowId flow);
 
+  /// Forced teardown for rerouting: hands every queued packet of the flow
+  /// to `sink` (the caller accounts them as failed_link_drops), then
+  /// deregisters it as remove_guaranteed() would.  Unlike the graceful
+  /// path there is no drained-queue precondition — the flow's path no
+  /// longer crosses this link, so waiting for a drain would strand the
+  /// reserved clock rate.
+  void expel_guaranteed(net::FlowId flow, sim::Time now,
+                        const std::function<void(net::PacketPtr, sim::Time)>&
+                            sink);
+
   /// Assigns a predicted flow to priority level in [0, K).  Unregistered,
   /// non-guaranteed flows go to the datagram level.
   void set_predicted_priority(net::FlowId flow, int level);
@@ -146,6 +156,8 @@ class UnifiedScheduler final : public Scheduler {
 
   void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
+  void flush(const std::function<void(net::PacketPtr, sim::Time)>& sink,
+             sim::Time now) override;
   [[nodiscard]] bool empty() const override { return total_packets_ == 0; }
   [[nodiscard]] std::size_t packets() const override { return total_packets_; }
   [[nodiscard]] sim::Bits backlog_bits() const override { return bits_; }
@@ -194,6 +206,11 @@ class UnifiedScheduler final : public Scheduler {
   WaitObserver observer_;
   DiscardHook discard_hook_;
   std::uint64_t stale_discards_ = 0;
+  /// True while flush() drains the queue through the dequeue path.  A
+  /// flush is not service: wait observers must not feed d̂_j, FIFO+ must
+  /// not shift class averages, and §10 must not divert packets to the
+  /// DropSink — every flushed packet belongs to the flush sink.
+  bool flushing_ = false;
 
   std::vector<GFlow> guaranteed_;             // dense, indexed by flow id
   std::vector<std::int16_t> predicted_priority_;  // dense; kNoLevel = unset

@@ -86,6 +86,50 @@ TEST(CloseFlow, DatagramCloseIsNoOp) {
   EXPECT_NO_FATAL_FAILURE(ispn.close_flow(handle));
 }
 
+TEST(CloseFlow, DoubleCloseNeverReleasesTwice) {
+  // Regression: a teardown racing a reroute used to subtract the flow's
+  // committed rate twice, leaving the admission ledger negative and the
+  // capacity sellable beyond the link.  The second close must be a no-op.
+  IspnNetwork ispn(config_with_admission());
+  const auto topo = ispn.build_chain(2);
+  const LinkId link{topo.switches[0], topo.switches[1]};
+
+  auto a = ispn.open_flow(guaranteed(1, topo.hosts[0], topo.hosts[1], 3e5));
+  auto b = ispn.open_flow(guaranteed(2, topo.hosts[0], topo.hosts[1], 4e5));
+  EXPECT_DOUBLE_EQ(ispn.admission().guaranteed_rate(link), 7e5);
+
+  auto stale = a;  // a second handle to the same flow (the race)
+  ispn.close_flow(a);
+  EXPECT_DOUBLE_EQ(ispn.admission().guaranteed_rate(link), 4e5);
+  EXPECT_NO_FATAL_FAILURE(ispn.close_flow(stale));
+  // b's commitment must survive the stale close untouched.
+  EXPECT_DOUBLE_EQ(ispn.admission().guaranteed_rate(link), 4e5);
+  EXPECT_DOUBLE_EQ(ispn.scheduler(link).guaranteed_rate(), 4e5);
+  ispn.close_flow(b);
+  EXPECT_DOUBLE_EQ(ispn.admission().guaranteed_rate(link), 0.0);
+  // Full capacity resellable exactly once everything is released.
+  EXPECT_NO_THROW(
+      (void)ispn.open_flow(guaranteed(3, topo.hosts[0], topo.hosts[1], 8e5)));
+}
+
+TEST(CloseFlow, AdmissionReleaseIsIdempotent) {
+  // The controller itself: release() hands back the STORED commitment
+  // (not the caller's view of it), exactly once.
+  const std::vector<sim::Duration> targets = {0.016, 0.16};
+  AdmissionController ac({AdmissionController::Mode::kParameterBased, 0.1});
+  const LinkId link{0, 1};
+  ac.register_link(link, 1e6, targets);
+
+  FlowSpec spec = guaranteed(1, 10, 11, 3e5);
+  const auto c = ac.request(spec, {link}, 0.0);
+  ASSERT_TRUE(c.admitted);
+  EXPECT_DOUBLE_EQ(ac.guaranteed_rate(link), 3e5);
+  EXPECT_TRUE(ac.release(spec, {link}));
+  EXPECT_DOUBLE_EQ(ac.guaranteed_rate(link), 0.0);
+  EXPECT_FALSE(ac.release(spec, {link}));  // nothing left to hand back
+  EXPECT_DOUBLE_EQ(ac.guaranteed_rate(link), 0.0);
+}
+
 TEST(CloseFlow, MidTrafficGuaranteedTeardownAfterDrain) {
   // Run traffic, stop the source, drain, close — then the network keeps
   // serving other flows normally.

@@ -66,6 +66,63 @@ TEST(Routing, DeterministicTieBreakByNodeId) {
   EXPECT_EQ(compute_next_hops(adj, 0).at(3), 1);
 }
 
+TEST(Routing, FilterAdjacencyRemovesFailedLinksBothWays) {
+  const auto adj = chain(4);
+  std::set<std::pair<NodeId, NodeId>> down;
+  down.insert(undirected(2, 1));  // order-insensitive key
+  const auto active = filter_adjacency(adj, down);
+  EXPECT_EQ(active.at(1), (std::vector<NodeId>{0}));
+  EXPECT_EQ(active.at(2), (std::vector<NodeId>{3}));
+  EXPECT_TRUE(shortest_path(active, 0, 3).empty());
+}
+
+TEST(Routing, FilterAdjacencyKeepsIsolatedNodesAndOrder) {
+  // Diamond 0-1-3 / 0-2-3; failing both of 3's links must keep node 3 in
+  // the map (isolated, not absent) and must not disturb the remaining
+  // neighbor order anywhere else.
+  Adjacency adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  std::set<std::pair<NodeId, NodeId>> down;
+  down.insert(undirected(3, 1));
+  down.insert(undirected(3, 2));
+  const auto active = filter_adjacency(adj, down);
+  ASSERT_TRUE(active.contains(3));
+  EXPECT_TRUE(active.at(3).empty());
+  EXPECT_EQ(active.at(0), adj.at(0));
+  EXPECT_FALSE(compute_next_hops(active, 0).contains(3));
+}
+
+TEST(Routing, FilterAdjacencyEmptySetIsIdentity) {
+  const auto adj = chain(5);
+  EXPECT_EQ(filter_adjacency(adj, {}), adj);
+}
+
+TEST(Routing, TieBreakStableUnderUnrelatedFailure) {
+  // Diamond plus a spur 0-4; failing the spur must not flip the 0->3
+  // tie-break (neighbor order is preserved, not recomputed).
+  Adjacency adj;
+  auto link = [&](NodeId a, NodeId b) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  link(0, 4);
+  std::set<std::pair<NodeId, NodeId>> down;
+  down.insert(undirected(0, 4));
+  EXPECT_EQ(compute_next_hops(filter_adjacency(adj, down), 0).at(3),
+            compute_next_hops(adj, 0).at(3));
+}
+
 TEST(Routing, StarTopology) {
   Adjacency adj;
   for (NodeId leaf = 1; leaf <= 4; ++leaf) {

@@ -59,6 +59,67 @@ TEST(ParkingLot, PerHopRatesAndHosts) {
   EXPECT_EQ(net.queueing_hops(topo.hosts[1], topo.hosts[2]), 1u);
 }
 
+TEST(Mesh, ShapeRoutesAndAlternatePaths) {
+  net::Network net;
+  const auto topo = net::build_mesh(net, /*rows=*/3, /*cols=*/3, 1e6,
+                                    fifo_factory());
+  ASSERT_EQ(topo.switches.size(), 9u);
+  ASSERT_EQ(topo.hosts.size(), 9u);
+  // Opposite corners are 4 queueing hops apart (Manhattan distance).
+  EXPECT_EQ(net.queueing_hops(topo.hosts.front(), topo.hosts.back()), 4u);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 1u);
+
+  // The defining property for the failure scenarios: killing one link on
+  // the corner-to-corner route leaves an alternate path of the same
+  // length, and repair restores the original tie-broken route.
+  const auto before = net.route(topo.hosts.front(), topo.hosts.back());
+  ASSERT_GE(before.size(), 3u);
+  net.set_link_up(before[1], before[2], false);
+  const auto after = net.route(topo.hosts.front(), topo.hosts.back());
+  ASSERT_FALSE(after.empty()) << "mesh lost connectivity on one failure";
+  EXPECT_EQ(after.size(), before.size());
+  EXPECT_NE(after, before);
+  net.set_link_up(before[1], before[2], true);
+  EXPECT_EQ(net.route(topo.hosts.front(), topo.hosts.back()), before);
+}
+
+TEST(Ring, ShapeAndRerouteTheLongWayRound) {
+  net::Network net;
+  const auto topo = net::build_ring(net, /*num_switches=*/6, 1e6,
+                                    fifo_factory());
+  ASSERT_EQ(topo.switches.size(), 6u);
+  ASSERT_EQ(topo.hosts.size(), 6u);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 1u);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[3]), 3u);
+
+  // Failing the direct edge forces the 5-hop path the other way round.
+  net.set_link_up(topo.switches[0], topo.switches[1], false);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 5u);
+  net.set_link_up(topo.switches[0], topo.switches[1], true);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 1u);
+}
+
+TEST(Clos, EveryLeafPairTwoHopsAndSpineFailover) {
+  net::Network net;
+  const auto topo = net::build_clos(net, /*spines=*/2, /*leaves=*/4, 1e6,
+                                    fifo_factory());
+  ASSERT_EQ(topo.spines.size(), 2u);
+  ASSERT_EQ(topo.leaves.size(), 4u);
+  ASSERT_EQ(topo.hosts.size(), 4u);
+  for (std::size_t i = 0; i < topo.hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.hosts.size(); ++j) {
+      EXPECT_EQ(net.queueing_hops(topo.hosts[i], topo.hosts[j]), 2u);
+    }
+  }
+  // Losing one leaf's uplink to a spine just shifts that pair to the
+  // other spine — still two hops.
+  const auto via = net.route(topo.hosts[0], topo.hosts[1]);
+  ASSERT_EQ(via.size(), 5u);  // host leaf spine leaf host
+  net.set_link_up(via[1], via[2], false);
+  EXPECT_EQ(net.queueing_hops(topo.hosts[0], topo.hosts[1]), 2u);
+  EXPECT_NE(net.route(topo.hosts[0], topo.hosts[1])[2], via[2]);
+}
+
 TEST(QosFabric, PerHopRatesReachSchedulerMeasurementAndAdmission) {
   scenario::ScenarioSpec spec;
   spec.fabric = scenario::FabricKind::kParkingLot;
@@ -118,6 +179,52 @@ TEST(SpecParsing, JsonKeysAndOverrides) {
   EXPECT_THROW(scenario::apply_override(base, "arrival_rate", "fast"),
                std::invalid_argument);
   EXPECT_THROW(scenario::preset("nope"), std::invalid_argument);
+}
+
+TEST(SpecParsing, FailureAndFabricKnobs) {
+  scenario::ScenarioSpec spec;
+  scenario::apply_override(spec, "fabric", "mesh");
+  scenario::apply_override(spec, "mesh_rows", "4");
+  scenario::apply_override(spec, "mesh_cols", "2");
+  scenario::apply_override(spec, "reroute_policy", "preempt");
+  scenario::apply_override(spec, "link_failure_rate", "0.1");
+  scenario::apply_override(spec, "link_repair_mean", "2.5");
+  scenario::apply_override(spec, "fail_link", "0:2@3.5,up@8");
+  scenario::apply_override(spec, "fail_link", "2:4@1");  // stays down
+  EXPECT_EQ(spec.fabric, scenario::FabricKind::kMesh);
+  EXPECT_EQ(spec.mesh_rows, 4);
+  EXPECT_EQ(spec.mesh_cols, 2);
+  EXPECT_EQ(spec.reroute_policy, scenario::ReroutePolicy::kPreempt);
+  EXPECT_DOUBLE_EQ(spec.link_failure_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.link_repair_mean, 2.5);
+  ASSERT_EQ(spec.link_failures.size(), 2u);
+  EXPECT_EQ(spec.link_failures[0].src, 0);
+  EXPECT_EQ(spec.link_failures[0].dst, 2);
+  EXPECT_DOUBLE_EQ(spec.link_failures[0].down_at, 3.5);
+  EXPECT_DOUBLE_EQ(spec.link_failures[0].up_at, 8.0);
+  EXPECT_LT(spec.link_failures[1].up_at, 0.0);
+  EXPECT_NO_THROW(spec.validate());
+
+  EXPECT_THROW(scenario::apply_override(spec, "fail_link", "junk"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::apply_override(spec, "fail_link", "0:2"),
+               std::invalid_argument);
+  EXPECT_THROW(scenario::apply_override(spec, "reroute_policy", "panic"),
+               std::invalid_argument);
+  // A repair scheduled before the failure is a spec error, not a silent
+  // never-up.
+  scenario::ScenarioSpec bad;
+  bad.fabric = scenario::FabricKind::kMesh;
+  scenario::apply_override(bad, "fail_link", "0:2@5,up@3");
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Runner, FailureScheduleRejectsUnknownLink) {
+  scenario::ScenarioSpec spec = scenario::preset("failure");
+  spec.link_failure_rate = 0;
+  spec.link_failures.push_back({0, 4, 1.0, -1.0});  // not mesh-adjacent
+  scenario::ScenarioRunner runner(spec);
+  EXPECT_THROW(runner.prepare(), std::invalid_argument);
 }
 
 TEST(Runner, SmallLiveAdmissionRunConservesAndReports) {

@@ -62,6 +62,11 @@ struct GoldenRun {
   std::uint64_t flows_admitted = 0;
   std::uint64_t flows_rejected = 0;
   std::uint64_t flows_preempted = 0;
+  std::uint64_t links_failed = 0;
+  std::uint64_t flows_rerouted = 0;
+  std::uint64_t flows_degraded = 0;
+  std::uint64_t flows_orphaned = 0;
+  std::uint64_t failed_link_drops = 0;
 };
 
 GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
@@ -89,6 +94,11 @@ GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
   out.flows_admitted = report.flows_admitted;
   out.flows_rejected = report.flows_rejected;
   out.flows_preempted = report.flows_preempted;
+  out.links_failed = report.links_failed;
+  out.flows_rerouted = report.flows_rerouted;
+  out.flows_degraded = report.flows_degraded;
+  out.flows_orphaned = report.flows_orphaned;
+  out.failed_link_drops = report.failed_link_drops;
   return out;
 }
 
@@ -104,6 +114,11 @@ void expect_equal(const GoldenRun& ref, const GoldenRun& got,
   EXPECT_EQ(ref.flows_admitted, got.flows_admitted) << what;
   EXPECT_EQ(ref.flows_rejected, got.flows_rejected) << what;
   EXPECT_EQ(ref.flows_preempted, got.flows_preempted) << what;
+  EXPECT_EQ(ref.links_failed, got.links_failed) << what;
+  EXPECT_EQ(ref.flows_rerouted, got.flows_rerouted) << what;
+  EXPECT_EQ(ref.flows_degraded, got.flows_degraded) << what;
+  EXPECT_EQ(ref.flows_orphaned, got.flows_orphaned) << what;
+  EXPECT_EQ(ref.failed_link_drops, got.failed_link_drops) << what;
 }
 
 void golden(const scenario::ScenarioSpec& spec, const char* label) {
@@ -132,7 +147,7 @@ void golden(const scenario::ScenarioSpec& spec, const char* label) {
   }
 }
 
-// --- the three golden scenarios -------------------------------------------
+// --- the golden scenarios -------------------------------------------------
 
 TEST(ScenarioGolden, FanInTreeByteIdenticalAcrossBackends) {
   scenario::ScenarioSpec spec = scenario::preset("fan_in");
@@ -173,6 +188,47 @@ TEST(ScenarioGolden, AdmissionChurnChainByteIdenticalAcrossBackends) {
       run_one(spec, sim::EventBackend::kHeap, sched::OrderBackend::kHeap);
   EXPECT_GT(ref.flows_rejected, 0u) << "churn never exercised rejection";
   golden(spec, "admission churn chain");
+}
+
+TEST(ScenarioGolden, MeshWithFailuresByteIdenticalAcrossBackends) {
+  scenario::ScenarioSpec spec = scenario::preset("failure");
+  spec.run_seconds = 20.0;
+  spec.seed = 14;
+
+  const GoldenRun ref =
+      run_one(spec, sim::EventBackend::kHeap, sched::OrderBackend::kHeap);
+  EXPECT_GT(ref.links_failed, 1u) << "schedule produced <2 failures";
+  EXPECT_GT(ref.flows_rerouted, 0u) << "no flow ever rerouted";
+  EXPECT_GT(ref.failed_link_drops, 0u)
+      << "no packet was ever caught on a failing link";
+  golden(spec, "mesh with failures");
+}
+
+TEST(ScenarioGolden, ExplicitFailureSchedulePreemptPolicy) {
+  // Two explicit overlapping outages on the center switch's links, with
+  // preempt (no degrade): refused re-offers tear flows down, and the
+  // decision log must still agree byte-for-byte across backends.  The
+  // chosen links cannot partition the 3x3 mesh, so the acceptance
+  // invariant holds exactly: every admitted flow ends re-admitted,
+  // degraded or preempted — never orphaned.
+  scenario::ScenarioSpec spec = scenario::preset("failure");
+  spec.run_seconds = 16.0;
+  spec.link_failure_rate = 0;  // explicit schedule only
+  spec.reroute_policy = scenario::ReroutePolicy::kPreempt;
+  spec.seed = 15;
+  // Node ids: switches and hosts alternate in creation order; switch
+  // (r,c) of the 3x3 mesh is node 2*(3r+c).
+  spec.link_failures.push_back({2, 8, 3.0, 9.0});    // (0,1)<->(1,1)
+  spec.link_failures.push_back({6, 8, 5.0, -1.0});   // (1,0)<->(1,1)
+  spec.validate();
+
+  const GoldenRun ref =
+      run_one(spec, sim::EventBackend::kHeap, sched::OrderBackend::kHeap);
+  EXPECT_EQ(ref.links_failed, 2u);
+  EXPECT_GT(ref.flows_rerouted, 0u) << "no flow ever rerouted";
+  EXPECT_EQ(ref.flows_orphaned, 0u)
+      << "non-partitioning failures orphaned a flow";
+  golden(spec, "explicit failures, preempt policy");
 }
 
 }  // namespace

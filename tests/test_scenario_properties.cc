@@ -8,6 +8,10 @@
 //   3. A rejected flow leaves the network bit-identical to never having
 //      asked: the subsequent packet schedule, to the last trace record,
 //      does not depend on the refused request.
+//   4. A link failure elsewhere in the fabric never costs an untouched
+//      guaranteed flow its Parekh–Gallager bound: WFQ isolation plus
+//      re-admission of every rerouted flow against the live measurements
+//      keeps the surviving paths' guarantees intact.
 
 #include <gtest/gtest.h>
 
@@ -207,6 +211,44 @@ TEST(AdmissionProperty, RejectedFlowLeavesStateBitIdentical) {
           << " diverged after a rejected request (flow " << b.flow
           << " seq " << b.seq << " t=" << b.time << ")";
     }
+  }
+}
+
+// --- 4: failures never disturb untouched guaranteed flows -----------------
+
+TEST(AdmissionProperty, SurvivingGuaranteedFlowsKeepPgBoundThroughFailures) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    scenario::ScenarioSpec spec = scenario::preset("failure");
+    spec.run_seconds = 8.0;
+    spec.p_guaranteed = 0.5;  // guaranteed-heavy mix
+    spec.p_predicted = 0.25;
+    spec.link_failure_rate = 0;  // one explicit mid-run failure + repair
+    spec.link_failures.push_back({0, 2, 2.0, 5.0});  // mesh (0,0)<->(0,1)
+    spec.seed = seed;
+    scenario::ScenarioRunner runner(spec);
+    const auto report = runner.run();
+    ASSERT_TRUE(report.conserved()) << "seed " << seed;
+    ASSERT_EQ(report.links_failed, 1u) << "seed " << seed;
+
+    // Flows the failure touched (rerouted, degraded, torn down) carry
+    // mixed-path deliveries and answer to no single a-priori bound; every
+    // flow the failure did NOT touch still answers to its original one.
+    std::size_t checked = 0;
+    for (const auto& f : report.flows) {
+      if (f.service != net::ServiceClass::kGuaranteed || !f.admitted ||
+          f.degraded || f.reroutes > 0 || f.delivered == 0) {
+        continue;
+      }
+      ++checked;
+      ASSERT_GT(f.bound, 0.0) << "seed " << seed;
+      EXPECT_LE(f.max_delay, f.bound)
+          << "seed " << seed << " flow " << f.flow << " (" << f.hops
+          << " hops): an unrelated link failure cost this untouched "
+          << "guaranteed flow its bound (" << f.max_delay * 1e3 << " ms > "
+          << f.bound * 1e3 << " ms)";
+    }
+    EXPECT_GT(checked, 0u) << "seed " << seed
+                           << ": every guaranteed flow was touched";
   }
 }
 

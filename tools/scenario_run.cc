@@ -29,7 +29,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--preset NAME | CONFIG.json) [--scale SCALE] "
-               "[--json PATH] [key=value ...]\n"
+               "[--json PATH] [--fail-link SRC:DST@T[,up@T2]] "
+               "[key=value ...]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--list") {
-        std::printf("presets: chain fan_in parking_lot churn\n");
+        std::printf("presets: chain fan_in parking_lot churn failure\n");
         std::printf("scales:  smoke small large\n");
         return 0;
       }
@@ -74,6 +75,13 @@ int main(int argc, char** argv) {
       } else if (arg == "--json") {
         if (++i >= argc) return usage(argv[0]);
         json_path = argv[i];
+      } else if (arg == "--fail-link") {
+        // SRC:DST@T[,up@T2] — take the duplex link down at T (and back up
+        // at T2).  Repeatable; each use appends one failure.
+        if (++i >= argc) return usage(argv[0]);
+        scenario::apply_override(spec, "fail_link", argv[i]);
+        have_spec = true;
+        have_overrides = true;
       } else if (arg.find('=') != std::string::npos) {
         const auto eq = arg.find('=');
         scenario::apply_override(spec, arg.substr(0, eq), arg.substr(eq + 1));
