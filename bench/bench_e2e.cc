@@ -34,6 +34,7 @@
 #include "sched/fifo.h"
 #include "sched/unified.h"
 #include "sched/wfq.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "traffic/cbr_source.h"
 
@@ -112,6 +113,69 @@ bench::MicroResult run_pipeline(int flows,
   return bench::MicroResult{sink.delivered - base, elapsed};
 }
 
+/// Sharded variant of the dumbbell pipeline: two per-switch domains with
+/// their own clocks and pools, the bottleneck link handing packets across
+/// through a mailbox, driven by the ShardedEngine at `shards` workers
+/// (clamped to the 2 domains — the dumbbell measures handoff + barrier
+/// overhead; fabric-level scaling lives in bench_scenario's sharded rows).
+bench::MicroResult run_pipeline_sharded(
+    int flows, int shards, const net::SchedulerFactory& make_scheduler,
+    const std::function<void(sched::Scheduler&, int)>& configure) {
+  net::Network net(backend_from_env());
+  net.enable_sharding(0.001);
+  const auto topo = net::build_dumbbell(net, kBottleneck, make_scheduler);
+  net::Host& src_host = net.host(topo.left_host);
+
+  sched::Scheduler& bottleneck =
+      net.port(topo.left_switch, topo.right_switch)->scheduler();
+  if (configure) configure(bottleneck, flows);
+
+  const double total_pps = kLoad * kBottleneck / sim::paper::kPacketBits;
+  const double per_flow_pps = total_pps / flows;
+  CountSink sink;
+  std::vector<std::unique_ptr<traffic::CbrSource>> sources;
+  sources.reserve(static_cast<std::size_t>(flows));
+  sim::Simulator& src_clock = net.sim_for(topo.left_host);
+  net::PacketPool& src_pool = net.pool_for(topo.left_host);
+  for (int f = 0; f < flows; ++f) {
+    // Pre-create the stats entry: the packet path is find-only when
+    // sharded (a map insert from a domain thread would race).
+    static_cast<void>(net.stats(f));
+    auto s = std::make_unique<traffic::CbrSource>(
+        src_clock, traffic::CbrSource::Config{per_flow_pps}, f,
+        topo.left_host, topo.right_host,
+        [&src_host](net::PacketPtr p) { src_host.inject(std::move(p)); });
+    s->set_pool(&src_pool);
+    s->set_service(net::ServiceClass::kPredicted,
+                   static_cast<std::uint8_t>(f % 2));
+    s->start(static_cast<double>(f) / total_pps);
+    net.host(topo.right_host).register_sink(f, &sink);
+    sources.push_back(std::move(s));
+  }
+
+  sim::ShardedEngine engine(net.sim(), net.link_latency(), shards);
+  for (std::size_t d = 0; d < net.num_domains(); ++d) {
+    engine.add_domain(&net.domain_sim(d));
+  }
+  engine.set_exchange([&net] { net.exchange(); });
+
+  sim::Time horizon = 0.5;
+  engine.run_until(horizon);
+
+  using Clock = std::chrono::steady_clock;
+  const double budget = bench::micro_seconds();
+  const sim::Duration slice = 20000.0 / total_pps;
+  const std::uint64_t base = sink.delivered;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    horizon += slice;
+    engine.run_until(horizon);
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < budget);
+  return bench::MicroResult{sink.delivered - base, elapsed};
+}
+
 }  // namespace
 
 int main() {
@@ -148,6 +212,13 @@ int main() {
   for (int flows : {16, 256, 4096}) {
     report.add("unified", "flows=" + std::to_string(flows),
                run_pipeline(flows, unified, configure_unified));
+  }
+  // Sharded core on the dumbbell: per-worker-count rows isolate the
+  // window-barrier + mailbox handoff cost at a fixed 1024-flow load.
+  for (int shards : {1, 2, 4}) {
+    report.add("unified sharded", "shards=" + std::to_string(shards),
+               run_pipeline_sharded(1024, shards, unified,
+                                    configure_unified));
   }
 
   const std::string path = report.write();

@@ -58,8 +58,9 @@ bench::MicroResult run_fabric(const scenario::ScenarioSpec& spec) {
   runner.prepare();
 
   // Warm the pipeline: fills queues, pools, slabs, measurement windows.
+  // advance() dispatches to the sharded engine when spec.shards >= 1.
   sim::Time horizon = 0.5;
-  runner.net().sim().run_until(horizon);
+  runner.advance(horizon);
 
   using Clock = std::chrono::steady_clock;
   const double budget = bench::micro_seconds();
@@ -71,7 +72,7 @@ bench::MicroResult run_fabric(const scenario::ScenarioSpec& spec) {
   double elapsed = 0;
   do {
     horizon += slice;
-    runner.net().sim().run_until(horizon);
+    runner.advance(horizon);
     elapsed = std::chrono::duration<double>(Clock::now() - start).count();
   } while (elapsed < budget);
   return bench::MicroResult{runner.delivered() - base, elapsed};
@@ -150,6 +151,26 @@ int main() {
     // on the interior, so load the tier conservatively.
     set_load(spec, 256, /*bottleneck_links=*/8, kLinkRate);
     report.add("mesh 3x3 failures", "flows=256", run_fabric(spec));
+  }
+
+  // Sharded parallel core (sim/shard.h): a depth-3 width-4 fan-in tree —
+  // 21 switch domains — at 1024 flows, swept over worker counts.  The
+  // shards=0 row is the classic single-clock baseline on the SAME spec;
+  // the sharded rows add per-hop propagation latency and barrier rounds,
+  // so shards=1 vs shards=0 is the synchronization overhead and
+  // shards=4 vs shards=1 the parallel speedup (results across shards>=1
+  // are byte-identical; only wall time may differ).
+  for (int shards : {0, 1, 2, 4}) {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kFanInTree;
+    spec.tree_depth = 3;
+    spec.tree_width = 4;
+    spec.shards = shards;
+    // The 4 mid->root links are the bottleneck tier; the 16 leaf links
+    // run at ~22% each.
+    set_load(spec, 1024, /*bottleneck_links=*/4, kLinkRate);
+    report.add("sharded fan_in d3w4", "shards=" + std::to_string(shards),
+               run_fabric(spec));
   }
 
   const std::string path = report.write();

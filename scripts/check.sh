@@ -39,6 +39,13 @@ for eb in heap wheel; do
     link_failure_rate=0 event_backend="$eb" \
     --fail-link 0:2@0.5,up@1.4 --fail-link 6:8@0.9 >/dev/null
 done
+# Sharded parallel core at 1 and 4 workers: any worker count must produce
+# the identical report (test_shard_diff proves byte-identity; this smoke
+# catches CLI/runner wiring and threading crashes in a plain build).
+for n in 1 4; do
+  "$BUILD_DIR/scenario_run" --preset fan_in --scale smoke tree_depth=3 \
+    arrival_rate=0 target_flows=8 --shards "$n" >/dev/null
+done
 
 echo "== bench smoke =="
 # Keep the smoke outputs out of the repo root so the committed perf

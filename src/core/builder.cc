@@ -14,6 +14,8 @@ IspnNetwork::IspnNetwork(Config config)
   assert(!config_.class_targets.empty());
   assert(std::is_sorted(config_.class_targets.begin(),
                         config_.class_targets.end()));
+  // Must precede topology construction: domains are created per switch.
+  if (config_.sharded) net_.enable_sharding(config_.link_latency);
 }
 
 net::LinkSchedulerFactory IspnNetwork::qos_link_factory() {
@@ -131,12 +133,40 @@ std::vector<LinkId> IspnNetwork::route_links(net::NodeId src,
   return links;
 }
 
+void IspnNetwork::index_add(const LinkId& link, net::FlowId flow) {
+  auto& flows = link_flows_[link];
+  if (std::find(flows.begin(), flows.end(), flow) == flows.end()) {
+    flows.push_back(flow);
+  }
+}
+
+void IspnNetwork::index_remove(const LinkId& link, net::FlowId flow) {
+  auto it = link_flows_.find(link);
+  if (it == link_flows_.end()) return;
+  auto& flows = it->second;
+  flows.erase(std::remove(flows.begin(), flows.end(), flow), flows.end());
+}
+
+std::vector<net::FlowId> IspnNetwork::flows_crossing(net::NodeId a,
+                                                     net::NodeId b) const {
+  std::vector<net::FlowId> out;
+  for (const LinkId& dir : {LinkId{a, b}, LinkId{b, a}}) {
+    auto it = link_flows_.find(dir);
+    if (it == link_flows_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 void IspnNetwork::configure_flow(const FlowHandle& handle) {
   const FlowSpec& spec = handle.spec;
   if (spec.service == net::ServiceClass::kGuaranteed) {
     for (const LinkId& link : handle.links) {
       schedulers_.at(link)->add_guaranteed(spec.flow,
                                            spec.guaranteed->clock_rate);
+      index_add(link, spec.flow);
     }
   } else if (spec.service == net::ServiceClass::kPredicted) {
     assert(handle.commitment.priority_per_hop.size() == handle.links.size());
@@ -144,6 +174,7 @@ void IspnNetwork::configure_flow(const FlowHandle& handle) {
       schedulers_.at(handle.links[i])
           ->set_predicted_priority(spec.flow,
                                    handle.commitment.priority_per_hop[i]);
+      index_add(handle.links[i], spec.flow);
     }
   }
 }
@@ -211,10 +242,12 @@ void IspnNetwork::close_flow(const FlowHandle& handle) {
   if (spec.service == net::ServiceClass::kGuaranteed) {
     for (const LinkId& link : handle.links) {
       schedulers_.at(link)->remove_guaranteed(spec.flow);
+      index_remove(link, spec.flow);
     }
   } else {
     for (const LinkId& link : handle.links) {
       schedulers_.at(link)->remove_predicted(spec.flow);
+      index_remove(link, spec.flow);
     }
   }
 }
@@ -242,6 +275,7 @@ IspnNetwork::RerouteOutcome IspnNetwork::reroute_flow(
     } else {
       schedulers_.at(link)->remove_predicted(spec.flow);
     }
+    index_remove(link, spec.flow);
   };
 
   // Release first: the re-offer must compete against live state that no
@@ -272,6 +306,7 @@ IspnNetwork::RerouteOutcome IspnNetwork::reroute_flow(
             old_links.end()) {
           schedulers_.at(link)->add_guaranteed(spec.flow,
                                                spec.guaranteed->clock_rate);
+          index_add(link, spec.flow);
         }
       }
     } else {
@@ -279,12 +314,14 @@ IspnNetwork::RerouteOutcome IspnNetwork::reroute_flow(
         if (std::find(new_links.begin(), new_links.end(), link) ==
             new_links.end()) {
           schedulers_.at(link)->remove_predicted(spec.flow);
+          index_remove(link, spec.flow);
         }
       }
       assert(fresh.priority_per_hop.size() == new_links.size());
       for (std::size_t i = 0; i < new_links.size(); ++i) {
         schedulers_.at(new_links[i])
             ->set_predicted_priority(spec.flow, fresh.priority_per_hop[i]);
+        index_add(new_links[i], spec.flow);
       }
     }
     handle.links = new_links;
@@ -320,14 +357,16 @@ traffic::OnOffSource& IspnNetwork::attach_onoff_source(
   }
   net::Host& host = net_.host(spec.src);
   auto source = std::make_unique<traffic::OnOffSource>(
-      net_.sim(), config, sim::Rng(config_.seed, stream), spec.flow, spec.src,
-      spec.dst, [&host](net::PacketPtr p) { host.inject(std::move(p)); },
+      net_.sim_for(spec.src), config, sim::Rng(config_.seed, stream),
+      spec.flow, spec.src, spec.dst,
+      [&host](net::PacketPtr p) { host.inject(std::move(p)); },
       &net_.stats(spec.flow), police);
   const std::uint8_t priority =
       handle.commitment.priority_per_hop.empty()
           ? 0
           : static_cast<std::uint8_t>(handle.commitment.priority_per_hop[0]);
   source->set_service(spec.service, priority);
+  if (net_.sharded()) source->set_pool(&net_.pool_for(spec.src));
   auto& ref = *source;
   sources_.push_back(std::move(source));
   return ref;
@@ -337,6 +376,8 @@ std::pair<traffic::TcpSource&, traffic::TcpSink&> IspnNetwork::attach_tcp(
     const FlowHandle& handle, traffic::TcpSource::Config config) {
   const FlowSpec& spec = handle.spec;
   assert(spec.service == net::ServiceClass::kDatagram);
+  assert(!net_.sharded() &&
+         "TCP endpoints draw from the global pool; not sharding-aware yet");
   net::Host& src_host = net_.host(spec.src);
   net::Host& dst_host = net_.host(spec.dst);
 

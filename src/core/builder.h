@@ -69,6 +69,14 @@ class IspnNetwork {
     /// and the scenario golden-trace suite).
     sim::EventBackend event_backend = sim::EventBackend::kAuto;
     sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
+    /// Sharded execution (net/Network::enable_sharding): one domain per
+    /// switch, cross-domain links carrying `link_latency` of propagation
+    /// delay.  The decomposition is topology-determined, so results are
+    /// bit-identical for ANY worker count — but the latency model differs
+    /// from the classic zero-propagation path, so sharded and classic
+    /// runs are two distinct (each internally deterministic) references.
+    bool sharded = false;
+    sim::Duration link_latency = 0.001;
   };
 
   /// An admitted (or force-configured) flow.
@@ -209,6 +217,17 @@ class IspnNetwork {
   [[nodiscard]] std::vector<LinkId> route_links(net::NodeId src,
                                                 net::NodeId dst) const;
 
+  /// Flows with a live scheduler registration on either direction of the
+  /// a<->b link (sorted, unique).  Backed by a per-link index maintained
+  /// at configure/close/reroute time, so a link-failure event revalidates
+  /// only the flows actually crossing the failed link instead of scanning
+  /// every active flow.  Note the asymmetry: this answers "who did the
+  /// DOWN event break?" exactly; a link coming UP can shorten the best
+  /// path of flows that never touched it, so UP-event revalidation still
+  /// requires a full scan (scenario/runner.cc).
+  [[nodiscard]] std::vector<net::FlowId> flows_crossing(net::NodeId a,
+                                                        net::NodeId b) const;
+
   /// Utilisation of a directed link over [0, now].
   [[nodiscard]] double link_utilization(LinkId link, sim::Time now);
 
@@ -219,6 +238,11 @@ class IspnNetwork {
   /// Configures the schedulers along an (accepted or forced) flow's path.
   void configure_flow(const FlowHandle& handle);
 
+  /// Per-link active-flow index maintenance (mirrors every scheduler
+  /// registration / deregistration 1:1).
+  void index_add(const LinkId& link, net::FlowId flow);
+  void index_remove(const LinkId& link, net::FlowId flow);
+
   Config config_;
   net::Network net_;
   AdmissionController admission_;
@@ -226,6 +250,7 @@ class IspnNetwork {
   std::map<LinkId, std::unique_ptr<LinkMeasurement>> measurements_;
   std::map<LinkId, sim::Bits> realtime_bits_;
   std::map<LinkId, sim::Rate> link_rates_;  ///< actual per-link rates
+  std::map<LinkId, std::vector<net::FlowId>> link_flows_;  ///< active index
   std::vector<LinkId> link_order_;      ///< registration order
   std::size_t instrumented_upto_ = 0;   ///< links with tx hooks installed
   std::vector<std::unique_ptr<traffic::Source>> sources_;

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "net/packet.h"
@@ -9,6 +10,41 @@
 #include "stats/percentile.h"
 
 namespace ispn::net {
+
+/// A drop-in uint64 counter that tolerates increments from several domain
+/// threads in a sharded run.  Increments are relaxed atomics — counts are
+/// sums, no ordering needed; reads happen at barriers or after the run,
+/// where the engine's mutex handoff already provides the happens-before.
+/// Copyable (snapshot semantics) so FlowStats stays a value type.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  Counter(const Counter& o) : v_(o.value()) {}
+  Counter& operator=(const Counter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator=(std::uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const { return value(); }  // NOLINT
+  Counter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
 
 /// End-to-end statistics of one flow, filled by the network's stats sink
 /// and the source.  Delays are stored in seconds; helpers convert to the
@@ -20,12 +56,16 @@ struct FlowStats {
   std::uint64_t generated = 0;     ///< packets produced by the source process
   std::uint64_t source_drops = 0;  ///< dropped by the edge token-bucket filter
   std::uint64_t injected = 0;      ///< entered the network
-  std::uint64_t net_drops = 0;     ///< dropped at switch buffers
+  /// Dropped at switch buffers.  Drops can fire on any domain thread in a
+  /// sharded run (the port's drop hook runs where the port runs), hence a
+  /// Counter; the other fields are written only by the flow's source or
+  /// sink, each of which lives in exactly one domain.
+  Counter net_drops;
   /// Lost to topology churn rather than congestion: in flight or queued on
   /// a link when it failed, expelled from a rerouted guaranteed flow's WFQ
   /// queue, or arriving at a switch with no route (partition).  Kept apart
   /// from net_drops so the conservation ledger attributes every loss.
-  std::uint64_t failed_link_drops = 0;
+  Counter failed_link_drops;
   std::uint64_t received = 0;      ///< delivered to the sink
   sim::Bits bits_received = 0;
 

@@ -1,0 +1,122 @@
+// Cross-domain packet handoff: one mailbox per directed inter-domain link.
+//
+// The transmitting port's domain is the single producer; the shard
+// coordinator, draining at a lookahead barrier while every domain is
+// quiescent, is the single consumer.  A push records the arrival instant
+// (transmit-complete time plus the link's propagation latency — the same
+// latency the coordinator uses as its lookahead window, which is exactly
+// why an arrival can never land inside the window that produced it); a
+// drain schedules each entry into the destination domain's simulator in
+// push order.
+//
+// Determinism: within one mailbox, ring order IS push order (SPSC FIFO),
+// and the producer's event order is deterministic.  Across mailboxes,
+// the coordinator drains in mailbox-creation order — a function of the
+// topology build order, never of thread scheduling — so equal-time
+// arrivals at one domain always get the same event-queue sequence
+// numbers, whatever the worker count.
+//
+// Allocation: the ring is sized at build time from the link's bandwidth-
+// delay product (plus slack); a burst that overflows it spills to a
+// plain vector on the producer side.  That vector is produce-only during
+// a window and read+cleared only at barriers, so despite being unguarded
+// it is never accessed concurrently (the engine's barrier mutex provides
+// the happens-before).  Steady state stays in the ring: zero allocation.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/spsc_ring.h"
+
+namespace ispn::net {
+
+class LinkMailbox {
+ public:
+  /// `latency` is the link's propagation delay (the lookahead the shard
+  /// engine synchronizes on); `dst_sim`/`peer` are the receiving domain's
+  /// clock and the node the packet is delivered to.
+  LinkMailbox(sim::Duration latency, sim::Simulator& dst_sim, Node& peer,
+              std::size_t ring_capacity)
+      : latency_(latency), dst_sim_(&dst_sim), peer_(&peer),
+        ring_(ring_capacity) {}
+
+  /// Undelivered packets (teardown mid-run) go back to their pools so the
+  /// pools' outstanding-count accounting stays balanced.
+  ~LinkMailbox() {
+    Entry e;
+    while (ring_.try_pop(e)) PacketPtr(e.packet, PacketDeleter{e.pool});
+    for (const Entry& o : overflow_) PacketPtr(o.packet, PacketDeleter{o.pool});
+  }
+
+  LinkMailbox(const LinkMailbox&) = delete;
+  LinkMailbox& operator=(const LinkMailbox&) = delete;
+
+  /// Producer side (transmitting domain's thread): queues the packet for
+  /// arrival at `now + latency`.  Never blocks, never drops.
+  void push(PacketPtr p, sim::Time now) {
+    Entry e;
+    e.arrival = now + latency_;
+    e.pool = p.get_deleter().pool;
+    e.packet = p.release();
+    if (!ring_.try_push(e)) overflow_.push_back(e);
+    // Ring first, overflow second: the consumer only runs at barriers, so
+    // once a window spills, ALL later pushes of that window spill too —
+    // draining the ring before the vector preserves push order.
+  }
+
+  /// Consumer side (barrier only): schedules every pending arrival into
+  /// the destination domain.  Returns the number of packets moved.
+  std::size_t drain() {
+    std::size_t n = 0;
+    Entry e;
+    while (ring_.try_pop(e)) {
+      deliver(e);
+      ++n;
+    }
+    if (!overflow_.empty()) {
+      for (const Entry& o : overflow_) deliver(o);
+      n += overflow_.size();
+      overflow_.clear();
+    }
+    return n;
+  }
+
+  /// Barrier-only: true when no packets are waiting.
+  [[nodiscard]] bool empty() const {
+    return ring_.empty() && overflow_.empty();
+  }
+
+  [[nodiscard]] sim::Duration latency() const { return latency_; }
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_.capacity(); }
+
+ private:
+  struct Entry {
+    sim::Time arrival = 0;
+    Packet* packet = nullptr;
+    PacketPool* pool = nullptr;
+  };
+
+  void deliver(const Entry& e) {
+    // 24-byte capture: stays inside InlineAction's inline storage.
+    Node* peer = peer_;
+    Packet* pkt = e.packet;
+    PacketPool* pool = e.pool;
+    dst_sim_->at(e.arrival, [peer, pkt, pool] {
+      peer->receive(PacketPtr(pkt, PacketDeleter{pool}));
+    });
+  }
+
+  sim::Duration latency_;
+  sim::Simulator* dst_sim_;
+  Node* peer_;
+  util::SpscRing<Entry> ring_;
+  std::vector<Entry> overflow_;
+};
+
+}  // namespace ispn::net

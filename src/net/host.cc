@@ -23,7 +23,7 @@ void Host::receive(PacketPtr p) {
     ++unclaimed_;
     return;
   }
-  it->second->on_packet(std::move(p), sim_.now());
+  it->second->on_packet(std::move(p), sim_->now());
 }
 
 }  // namespace ispn::net

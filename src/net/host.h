@@ -22,10 +22,16 @@ class FlowSink {
 class Host final : public Node {
  public:
   Host(sim::Simulator& sim, NodeId id, std::string name)
-      : Node(id, std::move(name)), sim_(sim) {}
+      : Node(id, std::move(name)), sim_(&sim) {}
 
   /// Sets the (single) uplink port towards this host's switch.
   void set_uplink(std::unique_ptr<Port> port) { uplink_ = std::move(port); }
+
+  /// Moves the host onto another clock.  Sharded runs adopt each host
+  /// into its switch's domain when the connecting link is built; must not
+  /// be called once packets are flowing.
+  void rebind_sim(sim::Simulator& sim) { sim_ = &sim; }
+  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
 
   /// Injects a locally generated packet into the network.
   void inject(PacketPtr p);
@@ -42,7 +48,7 @@ class Host final : public Node {
   [[nodiscard]] Port* uplink() { return uplink_.get(); }
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;
   std::unique_ptr<Port> uplink_;
   std::map<FlowId, FlowSink*> sinks_;
   std::uint64_t unclaimed_ = 0;

@@ -23,8 +23,40 @@ class Network::RecordingSink final : public FlowSink {
   FlowSink* next_;
 };
 
+void Network::enable_sharding(sim::Duration link_latency) {
+  assert(nodes_.empty() && "enable sharding before building the topology");
+  assert(link_latency > 0 && "sharded links need positive propagation delay");
+  sharded_ = true;
+  link_latency_ = link_latency;
+}
+
+sim::Simulator& Network::sim_for(NodeId id) {
+  if (!sharded_) return sim_;
+  return *domains_.at(static_cast<std::size_t>(domain_of_.at(id))).sim;
+}
+
+PacketPool& Network::pool_for(NodeId id) {
+  if (!sharded_) return PacketPool::global();
+  return *domains_.at(static_cast<std::size_t>(domain_of_.at(id))).pool;
+}
+
+std::size_t Network::exchange() {
+  std::size_t n = 0;
+  for (auto& mb : mailboxes_) n += mb->drain();
+  return n;
+}
+
+FlowStats& Network::hot_stats(FlowId flow) {
+  if (!sharded_) return stats_[flow];
+  auto it = stats_.find(flow);
+  assert(it != stats_.end() && "sharded stats entry not pre-created");
+  return it->second;
+}
+
 Host& Network::add_host(const std::string& name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
+  // Sharded hosts start on the control clock and are adopted into their
+  // switch's domain when the connecting link is built.
   auto host = std::make_unique<Host>(sim_, id, name);
   Host& ref = *host;
   nodes_.push_back(std::move(host));
@@ -38,10 +70,20 @@ Switch& Network::add_switch(const std::string& name) {
   Switch& ref = *sw;
   nodes_.push_back(std::move(sw));
   is_host_[id] = false;
+  if (sharded_) {
+    // One domain per switch, ALWAYS — worker count never changes the
+    // decomposition, only how domains map onto threads.
+    domain_of_[id] = static_cast<int>(domains_.size());
+    Domain d;
+    d.sim = std::make_unique<sim::Simulator>(backend_);
+    d.pool = std::make_unique<PacketPool>();
+    d.pool->enable_concurrent_returns();
+    domains_.push_back(std::move(d));
+  }
   // A packet stranded by a partition is a failure casualty of the owning
   // flow, not a congestion drop.
   ref.set_no_route_hook(
-      [this](const Packet& p) { ++stats_[p.flow].failed_link_drops; });
+      [this](const Packet& p) { ++hot_stats(p.flow).failed_link_drops; });
   return ref;
 }
 
@@ -59,6 +101,26 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
                            const LinkSchedulerFactory& make_scheduler) {
   assert(a != b);
 
+  const bool switch_link = !is_host_.at(a) && !is_host_.at(b);
+  if (sharded_) {
+    if (switch_link) {
+      // A zero-transmission-time cross-domain link would deliver inline
+      // into another domain's state from the wrong thread; the lookahead
+      // model needs every cross-domain hop to go through a mailbox.
+      assert(rate > 0 && "sharded switch-switch links must be finite-rate");
+    } else {
+      // Adopt the host into its switch's domain before its uplink port
+      // binds a clock.  Hosts have exactly one link, so adoption is
+      // unambiguous.
+      const NodeId h = is_host_.at(a) ? a : b;
+      const NodeId s = is_host_.at(a) ? b : a;
+      assert(!is_host_.at(s) && "host-host links are not supported");
+      assert(!domain_of_.contains(h) && "host already connected");
+      domain_of_[h] = domain_of_.at(s);
+      host(h).rebind_sim(sim_for(h));
+    }
+  }
+
   auto install = [&](NodeId from, NodeId to) {
     std::unique_ptr<sched::Scheduler> scheduler;
     if (rate > 0) {
@@ -67,13 +129,25 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
       assert(scheduler != nullptr);
     }
     Node* to_node = nodes_.at(to).get();
-    auto port =
-        std::make_unique<Port>(sim_, rate, std::move(scheduler), to_node);
+    auto port = std::make_unique<Port>(sharded_ ? sim_for(from) : sim_, rate,
+                                       std::move(scheduler), to_node);
     port->add_drop_hook(
-        [this](const Packet& p, sim::Time) { ++stats_[p.flow].net_drops; });
+        [this](const Packet& p, sim::Time) { ++hot_stats(p.flow).net_drops; });
     port->add_link_drop_hook([this](const Packet& p, sim::Time) {
-      ++stats_[p.flow].failed_link_drops;
+      ++hot_stats(p.flow).failed_link_drops;
     });
+    if (sharded_ && switch_link) {
+      // Directed mailbox from->to.  Ring sized to the link's bandwidth-
+      // delay product in nominal 1000-bit packets, with slack for the
+      // barrier-quantized drain cadence; the overflow vector absorbs
+      // anything beyond (clamped so degenerate parameters stay sane).
+      const double bdp_pkts = 4.0 * rate * link_latency_ / 1000.0 + 64.0;
+      const std::size_t cap = static_cast<std::size_t>(
+          std::min(std::max(bdp_pkts, 256.0), 65536.0));
+      mailboxes_.push_back(std::make_unique<LinkMailbox>(
+          link_latency_, sim_for(to), *to_node, cap));
+      port->set_handoff(mailboxes_.back().get());
+    }
     if (is_host_.at(from)) {
       host(from).set_uplink(std::move(port));
     } else {

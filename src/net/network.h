@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/flow.h"
+#include "net/handoff.h"
 #include "net/host.h"
 #include "net/routing.h"
 #include "net/switch.h"
@@ -58,12 +59,50 @@ class Network {
   /// backend produces the identical packet schedule (proven by
   /// tests/test_event_backend_diff.cc), so it is purely a perf knob.
   explicit Network(sim::EventBackend backend = sim::EventBackend::kAuto)
-      : sim_(backend) {}
+      : sim_(backend), backend_(backend) {}
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// The control simulator: the only clock in classic mode; the barrier
+  /// clock for admission/failure/stop events in sharded mode.
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+  // --- sharded (per-switch domain) execution --------------------------
+
+  /// Opts in to the sharded execution model BEFORE any node is added:
+  /// every switch becomes its own domain with its own Simulator clock and
+  /// PacketPool; hosts join their switch's domain when connected; every
+  /// switch-switch link carries `link_latency` seconds of propagation
+  /// delay and hands packets across domains through a LinkMailbox.  The
+  /// decomposition is a function of the topology alone — never of how
+  /// many threads later execute it — which is what makes shard-count
+  /// variation bit-identical (sim/shard.h).
+  void enable_sharding(sim::Duration link_latency);
+  [[nodiscard]] bool sharded() const { return sharded_; }
+  [[nodiscard]] sim::Duration link_latency() const { return link_latency_; }
+
+  /// The clock that owns node `id`: its domain's simulator when sharded,
+  /// the control simulator otherwise.  Sources and sinks for a flow must
+  /// schedule on the clock of the host they sit on.
+  [[nodiscard]] sim::Simulator& sim_for(NodeId id);
+
+  /// Domain index of node `id` (sharded mode only).
+  [[nodiscard]] int domain_of(NodeId id) const { return domain_of_.at(id); }
+  [[nodiscard]] std::size_t num_domains() const { return domains_.size(); }
+  [[nodiscard]] sim::Simulator& domain_sim(std::size_t d) {
+    return *domains_.at(d).sim;
+  }
+
+  /// The packet pool sources on node `id` should draw from: the owning
+  /// domain's concurrent-return pool when sharded, the global pool
+  /// otherwise.
+  [[nodiscard]] PacketPool& pool_for(NodeId id);
+
+  /// Drains every cross-domain mailbox in creation order (the shard
+  /// engine's exchange hook; call only at barriers).  Returns packets
+  /// moved.
+  std::size_t exchange();
 
   /// Adds a host; its id is returned via Host::id().
   Host& add_host(const std::string& name);
@@ -149,7 +188,29 @@ class Network {
   void connect_impl(NodeId a, NodeId b, sim::Rate rate,
                     const LinkSchedulerFactory& make_scheduler);
 
+  /// Per-flow stats record for packet-path hooks: find-only in sharded
+  /// mode (entries are pre-created at flow-open time on the control
+  /// thread, via attach_stats_sink or an explicit stats() call; a map
+  /// insert from a domain thread would race the structure).
+  [[nodiscard]] FlowStats& hot_stats(FlowId flow);
+
+  struct Domain {
+    std::unique_ptr<sim::Simulator> sim;
+    std::unique_ptr<PacketPool> pool;
+  };
+
   sim::Simulator sim_;
+  sim::EventBackend backend_;
+  // Declared BEFORE nodes_: destruction runs in reverse, and Port
+  // destructors release timers into their domain's event queue and
+  // packets into their domain's pool — both must outlive every node.
+  // Mailboxes sit between (their destructor returns undelivered packets
+  // to the domain pools).
+  bool sharded_ = false;
+  sim::Duration link_latency_ = 0;
+  std::vector<Domain> domains_;
+  std::map<NodeId, int> domain_of_;
+  std::vector<std::unique_ptr<LinkMailbox>> mailboxes_;  // creation order
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<NodeId, bool> is_host_;
   Adjacency adjacency_;

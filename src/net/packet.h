@@ -72,6 +72,10 @@ struct Packet {
   sim::Time enqueued_at = 0;   ///< arrival time at the current output port
   double queueing_delay = 0;   ///< accumulated waiting time across hops (s)
   std::uint16_t hops = 0;      ///< finite-rate ports traversed
+  /// Which routing of its flow this packet was sent under.  A reroute or
+  /// degrade bumps the source's epoch, so delay accounting can separate
+  /// samples that crossed the old path from samples on the new one.
+  std::uint16_t path_epoch = 0;
 
   // --- Transport (TCP datagram load) -----------------------------------
   bool is_ack = false;

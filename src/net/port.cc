@@ -81,7 +81,11 @@ void Port::complete() {
   ++transmitted_;
   bits_sent_ += p->size_bits;
   for (const auto& hook : on_tx_) hook(*p, sim_.now());
-  peer_->receive(std::move(p));
+  if (handoff_ != nullptr) {
+    handoff_->push(std::move(p), sim_.now());
+  } else {
+    peer_->receive(std::move(p));
+  }
   try_start();
 }
 

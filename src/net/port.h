@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/handoff.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "sched/scheduler.h"
@@ -68,6 +69,11 @@ class Port {
     on_link_drop_.push_back(std::move(hook));
   }
 
+  /// Routes transmit-completions through a cross-domain mailbox instead
+  /// of delivering inline to the peer (sharded runs; see net/handoff.h).
+  /// The mailbox is not owned.
+  void set_handoff(LinkMailbox* mailbox) { handoff_ = mailbox; }
+
   /// Takes the link up or down.  Going down cancels the in-flight
   /// transmission (the packet is lost mid-wire), flushes the queue, and
   /// refuses future sends until the link recovers; every casualty is
@@ -100,6 +106,7 @@ class Port {
   sim::Rate rate_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   Node* peer_;
+  LinkMailbox* handoff_ = nullptr;
   std::vector<DropHook> on_drop_;
   std::vector<DropHook> on_link_drop_;
   std::vector<TxHook> on_tx_;

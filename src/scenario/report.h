@@ -79,6 +79,14 @@ struct FlowOutcome {
   double bound = 0;
   int reroutes = 0;      ///< successful re-admissions after path failures
   bool degraded = false; ///< ended as datagram after a refused re-offer
+  // ---- path-epoch segmentation ----------------------------------------
+  // Every reroute/degrade bumps the source's path epoch; packets carry the
+  // epoch they were generated under.  max_delay above covers only the
+  // FINAL epoch (so a rerouted flow's bound is compared against packets
+  // that actually travelled the rerouted path), while max_delay_all spans
+  // the flow's whole lifetime.  For never-rerouted flows the two agree.
+  std::uint16_t path_epochs = 1;  ///< distinct epochs observed (>= 1)
+  double max_delay_all = 0;       ///< max queueing delay across ALL epochs
 };
 
 /// Per-link utilisation row.

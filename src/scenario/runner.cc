@@ -31,18 +31,24 @@ constexpr int kMaxFailuresPerLink = 8;
 void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time) {
   const double delay = p->queueing_delay;
   ++rec_->delivered;
-  if (delay > rec_->max_delay) rec_->max_delay = delay;
-  ClassStats& cls = runner_->classes_[static_cast<std::size_t>(p->service)];
+  if (delay > rec_->max_delay_all) rec_->max_delay_all = delay;
+  ClassStats& cls = agg_->classes[static_cast<std::size_t>(p->service)];
   cls.add_delay(delay);
-  // Jitter is within-flow: the previous delay belongs to this flow, so
-  // interleaved deliveries of other flows cannot fake it.
-  if (rec_->has_last) {
-    cls.jitter.add(delay > rec_->last_delay ? delay - rec_->last_delay
-                                            : rec_->last_delay - delay);
+  // Stragglers generated before a reroute carry the old path epoch: they
+  // count globally, but must not score against the NEW path's bound, nor
+  // fake jitter across the path change.
+  if (p->path_epoch == rec_->epoch) {
+    if (delay > rec_->max_delay) rec_->max_delay = delay;
+    // Jitter is within-flow: the previous delay belongs to this flow, so
+    // interleaved deliveries of other flows cannot fake it.
+    if (rec_->has_last) {
+      cls.jitter.add(delay > rec_->last_delay ? delay - rec_->last_delay
+                                              : rec_->last_delay - delay);
+    }
+    rec_->last_delay = delay;
+    rec_->has_last = true;
   }
-  rec_->last_delay = delay;
-  rec_->has_last = true;
-  ++runner_->delivered_total_;
+  ++agg_->delivered;
 }
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
@@ -50,10 +56,33 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
       ispn_(spec_.network_config()),
       rng_(spec_.seed, kWorkloadStream) {}
 
+sim::Time ScenarioRunner::ctl(sim::Time t) const {
+  if (spec_.shards < 1) return t;
+  // Smallest grid multiple at or after t: control events must land on
+  // window barriers so they never execute concurrently with domain work
+  // (and never split a window, which would perturb seq tie-breaks).
+  const sim::Duration L = spec_.link_latency;
+  auto m = static_cast<std::uint64_t>(t / L);
+  while (static_cast<double>(m) * L < t) ++m;
+  return static_cast<double>(m) * L;
+}
+
 void ScenarioRunner::prepare() {
   if (prepared_) return;
   prepared_ = true;
   fabric_ = build_fabric(ispn_, spec_);
+  if (net().sharded()) {
+    engine_ = std::make_unique<sim::ShardedEngine>(
+        net().sim(), spec_.link_latency, spec_.shards);
+    for (std::size_t d = 0; d < net().num_domains(); ++d) {
+      engine_->add_domain(&net().domain_sim(d));
+    }
+    engine_->set_exchange([this] { net().exchange(); });
+    aggs_.resize(net().num_domains());
+    if (tracer_ != nullptr) tracer_->shard(net().num_domains());
+  } else {
+    aggs_.resize(1);
+  }
   schedule_failures();
   arrival_deadline_ = spec_.arrival_window > 0
                           ? std::min(spec_.arrival_window, spec_.run_seconds)
@@ -72,14 +101,14 @@ void ScenarioRunner::prepare() {
       open_flow(fs, static_cast<double>(f) / spread);
     }
   }
-  net().sim().at(spec_.run_seconds, [this] { stop_all(); });
+  net().sim().at(ctl(spec_.run_seconds), [this] { stop_all(); });
 }
 
 void ScenarioRunner::schedule_next_arrival() {
   const sim::Time next =
       net().sim().now() + rng_.exponential(1.0 / spec_.arrival_rate);
   if (next > arrival_deadline_) return;
-  net().sim().at(next, [this] { on_arrival(); });
+  net().sim().at(ctl(next), [this] { on_arrival(); });
 }
 
 void ScenarioRunner::schedule_failures() {
@@ -124,7 +153,7 @@ void ScenarioRunner::schedule_failures() {
   }
 
   for (const net::LinkEvent& ev : schedule) {
-    net().sim().at(ev.time,
+    net().sim().at(ctl(ev.time),
                    [this, ev] { on_link_event(ev.a, ev.b, ev.up); });
   }
 }
@@ -136,20 +165,27 @@ void ScenarioRunner::on_link_event(net::NodeId a, net::NodeId b, bool up) {
   net().set_link_up(a, b, up);
   if (up) {
     ++links_repaired_;
+    // A recovered link can shorten the path of a flow that never crossed
+    // it, so recovery must sweep every active flow.
+    revalidate_flows(active_);
   } else {
     ++links_failed_;
+    // A downed link only disturbs flows registered across it — removing
+    // an edge cannot shorten anyone else's shortest path — so the
+    // per-link index bounds this sweep by the crossing flows.
+    revalidate_flows(ispn_.flows_crossing(a, b));
   }
-  revalidate_active_flows();
 }
 
-void ScenarioRunner::revalidate_active_flows() {
+void ScenarioRunner::revalidate_flows(
+    const std::vector<net::FlowId>& candidates) {
   const sim::Time now = net().sim().now();
   // Forwarding is destination-based: once the routing tables change, a
   // flow's packets follow the NEW shortest path regardless of where its
-  // scheduler registrations live.  So every admitted real-time flow whose
-  // registered links differ from the current route must be re-offered —
-  // including flows whose old path still physically exists.
-  const std::vector<net::FlowId> snapshot = active_;
+  // scheduler registrations live.  So every candidate admitted real-time
+  // flow whose registered links differ from the current route must be
+  // re-offered — including flows whose old path still physically exists.
+  const std::vector<net::FlowId> snapshot = candidates;
   for (const net::FlowId flow : snapshot) {
     FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
     if (!rec.active) continue;  // torn down earlier in this sweep
@@ -193,6 +229,7 @@ void ScenarioRunner::revalidate_active_flows() {
                 : static_cast<std::uint8_t>(
                       rec.handle.commitment.priority_per_hop[0]);
         rec.source->set_service(rec.handle.spec.service, priority);
+        bump_epoch(rec);
         d.kind = AdmissionDecision::Kind::kRerouted;
         break;
       }
@@ -201,6 +238,7 @@ void ScenarioRunner::revalidate_active_flows() {
         rec.degraded = true;
         rec.bound = 0;
         rec.source->set_service(net::ServiceClass::kDatagram, 0);
+        bump_epoch(rec);
         d.kind = AdmissionDecision::Kind::kDegraded;
         break;
       case core::IspnNetwork::RerouteOutcome::kClosed:
@@ -221,6 +259,18 @@ void ScenarioRunner::revalidate_active_flows() {
     }
     record(d);
   }
+}
+
+void ScenarioRunner::bump_epoch(FlowRec& rec) {
+  // New path, new epoch: subsequent packets are stamped with it, the
+  // per-epoch delay peak restarts (the recomputed bound applies only to
+  // packets that actually travel the new path), and the jitter chain
+  // breaks so the path-length step never masquerades as jitter.
+  ++rec.epoch;
+  ++rec.epochs_seen;
+  rec.max_delay = 0;
+  rec.has_last = false;
+  rec.source->set_epoch(rec.epoch);
 }
 
 void ScenarioRunner::on_arrival() {
@@ -327,9 +377,16 @@ void ScenarioRunner::open_flow(const core::FlowSpec& fs,
   }
 
   attach_source(rec, start_offset);
-  rec.sink = std::make_unique<Sink>(this, &rec);
+  // The sink runs on the destination's domain thread in sharded mode, so
+  // it aggregates into that domain's (single-writer) slot.
+  const std::size_t dst_domain =
+      net().sharded() ? static_cast<std::size_t>(net().domain_of(fs.dst)) : 0;
+  rec.sink = std::make_unique<Sink>(&rec, &aggs_[dst_domain]);
   net::FlowSink* sink = rec.sink.get();
-  if (tracer_ != nullptr) sink = tracer_->wrap_sink(sink);
+  if (tracer_ != nullptr) {
+    sink = net().sharded() ? tracer_->wrap_sink(sink, dst_domain)
+                           : tracer_->wrap_sink(sink);
+  }
   net().host(fs.dst).register_sink(fs.flow, sink);
   depart_later(fs.flow);
 }
@@ -363,6 +420,11 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
   const core::FlowSpec& fs = rec.handle.spec;
   net::Host& host = net().host(fs.src);
   auto emit = [&host](net::PacketPtr p) { host.inject(std::move(p)); };
+  // Sharded: the source lives on its host's domain clock and draws from
+  // that domain's pool.  Creating the stats entry HERE (control time)
+  // matters — the packet path only does find-only lookups (hot_stats).
+  sim::Simulator& clock =
+      net().sharded() ? net().sim_for(fs.src) : net().sim();
   net::FlowStats* stats = &net().stats(fs.flow);
   const sim::Rng rng(spec_.seed,
                      kSourceStreamBase + static_cast<std::uint64_t>(fs.flow));
@@ -386,8 +448,7 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
       cfg.peak_factor = spec_.peak_factor;
       cfg.packet_bits = spec_.packet_bits;
       rec.source = std::make_unique<traffic::OnOffSource>(
-          net().sim(), cfg, rng, fs.flow, fs.src, fs.dst, emit, stats,
-          police);
+          clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
       break;
     }
     case SourceKind::kCbr: {
@@ -395,7 +456,7 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
       cfg.rate_pps = spec_.avg_rate_pps;
       cfg.packet_bits = spec_.packet_bits;
       rec.source = std::make_unique<traffic::CbrSource>(
-          net().sim(), cfg, fs.flow, fs.src, fs.dst, emit, stats, police);
+          clock, cfg, fs.flow, fs.src, fs.dst, emit, stats, police);
       break;
     }
     case SourceKind::kPoisson: {
@@ -403,8 +464,7 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
       cfg.rate_pps = spec_.avg_rate_pps;
       cfg.packet_bits = spec_.packet_bits;
       rec.source = std::make_unique<traffic::PoissonSource>(
-          net().sim(), cfg, rng, fs.flow, fs.src, fs.dst, emit, stats,
-          police);
+          clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
       break;
     }
   }
@@ -415,6 +475,9 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
           : static_cast<std::uint8_t>(
                 rec.handle.commitment.priority_per_hop[0]);
   rec.source->set_service(fs.service, priority);
+  if (net().sharded()) rec.source->set_pool(&net().pool_for(fs.src));
+  // Control time is a window barrier, so `now + offset` is never in a
+  // window a domain has already executed.
   rec.source->start(net().sim().now() + start_offset);
 }
 
@@ -425,11 +488,12 @@ void ScenarioRunner::depart_later(net::FlowId flow) {
   const sim::Time t =
       net().sim().now() + rng_.exponential(spec_.mean_hold);
   if (t >= spec_.run_seconds) return;  // the global stop covers it
-  net().sim().at(t, [this, flow] {
+  net().sim().at(ctl(t), [this, flow] {
     FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
     if (!rec.active) return;  // preempted in the meantime
     rec.source->stop();
-    net().sim().after(spec_.drain_grace, [this, flow] { try_close(flow); });
+    net().sim().at(ctl(net().sim().now() + spec_.drain_grace),
+                   [this, flow] { try_close(flow); });
   });
 }
 
@@ -446,8 +510,8 @@ void ScenarioRunner::try_close(net::FlowId flow) {
     if (st.injected > rec.delivered + st.net_drops + st.failed_link_drops) {
       // Still draining: WFQ guarantees the clock rate, so this
       // terminates; poll again one grace period later.
-      net().sim().after(spec_.drain_grace,
-                        [this, flow] { try_close(flow); });
+      net().sim().at(ctl(net().sim().now() + spec_.drain_grace),
+                     [this, flow] { try_close(flow); });
       return;
     }
   }
@@ -474,9 +538,59 @@ std::uint64_t ScenarioRunner::queued_now() {
   return queued;
 }
 
+void ScenarioRunner::advance(sim::Time horizon) {
+  assert(prepared_ && "advance() before prepare()");
+  if (engine_) {
+    engine_->run_until(horizon);
+  } else {
+    net().sim().run_until(horizon);
+  }
+}
+
+std::uint64_t ScenarioRunner::events_processed() {
+  return engine_ ? engine_->processed() : net().sim().processed();
+}
+
+std::array<ClassStats, 3> ScenarioRunner::merged_classes() const {
+  if (aggs_.size() == 1) return aggs_.front().classes;
+  // Merge in domain order: counts, Welford moments and extrema combine
+  // exactly; P² has no exact merge, so the merged quantile is the
+  // delivered-weighted average of the per-domain estimates, fed as a
+  // single observation ("exact until five samples" makes value() return
+  // it verbatim).  Domain order is a function of the topology, so the
+  // merged table is identical for every shard count.
+  std::array<ClassStats, 3> merged{};
+  for (std::size_t c = 0; c < merged.size(); ++c) {
+    ClassStats& m = merged[c];
+    double w50 = 0, w99 = 0, w999 = 0;
+    for (const DomainAgg& agg : aggs_) {
+      const ClassStats& s = agg.classes[c];
+      if (s.delivered == 0) continue;
+      m.delivered += s.delivered;
+      m.delay.merge(s.delay);
+      m.jitter.merge(s.jitter);
+      const auto w = static_cast<double>(s.delivered);
+      w50 += w * s.p50.value();
+      w99 += w * s.p99.value();
+      w999 += w * s.p999.value();
+    }
+    if (m.delivered > 0) {
+      const auto n = static_cast<double>(m.delivered);
+      m.p50.add(w50 / n);
+      m.p99.add(w99 / n);
+      m.p999.add(w999 / n);
+    }
+  }
+  return merged;
+}
+
 ScenarioReport ScenarioRunner::run() {
   prepare();
-  net().sim().run();
+  if (engine_) {
+    engine_->run();
+  } else {
+    net().sim().run();
+  }
   return finish();
 }
 
@@ -484,16 +598,22 @@ ScenarioReport ScenarioRunner::finish() {
   assert(prepared_ && "finish() before prepare()");
   assert(!finished_ && "finish() called twice");
   finished_ = true;
-  if (!net().sim().idle()) {
-    // Manual driving stopped mid-run: end the workload and drain.
+  const bool idle = engine_ ? engine_->idle() : net().sim().idle();
+  if (!idle) {
+    // Manual driving stopped mid-run (always at a barrier when sharded):
+    // end the workload and drain.
     stop_all();
-    net().sim().run();
+    if (engine_) {
+      engine_->run();
+    } else {
+      net().sim().run();
+    }
   }
 
   ScenarioReport report;
   report.spec_summary = spec_.describe();
   report.end_time = net().sim().now();
-  report.events = net().sim().processed();
+  report.events = events_processed();
 
   for (const FlowRec& rec : flows_) {
     const net::FlowStats& st = net().stats(rec.handle.spec.flow);
@@ -515,9 +635,11 @@ ScenarioReport ScenarioRunner::finish() {
     out.bound = rec.bound;
     out.reroutes = rec.reroutes;
     out.degraded = rec.degraded;
+    out.path_epochs = rec.epochs_seen;
+    out.max_delay_all = rec.max_delay_all;
     report.flows.push_back(out);
   }
-  report.delivered = delivered_total_;
+  report.delivered = delivered();
   report.queued_end = queued_now();
 
   std::set<net::NodeId> hosts;
@@ -543,7 +665,7 @@ ScenarioReport ScenarioRunner::finish() {
   report.flows_degraded = flows_degraded_;
   report.flows_orphaned = flows_orphaned_;
   report.decisions = decisions_;
-  report.classes = classes_;
+  report.classes = merged_classes();
 
   for (const core::LinkId& link : ispn_.links()) {
     LinkReport lr;

@@ -18,8 +18,20 @@
 //
 // Driving modes:
 //   * run()            — the whole scenario: prepare + drain + report.
-//   * prepare() + net().sim().run_until(...) + finish() — incremental
-//     (bench_scenario slices wall-clock time this way).
+//   * prepare() + advance(...) + finish() — incremental (bench_scenario
+//     slices wall-clock time this way; advance() is engine-aware).
+//
+// Sharded execution (spec.shards >= 1): the runner builds the network in
+// per-switch domains (net/network.h) and drives them with a ShardedEngine
+// (sim/shard.h).  Two disciplines keep it deterministic:
+//   * every CONTROL event the runner schedules — arrivals, departures,
+//     drain retries, failures, the global stop — is quantized onto the
+//     window grid with ctl(), so admission and teardown always execute at
+//     barriers, never while domain threads run;
+//   * per-delivery aggregation is per-DOMAIN (DomainAgg), merged once in
+//     finish(), so no counter is shared across threads and the merged
+//     report is a function of the domain decomposition (the topology),
+//     not of the worker count.
 
 #pragma once
 
@@ -31,6 +43,7 @@
 #include "scenario/fabric.h"
 #include "scenario/report.h"
 #include "scenario/scenario.h"
+#include "sim/shard.h"
 #include "traffic/source.h"
 
 namespace ispn::scenario {
@@ -61,8 +74,24 @@ class ScenarioRunner {
   /// The built fabric (valid after prepare()).
   [[nodiscard]] const Fabric& fabric() const { return fabric_; }
 
+  /// Advances simulated time to `horizon`, dispatching to the sharded
+  /// engine when one is active (benches slice runs this way).  Call only
+  /// after prepare(); always leaves the run at a barrier.
+  void advance(sim::Time horizon);
+
+  /// Events processed so far (control + every domain when sharded).
+  [[nodiscard]] std::uint64_t events_processed();
+
+  /// The sharded engine, or nullptr on the classic single-clock path.
+  [[nodiscard]] sim::ShardedEngine* engine() { return engine_.get(); }
+
   /// Packets delivered so far across all flows (bench progress counter).
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_total_; }
+  /// Summed over the per-domain aggregates; call at barriers only.
+  [[nodiscard]] std::uint64_t delivered() const {
+    std::uint64_t n = 0;
+    for (const DomainAgg& a : aggs_) n += a.delivered;
+    return n;
+  }
 
   /// Admission decisions so far (grows during the run).
   [[nodiscard]] const std::vector<AdmissionDecision>& decisions() const {
@@ -72,17 +101,26 @@ class ScenarioRunner {
  private:
   struct FlowRec;
 
-  /// Per-flow counting sink: O(1) per packet, feeds the per-class
-  /// aggregates and the flow's own tallies.
+  /// Per-class delivery aggregates for one domain (one instance total on
+  /// the classic path).  Each domain's sinks write only their own entry —
+  /// single-writer, no sharing — and finish() merges across domains in
+  /// index order, so the merged result is shard-count invariant.
+  struct DomainAgg {
+    std::array<ClassStats, 3> classes{};
+    std::uint64_t delivered = 0;
+  };
+
+  /// Per-flow counting sink: O(1) per packet, feeds the owning domain's
+  /// aggregates and the flow's own tallies.  Runs on the destination
+  /// host's domain thread in sharded mode.
   class Sink final : public net::FlowSink {
    public:
-    Sink(ScenarioRunner* runner, FlowRec* rec)
-        : runner_(runner), rec_(rec) {}
+    Sink(FlowRec* rec, DomainAgg* agg) : rec_(rec), agg_(agg) {}
     void on_packet(net::PacketPtr p, sim::Time now) override;
 
    private:
-    ScenarioRunner* runner_;
     FlowRec* rec_;
+    DomainAgg* agg_;
   };
 
   struct FlowRec {
@@ -99,6 +137,13 @@ class ScenarioRunner {
     bool active = false;  ///< admitted and not yet closed
     int reroutes = 0;     ///< successful re-admissions after path failures
     bool degraded = false;  ///< refused re-admission; carried as datagram
+    // Path-epoch segmentation: bumped on every reroute/degrade; the
+    // source stamps it onto packets, so in-flight stragglers from the old
+    // path never score against the new path's bound (max_delay resets per
+    // epoch; max_delay_all spans the lifetime).
+    std::uint16_t epoch = 0;
+    std::uint16_t epochs_seen = 1;
+    double max_delay_all = 0;
   };
 
   void schedule_next_arrival();
@@ -116,23 +161,36 @@ class ScenarioRunner {
   /// once from prepare(); the whole schedule is drawn up front so the
   /// failure Rng stream never interleaves with workload decisions.
   void schedule_failures();
-  /// Applies one link up/down event, then re-validates affected flows.
+  /// Applies one link up/down event, then re-validates affected flows:
+  /// link-down sweeps only the flows registered across the link (the
+  /// per-link index — removing an edge cannot shorten anyone else's
+  /// shortest path), link-up sweeps everything (a recovered link can
+  /// shorten paths for flows that never crossed it).
   void on_link_event(net::NodeId a, net::NodeId b, bool up);
-  /// Re-offers every admitted real-time flow whose current shortest path
-  /// no longer matches its scheduler registrations (paper §9 criteria
-  /// against the live measurements).
-  void revalidate_active_flows();
+  /// Re-offers each candidate admitted real-time flow whose current
+  /// shortest path no longer matches its scheduler registrations (paper
+  /// §9 criteria against the live measurements).
+  void revalidate_flows(const std::vector<net::FlowId>& candidates);
   void record(const AdmissionDecision& d);
+  /// Advances a flow's path epoch after a reroute/degrade (satellite of
+  /// the sharded-core PR: per-path-epoch delay segmentation).
+  void bump_epoch(FlowRec& rec);
   void depart_later(net::FlowId flow);
   void try_close(net::FlowId flow);
   void stop_all();
   [[nodiscard]] std::uint64_t queued_now();
+  /// Quantizes a control-event time onto the window grid (identity on the
+  /// classic path): the smallest multiple of link_latency at or after t.
+  [[nodiscard]] sim::Time ctl(sim::Time t) const;
+  /// Merges the per-domain aggregates into one per-class table.
+  [[nodiscard]] std::array<ClassStats, 3> merged_classes() const;
 
   ScenarioSpec spec_;
   core::IspnNetwork ispn_;
   Fabric fabric_;
   net::PacketTracer* tracer_ = nullptr;
   sim::Rng rng_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
 
   bool prepared_ = false;
   bool finished_ = false;
@@ -143,8 +201,9 @@ class ScenarioRunner {
   std::deque<FlowRec> flows_;          ///< indexed by FlowId; stable refs
   std::vector<net::FlowId> active_;    ///< open order (preemption scans back)
   std::vector<AdmissionDecision> decisions_;
-  std::array<ClassStats, 3> classes_{};
-  std::uint64_t delivered_total_ = 0;
+  /// One per domain (one total on the classic path); sized once in
+  /// prepare() — deque, so Sink pointers into it stay stable.
+  std::deque<DomainAgg> aggs_;
   std::uint64_t flows_admitted_ = 0;
   std::uint64_t flows_rejected_ = 0;
   std::uint64_t flows_preempted_ = 0;

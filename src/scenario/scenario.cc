@@ -147,6 +147,9 @@ void ScenarioSpec::validate() const {
   check(measurement_safety >= 1, "measurement_safety (need >= 1)");
   check(measurement_ewma_gain > 0 && measurement_ewma_gain <= 1,
         "measurement_ewma_gain (need (0,1])");
+  check(shards >= 0, "shards (need >= 0)");
+  check(shards == 0 || link_latency > 0,
+        "link_latency (need > 0 with shards >= 1)");
 }
 
 core::IspnNetwork::Config ScenarioSpec::network_config() const {
@@ -163,6 +166,8 @@ core::IspnNetwork::Config ScenarioSpec::network_config() const {
   cfg.seed = seed;
   cfg.event_backend = event_backend;
   cfg.order_backend = order_backend;
+  cfg.sharded = shards >= 1;
+  cfg.link_latency = link_latency;
   return cfg;
 }
 
@@ -189,6 +194,9 @@ std::string ScenarioSpec::describe() const {
       << " arrivals=" << arrival_rate << "/s hold=" << mean_hold << "s mix=G"
       << p_guaranteed << "/P" << p_predicted << " source="
       << to_string(source) << " run=" << run_seconds << "s seed=" << seed;
+  if (shards >= 1) {
+    out << " shards=" << shards << " latency=" << link_latency * 1e3 << "ms";
+  }
   if (!link_failures.empty() || link_failure_rate > 0) {
     out << " failures=" << link_failures.size();
     if (link_failure_rate > 0) {
@@ -380,6 +388,10 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     else fail(key, "unknown estimator for");
   } else if (key == "measurement_ewma_gain") {
     spec.measurement_ewma_gain = parse_double(key, value);
+  } else if (key == "shards") {
+    spec.shards = parse_int(key, value);
+  } else if (key == "link_latency") {
+    spec.link_latency = parse_double(key, value);
   } else if (key == "event_backend") {
     if (value == "heap") spec.event_backend = sim::EventBackend::kHeap;
     else if (value == "wheel") spec.event_backend = sim::EventBackend::kWheel;

@@ -133,6 +133,16 @@ struct ScenarioSpec {
   // ---- engine ----------------------------------------------------------
   sim::EventBackend event_backend = sim::EventBackend::kAuto;
   sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
+  /// Worker threads for the sharded parallel core (sim/shard.h).  0 keeps
+  /// the classic single-clock path.  Any value >= 1 selects the sharded
+  /// execution model: one domain per switch, conservative lookahead sync
+  /// on link_latency — results are bit-identical for EVERY shards value
+  /// >= 1 (the count only maps domains onto threads), but differ from
+  /// shards=0 because cross-switch links gain propagation delay.
+  int shards = 0;
+  /// Propagation delay of switch-switch links in sharded mode (the
+  /// lookahead window).
+  sim::Duration link_latency = 0.001;
 
   /// Throws std::invalid_argument naming the offending field when the
   /// spec is out of range.  ScenarioRunner validates on construction, so

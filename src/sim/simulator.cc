@@ -25,6 +25,15 @@ std::uint64_t Simulator::run_until(Time end) {
   return n;
 }
 
+std::uint64_t Simulator::run_before(Time end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() < end) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
 std::uint64_t Simulator::run() {
   std::uint64_t n = 0;
   while (step()) ++n;

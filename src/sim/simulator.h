@@ -67,6 +67,15 @@ class Simulator {
   /// exactly at `end` still fire.  Returns the number of events processed.
   std::uint64_t run_until(Time end);
 
+  /// Runs every event strictly before `end`, leaving events at `end`
+  /// itself pending and NOT advancing the clock to `end`.  This is the
+  /// shard-window primitive: a domain executes the half-open window
+  /// [m*L, (m+1)*L) with run_before((m+1)*L) so that barrier-time events
+  /// stay pending for the next round and cross-shard arrivals landing
+  /// exactly on the boundary can still be scheduled (now() never passes
+  /// the earliest such arrival).  Returns the number of events processed.
+  std::uint64_t run_before(Time end);
+
   /// Runs until the queue drains.
   std::uint64_t run();
 

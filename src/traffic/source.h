@@ -64,6 +64,15 @@ class Source {
     marker_ = std::move(marker);
   }
 
+  /// Draws packet storage from `pool` instead of the process-wide default
+  /// (sharded runs hand each source its domain's pool).
+  void set_pool(net::PacketPool* pool) { pool_ = pool; }
+
+  /// Stamps subsequent packets with routing epoch `epoch` (bumped when
+  /// the flow is rerouted, so delay accounting can segment by path).
+  void set_epoch(std::uint16_t epoch) { epoch_ = epoch; }
+  [[nodiscard]] std::uint16_t epoch() const { return epoch_; }
+
   [[nodiscard]] net::FlowId flow() const { return flow_; }
   [[nodiscard]] net::NodeId src() const { return src_; }
   [[nodiscard]] net::NodeId dst() const { return dst_; }
@@ -80,9 +89,12 @@ class Source {
       if (stats_ != nullptr) ++stats_->source_drops;
       return false;
     }
-    auto p = net::make_packet(flow_, seq, src_, dst_, now, bits);
+    auto p = pool_ != nullptr
+                 ? net::make_packet(*pool_, flow_, seq, src_, dst_, now, bits)
+                 : net::make_packet(flow_, seq, src_, dst_, now, bits);
     p->service = service_;
     p->priority = priority_;
+    p->path_epoch = epoch_;
     if (marker_) p->less_important = marker_(seq);
     if (stats_ != nullptr) ++stats_->injected;
     emit_(std::move(p));
@@ -98,8 +110,10 @@ class Source {
   EmitFn emit_;
   net::FlowStats* stats_;
   std::optional<TokenBucket> policer_;
+  net::PacketPool* pool_ = nullptr;
   net::ServiceClass service_ = net::ServiceClass::kDatagram;
   std::uint8_t priority_ = 0;
+  std::uint16_t epoch_ = 0;
   ImportanceMarker marker_;
   std::uint64_t seq_ = 0;
 };

@@ -1,0 +1,81 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// Backing store for the cross-shard packet mailboxes (net/handoff.h): the
+// producer is the shard that owns the transmitting port, the consumer is
+// the shard coordinator draining at a lookahead barrier.  Capacity is
+// fixed at construction (rounded up to a power of two) so the steady
+// state never allocates; callers that must not lose entries handle the
+// full case themselves (LinkMailbox spills to an overflow vector, which
+// is safe there because the consumer only drains between windows).
+//
+// Memory ordering is the classic two-counter scheme: the producer
+// publishes with a release store of head_, the consumer acquires it; the
+// consumer frees slots with a release store of tail_, the producer
+// acquires that.  Each counter is written by exactly one thread, so no
+// CAS is needed anywhere.
+
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ispn::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer side.  Returns false (and leaves `v` untouched) when full.
+  bool try_push(const T& v) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) return false;
+    slots_[head & mask_] = v;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact when the producer is quiescent,
+  /// e.g. at a lookahead barrier).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::unique_ptr<T[]> slots_;
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace ispn::util

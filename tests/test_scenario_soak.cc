@@ -130,5 +130,63 @@ TEST(ScenarioSoak, ParkingLotMillionPacketsWithLiveAdmission) {
                 net::ServiceClass::kDatagram)].delivered, 0u);
 }
 
+TEST(ScenarioSoak, ShardedParkingLotSteadyStateAllocationFree) {
+  // The sharded execution model must honor the same discipline: once the
+  // pools and mailbox rings have warmed, a window-synchronized run
+  // performs ZERO steady-state heap allocations.  shards=1 runs every
+  // domain inline on this thread (no worker pool, no thread-start
+  // allocations) while still exercising the full sharded machinery —
+  // per-domain clocks and pools, cross-domain mailbox handoff, barrier
+  // rounds, per-domain aggregation.
+  scenario::ScenarioSpec spec;
+  spec.fabric = scenario::FabricKind::kParkingLot;
+  spec.parking_hops = 3;
+  spec.link_rate = 1e7;
+  spec.arrival_rate = 6.0;
+  spec.arrival_window = 15.0;
+  spec.target_flows = 40;
+  spec.mean_hold = 0;
+  spec.p_guaranteed = 0.25;
+  spec.p_predicted = 0.4;
+  spec.source = scenario::SourceKind::kCbr;
+  spec.avg_rate_pps = 850.0;
+  spec.run_seconds = 40.0;
+  spec.shards = 1;
+  spec.seed = 22;
+
+  scenario::ScenarioRunner runner(spec);
+  runner.prepare();
+  ASSERT_TRUE(runner.net().sharded());
+  ASSERT_NE(runner.engine(), nullptr);
+
+  // Arrivals end at t=15; warmup margin to t=25.  The probes are control
+  // events: they execute at window barriers, while every domain is
+  // quiescent.
+  std::uint64_t allocs_at_25 = 0;
+  std::uint64_t steady_allocs = ~0ull;
+  std::uint64_t delivered_at_25 = 0;
+  runner.net().sim().at(25.0, [&] {
+    allocs_at_25 = testhook::allocation_count();
+    delivered_at_25 = runner.delivered();
+  });
+  runner.net().sim().at(35.0, [&] {
+    steady_allocs = testhook::allocation_count() - allocs_at_25;
+  });
+
+  const scenario::ScenarioReport report = runner.run();
+
+  EXPECT_EQ(steady_allocs, 0u)
+      << "sharded steady-state phase allocated (mailbox overflow, pool "
+         "growth, or a control-path container)";
+  EXPECT_GT(report.delivered, delivered_at_25)
+      << "no traffic crossed the measured window";
+
+  EXPECT_GE(report.generated, 500000u);
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.queued_end, 0u);
+  EXPECT_EQ(report.unclaimed, 0u);
+  EXPECT_GT(report.flows_rejected, 0u) << "admission never refused a flow";
+}
+
 }  // namespace
 }  // namespace ispn

@@ -30,7 +30,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--preset NAME | CONFIG.json) [--scale SCALE] "
                "[--json PATH] [--fail-link SRC:DST@T[,up@T2]] "
-               "[key=value ...]\n"
+               "[--shards N] [key=value ...]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -75,6 +75,12 @@ int main(int argc, char** argv) {
       } else if (arg == "--json") {
         if (++i >= argc) return usage(argv[0]);
         json_path = argv[i];
+      } else if (arg == "--shards") {
+        // Worker threads for the sharded parallel core; any N >= 1 is
+        // bit-identical to N=1 (0 restores the classic single clock).
+        if (++i >= argc) return usage(argv[0]);
+        scenario::apply_override(spec, "shards", argv[i]);
+        have_overrides = true;
       } else if (arg == "--fail-link") {
         // SRC:DST@T[,up@T2] — take the duplex link down at T (and back up
         // at T2).  Repeatable; each use appends one failure.
