@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common.h"
@@ -53,13 +54,17 @@ void set_load(scenario::ScenarioSpec& spec, int flows, int bottleneck_links,
   spec.avg_rate_pps = total_pps / flows;
 }
 
-bench::MicroResult run_fabric(const scenario::ScenarioSpec& spec) {
+bench::MicroResult run_fabric(const scenario::ScenarioSpec& spec,
+                              sim::Time warm = 0.5) {
   scenario::ScenarioRunner runner(spec);
   runner.prepare();
 
   // Warm the pipeline: fills queues, pools, slabs, measurement windows.
-  // advance() dispatches to the sharded engine when spec.shards >= 1.
-  sim::Time horizon = 0.5;
+  // Batch-mode source starts stagger across ~one mean inter-packet gap
+  // (flows/total_pps seconds), so large-flow rows pass a longer warm to
+  // get every source emitting before the measured window.  advance()
+  // dispatches to the sharded engine when spec.shards >= 1.
+  sim::Time horizon = warm;
   runner.advance(horizon);
 
   using Clock = std::chrono::steady_clock;
@@ -151,6 +156,35 @@ int main() {
     // on the interior, so load the tier conservatively.
     set_load(spec, 256, /*bottleneck_links=*/8, kLinkRate);
     report.add("mesh 3x3 failures", "flows=256", run_fabric(spec));
+  }
+
+  // Flow-state scale: the same fan-in fabric with the flow count swept
+  // to a million — hierarchical (two-level aggregate) scheduling, so
+  // per-link scheduler state stays bounded while host sinks, sources and
+  // timers scale with the flow count (SlotMap + direct-mapped caches on
+  // every per-packet lookup).  Offered load is the SAME 360k pkt/s as
+  // the 1024-flow anchor row: the sweep isolates state-scale cost at
+  // fixed work.  ISPN_BENCH_MAX_FLOWS caps the sweep for smoke runs.
+  {
+    long max_flows = 1048576;
+    if (const char* cap = std::getenv("ISPN_BENCH_MAX_FLOWS")) {
+      max_flows = std::strtol(cap, nullptr, 10);
+    }
+    for (int flows : {16384, 131072, 1048576}) {
+      if (flows > max_flows) continue;
+      scenario::ScenarioSpec spec = base_spec();
+      spec.fabric = scenario::FabricKind::kFanInTree;
+      spec.tree_depth = 2;
+      spec.tree_width = 4;
+      spec.hierarchical = true;
+      set_load(spec, flows, /*bottleneck_links=*/4, kLinkRate);
+      const double total_pps =
+          spec.avg_rate_pps * static_cast<double>(flows);
+      // Cover the batch-start stagger (flows/total_pps) before measuring.
+      const sim::Time warm = 0.5 + static_cast<double>(flows) / total_pps;
+      report.add("flow-scale fan_in d2w4", "flows=" + std::to_string(flows),
+                 run_fabric(spec, warm));
+    }
   }
 
   // Sharded parallel core (sim/shard.h): a depth-3 width-4 fan-in tree —

@@ -35,6 +35,7 @@ net::LinkSchedulerFactory IspnNetwork::qos_link_factory() {
         config_.fifo_plus_gain, config_.fifo_plus,
         config_.stale_offset_threshold};
     sched_config.order_backend = config_.order_backend;
+    sched_config.hierarchical = config_.hierarchical;
     auto scheduler = std::make_unique<sched::UnifiedScheduler>(sched_config);
     // Stale discards flow through the scheduler's DropSink like every
     // other loss, so the port's drop hook already folds them into the

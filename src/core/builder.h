@@ -69,6 +69,11 @@ class IspnNetwork {
     /// and the scenario golden-trace suite).
     sim::EventBackend event_backend = sim::EventBackend::kAuto;
     sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
+    /// Two-level aggregate scheduling on every link (see
+    /// sched::UnifiedScheduler::Config::hierarchical): per-link state
+    /// bounded by {guaranteed flows, K classes, datagram} instead of
+    /// per-flow.  Default off — the classic flat path, byte-identical.
+    bool hierarchical = false;
     /// Sharded execution (net/Network::enable_sharding): one domain per
     /// switch, cross-domain links carrying `link_latency` of propagation
     /// delay.  The decomposition is topology-determined, so results are

@@ -10,20 +10,39 @@ void Host::inject(PacketPtr p) {
   uplink_->send(std::move(p));
 }
 
-void Host::register_sink(FlowId flow, FlowSink* sink) {
+std::uint32_t Host::register_sink(FlowId flow, FlowSink* sink) {
   assert(sink != nullptr);
-  auto [it, inserted] = sinks_.try_emplace(flow, sink);
-  (void)it;
-  assert(inserted && "flow already has a sink on this host");
+  const std::uint32_t slot = sink_slots_.acquire(flow);
+  if (slot >= sinks_.size()) sinks_.resize(slot + 1);
+  assert(sinks_[slot].sink == nullptr &&
+         "flow already has a sink on this host");
+  sinks_[slot] = SinkEntry{flow, sink};
+  return slot;
 }
 
 void Host::receive(PacketPtr p) {
-  auto it = sinks_.find(p->flow);
-  if (it == sinks_.end()) {
-    ++unclaimed_;
+  // Label fast path: a slot stamped at flow setup, validated against the
+  // flow id so a stale or foreign label can never misdeliver.
+  const std::uint32_t label = p->sink_slot;
+  if (label < sinks_.size() && sinks_[label].flow == p->flow) {
+    ++label_hits_;
+    FlowSink* sink = sinks_[label].sink;
+    sink->on_packet(std::move(p), sim_->now());
     return;
   }
-  it->second->on_packet(std::move(p), sim_->now());
+  FlowSink* sink;
+  if (FlowSink** cached = cache_.lookup(p->flow); cached != nullptr) {
+    sink = *cached;
+  } else {
+    const std::uint32_t slot = sink_slots_.find(p->flow);
+    if (slot == util::SlotMap::kNoSlot) {
+      ++unclaimed_;
+      return;
+    }
+    sink = sinks_[slot].sink;
+    cache_.insert(p->flow, sink);
+  }
+  sink->on_packet(std::move(p), sim_->now());
 }
 
 }  // namespace ispn::net

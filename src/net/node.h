@@ -19,6 +19,13 @@ class Node {
   /// Accepts ownership of an arriving packet.
   virtual void receive(PacketPtr p) = 0;
 
+  /// Cache hint: warms the state receive() will touch for `p`, with no
+  /// observable effect.  Ports call this when a packet starts its final
+  /// timed transmission — one transmit-time (a few simulator events)
+  /// before delivery, which is the lead a DRAM fetch needs when per-flow
+  /// delivery state has outgrown the caches (the million-flow fabrics).
+  virtual void prefetch_delivery(const Packet& p) const { (void)p; }
+
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 

@@ -26,6 +26,9 @@ using NodeId = std::int32_t;
 inline constexpr FlowId kNoFlow = -1;
 inline constexpr NodeId kNoNode = -1;
 
+/// Sentinel for Packet::sink_slot: no delivery hint carried.
+inline constexpr std::uint32_t kNoSinkSlot = ~std::uint32_t{0};
+
 /// The paper's three service commitment levels (§3).
 enum class ServiceClass : std::uint8_t {
   kGuaranteed = 0,  ///< worst-case a-priori bounds, WFQ-isolated
@@ -52,6 +55,12 @@ struct Packet {
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
   sim::Bits size_bits = sim::paper::kPacketBits;
+  /// VC-style delivery label: the flow's sink slot at the destination
+  /// host, stamped by sources that learned it at flow setup.  Host
+  /// delivery validates the slot against `flow` and dispatches with one
+  /// indexed access instead of a hash probe; kNoSinkSlot or a stale slot
+  /// falls back to the cached table lookup.
+  std::uint32_t sink_slot = kNoSinkSlot;
 
   // --- CSZ service fields ----------------------------------------------
   ServiceClass service = ServiceClass::kDatagram;

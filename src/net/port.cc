@@ -70,6 +70,10 @@ void Port::try_start() {
   in_flight_->queueing_delay += sim_.now() - in_flight_->enqueued_at;
   ++in_flight_->hops;
   busy_ = true;
+  // The packet is now committed to arrive at the peer one transmit-time
+  // out: warm the delivery-side state while it is "on the wire" (inline
+  // deliveries via handoff mailboxes cross domains; skip those).
+  if (handoff_ == nullptr) peer_->prefetch_delivery(*in_flight_);
   const sim::Duration tx_time = in_flight_->size_bits / rate_;
   complete_timer_.arm_after(tx_time);
 }

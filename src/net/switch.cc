@@ -14,7 +14,9 @@ Port& Switch::attach_port(NodeId neighbor, std::unique_ptr<Port> port) {
 
 void Switch::set_route(NodeId dst, NodeId next_hop) {
   assert(ports_.contains(next_hop) && "next hop has no port");
-  routes_[dst] = next_hop;
+  NodeId& hop = routes_[dst];
+  if (hop != next_hop) route_cache_.invalidate();
+  hop = next_hop;
 }
 
 Port* Switch::port_to(NodeId neighbor) {
@@ -23,6 +25,10 @@ Port* Switch::port_to(NodeId neighbor) {
 }
 
 void Switch::receive(PacketPtr p) {
+  if (Port** cached = route_cache_.lookup(p->dst); cached != nullptr) {
+    (*cached)->send(std::move(p));
+    return;
+  }
   auto it = routes_.find(p->dst);
   if (it == routes_.end()) {
     // Partition: links failed and no alternate path exists.  The packet is
@@ -32,7 +38,9 @@ void Switch::receive(PacketPtr p) {
     if (no_route_) no_route_(*p);
     return;
   }
-  ports_.at(it->second)->send(std::move(p));
+  Port* port = ports_.at(it->second).get();
+  route_cache_.insert(p->dst, port);
+  port->send(std::move(p));
 }
 
 }  // namespace ispn::net

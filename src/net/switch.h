@@ -9,6 +9,7 @@
 
 #include "net/node.h"
 #include "net/port.h"
+#include "util/direct_map_cache.h"
 
 namespace ispn::net {
 
@@ -24,7 +25,10 @@ class Switch final : public Node {
 
   /// Empties the routing table (a topology change is about to install a
   /// fresh one).  Ports and their queues are untouched.
-  void clear_routes() { routes_.clear(); }
+  void clear_routes() {
+    routes_.clear();
+    route_cache_.invalidate();
+  }
 
   /// Observer for packets arriving with no route to their destination
   /// (network partition).  The packet is counted and dropped, not
@@ -39,8 +43,24 @@ class Switch final : public Node {
   }
 
   /// Forwards the packet along its route, or counts and drops it when no
-  /// route exists (possible whenever links can fail).
+  /// route exists (possible whenever links can fail).  The dst -> port
+  /// resolution goes through a direct-mapped destination-locality cache
+  /// (DEC-TR-592) in front of the routing table, invalidated whenever the
+  /// table changes.
   void receive(PacketPtr p) override;
+
+  /// Chases the cached route one inline hop toward the destination: if
+  /// the cached output port delivers without queueing (an infinitely
+  /// fast switch-to-host link), the peer's delivery state is warmed too.
+  /// The probe is counter-free — the route cache's hit/miss streams are
+  /// exported and asserted deterministic, and a speculative hint must
+  /// not perturb them.
+  void prefetch_delivery(const Packet& p) const override {
+    if (Port* const* cached = route_cache_.peek(p.dst)) {
+      const Port& out = **cached;
+      if (out.rate() <= 0 && out.link_up()) out.peer().prefetch_delivery(p);
+    }
+  }
 
   [[nodiscard]] Port* port_to(NodeId neighbor);
   [[nodiscard]] const std::map<NodeId, NodeId>& routes() const {
@@ -50,9 +70,20 @@ class Switch final : public Node {
     return ports_;
   }
 
+  /// Destination-locality cache counters (exported into ScenarioReport).
+  [[nodiscard]] std::uint64_t route_cache_hits() const {
+    return route_cache_.hits();
+  }
+  [[nodiscard]] std::uint64_t route_cache_misses() const {
+    return route_cache_.misses();
+  }
+
  private:
   std::map<NodeId, std::unique_ptr<Port>> ports_;  // keyed by neighbor
   std::map<NodeId, NodeId> routes_;                // dst -> next hop
+  // Port pointers are stable (ports_ owns them for the switch's lifetime),
+  // so caching dst -> Port* skips both map walks on a hit.
+  util::DirectMapCache<NodeId, Port*> route_cache_;
   NoRouteHook no_route_;
   std::uint64_t no_route_drops_ = 0;
 };

@@ -77,6 +77,10 @@ void ScenarioReport::to_text(std::ostream& out) const {
       << failed_link_drops << " + queued " << queued_end
       << " + unclaimed " << unclaimed
       << (conserved() ? "  [OK]" : "  [VIOLATED]") << "\n";
+  out << "lookup caches: route " << route_cache_hits << " hits / "
+      << route_cache_misses << " misses, sink " << sink_cache_hits
+      << " hits / " << sink_cache_misses << " misses, sink label "
+      << sink_label_hits << " hits\n";
   out << "per-class delay (ms): mean / p50 / p99 / p999 / max, jitter mean\n";
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const ClassStats& c = classes[i];
@@ -108,6 +112,11 @@ void ScenarioReport::to_json(std::ostream& out) const {
       << net_drops << ", \"failed_link_drops\": " << failed_link_drops
       << ", \"queued_end\": " << queued_end
       << ", \"unclaimed\": " << unclaimed << " },\n";
+  out << "  \"caches\": { \"route_hits\": " << route_cache_hits
+      << ", \"route_misses\": " << route_cache_misses
+      << ", \"sink_hits\": " << sink_cache_hits
+      << ", \"sink_misses\": " << sink_cache_misses
+      << ", \"sink_label_hits\": " << sink_label_hits << " },\n";
   out << "  \"admission\": { \"offered\": " << flows_offered
       << ", \"admitted\": " << flows_admitted << ", \"rejected\": "
       << flows_rejected << ", \"preempted\": " << flows_preempted

@@ -130,6 +130,19 @@ struct ScenarioReport {
   std::uint64_t flows_degraded = 0;   ///< refused; carried on as datagram
   std::uint64_t flows_orphaned = 0;   ///< unreachable; torn down
 
+  // ---- flow-locality caches -------------------------------------------
+  // Direct-mapped lookup caches (DEC-TR-592) on the per-packet hot paths,
+  // summed across all nodes: switch dst -> port and host flow -> sink.
+  // Deterministic (probe sequence == packet sequence), so the golden
+  // suite can pin them across backends.
+  std::uint64_t route_cache_hits = 0;
+  std::uint64_t route_cache_misses = 0;
+  std::uint64_t sink_cache_hits = 0;
+  std::uint64_t sink_cache_misses = 0;
+  /// Deliveries that skipped the lookup entirely: the packet carried a
+  /// validated sink-slot label stamped at flow setup (runner sources).
+  std::uint64_t sink_label_hits = 0;
+
   // ---- delivery quality ------------------------------------------------
   std::array<ClassStats, 3> classes;  ///< indexed by ServiceClass
   std::vector<FlowOutcome> flows;

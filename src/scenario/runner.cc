@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -70,6 +71,26 @@ sim::Time ScenarioRunner::ctl(sim::Time t) const {
 void ScenarioRunner::prepare() {
   if (prepared_) return;
   prepared_ = true;
+  if ((spec_.preempt_on_reject ||
+       spec_.reroute_policy == ReroutePolicy::kPreempt) &&
+      spec_.measurement_estimator ==
+          core::LinkMeasurement::Estimator::kPeakEpoch) {
+    // The time-window peak estimator holds a torn-down flow's peak for a
+    // full window, so the capacity a preemption frees is invisible to the
+    // very re-admission it was meant to enable — preemption silently
+    // never helps.  Warn once per process; presets that enable preemption
+    // (churn, failure) already pair it with the EWMA estimator.
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fputs(
+          "scenario: warning: preemption is configured with the peak "
+          "measurement estimator; nu-hat will not decay when victims are "
+          "torn down, so preemption frees no admissible capacity.  Use "
+          "measurement_estimator=ewma.\n",
+          stderr);
+    }
+  }
   fabric_ = build_fabric(ispn_, spec_);
   if (net().sharded()) {
     engine_ = std::make_unique<sim::ShardedEngine>(
@@ -376,18 +397,22 @@ void ScenarioRunner::open_flow(const core::FlowSpec& fs,
     rec.bound = rec.handle.commitment.advertised_bound.value_or(0.0);
   }
 
-  attach_source(rec, start_offset);
   // The sink runs on the destination's domain thread in sharded mode, so
-  // it aggregates into that domain's (single-writer) slot.
+  // it aggregates into that domain's (single-writer) slot.  Registered
+  // before the source attaches so the source can stamp the sink slot
+  // onto every packet (the label fast path); registration touches no
+  // simulator state, so the event/RNG streams are unchanged by the order.
   const std::size_t dst_domain =
       net().sharded() ? static_cast<std::size_t>(net().domain_of(fs.dst)) : 0;
-  rec.sink = std::make_unique<Sink>(&rec, &aggs_[dst_domain]);
-  net::FlowSink* sink = rec.sink.get();
+  rec.sink.emplace(&rec, &aggs_[dst_domain]);
+  net::FlowSink* sink = &*rec.sink;
   if (tracer_ != nullptr) {
     sink = net().sharded() ? tracer_->wrap_sink(sink, dst_domain)
                            : tracer_->wrap_sink(sink);
   }
-  net().host(fs.dst).register_sink(fs.flow, sink);
+  const std::uint32_t sink_slot =
+      net().host(fs.dst).register_sink(fs.flow, sink);
+  attach_source(rec, start_offset, sink_slot);
   depart_later(fs.flow);
 }
 
@@ -416,10 +441,14 @@ bool ScenarioRunner::preempt_on(core::LinkId link) {
   return false;
 }
 
-void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset) {
+void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset,
+                                   std::uint32_t sink_slot) {
   const core::FlowSpec& fs = rec.handle.spec;
   net::Host& host = net().host(fs.src);
-  auto emit = [&host](net::PacketPtr p) { host.inject(std::move(p)); };
+  auto emit = [&host, sink_slot](net::PacketPtr p) {
+    p->sink_slot = sink_slot;
+    host.inject(std::move(p));
+  };
   // Sharded: the source lives on its host's domain clock and draws from
   // that domain's pool.  Creating the stats entry HERE (control time)
   // matters — the packet path only does find-only lookups (hot_stats).
@@ -653,6 +682,21 @@ ScenarioReport ScenarioRunner::finish() {
   }
   for (const net::NodeId h : hosts) {
     report.unclaimed += net().host(h).unclaimed();
+  }
+
+  // Flow-locality cache totals across every node in the fabric (the
+  // adjacency holds every connected node; hosts carry sink caches,
+  // switches route caches).
+  for (const auto& [id, neighbors] : net().adjacency()) {
+    (void)neighbors;
+    if (net().is_host(id)) {
+      report.sink_cache_hits += net().host(id).sink_cache_hits();
+      report.sink_cache_misses += net().host(id).sink_cache_misses();
+      report.sink_label_hits += net().host(id).sink_label_hits();
+    } else {
+      report.route_cache_hits += net().switch_node(id).route_cache_hits();
+      report.route_cache_misses += net().switch_node(id).route_cache_misses();
+    }
   }
 
   report.flows_offered = flows_.size();

@@ -37,6 +37,7 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/tracer.h"
@@ -126,24 +127,31 @@ class ScenarioRunner {
   struct FlowRec {
     core::IspnNetwork::FlowHandle handle;
     std::unique_ptr<traffic::Source> source;
-    std::unique_ptr<Sink> sink;
-    sim::Time opened = 0;
-    sim::Time closed = -1;
+    // The sink is embedded (not heap-allocated) and kept adjacent to the
+    // per-delivery tallies it updates: warming the sink object — the
+    // ports' delivery prefetch does exactly that one transmission ahead —
+    // then also warms this record, so at million-flow scale a delivery
+    // costs one cold cache line instead of two.  FlowRec addresses are
+    // stable (flows_ is a deque, records are emplaced and never moved),
+    // so the self-referential sink is safe.
+    std::optional<Sink> sink;
     std::uint64_t delivered = 0;
     double max_delay = 0;
-    double bound = 0;
     double last_delay = 0;  ///< previous delivery's delay (jitter deltas)
+    double max_delay_all = 0;
     bool has_last = false;
-    bool active = false;  ///< admitted and not yet closed
-    int reroutes = 0;     ///< successful re-admissions after path failures
-    bool degraded = false;  ///< refused re-admission; carried as datagram
     // Path-epoch segmentation: bumped on every reroute/degrade; the
     // source stamps it onto packets, so in-flight stragglers from the old
     // path never score against the new path's bound (max_delay resets per
     // epoch; max_delay_all spans the lifetime).
     std::uint16_t epoch = 0;
     std::uint16_t epochs_seen = 1;
-    double max_delay_all = 0;
+    sim::Time opened = 0;
+    sim::Time closed = -1;
+    double bound = 0;
+    bool active = false;  ///< admitted and not yet closed
+    int reroutes = 0;     ///< successful re-admissions after path failures
+    bool degraded = false;  ///< refused re-admission; carried as datagram
   };
 
   void schedule_next_arrival();
@@ -155,7 +163,10 @@ class ScenarioRunner {
   /// Tears down the youngest active predicted flow crossing `link`;
   /// returns true when a victim was found.
   bool preempt_on(core::LinkId link);
-  void attach_source(FlowRec& rec, sim::Duration start_offset);
+  /// `sink_slot` is the flow's registered slot at the destination host;
+  /// the source stamps it onto every packet as the delivery label.
+  void attach_source(FlowRec& rec, sim::Duration start_offset,
+                     std::uint32_t sink_slot);
   /// Assembles the failure schedule (explicit specs + the seeded
   /// generator) and registers every event with the simulator.  Called
   /// once from prepare(); the whole schedule is drawn up front so the

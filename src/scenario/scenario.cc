@@ -168,6 +168,7 @@ core::IspnNetwork::Config ScenarioSpec::network_config() const {
   cfg.order_backend = order_backend;
   cfg.sharded = shards >= 1;
   cfg.link_latency = link_latency;
+  cfg.hierarchical = hierarchical;
   return cfg;
 }
 
@@ -197,6 +198,7 @@ std::string ScenarioSpec::describe() const {
   if (shards >= 1) {
     out << " shards=" << shards << " latency=" << link_latency * 1e3 << "ms";
   }
+  if (hierarchical) out << " hierarchical";
   if (!link_failures.empty() || link_failure_rate > 0) {
     out << " failures=" << link_failures.size();
     if (link_failure_rate > 0) {
@@ -397,6 +399,8 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     else if (value == "wheel") spec.event_backend = sim::EventBackend::kWheel;
     else if (value == "auto") spec.event_backend = sim::EventBackend::kAuto;
     else fail(key, "unknown event backend for");
+  } else if (key == "hierarchical") {
+    spec.hierarchical = parse_bool(key, value);
   } else if (key == "order_backend") {
     if (value == "heap") spec.order_backend = sched::OrderBackend::kHeap;
     else if (value == "calendar")

@@ -133,6 +133,10 @@ struct ScenarioSpec {
   // ---- engine ----------------------------------------------------------
   sim::EventBackend event_backend = sim::EventBackend::kAuto;
   sched::OrderBackend order_backend = sched::OrderBackend::kAuto;
+  /// Two-level aggregate scheduling: per-link scheduler state bounded by
+  /// {guaranteed flows, K classes, datagram} instead of per-flow — the
+  /// million-flow regime.  Default off (classic flat, byte-identical).
+  bool hierarchical = false;
   /// Worker threads for the sharded parallel core (sim/shard.h).  0 keeps
   /// the classic single-clock path.  Any value >= 1 selects the sharded
   /// execution model: one domain per switch, conservative lookahead sync

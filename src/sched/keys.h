@@ -60,12 +60,4 @@ struct SlabEntryLess {
   }
 };
 
-/// Dense per-flow slot for a flow id.  Non-negative ids map to id+1;
-/// slot 0 is a shared anonymous bucket for packets with no flow (kNoFlow),
-/// so a negative id can never index out of bounds (the seed's std::map
-/// accepted any id; this preserves that robustness).
-inline std::uint32_t slot_of(net::FlowId id) {
-  return id >= 0 ? static_cast<std::uint32_t>(id) + 1 : 0;
-}
-
 }  // namespace ispn::sched

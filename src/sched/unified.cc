@@ -21,20 +21,12 @@ UnifiedScheduler::UnifiedScheduler(Config config)
   }
 }
 
-UnifiedScheduler::GFlow* UnifiedScheduler::find_guaranteed(net::FlowId id) {
-  if (id < 0 || static_cast<std::size_t>(id) >= guaranteed_.size()) {
-    return nullptr;
-  }
-  GFlow& g = guaranteed_[static_cast<std::size_t>(id)];
-  return g.rate > 0 ? &g : nullptr;
-}
-
 void UnifiedScheduler::add_guaranteed(net::FlowId flow, sim::Rate rate) {
   assert(rate > 0);
   assert(flow >= 0 && "guaranteed flow ids must be non-negative");
-  const auto idx = static_cast<std::size_t>(flow);
-  if (idx >= guaranteed_.size()) guaranteed_.resize(idx + 1);
-  GFlow& g = guaranteed_[idx];
+  const std::uint32_t slot = g_slots_.acquire(flow);
+  if (slot >= guaranteed_.size()) guaranteed_.resize(slot + 1);
+  GFlow& g = guaranteed_[slot];
   assert(g.rate == 0 && "flow already registered");
   g.rate = rate;
   g.inv_rate = 1.0 / rate;
@@ -50,32 +42,37 @@ void UnifiedScheduler::add_guaranteed(net::FlowId flow, sim::Rate rate) {
 }
 
 void UnifiedScheduler::remove_guaranteed(net::FlowId flow) {
-  GFlow* g = find_guaranteed(flow);
-  assert(g != nullptr && "flow not registered");
-  assert(g->queue.empty() && "drain the flow before removing it");
-  clock_.retire(heap_id(flow));
-  guaranteed_rate_ -= g->rate;
+  const std::uint32_t slot = find_gslot(flow);
+  assert(slot != util::SlotMap::kNoSlot && "flow not registered");
+  GFlow& g = guaranteed_[slot];
+  assert(g.queue.empty() && "drain the flow before removing it");
+  clock_.retire(heap_id(slot));
+  guaranteed_rate_ -= g.rate;
   flow0_weight_ = config_.link_rate - guaranteed_rate_;
   flow0_inv_weight_ = 1.0 / flow0_weight_;
   clock_.reweight(kFlow0Heap, flow0_weight_);
-  g->rate = 0;
-  g->inv_rate = 0;
-  g->last_finish = 0;
+  g.rate = 0;
+  g.inv_rate = 0;
+  g.last_finish = 0;
+  // Recycle the slot; its Ring keeps its capacity for the next tenant, so
+  // churn over a bounded flow population allocates nothing.
+  g_slots_.release(flow);
 }
 
 void UnifiedScheduler::expel_guaranteed(
     net::FlowId flow, sim::Time now,
     const std::function<void(net::PacketPtr, sim::Time)>& sink) {
   clock_.advance(now);
-  GFlow* g = find_guaranteed(flow);
-  assert(g != nullptr && "flow not registered");
-  while (!g->queue.empty()) {
-    Tagged head = g->queue.pop_front();
+  const std::uint32_t slot = find_gslot(flow);
+  assert(slot != util::SlotMap::kNoSlot && "flow not registered");
+  GFlow& g = guaranteed_[slot];
+  while (!g.queue.empty()) {
+    Tagged head = g.queue.pop_front();
     bits_ -= head.packet->size_bits;
     --total_packets_;
     sink(std::move(head.packet), now);
   }
-  heads_.erase(heap_id(flow));
+  heads_.erase(heap_id(slot));
   remove_guaranteed(flow);
 }
 
@@ -88,22 +85,27 @@ void UnifiedScheduler::flush(
 }
 
 void UnifiedScheduler::set_predicted_priority(net::FlowId flow, int level) {
+  // Hierarchical mode keeps zero per-flow predicted state: the class is
+  // whatever the packet carries in (service, priority).
+  if (config_.hierarchical) return;
   assert(level >= 0 && level < config_.num_predicted_classes);
   assert(flow >= 0 && "predicted flow ids must be non-negative");
-  const auto idx = static_cast<std::size_t>(flow);
-  if (idx >= predicted_priority_.size()) {
-    predicted_priority_.resize(idx + 1, kNoLevel);
+  const std::uint32_t slot = p_slots_.acquire(flow);
+  if (slot >= predicted_priority_.size()) {
+    predicted_priority_.resize(slot + 1, kNoLevel);
   }
-  predicted_priority_[idx] = static_cast<std::int16_t>(level);
+  predicted_priority_[slot] = static_cast<std::int16_t>(level);
 }
 
 int UnifiedScheduler::classify(const net::Packet& p) const {
   const int kDatagramLevel = config_.num_predicted_classes;
   if (p.service == net::ServiceClass::kDatagram) return kDatagramLevel;
-  if (p.flow >= 0 &&
-      static_cast<std::size_t>(p.flow) < predicted_priority_.size() &&
-      predicted_priority_[static_cast<std::size_t>(p.flow)] != kNoLevel) {
-    return predicted_priority_[static_cast<std::size_t>(p.flow)];
+  if (!config_.hierarchical) {
+    const std::uint32_t slot = p_slots_.find(p.flow);
+    if (slot != util::SlotMap::kNoSlot &&
+        predicted_priority_[slot] != kNoLevel) {
+      return predicted_priority_[slot];
+    }
   }
   if (p.service == net::ServiceClass::kPredicted) {
     return std::min<int>(p.priority, config_.num_predicted_classes - 1);
@@ -124,19 +126,21 @@ std::size_t UnifiedScheduler::class_packets(int level) const {
 void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   clock_.advance(now);
 
-  const net::FlowId id = p->flow;
-  GFlow* g = p->service == net::ServiceClass::kGuaranteed
-                 ? find_guaranteed(id)
-                 : nullptr;
+  const std::uint32_t gslot = p->service == net::ServiceClass::kGuaranteed
+                                  ? find_gslot(p->flow)
+                                  : util::SlotMap::kNoSlot;
+  GFlow* g = gslot != util::SlotMap::kNoSlot ? &guaranteed_[gslot] : nullptr;
 
   const sim::Bits size = p->size_bits;
   const std::uint64_t order = arrivals_++;
 
   if (g != nullptr) {
-    const double finish =
-        clock_.stamp(heap_id(id), g->last_finish, size, g->rate, g->inv_rate);
+    const double finish = clock_.stamp(heap_id(gslot), g->last_finish, size,
+                                       g->rate, g->inv_rate);
     g->last_finish = finish;
-    if (g->queue.empty()) heads_.upsert(heap_id(id), HeadKey{finish, order});
+    if (g->queue.empty()) {
+      heads_.upsert(heap_id(gslot), HeadKey{finish, order});
+    }
     g->queue.push_back(Tagged{std::move(p), finish, order});
   } else {
     // Flow 0: one tag per packet, in arrival order; the packet itself goes
@@ -170,7 +174,7 @@ void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
       // Pathological: buffer full of guaranteed packets.  Drop the newest
       // packet of the arriving flow (i.e. the arrival itself).
       Tagged last = g->queue.pop_back();
-      if (g->queue.empty()) heads_.erase(heap_id(id));
+      if (g->queue.empty()) heads_.erase(heap_id(gslot));
       bits_ -= last.packet->size_bits;
       --total_packets_;
       drop(std::move(last.packet), now);

@@ -24,18 +24,32 @@
 // real-time queues from elastic overload.
 //
 // Hot-path layout mirrors WfqScheduler: guaranteed per-flow state and the
-// predicted-priority map are dense vectors indexed by flow id, per-flow
-// FIFOs are power-of-two rings, and the fluid ordering (inside the shared
-// sched::FluidClock) and head ordering are indexed min-heaps holding
-// exactly one re-keyable entry per flow (heap id 0 is the flow-0
-// pseudo-flow, guaranteed flow f maps to id f+1, preserving the tie-break
-// that flow 0 wins equal finish tags).  Flow 0's weight is μ − Σ r_α and
-// changes in place when guaranteed flows are admitted or torn down — the
-// clock's kTracked flow-0 policy.  FIFO+ class queues are flat heaps of
-// POD keys with packets parked in a slab.
+// predicted-priority map are dense vectors indexed by compact slots
+// (util::SlotMap remaps flow ids to the lowest free slot on first sight,
+// so per-link memory scales with registered flows, never max(FlowId)),
+// per-flow FIFOs are power-of-two rings, and the fluid ordering (inside
+// the shared sched::FluidClock) and head ordering are indexed min-heaps
+// holding exactly one re-keyable entry per flow (heap id 0 is the flow-0
+// pseudo-flow, the guaranteed flow in slot s maps to id s+1, preserving
+// the tie-break that flow 0 wins equal finish tags).  Flow 0's weight is
+// μ − Σ r_α and changes in place when guaranteed flows are admitted or
+// torn down — the clock's kTracked flow-0 policy.  FIFO+ class queues are
+// flat heaps of POD keys with packets parked in a slab.
 //
 // Ties at equal finish tags order flow 0 first, then guaranteed flows by
-// id — the same order as the std::set layout this replaces.
+// slot (first-registration order — itself deterministic, since flow
+// registration sequences are byte-identical across backends).
+//
+// Hierarchical mode (Config::hierarchical): the scheduler keeps NO
+// per-flow state for predicted or datagram traffic — packets carry their
+// class in (service, priority) as stamped at the edge, and the inner
+// scheduler sees only the bounded aggregate set {guaranteed flows,
+// K predicted classes, datagram}.  set_predicted_priority /
+// remove_predicted become no-ops, so per-flow predicted state shrinks to
+// the edge's policing + stats record.  The semantic difference from the
+// flat path: per-hop class reassignment (a different priority at each
+// hop) is not available — every hop classifies by the packet's stamped
+// priority.  Flat mode stays the default and byte-identical.
 
 #pragma once
 
@@ -51,6 +65,7 @@
 #include "util/dary_heap.h"
 #include "util/indexed_heap.h"
 #include "util/ring.h"
+#include "util/slot_map.h"
 
 namespace ispn::sched {
 
@@ -75,6 +90,13 @@ class UnifiedScheduler final : public Scheduler {
     /// Ordering structure for the fluid epochs and head finish tags; every
     /// backend departs packets in the identical order.
     OrderBackend order_backend = OrderBackend::kAuto;
+    /// Two-level aggregate mode: no per-flow predicted state — packets are
+    /// classified purely by their stamped (service, priority), and the
+    /// scheduler's state is bounded by {guaranteed flows, K classes,
+    /// datagram} regardless of flow count.  See the header comment for the
+    /// per-hop-reassignment semantic this trades away.  Default off: the
+    /// classic flat path, byte-identical to previous releases.
+    bool hierarchical = false;
   };
 
   /// Observer invoked at each predicted/datagram dequeue with
@@ -108,11 +130,13 @@ class UnifiedScheduler final : public Scheduler {
   void set_predicted_priority(net::FlowId flow, int level);
 
   /// Forgets a predicted flow's priority mapping (service teardown);
-  /// in-flight packets keep their class.
+  /// in-flight packets keep their class.  The flow's compact slot is
+  /// recycled.  No-op in hierarchical mode (nothing was kept).
   void remove_predicted(net::FlowId flow) {
-    if (flow >= 0 &&
-        static_cast<std::size_t>(flow) < predicted_priority_.size()) {
-      predicted_priority_[static_cast<std::size_t>(flow)] = kNoLevel;
+    const std::uint32_t slot = p_slots_.find(flow);
+    if (slot != util::SlotMap::kNoSlot) {
+      predicted_priority_[slot] = kNoLevel;
+      p_slots_.release(flow);
     }
   }
 
@@ -149,9 +173,18 @@ class UnifiedScheduler final : public Scheduler {
   /// Note this sees only THIS hop's queue; end-to-end drain checks should
   /// compare the flow's injected/delivered/dropped ledger instead.
   [[nodiscard]] std::size_t guaranteed_packets(net::FlowId flow) const {
-    const auto idx = static_cast<std::size_t>(flow);
-    return flow >= 0 && idx < guaranteed_.size() ? guaranteed_[idx].queue.size()
-                                                 : 0;
+    const std::uint32_t slot = g_slots_.find(flow);
+    return slot != util::SlotMap::kNoSlot ? guaranteed_[slot].queue.size() : 0;
+  }
+
+  /// Dense per-flow slots in use (guaranteed / predicted) — scale with
+  /// registered flows, not max(FlowId); the sparse-id regression test and
+  /// the hierarchical-mode state bound both pin these.
+  [[nodiscard]] std::size_t guaranteed_slots() const {
+    return guaranteed_.size();
+  }
+  [[nodiscard]] std::size_t predicted_slots() const {
+    return predicted_priority_.size();
   }
 
   void enqueue(net::PacketPtr p, sim::Time now) override;
@@ -177,14 +210,16 @@ class UnifiedScheduler final : public Scheduler {
   };
   static constexpr std::int16_t kNoLevel = -1;
 
-  /// Heap ids: 0 is the flow-0 pseudo-flow, guaranteed flow f is f+1.
+  /// Heap ids: 0 is the flow-0 pseudo-flow, the guaranteed flow in
+  /// compact slot s is s+1 (so flow 0 still wins equal finish-tag ties).
   static constexpr std::uint32_t kFlow0Heap = 0;
-  static std::uint32_t heap_id(net::FlowId flow) {
-    return static_cast<std::uint32_t>(flow) + 1;
-  }
+  static std::uint32_t heap_id(std::uint32_t gslot) { return gslot + 1; }
 
-  /// Guaranteed-flow slot, or nullptr when `id` was never add_guaranteed().
-  GFlow* find_guaranteed(net::FlowId id);
+  /// Compact guaranteed slot of `id`, or SlotMap::kNoSlot when `id` is not
+  /// currently add_guaranteed()ed.
+  [[nodiscard]] std::uint32_t find_gslot(net::FlowId id) const {
+    return g_slots_.find(id);
+  }
 
   // ---- flow 0 internals ---------------------------------------------------
   struct PredictedClass {
@@ -212,7 +247,9 @@ class UnifiedScheduler final : public Scheduler {
   /// DropSink — every flushed packet belongs to the flush sink.
   bool flushing_ = false;
 
-  std::vector<GFlow> guaranteed_;             // dense, indexed by flow id
+  util::SlotMap g_slots_;                     // guaranteed id -> slot
+  util::SlotMap p_slots_;                     // predicted id -> slot
+  std::vector<GFlow> guaranteed_;             // dense, by guaranteed slot
   std::vector<std::int16_t> predicted_priority_;  // dense; kNoLevel = unset
   sim::Rate guaranteed_rate_ = 0;
   sim::Rate flow0_weight_;

@@ -16,19 +16,19 @@ VirtualClockScheduler::Flow& VirtualClockScheduler::flow_ref(
 
 void VirtualClockScheduler::add_flow(net::FlowId flow, sim::Rate rate) {
   assert(rate > 0);
-  Flow& f = flow_ref(slot_of(flow));
+  Flow& f = flow_ref(slots_.acquire(flow));
   f.rate = rate;
   f.aux_vc = 0.0;
 }
 
 double VirtualClockScheduler::aux_vc(net::FlowId flow) const {
-  const std::uint32_t slot = slot_of(flow);
-  if (slot >= flows_.size()) return 0.0;
+  const std::uint32_t slot = slots_.find(flow);
+  if (slot == util::SlotMap::kNoSlot) return 0.0;
   return flows_[slot].aux_vc;
 }
 
 void VirtualClockScheduler::enqueue(net::PacketPtr p, sim::Time now) {
-  Flow& flow = flow_ref(slot_of(p->flow));
+  Flow& flow = flow_ref(slots_.acquire(p->flow));
   flow.aux_vc = std::max(now, flow.aux_vc) + p->size_bits / flow.rate;
   bits_ += p->size_bits;
   queue_.push(SlabEntry{flow.aux_vc, arrivals_++, slab_.put(std::move(p))});

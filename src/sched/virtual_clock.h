@@ -30,6 +30,7 @@
 #include "sched/packet_slab.h"
 #include "sched/scheduler.h"
 #include "util/dary_heap.h"
+#include "util/slot_map.h"
 
 namespace ispn::sched {
 
@@ -55,9 +56,12 @@ class VirtualClockScheduler final : public Scheduler {
   /// Current auxVC of a flow (diagnostic).
   [[nodiscard]] double aux_vc(net::FlowId flow) const;
 
+  /// Dense per-flow slots in use — scales with flows seen, not max(FlowId).
+  [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
+
  private:
   // Heap entries are sched::SlabEntry with key = the packet's auxVC stamp;
-  // flow ids map to dense slots via sched::slot_of (keys.h).
+  // flow ids map to compact dense slots via util::SlotMap.
   struct Flow {
     sim::Rate rate = 0;
     double aux_vc = 0;
@@ -66,7 +70,8 @@ class VirtualClockScheduler final : public Scheduler {
   Flow& flow_ref(std::uint32_t idx);
 
   Config config_;
-  std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
+  util::SlotMap slots_;      // flow id -> compact slot
+  std::vector<Flow> flows_;  // dense, indexed by compact slot
   PacketSlab slab_;
   util::DaryHeap<SlabEntry, SlabEntryLess> queue_;
   std::uint64_t arrivals_ = 0;

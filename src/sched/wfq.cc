@@ -16,7 +16,7 @@ WfqScheduler::WfqScheduler(Config config)
 
 void WfqScheduler::add_flow(net::FlowId flow, double weight) {
   assert(weight > 0);
-  const std::uint32_t slot = slot_of(flow);
+  const std::uint32_t slot = slots_.acquire(flow);
   Flow& f = flow_ref(slot);
   assert(!clock_.backlogged(slot) && f.queue.empty() &&
          "cannot re-weight a backlogged flow");
@@ -25,8 +25,8 @@ void WfqScheduler::add_flow(net::FlowId flow, double weight) {
 }
 
 double WfqScheduler::weight(net::FlowId flow) const {
-  const std::uint32_t slot = slot_of(flow);
-  if (slot >= flows_.size()) return config_.default_weight;
+  const std::uint32_t slot = slots_.find(flow);
+  if (slot == util::SlotMap::kNoSlot) return config_.default_weight;
   return flows_[slot].weight;
 }
 
@@ -50,7 +50,7 @@ double WfqScheduler::virtual_time(sim::Time now) {
 void WfqScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   clock_.advance(now);
 
-  const std::uint32_t slot = slot_of(p->flow);
+  const std::uint32_t slot = slots_.acquire(p->flow);
   Flow& f = flow_ref(slot);
 
   const double finish =

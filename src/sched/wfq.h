@@ -13,9 +13,10 @@
 // have weights frozen while backlogged, which is the clock's kPinned
 // flow-0 policy.
 //
-// Hot-path layout: per-flow state is a dense vector indexed by flow id
-// (ids are small and assigned sequentially) with each flow's FIFO a
-// power-of-two ring, and both orderings — fluid departure epochs (inside
+// Hot-path layout: per-flow state is a dense vector indexed by a compact
+// slot (util::SlotMap assigns each flow id the lowest free slot on first
+// sight, so memory scales with flows seen, never with max(FlowId)) with
+// each flow's FIFO a power-of-two ring, and both orderings — fluid departure epochs (inside
 // FluidClock) and head-of-flow finish tags — are indexed structures
 // holding exactly one entry per flow, re-keyed in place.  The ordering
 // backend is selectable at construction (Config::order_backend): an
@@ -39,6 +40,7 @@
 #include "sched/scheduler.h"
 #include "util/indexed_heap.h"
 #include "util/ring.h"
+#include "util/slot_map.h"
 
 namespace ispn::sched {
 
@@ -70,6 +72,10 @@ class WfqScheduler final : public Scheduler {
   /// Sum of weights of fluid-backlogged flows (diagnostic).
   [[nodiscard]] double active_weight() const { return clock_.active_weight(); }
 
+  /// Dense per-flow slots in use — scales with flows seen, not max(FlowId)
+  /// (the sparse-id regression test pins this).
+  [[nodiscard]] std::size_t flow_slots() const { return flows_.size(); }
+
   void enqueue(net::PacketPtr p, sim::Time now) override;
   [[nodiscard]] net::PacketPtr dequeue(sim::Time now) override;
   [[nodiscard]] bool empty() const override { return total_packets_ == 0; }
@@ -92,7 +98,8 @@ class WfqScheduler final : public Scheduler {
   Flow& flow_ref(std::uint32_t idx);
 
   Config config_;
-  std::vector<Flow> flows_;  // dense, indexed by slot_of(flow)
+  util::SlotMap slots_;      // flow id -> compact slot
+  std::vector<Flow> flows_;  // dense, indexed by compact slot
 
   // Fluid system state: the shared V(t) machinery.
   FluidClock clock_;

@@ -20,16 +20,18 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-void EventQueue::drop_stale() {
+const EventQueue::Key* EventQueue::drop_stale() {
   if (on_wheel_) {
     for (;;) {
       const Key* k = wheel_.peek();
-      if (k == nullptr || key_live(*k)) return;
+      if (k != nullptr && key_live(*k)) return k;
+      assert(k != nullptr && "live_ > 0 but wheel empty");
       wheel_.pop_front();
     }
   }
-  while (!heap_.empty()) {
-    if (key_live(heap_.top())) return;
+  for (;;) {
+    assert(!heap_.empty() && "live_ > 0 but heap empty");
+    if (key_live(heap_.top())) return &heap_.top();
     heap_.pop();
   }
 }
@@ -41,20 +43,68 @@ void EventQueue::migrate_to_wheel() {
   on_wheel_ = true;
 }
 
+void EventQueue::escalate_resolution() {
+  ticks_per_sec_ *= 64.0;  // one escalation step finer
+  adapt_at_ *= 64;         // next step only after a comparable pile-up
+  // scratch is local: escalations happen O(log) times per run, never on
+  // the steady-state path, so this allocation is outside the zero-alloc
+  // window the soak tests pin.
+  std::vector<Key> scratch;
+  wheel_.drain_into(scratch, tick_of(last_pop_time_));
+  for (const Key& k : scratch) {
+    // Dead keys re-file too; they are skimmed as usual when they surface.
+    wheel_.insert(k, tick_of(k.time));
+  }
+}
+
 Time EventQueue::next_time() const {
   assert(live_ > 0);
   // Skimming stale keys (and advancing the wheel cursor) mutates only the
   // ordering structure, not observable state; the first live key
   // determines the next time.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_stale();
-  return self->on_wheel_ ? self->wheel_.peek()->time : self->heap_.top().time;
+  return const_cast<EventQueue*>(this)->drop_stale()->time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_stale();
+  return pop_front_live();
+}
+
+bool EventQueue::pop_if_before(Time end, bool inclusive, Fired& out) {
+  if (live_ == 0) return false;
+  const Time t = drop_stale()->time;
+  if (inclusive ? t > end : t >= end) return false;
+  out = pop_front_live();
+  return true;
+}
+
+EventQueue::Fired EventQueue::pop_front_live() {
   const Key k = on_wheel_ ? wheel_.pop_front() : heap_.pop();
   assert(key_live(k));
+  if (on_wheel_) {
+    // Overlap upcoming events' slab-slot DRAM misses with the current
+    // event's execution: at a million pending timers the slab is far
+    // beyond cache and the very next access to it is the key_live() /
+    // dispatch load for the entry now at the run head.  Two entries deep:
+    // the +1 slot is needed within one event (~hundreds of ns), the +2
+    // prefetch gets two full events of lead.  Pure hints; ordering and
+    // observable state are untouched.
+    if (const Key* nk = wheel_.peek_ready()) {
+      // The hint one pop ago covered nk's slot line, so reading it now is
+      // usually cache-warm; chase one level deeper and warm the
+      // persistent action it will invoke (the timer callback living
+      // inside a source object — cold at million-flow scale).
+      const Slot& ns = slots_[nk->slot];
+      if (ns.persistent && ns.external != nullptr) {
+        __builtin_prefetch(ns.external);
+      }
+      // And hint the slot after it, giving that line a full event of
+      // lead before its own read above.
+      if (const Key* nk2 = wheel_.peek_ready(1)) {
+        __builtin_prefetch(&slots_[nk2->slot]);
+      }
+    }
+  }
   Slot& s = slots_[k.slot];
   last_pop_time_ = k.time;
   Fired fired;

@@ -15,8 +15,11 @@ bool Simulator::step() {
 
 std::uint64_t Simulator::run_until(Time end) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= end) {
-    step();
+  EventQueue::Fired fired;
+  while (queue_.pop_if_before(end, /*inclusive=*/true, fired)) {
+    now_ = fired.time;
+    ++processed_;
+    fired();
     ++n;
   }
   // Advance the clock to the horizon so subsequent after() calls are
@@ -27,8 +30,11 @@ std::uint64_t Simulator::run_until(Time end) {
 
 std::uint64_t Simulator::run_before(Time end) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() < end) {
-    step();
+  EventQueue::Fired fired;
+  while (queue_.pop_if_before(end, /*inclusive=*/false, fired)) {
+    now_ = fired.time;
+    ++processed_;
+    fired();
     ++n;
   }
   return n;

@@ -25,8 +25,9 @@
 // tests/test_util_structures.cc checks the structure against the heap
 // directly.
 //
-// Layout.  A fixed power-of-two number of buckets covers one "year" of
-// days; entries whose day falls beyond the current year wait in an
+// Layout.  A power-of-two number of buckets (growing 16x each time
+// occupancy crosses a 10^5-seeded threshold, up to 2^16) covers one
+// "year" of days; entries whose day falls beyond the current year wait in an
 // overflow list and are re-bucketed lazily when the minimum search crosses
 // a year boundary (which only happens once V(t) has advanced past every
 // nearer key).  Each bucket is a sorted run consumed from a head index:
@@ -147,6 +148,9 @@ class IndexedCalendarQueue {
     return std::ldexp(1.0, width_exp_);
   }
 
+  /// Current day count exponent (grows under load; diagnostic / tests).
+  [[nodiscard]] int bucket_bits() const { return bucket_bits_; }
+
   /// Lifetime counters (diagnostic / tests): the unit tests assert the
   /// self-tuner converges (rebuilds stop) and scans stay short.
   struct Stats {
@@ -168,6 +172,9 @@ class IndexedCalendarQueue {
   static constexpr std::uint32_t kRetuneSamples = 1024;
   static constexpr double kNarrowOccupancy = 3.0;
   static constexpr double kWidenScan = 8.0;
+  static constexpr int kGrowBitsStep = 4;
+  static constexpr int kMaxBucketBits = 16;
+  static constexpr std::size_t kGrowOccupancy = 100000;
 
   /// One day's entries: v_[head_..) is a live run sorted under (KeyLess,
   /// id); [0, head_) is the already-popped prefix, reclaimed when the run
@@ -266,6 +273,21 @@ class IndexedCalendarQueue {
     file(e);
     ++size_;
     if (min_valid_ && less(e, min_)) min_ = e;  // min cache survives inserts
+    if (size_ >= grow_at_ && bucket_bits_ < kMaxBucketBits) grow_buckets();
+  }
+
+  /// Load-adaptive year length: the 2^8-day year that keeps scans short at
+  /// hundreds of entries crams ~400 entries per day at 10^5, turning every
+  /// bucket operation into a long run walk.  Each time occupancy crosses
+  /// grow_at_ the day count grows 16x (up to 2^16), re-filing everything
+  /// once — O(n log n), amortized away by the 16x-spaced thresholds.
+  /// Grow-only: occupancy receding leaves spare (empty, cheap) buckets.
+  [[gnu::noinline]] void grow_buckets() {
+    bucket_bits_ =
+        std::min(bucket_bits_ + kGrowBitsStep, static_cast<int>(kMaxBucketBits));
+    grow_at_ *= std::size_t{1} << kGrowBitsStep;
+    buckets_.resize(std::size_t{1} << bucket_bits_);
+    rebuild(width_exp_, INT64_MAX);
   }
 
   /// Files one entry into its bucket or the overflow list.  Shared by
@@ -484,6 +506,7 @@ class IndexedCalendarQueue {
   }
 
   int bucket_bits_;
+  std::size_t grow_at_ = kGrowOccupancy;  // 16x after each growth
   std::vector<Bucket> buckets_;
   std::vector<Entry> overflow_;  ///< entries beyond the current year
   std::vector<Entry> scratch_;   ///< rebuild/advance staging, kept warm

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alloc_hook.h"
+#include "net/host.h"
 #include "net/packet_pool.h"
 #include "sched/fifo.h"
 #include "sched/unified.h"
@@ -156,6 +157,46 @@ TEST(AllocSteadyState, DropPathIsAllocationFree) {
   const std::uint64_t drops_before = fifo_drops + wfq_drops;
   EXPECT_EQ(flood(200000), 0u);
   EXPECT_GT(fifo_drops + wfq_drops, drops_before);  // drop path exercised
+}
+
+// The delivery hot path (host flow -> sink lookup) used to walk a
+// std::map per packet; it is now a direct-mapped cache in front of a flat
+// open-addressing SlotMap table, and must stay allocation-free under
+// sparse, scattered flow ids.
+TEST(AllocSteadyState, HostDeliveryPathIsAllocationFree) {
+  class CountingSink final : public net::FlowSink {
+   public:
+    void on_packet(net::PacketPtr, sim::Time) override { ++count; }
+    std::uint64_t count = 0;
+  };
+  sim::Simulator sim;
+  net::Host host(sim, 0, "h0");
+  std::vector<net::FlowId> ids;
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  for (int i = 0; i < 512; ++i) {
+    ids.push_back(static_cast<net::FlowId>(i * 131 + 7));  // sparse ids
+    sinks.push_back(std::make_unique<CountingSink>());
+    host.register_sink(ids.back(), sinks.back().get());
+  }
+  net::PacketPool pool;
+  std::uint64_t seq = 0;
+  double now = 0;
+  auto cycle = [&](int cycles) {
+    const std::uint64_t before = testhook::allocation_count();
+    for (int i = 0; i < cycles; ++i) {
+      now += 1e-6;
+      host.receive(make(pool, ids[seq % ids.size()], seq, now,
+                        net::ServiceClass::kDatagram));
+      ++seq;
+    }
+    return testhook::allocation_count() - before;
+  };
+  cycle(20000);  // warmup
+  EXPECT_EQ(cycle(200000), 0u);
+  std::uint64_t total = 0;
+  for (const auto& s : sinks) total += s->count;
+  EXPECT_EQ(total, 220000u);
+  EXPECT_EQ(host.sink_cache_hits() + host.sink_cache_misses(), 220000u);
 }
 
 TEST(AllocSteadyState, EventWheelIsAllocationFree) {

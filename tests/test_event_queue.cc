@@ -360,6 +360,55 @@ TEST_P(EventQueueBackendTest, CancelBurstThenRefillReusesSlots) {
   EXPECT_EQ(q.free_slots(), q.slab_slots());
 }
 
+// The wheel's resolution adaptation needs BOTH signals: high occupancy
+// and an observed crowded sorted run.  A same-instant pile-up escalates;
+// the same occupancy spread across the horizon must not (finer ticks
+// would only multiply refill windows there).
+TEST(EventQueueWheelAdapt, SameInstantPileUpEscalatesResolution) {
+  EventQueue q(EventBackend::kWheel);
+  const double base = q.ticks_per_sec();
+  // 110k events packed 1 ns apart: far above the occupancy threshold and
+  // all inside a handful of base-resolution ticks.
+  constexpr int kN = 110000;
+  for (int i = 0; i < kN; ++i) q.schedule(1.0 + 1e-9 * i, [] {});
+  // Pure inserts bucket without building a run; no escalation yet.
+  EXPECT_EQ(q.ticks_per_sec(), base);
+  // The first pop sorts the giant window; the next insert sees the
+  // crowded-run evidence and escalates.
+  Time prev = q.pop().time;
+  q.schedule(1.0 + 1e-9 * kN, [] {});
+  EXPECT_GT(q.ticks_per_sec(), base);
+  // Pop order stays exact (time, seq) across the re-filing.
+  while (!q.empty()) {
+    const Time t = q.pop().time;
+    EXPECT_LT(prev, t);
+    prev = t;
+  }
+}
+
+TEST(EventQueueWheelAdapt, SpreadOutLoadKeepsBaseResolution) {
+  EventQueue q(EventBackend::kWheel);
+  const double base = q.ticks_per_sec();
+  // Same occupancy, but ~13 base ticks between events: every sorted run
+  // stays tiny, so the density gate must hold the base resolution.
+  constexpr int kN = 120000;
+  for (int i = 0; i < kN; ++i) q.schedule(1.0 + 1e-4 * i, [] {});
+  Time prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const Time t = q.pop().time;
+    EXPECT_LT(prev, t);
+    prev = t;
+  }
+  // Occupancy is still past the threshold; runs were never crowded.
+  for (int i = 0; i < 1000; ++i) q.schedule(1.0 + 1e-4 * (kN + i), [] {});
+  EXPECT_EQ(q.ticks_per_sec(), base);
+  while (!q.empty()) {
+    const Time t = q.pop().time;
+    EXPECT_LT(prev, t);
+    prev = t;
+  }
+}
+
 TEST(EventQueueAuto, MigratesToWheelAndBackAtDrain) {
   EventQueue q(EventBackend::kAuto);
   EXPECT_EQ(q.active_backend(), EventBackend::kHeap);

@@ -104,6 +104,36 @@ TEST(Network, UnclaimedPacketsCounted) {
   EXPECT_EQ(net.host(topo.right_host).unclaimed(), 1u);
 }
 
+// Packets carrying the sink-slot delivery label bypass the table lookup;
+// wrong or stale labels must fail the flow-id validation and fall back to
+// the cached lookup without misdelivering.
+TEST(Network, SinkSlotLabelFastPathAndFallback) {
+  Network net;
+  const auto topo = build_dumbbell(net, 1e6, fifo_factory());
+  net.attach_stats_sink(1, topo.right_host);
+  net.attach_stats_sink(2, topo.right_host);
+  Host& dst = net.host(topo.right_host);
+
+  auto labelled = make_packet(1, 0, topo.left_host, topo.right_host, 0.0);
+  labelled->sink_slot = 0;  // flow 1 registered first -> slot 0
+  net.host(topo.left_host).inject(std::move(labelled));
+
+  auto wrong = make_packet(2, 0, topo.left_host, topo.right_host, 0.0);
+  wrong->sink_slot = 0;  // flow mismatch: validated, falls back
+  net.host(topo.left_host).inject(std::move(wrong));
+
+  auto out_of_range = make_packet(1, 1, topo.left_host, topo.right_host, 0.0);
+  out_of_range->sink_slot = 999;  // past the sink table: falls back
+  net.host(topo.left_host).inject(std::move(out_of_range));
+
+  net.sim().run();
+  EXPECT_EQ(net.stats(1).received, 2u);
+  EXPECT_EQ(net.stats(2).received, 1u);
+  EXPECT_EQ(dst.sink_label_hits(), 1u);
+  EXPECT_EQ(dst.sink_cache_hits() + dst.sink_cache_misses(), 2u);
+  EXPECT_EQ(dst.unclaimed(), 0u);
+}
+
 TEST(Network, PortUtilization) {
   Network net;
   const auto topo = build_dumbbell(net, 1e6, fifo_factory());
