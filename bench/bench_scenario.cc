@@ -158,6 +158,54 @@ int main() {
     report.add("mesh 3x3 failures", "flows=256", run_fabric(spec));
   }
 
+  // Fault plane under constant churn: all four fault families — link
+  // failures with flapping, switch crashes, capacity brown-outs and
+  // transient per-link loss — firing across the measured window, on the
+  // fan-in anchor fabric and on the mesh.  Each fabric runs with the
+  // invariant monitor off and then auditing at 4 Hz sim time, so the
+  // monitor-on deltas price the runtime self-checks (ledger sums plus
+  // admission and scheduler audits); the bar is <= 5% on the fan-in row.
+  // The per-target episode caps front-load every family's episodes, so
+  // churn is dense early and the warm window already sees faults.
+  auto set_fault_churn = [](scenario::ScenarioSpec& spec) {
+    spec.link_failure_rate = 2.0;
+    spec.link_repair_mean = 0.25;
+    spec.flap_prob = 0.25;
+    spec.node_crash_rate = 0.5;
+    spec.node_repair_mean = 0.25;
+    spec.brownout_rate = 1.0;
+    spec.brownout_fraction = 0.5;
+    spec.brownout_mean = 0.5;
+    spec.loss_rate = 1.0;
+    spec.loss_prob = 0.01;
+    spec.loss_mean = 0.5;
+  };
+  for (const bool monitor : {false, true}) {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kFanInTree;
+    spec.tree_depth = 2;
+    spec.tree_width = 4;
+    set_fault_churn(spec);
+    spec.invariant_cadence = monitor ? 0.25 : 0.0;
+    set_load(spec, 256, /*bottleneck_links=*/4, kLinkRate);
+    report.add("fault-plane fan_in d2w4",
+               std::string("flows=256 monitor=") + (monitor ? "on" : "off"),
+               run_fabric(spec));
+  }
+  for (const bool monitor : {false, true}) {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kMesh;
+    spec.mesh_rows = 3;
+    spec.mesh_cols = 3;
+    spec.long_flow_fraction = 0.5;
+    set_fault_churn(spec);
+    spec.invariant_cadence = monitor ? 0.25 : 0.0;
+    set_load(spec, 256, /*bottleneck_links=*/8, kLinkRate);
+    report.add("fault-plane mesh 3x3",
+               std::string("flows=256 monitor=") + (monitor ? "on" : "off"),
+               run_fabric(spec));
+  }
+
   // Flow-state scale: the same fan-in fabric with the flow count swept
   // to a million — hierarchical (two-level aggregate) scheduling, so
   // per-link scheduler state stays bounded while host sinks, sources and

@@ -46,6 +46,12 @@ for n in 1 4; do
   "$BUILD_DIR/scenario_run" --preset fan_in --scale smoke tree_depth=3 \
     arrival_rate=0 target_flows=8 --shards "$n" >/dev/null
 done
+# Chaos gate: every fault family at once (crashes, brown-outs, transient
+# loss, flapping links) with the invariant monitor auditing continuously.
+# scenario_run exits 1 on ANY structured violation, so a broken ledger or
+# an incoherent scheduler fails the gate — classic and sharded cores both.
+"$BUILD_DIR/scenario_run" --chaos run_seconds=10 >/dev/null
+"$BUILD_DIR/scenario_run" --chaos run_seconds=10 --shards 2 >/dev/null
 
 echo "== bench smoke =="
 # Keep the smoke outputs out of the repo root so the committed perf

@@ -191,6 +191,15 @@ bool AdmissionController::release(const FlowSpec& spec,
   return true;
 }
 
+void AdmissionController::set_link_rate(LinkId link, sim::Rate rate) {
+  assert(rate > 0);
+  links_.at(link).rate = rate;
+}
+
+sim::Rate AdmissionController::link_rate(LinkId link) const {
+  return links_.at(link).rate;
+}
+
 sim::Rate AdmissionController::guaranteed_rate(LinkId link) const {
   return links_.at(link).guaranteed_rate;
 }

@@ -80,6 +80,15 @@ class AdmissionController {
   /// Committed predicted token-rate sum on a link (diagnostic).
   [[nodiscard]] sim::Rate predicted_rate(LinkId link) const;
 
+  /// Re-rates a registered link (capacity brown-out / restore): both
+  /// criteria evaluate against the new μ from now on.  Commitments are
+  /// NOT touched — the caller re-validates admitted flows against the
+  /// reduced capacity and sheds the over-committed ones.
+  void set_link_rate(LinkId link, sim::Rate rate);
+
+  /// The rate a link is currently registered at (admission's μ).
+  [[nodiscard]] sim::Rate link_rate(LinkId link) const;
+
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:

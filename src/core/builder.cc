@@ -184,6 +184,13 @@ IspnNetwork::FlowHandle IspnNetwork::try_open_flow(const FlowSpec& spec) {
   assert(spec.valid());
   FlowHandle handle;
   handle.spec = spec;
+  // A partitioned destination (crashed switch, failed links) yields an
+  // EMPTY route; admission would vacuously accept the hop-less path and
+  // commit to a service no packet can receive.  Refuse instead.
+  if (net_.route(spec.src, spec.dst).empty()) {
+    handle.commitment.reason = "unreachable";
+    return handle;
+  }
   handle.links = route_links(spec.src, spec.dst);
   handle.commitment =
       admission_.request(spec, handle.links, net_.sim().now());

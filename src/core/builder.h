@@ -218,6 +218,14 @@ class IspnNetwork {
     return link_order_;
   }
 
+  /// The as-built rate of a registered QoS link.  Brown-outs re-rate
+  /// admission, measurement, schedulers and ports, but never this
+  /// baseline — restores multiply against it, so repeated episodes on one
+  /// link cannot compound rounding drift.
+  [[nodiscard]] sim::Rate link_base_rate(LinkId link) const {
+    return link_rates_.at(link);
+  }
+
   /// Directed inter-switch links on the current route src -> dst.
   [[nodiscard]] std::vector<LinkId> route_links(net::NodeId src,
                                                 net::NodeId dst) const;

@@ -67,6 +67,12 @@ class LinkMeasurement {
   /// up to `now`, unscaled.  Exposed for exact-value tests.
   [[nodiscard]] sim::Rate ewma_rate(sim::Time now);
 
+  /// Re-rates the link (capacity brown-out / restore): ν̂ normalizes
+  /// against the new μ from now on.  Raw bit meters are untouched — the
+  /// same measured traffic is simply a larger fraction of a browned-out
+  /// link, which is exactly the conservatism a degraded link needs.
+  void set_link_rate(sim::Rate rate) { config_.link_rate = rate; }
+
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:

@@ -1,0 +1,165 @@
+#include "fault/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ispn::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kNodeDown: return "node-down";
+    case FaultKind::kNodeUp: return "node-up";
+    case FaultKind::kBrownoutStart: return "brownout-start";
+    case FaultKind::kBrownoutEnd: return "brownout-end";
+    case FaultKind::kLossStart: return "loss-start";
+    case FaultKind::kLossEnd: return "loss-end";
+  }
+  return "?";
+}
+
+void FaultSpec::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("fault spec: " + what);
+  };
+  if (link_failure_rate < 0) fail("link_failure_rate must be >= 0");
+  if (node_crash_rate < 0) fail("node_crash_rate must be >= 0");
+  if (brownout_rate < 0) fail("brownout_rate must be >= 0");
+  if (loss_rate < 0) fail("loss_rate must be >= 0");
+  if (flap_prob < 0 || flap_prob > 1) fail("flap_prob must be in [0, 1]");
+  if (flap_prob > 0 && flap_burst_max < 1) {
+    fail("flap_burst_max must be >= 1 when flapping is enabled");
+  }
+  if (flap_prob > 0 && flap_gap_mean <= 0) {
+    fail("flap_gap_mean must be > 0 when flapping is enabled");
+  }
+  if (brownout_rate > 0 &&
+      (brownout_fraction <= 0 || brownout_fraction >= 1)) {
+    fail("brownout_fraction must be in (0, 1): a brown-out degrades "
+         "capacity, it neither kills the link (use link failures) nor "
+         "leaves it whole");
+  }
+  if (brownout_rate > 0 && brownout_mean <= 0) {
+    fail("brownout_mean must be > 0 when brown-outs are enabled");
+  }
+  if (loss_prob < 0 || loss_prob > 1) fail("loss_prob must be in [0, 1]");
+  if (loss_rate > 0 && loss_prob <= 0) {
+    fail("loss_rate is set but loss_prob is 0: episodes would drop nothing");
+  }
+  if (loss_rate > 0 && loss_mean <= 0) {
+    fail("loss_mean must be > 0 when loss episodes are enabled");
+  }
+}
+
+namespace {
+
+/// Per-target alternating start/end episodes shared by brown-outs and
+/// loss: start at exponential(1/rate) gaps, hold exponential(mean).  An
+/// episode whose end falls past the horizon stays active through the
+/// drain — the runner restores nothing it was never told to.
+void draw_episodes(FaultSchedule& out, sim::Rng& rng, net::NodeId a,
+                   net::NodeId b, double rate, sim::Duration mean,
+                   FaultKind start, FaultKind end, double value,
+                   sim::Duration horizon) {
+  sim::Time t = 0;
+  for (int k = 0; k < kMaxEpisodesPerTarget; ++k) {
+    t += rng.exponential(1.0 / rate);
+    if (t >= horizon) break;
+    out.push_back({t, start, a, b, value});
+    t += rng.exponential(mean);
+    if (t >= horizon) break;
+    out.push_back({t, end, a, b, 0.0});
+  }
+}
+
+}  // namespace
+
+FaultSchedule draw_schedule(
+    const FaultSpec& spec,
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& links,
+    const std::vector<net::NodeId>& switches, std::uint64_t seed,
+    sim::Duration horizon) {
+  spec.validate();
+  FaultSchedule out;
+
+  // Link failures: PR 6's exact draw sequence on stream 0xFA11 — per
+  // link in registration order, alternating exponential down/up gaps,
+  // capped episodes.  Flap decisions and flap gaps come from their OWN
+  // stream, drawn once per recovery, so flap_prob = 0 reproduces the
+  // original schedule byte-for-byte (bernoulli(0) is always false but
+  // consumes only the flap stream).
+  if (spec.link_failure_rate > 0) {
+    sim::Rng frng(seed, kLinkFaultStream);
+    sim::Rng flap_rng(seed, kFlapStream);
+    for (const auto& [a, b] : links) {
+      sim::Time t = 0;
+      for (int k = 0; k < kMaxEpisodesPerTarget; ++k) {
+        t += frng.exponential(1.0 / spec.link_failure_rate);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::kLinkDown, a, b, 0.0});
+        if (spec.link_repair_mean <= 0) break;  // no repair: stays down
+        t += frng.exponential(spec.link_repair_mean);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::kLinkUp, a, b, 0.0});
+        // A recovery may come back as a flap burst: short down/up pairs
+        // right after the repair (same-window flaps included — ctl()
+        // quantization may collapse a pair onto one barrier, where the
+        // down then the up execute back to back in registration order).
+        if (spec.flap_prob > 0 && flap_rng.bernoulli(spec.flap_prob)) {
+          const int burst =
+              1 + static_cast<int>(flap_rng.below(
+                      static_cast<std::uint64_t>(spec.flap_burst_max)));
+          for (int f = 0; f < burst; ++f) {
+            t += flap_rng.exponential(spec.flap_gap_mean);
+            if (t >= horizon) break;
+            out.push_back({t, FaultKind::kLinkDown, a, b, 0.0});
+            t += flap_rng.exponential(spec.flap_gap_mean);
+            if (t >= horizon) break;
+            out.push_back({t, FaultKind::kLinkUp, a, b, 0.0});
+          }
+          if (t >= horizon) break;
+        }
+      }
+    }
+  }
+
+  // Switch crashes: per switch in ascending id order.
+  if (spec.node_crash_rate > 0) {
+    sim::Rng nrng(seed, kNodeFaultStream);
+    for (const net::NodeId node : switches) {
+      sim::Time t = 0;
+      for (int k = 0; k < kMaxEpisodesPerTarget; ++k) {
+        t += nrng.exponential(1.0 / spec.node_crash_rate);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::kNodeDown, node, -1, 0.0});
+        if (spec.node_repair_mean <= 0) break;
+        t += nrng.exponential(spec.node_repair_mean);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::kNodeUp, node, -1, 0.0});
+      }
+    }
+  }
+
+  if (spec.brownout_rate > 0) {
+    sim::Rng brng(seed, kBrownoutStream);
+    for (const auto& [a, b] : links) {
+      draw_episodes(out, brng, a, b, spec.brownout_rate, spec.brownout_mean,
+                    FaultKind::kBrownoutStart, FaultKind::kBrownoutEnd,
+                    spec.brownout_fraction, horizon);
+    }
+  }
+
+  if (spec.loss_rate > 0) {
+    sim::Rng lrng(seed, kLossEpisodeStream);
+    for (const auto& [a, b] : links) {
+      draw_episodes(out, lrng, a, b, spec.loss_rate, spec.loss_mean,
+                    FaultKind::kLossStart, FaultKind::kLossEnd,
+                    spec.loss_prob, horizon);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace ispn::fault

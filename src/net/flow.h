@@ -66,6 +66,15 @@ struct FlowStats {
   /// queue, or arriving at a switch with no route (partition).  Kept apart
   /// from net_drops so the conservation ledger attributes every loss.
   Counter failed_link_drops;
+  /// Casualties of a switch crash: queued or in flight on a link whose
+  /// endpoint node went down (the whole incident star flushes at once).
+  /// Kept apart from failed_link_drops so the ledger attributes a crash
+  /// to the node, not to eight coincidental "link" failures.
+  Counter node_failure_drops;
+  /// Dropped by injected transient faults (per-link Bernoulli loss
+  /// episodes): the packet consumed the wire — it was transmitted — but
+  /// never arrived.  A fault-plane bucket, not congestion or topology.
+  Counter fault_drops;
   std::uint64_t received = 0;      ///< delivered to the sink
   sim::Bits bits_received = 0;
 

@@ -25,8 +25,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "net/node.h"
@@ -64,7 +66,11 @@ class LinkMailbox {
     e.arrival = now + latency_;
     e.pool = p.get_deleter().pool;
     e.packet = p.release();
-    if (!ring_.try_push(e)) overflow_.push_back(e);
+    in_transit_.fetch_add(1, std::memory_order_relaxed);
+    if (!ring_.try_push(e)) {
+      overflow_.push_back(e);
+      ++spills_;
+    }
     // Ring first, overflow second: the consumer only runs at barriers, so
     // once a window spills, ALL later pushes of that window spill too —
     // draining the ring before the vector preserves push order.
@@ -95,6 +101,18 @@ class LinkMailbox {
   [[nodiscard]] sim::Duration latency() const { return latency_; }
   [[nodiscard]] std::size_t ring_capacity() const { return ring_.capacity(); }
 
+  /// Packets pushed but not yet delivered to the destination node: in the
+  /// ring/overflow, or drained but still waiting on their arrival event.
+  /// The invariant monitor's mid-run conservation audit needs this term —
+  /// a packet "on the wire" between domains is in nobody's queue.
+  [[nodiscard]] std::uint64_t in_transit() const {
+    return in_transit_.load(std::memory_order_relaxed);
+  }
+
+  /// Pushes that overflowed the BDP-sized ring onto the spill vector
+  /// (lifetime total; the burst-overflow regression test pins this > 0).
+  [[nodiscard]] std::uint64_t spills() const { return spills_; }
+
  private:
   struct Entry {
     sim::Time arrival = 0;
@@ -103,11 +121,15 @@ class LinkMailbox {
   };
 
   void deliver(const Entry& e) {
-    // 24-byte capture: stays inside InlineAction's inline storage.
+    // 32-byte capture: stays inside InlineAction's inline storage (48).
+    // The in-transit decrement rides the arrival event itself, so the
+    // count stays exact through the drained-but-not-yet-arrived window.
     Node* peer = peer_;
     Packet* pkt = e.packet;
     PacketPool* pool = e.pool;
-    dst_sim_->at(e.arrival, [peer, pkt, pool] {
+    std::atomic<std::uint64_t>* transit = &in_transit_;
+    dst_sim_->at(e.arrival, [peer, pkt, pool, transit] {
+      transit->fetch_sub(1, std::memory_order_relaxed);
       peer->receive(PacketPtr(pkt, PacketDeleter{pool}));
     });
   }
@@ -117,6 +139,8 @@ class LinkMailbox {
   Node* peer_;
   util::SpscRing<Entry> ring_;
   std::vector<Entry> overflow_;
+  std::atomic<std::uint64_t> in_transit_{0};
+  std::uint64_t spills_ = 0;  ///< producer-written, read at barriers only
 };
 
 }  // namespace ispn::net

@@ -133,8 +133,19 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
                                        std::move(scheduler), to_node);
     port->add_drop_hook(
         [this](const Packet& p, sim::Time) { ++hot_stats(p.flow).net_drops; });
-    port->add_link_drop_hook([this](const Packet& p, sim::Time) {
-      ++hot_stats(p.flow).failed_link_drops;
+    // Attribute by cause at flush time: when either endpoint switch is
+    // down the casualty belongs to the CRASH (set_node_up inserts the
+    // node before flushing its star, so the hook observes the cause),
+    // otherwise to the link failure.
+    port->add_link_drop_hook([this, from, to](const Packet& p, sim::Time) {
+      if (down_nodes_.contains(from) || down_nodes_.contains(to)) {
+        ++hot_stats(p.flow).node_failure_drops;
+      } else {
+        ++hot_stats(p.flow).failed_link_drops;
+      }
+    });
+    port->add_fault_drop_hook([this](const Packet& p, sim::Time) {
+      ++hot_stats(p.flow).fault_drops;
     });
     if (sharded_ && switch_link) {
       // Directed mailbox from->to.  Ring sized to the link's bandwidth-
@@ -142,8 +153,11 @@ void Network::connect_impl(NodeId a, NodeId b, sim::Rate rate,
       // barrier-quantized drain cadence; the overflow vector absorbs
       // anything beyond (clamped so degenerate parameters stay sane).
       const double bdp_pkts = 4.0 * rate * link_latency_ / 1000.0 + 64.0;
-      const std::size_t cap = static_cast<std::size_t>(
-          std::min(std::max(bdp_pkts, 256.0), 65536.0));
+      const std::size_t cap =
+          mailbox_cap_override_ > 0
+              ? mailbox_cap_override_
+              : static_cast<std::size_t>(
+                    std::min(std::max(bdp_pkts, 256.0), 65536.0));
       mailboxes_.push_back(std::make_unique<LinkMailbox>(
           link_latency_, sim_for(to), *to_node, cap));
       port->set_handoff(mailboxes_.back().get());
@@ -199,6 +213,21 @@ void Network::rebuild_routes() {
   }
 }
 
+void Network::apply_port_state(NodeId a, NodeId b) {
+  // Ports track the EFFECTIVE state (link AND both endpoint nodes).
+  // Transitions flush; non-transitions are no-ops, so flipping one cause
+  // while another keeps the link down never double-flushes or wrongly
+  // resurrects a port.
+  const bool eff = effective_link_up(a, b);
+  const sim::Time now = sim_.now();
+  if (Port* p = port(a, b)) {
+    if (p->link_up() != eff) p->set_link_up(eff, now);
+  }
+  if (Port* p = port(b, a)) {
+    if (p->link_up() != eff) p->set_link_up(eff, now);
+  }
+}
+
 void Network::set_link_up(NodeId a, NodeId b, bool up) {
   assert(link_rate_.contains({a, b}) && "no such link");
   const auto key = undirected(a, b);
@@ -208,10 +237,44 @@ void Network::set_link_up(NodeId a, NodeId b, bool up) {
   } else {
     down_links_.insert(key);
   }
-  const sim::Time now = sim_.now();
-  if (Port* p = port(a, b)) p->set_link_up(up, now);
-  if (Port* p = port(b, a)) p->set_link_up(up, now);
+  apply_port_state(a, b);
   rebuild_routes();
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  assert(!is_host_.at(node) && "only switches crash");
+  if (up != down_nodes_.contains(node)) return;  // already in that state
+  // Membership flips FIRST so the link-drop hooks firing during the
+  // incident-star flush see the crash and attribute casualties to
+  // node_failure_drops, and so apply_port_state computes the new
+  // effective states.
+  if (up) {
+    down_nodes_.erase(node);
+  } else {
+    down_nodes_.insert(node);
+  }
+  for (const NodeId v : adjacency_.at(node)) apply_port_state(node, v);
+  rebuild_routes();  // once, after the whole star transitioned
+}
+
+void Network::set_link_rate(NodeId a, NodeId b, sim::Rate rate) {
+  assert(link_rate_.contains({a, b}) && "no such link");
+  link_rate_[{a, b}] = rate;
+  link_rate_[{b, a}] = rate;
+  if (Port* p = port(a, b)) p->set_rate(rate);
+  if (Port* p = port(b, a)) p->set_rate(rate);
+}
+
+std::uint64_t Network::handoff_in_transit() const {
+  std::uint64_t n = 0;
+  for (const auto& mb : mailboxes_) n += mb->in_transit();
+  return n;
+}
+
+std::uint64_t Network::mailbox_spills() const {
+  std::uint64_t n = 0;
+  for (const auto& mb : mailboxes_) n += mb->spills();
+  return n;
 }
 
 Port* Network::port(NodeId from, NodeId to) {
@@ -226,7 +289,9 @@ void Network::attach_stats_sink(FlowId flow, NodeId dst, FlowSink* next) {
 }
 
 std::vector<NodeId> Network::route(NodeId src, NodeId dst) const {
-  if (down_links_.empty()) return shortest_path(adjacency_, src, dst);
+  if (down_links_.empty() && down_nodes_.empty()) {
+    return shortest_path(adjacency_, src, dst);
+  }
   return shortest_path(active_adjacency(), src, dst);
 }
 

@@ -140,14 +140,60 @@ class Network {
   /// failed_link_drops.  No-op when the link is already in that state.
   void set_link_up(NodeId a, NodeId b, bool up);
 
-  /// True when the a<->b link is currently up.
+  /// True when the a<->b link is itself up (its OWN state: a crashed
+  /// endpoint does not flip this — see effective_link_up).
   [[nodiscard]] bool link_up(NodeId a, NodeId b) const {
     return !down_links_.contains(undirected(a, b));
   }
 
-  /// The as-built graph minus currently failed links.
+  /// True when packets can actually traverse a<->b: the link is up AND
+  /// neither endpoint switch has crashed.
+  [[nodiscard]] bool effective_link_up(NodeId a, NodeId b) const {
+    return link_up(a, b) && !down_nodes_.contains(a) &&
+           !down_nodes_.contains(b);
+  }
+
+  /// Crashes (up=false) or recovers (up=true) a switch: every incident
+  /// link's ports go down ATOMICALLY (queued and in-flight packets flush
+  /// into the owning flows' node_failure_drops bucket), then routes are
+  /// recomputed ONCE.  Recovery restores only links that are themselves
+  /// up (a link that failed independently stays down).  No-op when the
+  /// node is already in that state.
+  void set_node_up(NodeId node, bool up);
+
+  /// True when the switch has not crashed.
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return !down_nodes_.contains(node);
+  }
+
+  /// Re-rates the duplex link a<->b (capacity brown-out / restore): both
+  /// ports transmit at `rate` from now on.  Schedulers, measurement and
+  /// admission are re-rated by their owners (core::IspnNetwork).
+  void set_link_rate(NodeId a, NodeId b, sim::Rate rate);
+
+  /// The current (possibly browned-out) rate of link a->b.
+  [[nodiscard]] sim::Rate link_rate(NodeId a, NodeId b) const {
+    return link_rate_.at({a, b});
+  }
+
+  /// The as-built graph minus failed links and crashed switches.
   [[nodiscard]] Adjacency active_adjacency() const {
-    return filter_adjacency(adjacency_, down_links_);
+    return filter_adjacency(adjacency_, down_links_, down_nodes_);
+  }
+
+  /// Packets currently inside cross-domain mailboxes or scheduled but not
+  /// yet arrived (sharded runs; 0 otherwise).  A mid-run conservation
+  /// audit must count these: they are in no port's queue.
+  [[nodiscard]] std::uint64_t handoff_in_transit() const;
+
+  /// Lifetime total of mailbox ring overflows across every link.
+  [[nodiscard]] std::uint64_t mailbox_spills() const;
+
+  /// Forces every subsequently created mailbox ring to `cap` entries
+  /// (test hook: a tiny ring exercises the barrier-only spill path under
+  /// bursts no sane BDP sizing would overflow).  Call before connect().
+  void set_mailbox_capacity_override(std::size_t cap) {
+    mailbox_cap_override_ = cap;
   }
 
   /// Reinstalls next-hop tables over the active adjacency (what
@@ -188,6 +234,10 @@ class Network {
   void connect_impl(NodeId a, NodeId b, sim::Rate rate,
                     const LinkSchedulerFactory& make_scheduler);
 
+  /// Drives both ports of a<->b to their effective state (link state AND
+  /// endpoint node state combined), flushing on a transition to down.
+  void apply_port_state(NodeId a, NodeId b);
+
   /// Per-flow stats record for packet-path hooks: find-only in sharded
   /// mode (entries are pre-created at flow-open time on the control
   /// thread, via attach_stats_sink or an explicit stats() call; a map
@@ -215,7 +265,9 @@ class Network {
   std::map<NodeId, bool> is_host_;
   Adjacency adjacency_;
   std::set<std::pair<NodeId, NodeId>> down_links_;  // undirected (min,max)
+  std::set<NodeId> down_nodes_;                     // crashed switches
   std::map<std::pair<NodeId, NodeId>, sim::Rate> link_rate_;
+  std::size_t mailbox_cap_override_ = 0;  // 0: BDP-sized (the default)
   std::map<FlowId, FlowStats> stats_;
   std::vector<std::unique_ptr<FlowSink>> sinks_;
 };

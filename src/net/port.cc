@@ -50,6 +50,9 @@ void Port::send(PacketPtr p) {
 }
 
 void Port::try_start() {
+  // Infinitely fast ports deliver inline in send() and own no scheduler;
+  // a state-change poll (link or node recovery) has nothing to restart.
+  if (rate_ <= 0) return;
   if (!link_up_ || busy_ || scheduler_->empty()) return;
   // Non-work-conserving disciplines may hold packets: wait until the
   // scheduler's next eligibility instant, re-arming if it moves earlier.
@@ -85,12 +88,36 @@ void Port::complete() {
   ++transmitted_;
   bits_sent_ += p->size_bits;
   for (const auto& hook : on_tx_) hook(*p, sim_.now());
+  // Injected transient loss: the packet consumed the wire (tx accounting
+  // above stands — utilization and measurement saw it) but is destroyed
+  // before delivery.  Drawn after tx, before handoff, so the draw count
+  // per port is exactly its transmissions while the episode is active.
+  if (loss_prob_ > 0 && loss_rng_.bernoulli(loss_prob_)) {
+    ++fault_drops_;
+    for (const auto& hook : on_fault_drop_) hook(*p, sim_.now());
+    p.reset();  // pooled storage returns to its PacketPool
+    try_start();
+    return;
+  }
   if (handoff_ != nullptr) {
     handoff_->push(std::move(p), sim_.now());
   } else {
     peer_->receive(std::move(p));
   }
   try_start();
+}
+
+void Port::set_rate(sim::Rate rate) {
+  assert(rate_ > 0 && "cannot re-rate an infinitely fast link");
+  assert(rate > 0 && "brown-out to zero is a link failure, not a re-rate");
+  rate_ = rate;
+  // The in-flight packet's completion stays armed at the instant committed
+  // when it was dequeued; only future dequeues see the new rate.
+}
+
+void Port::set_loss(double prob, std::uint64_t seed, std::uint64_t stream) {
+  loss_prob_ = prob > 0 ? prob : 0;
+  if (loss_prob_ > 0) loss_rng_ = sim::Rng(seed, stream);
 }
 
 void Port::link_drop(PacketPtr p, sim::Time now) {

@@ -36,6 +36,7 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "sched/scheduler.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 
@@ -68,6 +69,12 @@ class Port {
   void add_link_drop_hook(DropHook hook) {
     on_link_drop_.push_back(std::move(hook));
   }
+  /// Third bucket: packets destroyed by an INJECTED transient fault (the
+  /// Bernoulli loss episodes of the fault plane).  They consumed the wire
+  /// — transmitted() and the tx hooks count them — but never arrive.
+  void add_fault_drop_hook(DropHook hook) {
+    on_fault_drop_.push_back(std::move(hook));
+  }
 
   /// Routes transmit-completions through a cross-domain mailbox instead
   /// of delivering inline to the peer (sharded runs; see net/handoff.h).
@@ -82,6 +89,21 @@ class Port {
   void set_link_up(bool up, sim::Time now);
   [[nodiscard]] bool link_up() const { return link_up_; }
 
+  /// Re-rates the transmitter (capacity brown-out / restore).  The packet
+  /// already on the wire completes at its committed instant; packets
+  /// dequeued afterwards transmit at the new rate.  Only meaningful on
+  /// finite-rate ports, and the new rate must stay positive — a dead link
+  /// is set_link_up(false), not rate 0.
+  void set_rate(sim::Rate rate);
+
+  /// Arms (prob > 0) or disarms (prob <= 0) per-packet Bernoulli loss on
+  /// this direction.  The draw sequence comes from a dedicated Rng
+  /// (re)seeded here, so an episode's drops are a function of (seed,
+  /// stream, packets transmitted since the episode began) — identical
+  /// across shard counts and backends.
+  void set_loss(double prob, std::uint64_t seed, std::uint64_t stream);
+  [[nodiscard]] double loss_prob() const { return loss_prob_; }
+
   [[nodiscard]] sim::Rate rate() const { return rate_; }
   [[nodiscard]] Node& peer() const { return *peer_; }
   [[nodiscard]] sched::Scheduler& scheduler() { return *scheduler_; }
@@ -92,6 +114,9 @@ class Port {
   /// Packets lost to link failure (in flight, queued at failure, or
   /// offered while down).  Never overlaps drops().
   [[nodiscard]] std::uint64_t link_drops() const { return link_drops_; }
+  /// Packets destroyed by injected loss episodes.  Never overlaps either
+  /// drops() or link_drops().
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
   [[nodiscard]] sim::Bits bits_sent() const { return bits_sent_; }
 
   /// Link utilisation over [0, now] (bits sent / capacity).
@@ -109,6 +134,7 @@ class Port {
   LinkMailbox* handoff_ = nullptr;
   std::vector<DropHook> on_drop_;
   std::vector<DropHook> on_link_drop_;
+  std::vector<DropHook> on_fault_drop_;
   std::vector<TxHook> on_tx_;
 
   PacketPtr in_flight_;
@@ -119,7 +145,10 @@ class Port {
   std::uint64_t transmitted_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t link_drops_ = 0;
+  std::uint64_t fault_drops_ = 0;
   sim::Bits bits_sent_ = 0;
+  double loss_prob_ = 0;  ///< injected Bernoulli loss; 0 = off
+  sim::Rng loss_rng_;     ///< (re)seeded by set_loss per episode
 };
 
 }  // namespace ispn::net

@@ -42,6 +42,23 @@ Adjacency filter_adjacency(const Adjacency& adj,
   return out;
 }
 
+Adjacency filter_adjacency(const Adjacency& adj,
+                           const std::set<std::pair<NodeId, NodeId>>& down,
+                           const std::set<NodeId>& down_nodes) {
+  if (down_nodes.empty()) return filter_adjacency(adj, down);
+  Adjacency out;
+  for (const auto& [node, neighbors] : adj) {
+    auto& kept = out[node];  // keep the node even if fully isolated
+    if (down_nodes.contains(node)) continue;  // crashed: no usable links
+    kept.reserve(neighbors.size());
+    for (NodeId v : neighbors) {
+      if (down_nodes.contains(v)) continue;
+      if (!down.contains(undirected(node, v))) kept.push_back(v);
+    }
+  }
+  return out;
+}
+
 NextHops compute_next_hops(const Adjacency& adj, NodeId source) {
   const auto parent = bfs_parents(adj, source);
   NextHops hops;

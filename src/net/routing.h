@@ -47,6 +47,13 @@ using FailureSchedule = std::vector<LinkEvent>;
 [[nodiscard]] Adjacency filter_adjacency(
     const Adjacency& adj, const std::set<std::pair<NodeId, NodeId>>& down);
 
+/// As above, additionally severing every link incident to a node in
+/// `down_nodes` (a crashed switch): the node stays in the graph —
+/// isolated — so routing tie-breaks elsewhere are untouched.
+[[nodiscard]] Adjacency filter_adjacency(
+    const Adjacency& adj, const std::set<std::pair<NodeId, NodeId>>& down,
+    const std::set<NodeId>& down_nodes);
+
 /// Computes next hops from `source` to every reachable destination.
 [[nodiscard]] NextHops compute_next_hops(const Adjacency& adj, NodeId source);
 

@@ -41,6 +41,7 @@ const char* to_string(AdmissionDecision::Kind kind) {
     case AdmissionDecision::Kind::kRerouted: return "rerouted";
     case AdmissionDecision::Kind::kDegraded: return "degraded";
     case AdmissionDecision::Kind::kOrphaned: return "orphaned";
+    case AdmissionDecision::Kind::kRestored: return "restored";
   }
   return "?";
 }
@@ -71,10 +72,23 @@ void ScenarioReport::to_text(std::ostream& out) const {
         << " link-up; flows rerouted " << flows_rerouted << ", degraded "
         << flows_degraded << ", orphaned " << flows_orphaned << "\n";
   }
+  if (nodes_crashed > 0 || brownouts > 0 || loss_episodes > 0 ||
+      flows_restored > 0 || restore_attempts > 0) {
+    out << "faults: " << nodes_crashed << " crashes, " << nodes_recovered
+        << " recoveries, " << brownouts << " brownouts, " << loss_episodes
+        << " loss episodes; flows restored " << flows_restored << "/"
+        << restore_attempts << " attempts\n";
+  }
+  if (invariant_audits > 0 || invariant_violations > 0) {
+    out << "invariants: " << invariant_audits << " audits, "
+        << invariant_violations << " violations"
+        << (invariant_violations == 0 ? "  [OK]" : "  [VIOLATED]") << "\n";
+  }
   out << "conservation: generated " << generated << " = source_drops "
       << source_drops << " + injected " << injected << "; injected = delivered "
       << delivered << " + net_drops " << net_drops << " + failed_link "
-      << failed_link_drops << " + queued " << queued_end
+      << failed_link_drops << " + node_failure " << node_failure_drops
+      << " + fault " << fault_drops << " + queued " << queued_end
       << " + unclaimed " << unclaimed
       << (conserved() ? "  [OK]" : "  [VIOLATED]") << "\n";
   out << "lookup caches: route " << route_cache_hits << " hits / "
@@ -110,6 +124,8 @@ void ScenarioReport::to_json(std::ostream& out) const {
       << ", \"source_drops\": " << source_drops << ", \"injected\": "
       << injected << ", \"delivered\": " << delivered << ", \"net_drops\": "
       << net_drops << ", \"failed_link_drops\": " << failed_link_drops
+      << ", \"node_failure_drops\": " << node_failure_drops
+      << ", \"fault_drops\": " << fault_drops
       << ", \"queued_end\": " << queued_end
       << ", \"unclaimed\": " << unclaimed << " },\n";
   out << "  \"caches\": { \"route_hits\": " << route_cache_hits
@@ -126,6 +142,14 @@ void ScenarioReport::to_json(std::ostream& out) const {
       << ", \"links_repaired\": " << links_repaired << ", \"rerouted\": "
       << flows_rerouted << ", \"degraded\": " << flows_degraded
       << ", \"orphaned\": " << flows_orphaned << " },\n";
+  out << "  \"faults\": { \"nodes_crashed\": " << nodes_crashed
+      << ", \"nodes_recovered\": " << nodes_recovered
+      << ", \"brownouts\": " << brownouts
+      << ", \"loss_episodes\": " << loss_episodes
+      << ", \"flows_restored\": " << flows_restored
+      << ", \"restore_attempts\": " << restore_attempts
+      << ", \"invariant_audits\": " << invariant_audits
+      << ", \"invariant_violations\": " << invariant_violations << " },\n";
   out << "  \"classes\": {\n";
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const ClassStats& c = classes[i];

@@ -30,6 +30,7 @@ struct AdmissionDecision {
     kRerouted,   ///< path failed; re-admitted on the new shortest path
     kDegraded,   ///< path failed; refused re-admission, now datagram
     kOrphaned,   ///< path failed; destination unreachable, torn down
+    kRestored,   ///< degraded flow re-admitted at its original service
   };
   sim::Time time = 0;
   net::FlowId flow = net::kNoFlow;
@@ -104,7 +105,7 @@ struct ScenarioReport {
   // ---- packet conservation ledger -------------------------------------
   // generated == source_drops + injected           (edge policing)
   // injected  == delivered + net_drops + failed_link_drops
-  //              + queued_end + unclaimed
+  //              + node_failure_drops + fault_drops + queued_end + unclaimed
   std::uint64_t generated = 0;
   std::uint64_t source_drops = 0;
   std::uint64_t injected = 0;
@@ -113,6 +114,12 @@ struct ScenarioReport {
   /// Lost to topology churn (on a failing link, expelled by a reroute, or
   /// stranded by a partition) — never silently dropped from the ledger.
   std::uint64_t failed_link_drops = 0;
+  /// Crash casualties: packets flushed when a switch went down (every
+  /// incident port's queue at once).
+  std::uint64_t node_failure_drops = 0;
+  /// Injected transient loss: the packet consumed the wire but was
+  /// destroyed before delivery (fault-plane loss episodes).
+  std::uint64_t fault_drops = 0;
   std::uint64_t queued_end = 0;
   std::uint64_t unclaimed = 0;
 
@@ -129,6 +136,16 @@ struct ScenarioReport {
   std::uint64_t flows_rerouted = 0;   ///< re-admitted on a new path
   std::uint64_t flows_degraded = 0;   ///< refused; carried on as datagram
   std::uint64_t flows_orphaned = 0;   ///< unreachable; torn down
+
+  // ---- fault plane -----------------------------------------------------
+  std::uint64_t nodes_crashed = 0;    ///< switch-crash events applied
+  std::uint64_t nodes_recovered = 0;  ///< switch-recovery events applied
+  std::uint64_t brownouts = 0;        ///< brown-out episodes started
+  std::uint64_t loss_episodes = 0;    ///< loss episodes started
+  std::uint64_t flows_restored = 0;   ///< degraded flows re-admitted
+  std::uint64_t restore_attempts = 0; ///< re-admission offers (incl. failed)
+  std::uint64_t invariant_audits = 0;     ///< monitor sweeps completed
+  std::uint64_t invariant_violations = 0; ///< violations the monitor found
 
   // ---- flow-locality caches -------------------------------------------
   // Direct-mapped lookup caches (DEC-TR-592) on the per-packet hot paths,
@@ -151,7 +168,8 @@ struct ScenarioReport {
   [[nodiscard]] bool conserved() const {
     return generated == source_drops + injected &&
            injected == delivered + net_drops + failed_link_drops +
-                           queued_end + unclaimed;
+                           node_failure_drops + fault_drops + queued_end +
+                           unclaimed;
   }
   [[nodiscard]] double admission_ratio() const {
     return flows_offered == 0 ? 1.0

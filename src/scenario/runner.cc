@@ -20,13 +20,6 @@ namespace {
 /// streams above 2^32 keeps them disjoint from any small constant.
 constexpr std::uint64_t kWorkloadStream = 0xFAB;
 constexpr std::uint64_t kSourceStreamBase = 1ull << 32;
-/// Failure-schedule stream: drawn entirely at prepare(), so link churn
-/// never perturbs the workload stream's call order.
-constexpr std::uint64_t kFailureStream = 0xFA11;
-/// Generated-schedule cap per link — bounds the schedule even for specs
-/// with an effectively unbounded horizon (bench drives run_seconds=1e9).
-constexpr int kMaxFailuresPerLink = 8;
-
 }  // namespace
 
 void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time) {
@@ -105,6 +98,10 @@ void ScenarioRunner::prepare() {
     aggs_.resize(1);
   }
   schedule_failures();
+  if (spec_.invariant_cadence > 0) {
+    monitor_ = std::make_unique<InvariantMonitor>(ispn_);
+    schedule_audit();
+  }
   arrival_deadline_ = spec_.arrival_window > 0
                           ? std::min(spec_.arrival_window, spec_.run_seconds)
                           : spec_.run_seconds;
@@ -150,32 +147,61 @@ void ScenarioRunner::schedule_failures() {
     if (f.up_at >= 0) schedule.push_back({f.up_at, f.src, f.dst, true});
   }
 
-  // Seeded generator: per undirected QoS link, alternating exponential
-  // down/up times.  The whole schedule is drawn here, in link
-  // registration order, off a dedicated Rng stream — byte-reproducible
-  // and independent of everything the workload stream does.
-  if (spec_.link_failure_rate > 0) {
-    sim::Rng frng(spec_.seed, kFailureStream);
-    std::set<std::pair<net::NodeId, net::NodeId>> seen;
-    for (const core::LinkId& link : ispn_.links()) {
-      const auto key = net::undirected(link.first, link.second);
-      if (!seen.insert(key).second) continue;  // other direction, same link
-      sim::Time t = 0;
-      for (int k = 0; k < kMaxFailuresPerLink; ++k) {
-        t += frng.exponential(1.0 / spec_.link_failure_rate);
-        if (t >= spec_.run_seconds) break;
-        schedule.push_back({t, key.first, key.second, false});
-        if (spec_.link_repair_mean <= 0) break;  // no repair: stays down
-        t += frng.exponential(spec_.link_repair_mean);
-        if (t >= spec_.run_seconds) break;
-        schedule.push_back({t, key.first, key.second, true});
-      }
-    }
-  }
-
   for (const net::LinkEvent& ev : schedule) {
     net().sim().at(ctl(ev.time),
                    [this, ev] { on_link_event(ev.a, ev.b, ev.up); });
+  }
+
+  // Seeded generator: the fault plane (src/fault) draws the complete
+  // multi-family schedule up front on dedicated Rng streams — link
+  // failures byte-identical to the PR 6 generator, plus switch crashes,
+  // brown-outs, loss episodes and flap bursts on their own streams — so
+  // fault churn never perturbs the workload stream's call order, and
+  // enabling one family never moves another family's events.
+  const fault::FaultSpec fspec = spec_.fault_spec();
+  if (!fspec.any()) return;
+  std::vector<std::pair<net::NodeId, net::NodeId>> ulinks;
+  std::set<std::pair<net::NodeId, net::NodeId>> seen;
+  for (const core::LinkId& link : ispn_.links()) {
+    const auto key = net::undirected(link.first, link.second);
+    if (seen.insert(key).second) ulinks.push_back(key);
+  }
+  std::vector<net::NodeId> switches;
+  for (const auto& [id, neighbors] : net().adjacency()) {
+    (void)neighbors;
+    if (!net().is_host(id)) switches.push_back(id);  // map order: ascending
+  }
+  const fault::FaultSchedule faults = fault::draw_schedule(
+      fspec, ulinks, switches, spec_.seed, spec_.run_seconds);
+  for (const fault::FaultEvent& ev : faults) {
+    switch (ev.kind) {
+      case fault::FaultKind::kLinkDown:
+      case fault::FaultKind::kLinkUp:
+        net().sim().at(ctl(ev.time), [this, ev] {
+          on_link_event(ev.a, ev.b, ev.kind == fault::FaultKind::kLinkUp);
+        });
+        break;
+      case fault::FaultKind::kNodeDown:
+      case fault::FaultKind::kNodeUp:
+        net().sim().at(ctl(ev.time), [this, ev] {
+          on_node_event(ev.a, ev.kind == fault::FaultKind::kNodeUp);
+        });
+        break;
+      case fault::FaultKind::kBrownoutStart:
+      case fault::FaultKind::kBrownoutEnd:
+        net().sim().at(ctl(ev.time), [this, ev] {
+          on_brownout(ev.a, ev.b,
+                      ev.kind == fault::FaultKind::kBrownoutStart, ev.value);
+        });
+        break;
+      case fault::FaultKind::kLossStart:
+      case fault::FaultKind::kLossEnd:
+        net().sim().at(ctl(ev.time), [this, ev] {
+          on_loss(ev.a, ev.b, ev.kind == fault::FaultKind::kLossStart,
+                  ev.value);
+        });
+        break;
+    }
   }
 }
 
@@ -198,9 +224,203 @@ void ScenarioRunner::on_link_event(net::NodeId a, net::NodeId b, bool up) {
   }
 }
 
+void ScenarioRunner::on_node_event(net::NodeId node, bool up) {
+  if (net().node_up(node) == up) return;  // overlapping events collapse
+  if (up) {
+    ++nodes_recovered_;
+    net().set_node_up(node, true);
+    // Recovery can shorten the path of flows that never touched this
+    // switch, so it sweeps everything (same rule as a link repair).
+    revalidate_flows(active_);
+    return;
+  }
+  ++nodes_crashed_;
+  // Gather the union of flows crossing ANY incident link before the
+  // flush — the per-link index is exact for downs, and a crash is one
+  // atomic down of the whole incident star.
+  std::vector<net::FlowId> affected;
+  for (const net::NodeId v : net().adjacency().at(node)) {
+    const std::vector<net::FlowId> crossing = ispn_.flows_crossing(node, v);
+    affected.insert(affected.end(), crossing.begin(), crossing.end());
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  // One call: flips membership first (so the port-flush hooks attribute
+  // casualties to node_failure_drops), transitions every incident port,
+  // then recomputes routes ONCE for the whole star.
+  net().set_node_up(node, false);
+  revalidate_flows(affected);
+}
+
+void ScenarioRunner::on_brownout(net::NodeId a, net::NodeId b, bool start,
+                                 double fraction) {
+  const sim::Time now = net().sim().now();
+  if (start) ++brownouts_;
+  const core::LinkId fwd{a, b};
+  const core::LinkId rev{b, a};
+  const sim::Rate target =
+      start ? ispn_.link_base_rate(fwd) * fraction : ispn_.link_base_rate(fwd);
+  // Ordering discipline: the ADMISSION plane re-rates first, so the shed
+  // pass evaluates §9 against the reduced mu; the DATA plane (schedulers,
+  // ports) re-rates last, after shedding guarantees the committed clock
+  // rates fit under the new capacity (the schedulers' flow0 weight
+  // mu - guaranteed must stay positive).
+  for (const core::LinkId& link : {fwd, rev}) {
+    ispn_.admission().set_link_rate(link, target);
+    ispn_.measurement(link).set_link_rate(target);
+  }
+  if (start) {
+    shed_overcommit(fwd);
+    shed_overcommit(rev);
+  }
+  for (const core::LinkId& link : {fwd, rev}) {
+    ispn_.scheduler(link).set_link_rate(target, now);
+  }
+  net().set_link_rate(a, b, target);
+}
+
+void ScenarioRunner::shed_overcommit(core::LinkId link) {
+  core::AdmissionController& adm = ispn_.admission();
+  const double share =
+      (1.0 - adm.config().datagram_quota) * adm.link_rate(link);
+  // Degrade-to-datagram cascade: predicted before guaranteed (the softer
+  // commitment sheds first), youngest first within each class.  Each
+  // victim is RE-OFFERED, not blindly shed — admission against the
+  // reduced mu decides, so a survivor that still fits is kept silently.
+  // The guaranteed pass terminates: while the committed clock rates
+  // exceed the non-datagram share, every guaranteed re-offer necessarily
+  // refuses (the oversubscription check), releasing its rate.
+  for (const net::ServiceClass cls :
+       {net::ServiceClass::kPredicted, net::ServiceClass::kGuaranteed}) {
+    const auto over = [&] {
+      return cls == net::ServiceClass::kGuaranteed
+                 ? adm.guaranteed_rate(link) >= share
+                 : adm.guaranteed_rate(link) + adm.predicted_rate(link) >
+                       share;
+    };
+    const std::vector<net::FlowId> crossing =
+        ispn_.flows_crossing(link.first, link.second);
+    for (auto it = crossing.rbegin(); it != crossing.rend() && over(); ++it) {
+      FlowRec& rec = flows_[static_cast<std::size_t>(*it)];
+      if (!rec.active || rec.handle.spec.service != cls) continue;
+      reoffer_flow(*it);
+    }
+  }
+}
+
+void ScenarioRunner::on_loss(net::NodeId a, net::NodeId b, bool start,
+                             double prob) {
+  if (start) ++loss_episodes_;
+  for (const core::LinkId& link : {core::LinkId{a, b}, core::LinkId{b, a}}) {
+    net::Port* port = net().port(link.first, link.second);
+    if (port == nullptr) continue;
+    // Dedicated per-port Bernoulli stream: reseeded at every episode
+    // start, so the drop pattern depends only on (seed, port, packets
+    // transmitted during the episode) — never on other links' episodes.
+    port->set_loss(start ? prob : 0.0, spec_.seed,
+                   fault::kPortLossStreamBase |
+                       (static_cast<std::uint64_t>(link.first) << 16) |
+                       static_cast<std::uint64_t>(link.second));
+  }
+}
+
+void ScenarioRunner::schedule_restore(net::FlowId flow) {
+  if (spec_.readmit_backoff <= 0 || halted_) return;
+  FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+  if (rec.restore_attempts >= spec_.readmit_max_attempts) return;
+  // Capped exponential backoff, grown BEFORE scheduling so the first
+  // retry waits the base period.
+  rec.restore_backoff =
+      rec.restore_backoff <= 0
+          ? spec_.readmit_backoff
+          : std::min(rec.restore_backoff * spec_.readmit_backoff_factor,
+                     spec_.readmit_backoff_max);
+  const sim::Time t = net().sim().now() + rec.restore_backoff;
+  if (t >= spec_.run_seconds) return;  // the run ends before the retry
+  net().sim().at(ctl(t), [this, flow] { try_restore(flow); });
+}
+
+void ScenarioRunner::try_restore(net::FlowId flow) {
+  FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+  if (halted_ || !rec.active || !rec.degraded || !rec.saved_spec) return;
+  const core::FlowSpec want = *rec.saved_spec;
+  ++rec.restore_attempts;
+  ++restore_attempts_;
+  // Offer the original service on the CURRENT shortest path.  The flow
+  // holds no commitment while degraded, so this is a fresh §9 admission
+  // against the live measurements.
+  if (!net().route(want.src, want.dst).empty()) {
+    core::IspnNetwork::FlowHandle h = ispn_.try_open_flow(want);
+    if (h.commitment.admitted) {
+      rec.handle = std::move(h);
+      rec.degraded = false;
+      rec.restore_attempts = 0;
+      rec.restore_backoff = 0;
+      ++flows_restored_;
+      if (want.service == net::ServiceClass::kGuaranteed) {
+        const traffic::TokenBucketSpec bucket{
+            want.guaranteed->clock_rate,
+            sim::paper::kBucketPackets * spec_.packet_bits};
+        rec.bound =
+            ispn_.guaranteed_bound(rec.handle, bucket, spec_.packet_bits);
+      } else {
+        rec.bound = rec.handle.commitment.advertised_bound.value_or(0.0);
+      }
+      const std::uint8_t priority =
+          rec.handle.commitment.priority_per_hop.empty()
+              ? 0
+              : static_cast<std::uint8_t>(
+                    rec.handle.commitment.priority_per_hop[0]);
+      rec.source->set_service(rec.handle.spec.service, priority);
+      bump_epoch(rec);
+      AdmissionDecision d;
+      d.time = net().sim().now();
+      d.flow = flow;
+      d.service = want.service;
+      d.kind = AdmissionDecision::Kind::kRestored;
+      record(d);
+      return;
+    }
+  }
+  schedule_restore(flow);  // refused (or still unreachable): back off more
+}
+
+void ScenarioRunner::schedule_audit() {
+  const sim::Time t = net().sim().now() + spec_.invariant_cadence;
+  if (t >= spec_.run_seconds) return;  // finish() audits the final state
+  net().sim().at(ctl(t), [this] {
+    if (halted_) return;  // draining: the run-end audit covers the rest
+    audit_now();
+    schedule_audit();
+  });
+}
+
+std::size_t ScenarioRunner::audit_now() {
+  if (!monitor_) return 0;
+  InvariantMonitor::Ledger led;
+  for (const FlowRec& rec : flows_) {
+    const net::FlowStats& st = net().stats(rec.handle.spec.flow);
+    led.generated += st.generated;
+    led.source_drops += st.source_drops;
+    led.injected += st.injected;
+    led.net_drops += st.net_drops;
+    led.failed_link_drops += st.failed_link_drops;
+    led.node_failure_drops += st.node_failure_drops;
+    led.fault_drops += st.fault_drops;
+  }
+  led.delivered = delivered();
+  led.queued = queued_now();
+  led.in_transit = net().handoff_in_transit();
+  for (const auto& [id, neighbors] : net().adjacency()) {
+    (void)neighbors;
+    if (net().is_host(id)) led.unclaimed += net().host(id).unclaimed();
+  }
+  return monitor_->audit(net().sim().now(), led);
+}
+
 void ScenarioRunner::revalidate_flows(
     const std::vector<net::FlowId>& candidates) {
-  const sim::Time now = net().sim().now();
   // Forwarding is destination-based: once the routing tables change, a
   // flow's packets follow the NEW shortest path regardless of where its
   // scheduler registrations live.  So every candidate admitted real-time
@@ -218,68 +438,97 @@ void ScenarioRunner::revalidate_flows(
     if (reachable && ispn_.route_links(src, dst) == rec.handle.links) {
       continue;  // path survived this event untouched
     }
+    reoffer_flow(flow);
+  }
+}
 
-    // reroute_flow rewrites the spec on degrade; record the decision
-    // under the service the flow HELD when the link failed.
-    const net::ServiceClass original = rec.handle.spec.service;
-    const auto outcome = ispn_.reroute_flow(
-        rec.handle, spec_.reroute_policy == ReroutePolicy::kDegrade);
+void ScenarioRunner::reoffer_flow(net::FlowId flow) {
+  const sim::Time now = net().sim().now();
+  FlowRec& rec = flows_[static_cast<std::size_t>(flow)];
+  // reroute_flow rewrites the spec on degrade; record the decision under
+  // the service the flow HELD when the fault hit, and save the original
+  // spec so a later restore can offer what the client asked for.
+  const net::ServiceClass original = rec.handle.spec.service;
+  const core::FlowSpec original_spec = rec.handle.spec;
+  const std::vector<core::LinkId> old_links = rec.handle.links;
+  const auto outcome = ispn_.reroute_flow(
+      rec.handle, spec_.reroute_policy == ReroutePolicy::kDegrade);
 
-    AdmissionDecision d;
-    d.time = now;
-    d.flow = flow;
-    d.service = original;
-    switch (outcome) {
-      case core::IspnNetwork::RerouteOutcome::kRerouted: {
-        ++flows_rerouted_;
-        ++rec.reroutes;
-        if (original == net::ServiceClass::kGuaranteed) {
-          const traffic::TokenBucketSpec bucket{
-              rec.handle.spec.guaranteed->clock_rate,
-              sim::paper::kBucketPackets * spec_.packet_bits};
-          rec.bound =
-              ispn_.guaranteed_bound(rec.handle, bucket, spec_.packet_bits);
-        } else {
-          rec.bound =
-              rec.handle.commitment.advertised_bound.value_or(rec.bound);
-        }
-        // The new path may carry a different per-hop class assignment.
-        const std::uint8_t priority =
+  AdmissionDecision d;
+  d.time = now;
+  d.flow = flow;
+  d.service = original;
+  switch (outcome) {
+    case core::IspnNetwork::RerouteOutcome::kRerouted: {
+      if (rec.handle.links == old_links) {
+        // Re-validated in place: the brown-out shed pass re-offered a
+        // survivor and admission re-granted the same path.  No decision,
+        // no epoch bump — but the fresh commitment may carry a different
+        // class assignment, so the source's priority stamp refreshes.
+        rec.bound =
+            rec.handle.commitment.advertised_bound.value_or(rec.bound);
+        const std::uint8_t kept_priority =
             rec.handle.commitment.priority_per_hop.empty()
                 ? 0
                 : static_cast<std::uint8_t>(
                       rec.handle.commitment.priority_per_hop[0]);
-        rec.source->set_service(rec.handle.spec.service, priority);
-        bump_epoch(rec);
-        d.kind = AdmissionDecision::Kind::kRerouted;
-        break;
+        rec.source->set_service(rec.handle.spec.service, kept_priority);
+        return;
       }
-      case core::IspnNetwork::RerouteOutcome::kDegraded:
-        ++flows_degraded_;
-        rec.degraded = true;
-        rec.bound = 0;
-        rec.source->set_service(net::ServiceClass::kDatagram, 0);
-        bump_epoch(rec);
-        d.kind = AdmissionDecision::Kind::kDegraded;
-        break;
-      case core::IspnNetwork::RerouteOutcome::kClosed:
-      case core::IspnNetwork::RerouteOutcome::kOrphaned:
-        rec.source->stop();
-        rec.active = false;
-        rec.closed = now;
-        --open_count_;
-        active_.erase(std::find(active_.begin(), active_.end(), flow));
-        if (outcome == core::IspnNetwork::RerouteOutcome::kClosed) {
-          ++flows_preempted_;
-          d.kind = AdmissionDecision::Kind::kPreempted;
-        } else {
-          ++flows_orphaned_;
-          d.kind = AdmissionDecision::Kind::kOrphaned;
-        }
-        break;
+      ++flows_rerouted_;
+      ++rec.reroutes;
+      if (original == net::ServiceClass::kGuaranteed) {
+        const traffic::TokenBucketSpec bucket{
+            rec.handle.spec.guaranteed->clock_rate,
+            sim::paper::kBucketPackets * spec_.packet_bits};
+        rec.bound =
+            ispn_.guaranteed_bound(rec.handle, bucket, spec_.packet_bits);
+      } else {
+        rec.bound =
+            rec.handle.commitment.advertised_bound.value_or(rec.bound);
+      }
+      // The new path may carry a different per-hop class assignment.
+      const std::uint8_t priority =
+          rec.handle.commitment.priority_per_hop.empty()
+              ? 0
+              : static_cast<std::uint8_t>(
+                    rec.handle.commitment.priority_per_hop[0]);
+      rec.source->set_service(rec.handle.spec.service, priority);
+      bump_epoch(rec);
+      d.kind = AdmissionDecision::Kind::kRerouted;
+      break;
     }
-    record(d);
+    case core::IspnNetwork::RerouteOutcome::kDegraded:
+      ++flows_degraded_;
+      rec.degraded = true;
+      rec.bound = 0;
+      rec.source->set_service(net::ServiceClass::kDatagram, 0);
+      bump_epoch(rec);
+      d.kind = AdmissionDecision::Kind::kDegraded;
+      if (!rec.saved_spec) {
+        rec.saved_spec = std::make_unique<core::FlowSpec>(original_spec);
+      }
+      rec.restore_attempts = 0;
+      rec.restore_backoff = 0;
+      schedule_restore(flow);
+      break;
+    case core::IspnNetwork::RerouteOutcome::kClosed:
+    case core::IspnNetwork::RerouteOutcome::kOrphaned:
+      rec.source->stop();
+      rec.active = false;
+      rec.closed = now;
+      --open_count_;
+      active_.erase(std::find(active_.begin(), active_.end(), flow));
+      if (outcome == core::IspnNetwork::RerouteOutcome::kClosed) {
+        ++flows_preempted_;
+        d.kind = AdmissionDecision::Kind::kPreempted;
+      } else {
+        ++flows_orphaned_;
+        d.kind = AdmissionDecision::Kind::kOrphaned;
+      }
+      break;
   }
+  record(d);
 }
 
 void ScenarioRunner::bump_epoch(FlowRec& rec) {
@@ -536,7 +785,8 @@ void ScenarioRunner::try_close(net::FlowId flow) {
     // not yet enqueued at the next), and closing inside that window would
     // demote the packet to datagram service downstream.
     const net::FlowStats& st = net().stats(flow);
-    if (st.injected > rec.delivered + st.net_drops + st.failed_link_drops) {
+    if (st.injected > rec.delivered + st.net_drops + st.failed_link_drops +
+                          st.node_failure_drops + st.fault_drops) {
       // Still draining: WFQ guarantees the clock rate, so this
       // terminates; poll again one grace period later.
       net().sim().at(ctl(net().sim().now() + spec_.drain_grace),
@@ -644,6 +894,17 @@ ScenarioReport ScenarioRunner::finish() {
   report.end_time = net().sim().now();
   report.events = events_processed();
 
+  // Final invariant audit against the fully drained end state (queues and
+  // mailboxes empty, every bucket settled).
+  if (monitor_) {
+    if (audit_now() > 0) {
+      std::fputs("scenario: invariant violations detected:\n", stderr);
+    }
+    if (!monitor_->violations().empty()) {
+      std::fputs(monitor_->report().c_str(), stderr);
+    }
+  }
+
   for (const FlowRec& rec : flows_) {
     const net::FlowStats& st = net().stats(rec.handle.spec.flow);
     report.generated += st.generated;
@@ -651,6 +912,8 @@ ScenarioReport ScenarioRunner::finish() {
     report.injected += st.injected;
     report.net_drops += st.net_drops;
     report.failed_link_drops += st.failed_link_drops;
+    report.node_failure_drops += st.node_failure_drops;
+    report.fault_drops += st.fault_drops;
 
     FlowOutcome out;
     out.flow = rec.handle.spec.flow;
@@ -708,6 +971,16 @@ ScenarioReport ScenarioRunner::finish() {
   report.flows_rerouted = flows_rerouted_;
   report.flows_degraded = flows_degraded_;
   report.flows_orphaned = flows_orphaned_;
+  report.nodes_crashed = nodes_crashed_;
+  report.nodes_recovered = nodes_recovered_;
+  report.brownouts = brownouts_;
+  report.loss_episodes = loss_episodes_;
+  report.flows_restored = flows_restored_;
+  report.restore_attempts = restore_attempts_;
+  if (monitor_) {
+    report.invariant_audits = monitor_->audits();
+    report.invariant_violations = monitor_->violations().size();
+  }
   report.decisions = decisions_;
   report.classes = merged_classes();
 

@@ -40,8 +40,10 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/tracer.h"
 #include "scenario/fabric.h"
+#include "scenario/invariants.h"
 #include "scenario/report.h"
 #include "scenario/scenario.h"
 #include "sim/shard.h"
@@ -99,6 +101,16 @@ class ScenarioRunner {
     return decisions_;
   }
 
+  /// The invariant monitor, or nullptr when invariant_cadence is 0.
+  [[nodiscard]] InvariantMonitor* monitor() { return monitor_.get(); }
+
+  /// Runs one invariant audit against the live engine state right now
+  /// (the cadence timer calls this; tests call it directly — e.g. the
+  /// monitor self-test, which corrupts a ledger counter and asserts the
+  /// sweep catches it).  Returns the number of new violations; 0 when no
+  /// monitor is configured.  Call between events / at barriers only.
+  std::size_t audit_now();
+
  private:
   struct FlowRec;
 
@@ -152,6 +164,13 @@ class ScenarioRunner {
     bool active = false;  ///< admitted and not yet closed
     int reroutes = 0;     ///< successful re-admissions after path failures
     bool degraded = false;  ///< refused re-admission; carried as datagram
+    // Graceful-degradation restore state: the ORIGINAL FlowSpec is saved
+    // the first time the flow degrades (reroute_flow rewrites the live
+    // spec to datagram), so re-admission retries offer what the client
+    // asked for.  Backoff/attempts reset on every successful restore.
+    std::unique_ptr<core::FlowSpec> saved_spec;
+    int restore_attempts = 0;
+    sim::Duration restore_backoff = 0;
   };
 
   void schedule_next_arrival();
@@ -182,6 +201,37 @@ class ScenarioRunner {
   /// shortest path no longer matches its scheduler registrations (paper
   /// §9 criteria against the live measurements).
   void revalidate_flows(const std::vector<net::FlowId>& candidates);
+  /// Re-offers ONE admitted real-time flow on the current shortest path
+  /// and applies the outcome (counters, decision log, source rewiring,
+  /// restore scheduling).  A flow re-admitted on an UNCHANGED path — the
+  /// brown-out shed pass re-validating a survivor — is kept silently: no
+  /// decision, no epoch bump.
+  void reoffer_flow(net::FlowId flow);
+  /// Applies one switch crash/recovery: all incident links transition
+  /// atomically (queued packets flushed into node_failure_drops), routes
+  /// recompute once, and crossing (down) or all (up) flows re-validate.
+  void on_node_event(net::NodeId node, bool up);
+  /// Applies one capacity brown-out transition on the a<->b link pair.
+  /// Ordering discipline: admission + measurement re-rate FIRST, then the
+  /// over-committed flows are shed (predicted before guaranteed, youngest
+  /// first), and only then the schedulers and ports re-rate — so the
+  /// schedulers' flow0 weight (mu - guaranteed) stays positive throughout.
+  void on_brownout(net::NodeId a, net::NodeId b, bool start, double fraction);
+  /// Starts/ends one transient per-link loss episode (Bernoulli drops on
+  /// the dedicated per-port stream; drops land in fault_drops).
+  void on_loss(net::NodeId a, net::NodeId b, bool start, double prob);
+  /// Degrades/preempts youngest-first victims crossing `link` until the
+  /// committed load fits under the link's (possibly browned-out) rate.
+  void shed_overcommit(core::LinkId link);
+  /// Schedules the next re-admission retry of a degraded flow (capped
+  /// exponential backoff; no-op when readmit_backoff is 0).
+  void schedule_restore(net::FlowId flow);
+  /// One re-admission attempt: offer the saved original FlowSpec; on
+  /// success the flow returns to its original service (kRestored), on
+  /// refusal the backoff grows and the retry reschedules.
+  void try_restore(net::FlowId flow);
+  /// Self-rescheduling invariant audit (invariant_cadence > 0).
+  void schedule_audit();
   void record(const AdmissionDecision& d);
   /// Advances a flow's path epoch after a reroute/degrade (satellite of
   /// the sharded-core PR: per-path-epoch delay segmentation).
@@ -223,6 +273,13 @@ class ScenarioRunner {
   std::uint64_t flows_rerouted_ = 0;
   std::uint64_t flows_degraded_ = 0;
   std::uint64_t flows_orphaned_ = 0;
+  std::uint64_t nodes_crashed_ = 0;
+  std::uint64_t nodes_recovered_ = 0;
+  std::uint64_t brownouts_ = 0;
+  std::uint64_t loss_episodes_ = 0;
+  std::uint64_t flows_restored_ = 0;
+  std::uint64_t restore_attempts_ = 0;
+  std::unique_ptr<InvariantMonitor> monitor_;
 };
 
 }  // namespace ispn::scenario

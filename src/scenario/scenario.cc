@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -22,6 +23,10 @@ double parse_double(const std::string& key, const std::string& v) {
     fail(key, "malformed number for");
   }
   if (used != v.size()) fail(key, "malformed number for");
+  // NaN and infinity parse as numbers but poison every downstream
+  // comparison (NaN in particular slips past range checks, since both
+  // `d < lo` and `d > hi` are false) — reject them at the gate.
+  if (!std::isfinite(out)) fail(key, "non-finite number for");
   return out;
 }
 
@@ -35,6 +40,26 @@ int parse_int(const std::string& key, const std::string& v) {
   const int i = static_cast<int>(d);
   if (static_cast<double>(i) != d) fail(key, "expected an integer for");
   return i;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& v) {
+  const int i = parse_int(key, v);
+  // A negative int cast to size_t wraps to an astronomically large value
+  // that sails through `>= 1` validation — refuse before the cast.
+  if (i < 0) fail(key, "expected a non-negative integer for");
+  return static_cast<std::size_t>(i);
+}
+
+std::uint64_t parse_seed(const std::string& key, const std::string& v) {
+  const double d = parse_double(key, v);
+  // Casting a negative (or 2^64-exceeding) double to uint64 is undefined
+  // behaviour, not wraparound.
+  if (d < 0 || d >= 18446744073709551616.0) {
+    fail(key, "seed out of range for");
+  }
+  const auto u = static_cast<std::uint64_t>(d);
+  if (static_cast<double>(u) != d) fail(key, "expected an integer for");
+  return u;
 }
 
 bool parse_bool(const std::string& key, const std::string& v) {
@@ -115,6 +140,37 @@ void ScenarioSpec::validate() const {
   check(clos_leaves >= 2, "clos_leaves (need >= 2)");
   check(link_failure_rate >= 0, "link_failure_rate (need >= 0)");
   check(link_repair_mean >= 0, "link_repair_mean (need >= 0)");
+  check(flap_prob >= 0 && flap_prob <= 1, "flap_prob (need [0,1])");
+  check(flap_burst_max >= 1, "flap_burst_max (need >= 1)");
+  check(flap_gap_mean > 0, "flap_gap_mean (need > 0)");
+  // Flap bursts ride on repair events: generating failures without
+  // repairs while asking for flaps is contradictory, not a silent no-op.
+  check(flap_prob == 0 || link_failure_rate == 0 || link_repair_mean > 0,
+        "flap_prob (flapping needs repairable links: link_repair_mean > 0)");
+  check(node_crash_rate >= 0, "node_crash_rate (need >= 0)");
+  check(node_repair_mean >= 0, "node_repair_mean (need >= 0)");
+  check(brownout_rate >= 0, "brownout_rate (need >= 0)");
+  check(brownout_fraction > 0 && brownout_fraction < 1,
+        "brownout_fraction (need (0,1))");
+  check(brownout_mean > 0, "brownout_mean (need > 0)");
+  // A browned-out link must still clear its committed WFQ clock rates:
+  // the fraction may not eat the whole non-datagram share.
+  check(brownout_rate == 0 || brownout_fraction > datagram_quota,
+        "brownout_fraction (need > datagram_quota or guaranteed flows "
+        "cannot survive a brown-out)");
+  check(loss_rate >= 0, "loss_rate (need >= 0)");
+  check(loss_prob >= 0 && loss_prob <= 1, "loss_prob (need [0,1])");
+  check(loss_mean > 0, "loss_mean (need > 0)");
+  // Loss episodes that drop nothing are a contradiction, not a no-op.
+  check(loss_rate == 0 || loss_prob > 0,
+        "loss_prob (loss_rate is set but episodes would drop nothing)");
+  check(readmit_backoff >= 0, "readmit_backoff (need >= 0)");
+  check(readmit_backoff_factor >= 1,
+        "readmit_backoff_factor (need >= 1)");
+  check(readmit_backoff_max >= readmit_backoff,
+        "readmit_backoff_max (need >= readmit_backoff)");
+  check(readmit_max_attempts >= 1, "readmit_max_attempts (need >= 1)");
+  check(invariant_cadence >= 0, "invariant_cadence (need >= 0)");
   for (const auto& f : link_failures) {
     check(f.src >= 0 && f.dst >= 0 && f.src != f.dst,
           "link_failures (need distinct non-negative node ids)");
@@ -172,6 +228,24 @@ core::IspnNetwork::Config ScenarioSpec::network_config() const {
   return cfg;
 }
 
+fault::FaultSpec ScenarioSpec::fault_spec() const {
+  fault::FaultSpec f;
+  f.link_failure_rate = link_failure_rate;
+  f.link_repair_mean = link_repair_mean;
+  f.flap_prob = flap_prob;
+  f.flap_burst_max = flap_burst_max;
+  f.flap_gap_mean = flap_gap_mean;
+  f.node_crash_rate = node_crash_rate;
+  f.node_repair_mean = node_repair_mean;
+  f.brownout_rate = brownout_rate;
+  f.brownout_fraction = brownout_fraction;
+  f.brownout_mean = brownout_mean;
+  f.loss_rate = loss_rate;
+  f.loss_prob = loss_prob;
+  f.loss_mean = loss_mean;
+  return f;
+}
+
 std::string ScenarioSpec::describe() const {
   std::ostringstream out;
   out << "fabric=" << to_string(fabric);
@@ -208,6 +282,17 @@ std::string ScenarioSpec::describe() const {
     out << " policy="
         << (reroute_policy == ReroutePolicy::kDegrade ? "degrade" : "preempt");
   }
+  if (node_crash_rate > 0) {
+    out << " crashes=" << node_crash_rate << "/s";
+    if (node_repair_mean > 0) out << " noderepair=" << node_repair_mean << "s";
+  }
+  if (brownout_rate > 0) {
+    out << " brownouts=" << brownout_rate << "/s@x" << brownout_fraction;
+  }
+  if (loss_rate > 0) out << " loss=" << loss_rate << "/s@p" << loss_prob;
+  if (flap_prob > 0) out << " flap=" << flap_prob;
+  if (readmit_backoff > 0) out << " readmit=" << readmit_backoff << "s";
+  if (invariant_cadence > 0) out << " monitor=" << invariant_cadence << "s";
   return out.str();
 }
 
@@ -255,6 +340,33 @@ ScenarioSpec preset(const std::string& name) {
     spec.p_predicted = 0.4;
     spec.link_failure_rate = 0.04;
     spec.link_repair_mean = 4.0;
+    spec.measurement_estimator = core::LinkMeasurement::Estimator::kEwma;
+  } else if (name == "chaos") {
+    // Everything at once: link failures with flapping, switch crashes,
+    // capacity brown-outs, transient loss — on a mesh (alternate paths
+    // everywhere), with the invariant monitor auditing continuously and
+    // degraded flows retrying re-admission under exponential backoff.
+    spec.fabric = FabricKind::kMesh;
+    spec.mesh_rows = 3;
+    spec.mesh_cols = 3;
+    spec.arrival_rate = 6.0;
+    spec.mean_hold = 8.0;
+    spec.target_flows = 36;
+    spec.p_guaranteed = 0.3;
+    spec.p_predicted = 0.4;
+    spec.link_failure_rate = 0.04;
+    spec.link_repair_mean = 3.0;
+    spec.flap_prob = 0.25;
+    spec.node_crash_rate = 0.01;
+    spec.node_repair_mean = 2.0;
+    spec.brownout_rate = 0.03;
+    spec.brownout_fraction = 0.5;
+    spec.brownout_mean = 2.0;
+    spec.loss_rate = 0.05;
+    spec.loss_prob = 0.02;
+    spec.loss_mean = 1.0;
+    spec.readmit_backoff = 0.5;
+    spec.invariant_cadence = 0.5;
     spec.measurement_estimator = core::LinkMeasurement::Estimator::kEwma;
   } else {
     throw std::invalid_argument("unknown scenario preset '" + name + "'");
@@ -321,6 +433,38 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     spec.link_failure_rate = parse_double(key, value);
   } else if (key == "link_repair_mean") {
     spec.link_repair_mean = parse_double(key, value);
+  } else if (key == "flap_prob") {
+    spec.flap_prob = parse_double(key, value);
+  } else if (key == "flap_burst_max") {
+    spec.flap_burst_max = parse_int(key, value);
+  } else if (key == "flap_gap_mean") {
+    spec.flap_gap_mean = parse_double(key, value);
+  } else if (key == "node_crash_rate") {
+    spec.node_crash_rate = parse_double(key, value);
+  } else if (key == "node_repair_mean") {
+    spec.node_repair_mean = parse_double(key, value);
+  } else if (key == "brownout_rate") {
+    spec.brownout_rate = parse_double(key, value);
+  } else if (key == "brownout_fraction") {
+    spec.brownout_fraction = parse_double(key, value);
+  } else if (key == "brownout_mean") {
+    spec.brownout_mean = parse_double(key, value);
+  } else if (key == "loss_rate") {
+    spec.loss_rate = parse_double(key, value);
+  } else if (key == "loss_prob") {
+    spec.loss_prob = parse_double(key, value);
+  } else if (key == "loss_mean") {
+    spec.loss_mean = parse_double(key, value);
+  } else if (key == "readmit_backoff") {
+    spec.readmit_backoff = parse_double(key, value);
+  } else if (key == "readmit_backoff_factor") {
+    spec.readmit_backoff_factor = parse_double(key, value);
+  } else if (key == "readmit_backoff_max") {
+    spec.readmit_backoff_max = parse_double(key, value);
+  } else if (key == "readmit_max_attempts") {
+    spec.readmit_max_attempts = parse_int(key, value);
+  } else if (key == "invariant_cadence") {
+    spec.invariant_cadence = parse_double(key, value);
   } else if (key == "reroute_policy") {
     if (value == "degrade") spec.reroute_policy = ReroutePolicy::kDegrade;
     else if (value == "preempt") spec.reroute_policy = ReroutePolicy::kPreempt;
@@ -330,7 +474,7 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
   } else if (key == "parking_rate_step") {
     spec.parking_rate_step = parse_double(key, value);
   } else if (key == "buffer_pkts") {
-    spec.buffer_pkts = static_cast<std::size_t>(parse_int(key, value));
+    spec.buffer_pkts = parse_size(key, value);
   } else if (key == "class_targets") {
     spec.class_targets = parse_list(key, value);
   } else if (key == "arrival_rate") {
@@ -369,7 +513,7 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
   } else if (key == "drain_grace") {
     spec.drain_grace = parse_double(key, value);
   } else if (key == "seed") {
-    spec.seed = static_cast<std::uint64_t>(parse_double(key, value));
+    spec.seed = parse_seed(key, value);
   } else if (key == "admission_mode") {
     if (value == "measurement")
       spec.admission_mode = core::AdmissionController::Mode::kMeasurementBased;

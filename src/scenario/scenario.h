@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/builder.h"
+#include "fault/fault.h"
 #include "sim/units.h"
 
 namespace ispn::scenario {
@@ -112,8 +113,39 @@ struct ScenarioSpec {
   /// ...and repairs after an exponential holding time of this mean
   /// (seconds; 0: failures are permanent).
   sim::Duration link_repair_mean = 0;
+  /// Probability a link repair is followed by a bounded flap burst
+  /// (immediate down/up pairs on a dedicated RNG stream; 0 disables).
+  double flap_prob = 0;
+  int flap_burst_max = 3;          ///< max extra down/up pairs per burst
+  sim::Duration flap_gap_mean = 0.05;  ///< mean gap inside a flap burst
+  /// Switch crashes: each switch independently crashes at this exponential
+  /// rate (crashes/s; 0 disables) taking ALL incident links down at once...
+  double node_crash_rate = 0;
+  /// ...and recovers after an exponential holding time (0: stays down).
+  sim::Duration node_repair_mean = 0;
+  /// Capacity brown-outs: each QoS link independently degrades to
+  /// brownout_fraction of its as-built rate at this exponential rate...
+  double brownout_rate = 0;
+  double brownout_fraction = 0.5;      ///< degraded rate as a fraction
+  sim::Duration brownout_mean = 2.0;   ///< mean brown-out duration
+  /// Transient per-link packet loss episodes: Bernoulli(loss_prob) per
+  /// transmitted packet while an episode is active.
+  double loss_rate = 0;                ///< episodes/s per link (0: off)
+  double loss_prob = 0.01;             ///< per-packet drop probability
+  sim::Duration loss_mean = 1.0;       ///< mean episode duration
   /// Policy for admitted flows refused re-admission after a reroute.
   ReroutePolicy reroute_policy = ReroutePolicy::kDegrade;
+  /// Retry re-admission of degraded flows when capacity returns: first
+  /// retry after readmit_backoff seconds, each failure multiplying the
+  /// delay by readmit_backoff_factor up to readmit_backoff_max, at most
+  /// readmit_max_attempts tries per degradation (0 backoff disables).
+  sim::Duration readmit_backoff = 0;
+  double readmit_backoff_factor = 2.0;
+  sim::Duration readmit_backoff_max = 10.0;
+  int readmit_max_attempts = 6;
+  /// Runtime invariant monitor cadence (sim seconds between audits of
+  /// conservation, admission accounting and scheduler coherence; 0: off).
+  sim::Duration invariant_cadence = 0;
 
   // ---- run -------------------------------------------------------------
   sim::Duration run_seconds = 30.0;
@@ -157,6 +189,10 @@ struct ScenarioSpec {
   /// The IspnNetwork configuration this spec implies.
   [[nodiscard]] core::IspnNetwork::Config network_config() const;
 
+  /// The seeded fault families this spec enables, as one FaultSpec for
+  /// fault::draw_schedule (explicit link_failures are handled separately).
+  [[nodiscard]] fault::FaultSpec fault_spec() const;
+
   /// One-line summary for logs and reports.
   [[nodiscard]] std::string describe() const;
 };
@@ -164,7 +200,9 @@ struct ScenarioSpec {
 /// Named presets: "chain", "fan_in", "parking_lot", "churn" (an
 /// admission-churn chain: fast arrivals/departures against tight links),
 /// "failure" (a mesh under seeded link failures and repairs with the EWMA
-/// estimator, exercising rerouting and admission re-validation).
+/// estimator, exercising rerouting and admission re-validation), "chaos"
+/// (a mesh under ALL fault families — crashes, brown-outs, loss, flapping
+/// — with the invariant monitor and re-admission backoff on).
 /// Throws std::invalid_argument on unknown names.
 [[nodiscard]] ScenarioSpec preset(const std::string& name);
 

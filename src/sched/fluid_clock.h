@@ -153,6 +153,20 @@ class FluidClock {
     if (fluid_.empty()) active_weight_ = 0;  // absorb fp residue
   }
 
+  /// Re-rates the link (capacity brown-out / restore): V(t)'s slope uses
+  /// the new C from this instant.  Call only with advance(now) done for
+  /// the change instant, so the old slope covered exactly [last, now].
+  /// Poisoning the memoised slope weight forces the next advance() to
+  /// recompute even though the weight SUM is unchanged.
+  void set_link_rate(sim::Rate rate) {
+    assert(rate > 0);
+    link_rate_ = rate;
+    slope_weight_ = -1.0;
+    slope_dirty_ = true;
+  }
+
+  [[nodiscard]] sim::Rate link_rate() const { return link_rate_; }
+
   /// True while `id` is backlogged in the fluid system.
   [[nodiscard]] bool backlogged(std::uint32_t id) const {
     return fluid_.contains(id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace ispn::sched {
@@ -82,6 +83,51 @@ void UnifiedScheduler::flush(
   flushing_ = true;
   Scheduler::flush(sink, now);
   flushing_ = false;
+}
+
+void UnifiedScheduler::set_link_rate(sim::Rate rate, sim::Time now) {
+  assert(rate > 0);
+  assert(rate > guaranteed_rate_ &&
+         "shed guaranteed flows before re-rating below their reserved sum");
+  // Advance V(t) to the change instant under the OLD rate, so the slope
+  // change is exact rather than retroactive.
+  clock_.advance(now);
+  config_.link_rate = rate;
+  clock_.set_link_rate(rate);
+  flow0_weight_ = rate - guaranteed_rate_;
+  flow0_inv_weight_ = 1.0 / flow0_weight_;
+  clock_.reweight(kFlow0Heap, flow0_weight_);
+}
+
+bool UnifiedScheduler::self_check(std::string* why) const {
+  auto fail = [why](const char* what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  std::size_t flow0_pkts = datagram_.size();
+  for (const auto& cls : classes_) flow0_pkts += cls.queue.size();
+  std::size_t queued = flow0_pkts;
+  sim::Rate reserved = 0;
+  for (const auto& g : guaranteed_) {
+    queued += g.queue.size();
+    reserved += g.rate;
+  }
+  if (queued != total_packets_) {
+    return fail("queued packet sum disagrees with total_packets");
+  }
+  if (flow0_tags_.size() != flow0_pkts) {
+    return fail("flow-0 tag count disagrees with flow-0 packet count");
+  }
+  // Floating sums drift one ulp per churn event; scale tolerance to mu.
+  if (std::abs(reserved - guaranteed_rate_) > 1e-6 * config_.link_rate) {
+    return fail("guaranteed_rate disagrees with registered clock rates");
+  }
+  if (std::abs((config_.link_rate - guaranteed_rate_) - flow0_weight_) >
+      1e-6 * config_.link_rate) {
+    return fail("flow-0 weight disagrees with mu - sum(r_alpha)");
+  }
+  if (flow0_weight_ <= 0) return fail("flow-0 weight is non-positive");
+  return true;
 }
 
 void UnifiedScheduler::set_predicted_priority(net::FlowId flow, int level) {

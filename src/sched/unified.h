@@ -55,6 +55,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sched/fluid_clock.h"
@@ -155,6 +156,25 @@ class UnifiedScheduler final : public Scheduler {
   [[nodiscard]] std::uint64_t stale_discards() const {
     return stale_discards_;
   }
+
+  /// Re-rates the link (capacity brown-out / restore): V(t) advances to
+  /// `now` under the old rate, then the new μ applies — flow 0's weight
+  /// becomes μ' − Σ r_α and the fluid slope changes from this instant.
+  /// Precondition: the admission layer has already shed guaranteed flows
+  /// until Σ r_α < rate (a brown-out below the reserved sum without
+  /// shedding would leave flow 0 with non-positive weight).
+  void set_link_rate(sim::Rate rate, sim::Time now);
+
+  /// The link rate the scheduler currently serves at.
+  [[nodiscard]] sim::Rate link_rate() const { return config_.link_rate; }
+
+  /// Structural coherence audit for the runtime invariant monitor: packet
+  /// counts across the guaranteed queues, class queues, datagram ring and
+  /// flow-0 tag queue must agree with the totals, and flow 0's weight
+  /// must equal μ − Σ r_α and stay positive.  Returns false and fills
+  /// `why` (when non-null) on the first violation.  Call between events
+  /// only (mid-dequeue the tag queue is transiently inconsistent).
+  [[nodiscard]] bool self_check(std::string* why) const;
 
   /// Pseudo-flow 0's current WFQ weight (μ − Σ r_α).  Exposed for tests.
   [[nodiscard]] sim::Rate flow0_weight() const { return flow0_weight_; }

@@ -1,35 +1,46 @@
 // Counting overrides of the global allocation functions.
 //
-// The simulator is single-threaded, so plain counters suffice.  Every
+// Relaxed atomics: sharded runs allocate from worker threads, and the
+// counters only ever read at barriers (every domain quiescent), so
+// relaxed increments give exact counts without ordering cost.  Every
 // new/new[] forwards to malloc and counts; delete/delete[] forward to free.
 
 #include "alloc_hook.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace ispn::testhook {
 namespace {
-std::uint64_t g_allocs = 0;
-std::uint64_t g_frees = 0;
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void count_alloc() noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
 }  // namespace
 
-std::uint64_t allocation_count() { return g_allocs; }
-std::uint64_t deallocation_count() { return g_frees; }
+std::uint64_t allocation_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+std::uint64_t deallocation_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
 
 }  // namespace ispn::testhook
 
 namespace {
 
 void* counted_alloc(std::size_t size) {
-  ++ispn::testhook::g_allocs;
+  ispn::testhook::count_alloc();
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
   throw std::bad_alloc();
 }
 
 void counted_free(void* p) noexcept {
   if (p == nullptr) return;
-  ++ispn::testhook::g_frees;
+  ispn::testhook::g_frees.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 
@@ -38,11 +49,11 @@ void counted_free(void* p) noexcept {
 void* operator new(std::size_t size) { return counted_alloc(size); }
 void* operator new[](std::size_t size) { return counted_alloc(size); }
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  ++ispn::testhook::g_allocs;
+  ispn::testhook::count_alloc();
   return std::malloc(size == 0 ? 1 : size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  ++ispn::testhook::g_allocs;
+  ispn::testhook::count_alloc();
   return std::malloc(size == 0 ? 1 : size);
 }
 
@@ -61,7 +72,7 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
 // would bypass the counters and the zero-allocation assertion would pass
 // falsely.
 void* operator new(std::size_t size, std::align_val_t align) {
-  ++ispn::testhook::g_allocs;
+  ispn::testhook::count_alloc();
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t a = static_cast<std::size_t>(align);
   const std::size_t rounded = ((size == 0 ? 1 : size) + a - 1) / a * a;

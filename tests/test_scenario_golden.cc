@@ -67,6 +67,17 @@ struct GoldenRun {
   std::uint64_t flows_degraded = 0;
   std::uint64_t flows_orphaned = 0;
   std::uint64_t failed_link_drops = 0;
+  // Fault-plane counters (PR 9): crash/brown-out/loss activity and the two
+  // ledger buckets they drain into are part of the golden contract too.
+  std::uint64_t node_failure_drops = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t nodes_crashed = 0;
+  std::uint64_t nodes_recovered = 0;
+  std::uint64_t brownouts = 0;
+  std::uint64_t loss_episodes = 0;
+  std::uint64_t flows_restored = 0;
+  std::uint64_t restore_attempts = 0;
+  std::uint64_t invariant_violations = 0;
 };
 
 GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
@@ -100,6 +111,15 @@ GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
   out.flows_degraded = report.flows_degraded;
   out.flows_orphaned = report.flows_orphaned;
   out.failed_link_drops = report.failed_link_drops;
+  out.node_failure_drops = report.node_failure_drops;
+  out.fault_drops = report.fault_drops;
+  out.nodes_crashed = report.nodes_crashed;
+  out.nodes_recovered = report.nodes_recovered;
+  out.brownouts = report.brownouts;
+  out.loss_episodes = report.loss_episodes;
+  out.flows_restored = report.flows_restored;
+  out.restore_attempts = report.restore_attempts;
+  out.invariant_violations = report.invariant_violations;
   return out;
 }
 
@@ -120,6 +140,15 @@ void expect_equal(const GoldenRun& ref, const GoldenRun& got,
   EXPECT_EQ(ref.flows_degraded, got.flows_degraded) << what;
   EXPECT_EQ(ref.flows_orphaned, got.flows_orphaned) << what;
   EXPECT_EQ(ref.failed_link_drops, got.failed_link_drops) << what;
+  EXPECT_EQ(ref.node_failure_drops, got.node_failure_drops) << what;
+  EXPECT_EQ(ref.fault_drops, got.fault_drops) << what;
+  EXPECT_EQ(ref.nodes_crashed, got.nodes_crashed) << what;
+  EXPECT_EQ(ref.nodes_recovered, got.nodes_recovered) << what;
+  EXPECT_EQ(ref.brownouts, got.brownouts) << what;
+  EXPECT_EQ(ref.loss_episodes, got.loss_episodes) << what;
+  EXPECT_EQ(ref.flows_restored, got.flows_restored) << what;
+  EXPECT_EQ(ref.restore_attempts, got.restore_attempts) << what;
+  EXPECT_EQ(ref.invariant_violations, got.invariant_violations) << what;
 }
 
 void golden(const scenario::ScenarioSpec& spec, const char* label) {
@@ -203,6 +232,29 @@ TEST(ScenarioGolden, MeshWithFailuresByteIdenticalAcrossBackends) {
   EXPECT_GT(ref.failed_link_drops, 0u)
       << "no packet was ever caught on a failing link";
   golden(spec, "mesh with failures");
+}
+
+TEST(ScenarioGolden, ChaosFaultPlaneByteIdenticalAcrossBackends) {
+  // The full fault plane at once: switch crashes, capacity brown-outs,
+  // transient loss episodes, link flapping, degrade-to-datagram shedding
+  // and backoff-driven re-admission, with the invariant monitor auditing
+  // throughout.  Every fault event is drawn at prepare() and quantized to
+  // the control grid, so the whole run — including both new drop buckets
+  // and every fault counter — must stay byte-identical across backends.
+  scenario::ScenarioSpec spec = scenario::preset("chaos");
+  spec.seed = 17;
+
+  const GoldenRun ref =
+      run_one(spec, sim::EventBackend::kHeap, sched::OrderBackend::kHeap);
+  EXPECT_GT(ref.nodes_crashed, 0u) << "no switch ever crashed";
+  EXPECT_GT(ref.brownouts, 0u) << "no brown-out ever started";
+  EXPECT_GT(ref.loss_episodes, 0u) << "no loss episode ever started";
+  EXPECT_GT(ref.node_failure_drops, 0u)
+      << "no packet was ever caught in a crashing switch";
+  EXPECT_GT(ref.fault_drops, 0u) << "transient loss never destroyed a packet";
+  EXPECT_GT(ref.restore_attempts, 0u) << "re-admission backoff never fired";
+  EXPECT_EQ(ref.invariant_violations, 0u) << "the monitor flagged the run";
+  golden(spec, "chaos fault plane");
 }
 
 TEST(ScenarioGolden, ShardedFanInByteIdenticalAcrossBackends) {

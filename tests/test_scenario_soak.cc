@@ -188,5 +188,37 @@ TEST(ScenarioSoak, ShardedParkingLotSteadyStateAllocationFree) {
   EXPECT_GT(report.flows_rejected, 0u) << "admission never refused a flow";
 }
 
+TEST(ScenarioSoak, ChaosMinuteEveryFaultFamilyWithMonitorOn) {
+  // A minute of the chaos preset: all four fault families — crashes,
+  // brown-outs, transient loss, flapping links — churning a mesh under
+  // live admission, with the invariant monitor auditing at 2 Hz the
+  // whole way.  No allocation assertion here: crash recovery and
+  // re-admission legitimately rebuild per-flow state.  What must hold is
+  // the self-checking contract — every family actually fired, both new
+  // ledger buckets are non-empty, the restore machinery ran, and ~120
+  // live audits found NOTHING, then the drained end state conserves.
+  scenario::ScenarioSpec spec = scenario::preset("chaos");
+  spec.run_seconds = 60.0;
+  spec.seed = 40;
+
+  scenario::ScenarioRunner runner(spec);
+  const scenario::ScenarioReport report = runner.run();
+
+  EXPECT_GT(report.nodes_crashed, 0u);
+  EXPECT_GT(report.nodes_recovered, 0u);
+  EXPECT_GT(report.brownouts, 0u);
+  EXPECT_GT(report.loss_episodes, 0u);
+  EXPECT_GT(report.links_failed, 0u);
+  EXPECT_GT(report.node_failure_drops, 0u);
+  EXPECT_GT(report.fault_drops, 0u);
+  EXPECT_GT(report.restore_attempts, 0u);
+
+  EXPECT_GE(report.invariant_audits, 100u);
+  EXPECT_EQ(report.invariant_violations, 0u);
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.queued_end, 0u);
+  EXPECT_EQ(report.unclaimed, 0u);
+}
+
 }  // namespace
 }  // namespace ispn

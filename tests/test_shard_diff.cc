@@ -221,6 +221,11 @@ struct ShardRun {
                 unclaimed = 0;
   std::vector<scenario::FlowOutcome> flows;
   std::uint64_t reroutes = 0, degraded = 0;
+  // Fault-plane counters and drop buckets (PR 9).
+  std::uint64_t node_failure_drops = 0, fault_drops = 0;
+  std::uint64_t nodes_crashed = 0, brownouts = 0, loss_episodes = 0;
+  std::uint64_t flows_restored = 0, restore_attempts = 0;
+  std::uint64_t invariant_violations = 0;
 };
 
 ShardRun run_sharded(scenario::ScenarioSpec spec, int shards,
@@ -252,6 +257,14 @@ ShardRun run_sharded(scenario::ScenarioSpec spec, int shards,
   out.flows = report.flows;
   out.reroutes = report.flows_rerouted;
   out.degraded = report.flows_degraded;
+  out.node_failure_drops = report.node_failure_drops;
+  out.fault_drops = report.fault_drops;
+  out.nodes_crashed = report.nodes_crashed;
+  out.brownouts = report.brownouts;
+  out.loss_episodes = report.loss_episodes;
+  out.flows_restored = report.flows_restored;
+  out.restore_attempts = report.restore_attempts;
+  out.invariant_violations = report.invariant_violations;
   return out;
 }
 
@@ -297,6 +310,14 @@ void expect_identical(const ShardRun& ref, const ShardRun& got,
   EXPECT_EQ(ref.failed_link_drops, got.failed_link_drops) << what;
   EXPECT_EQ(ref.queued_end, got.queued_end) << what;
   EXPECT_EQ(ref.unclaimed, got.unclaimed) << what;
+  EXPECT_EQ(ref.node_failure_drops, got.node_failure_drops) << what;
+  EXPECT_EQ(ref.fault_drops, got.fault_drops) << what;
+  EXPECT_EQ(ref.nodes_crashed, got.nodes_crashed) << what;
+  EXPECT_EQ(ref.brownouts, got.brownouts) << what;
+  EXPECT_EQ(ref.loss_episodes, got.loss_episodes) << what;
+  EXPECT_EQ(ref.flows_restored, got.flows_restored) << what;
+  EXPECT_EQ(ref.restore_attempts, got.restore_attempts) << what;
+  EXPECT_EQ(ref.invariant_violations, got.invariant_violations) << what;
 
   ASSERT_EQ(ref.flows.size(), got.flows.size()) << what;
   for (std::size_t i = 0; i < ref.flows.size(); ++i) {
@@ -383,6 +404,26 @@ TEST(ShardDiff, MeshWithFailuresByteIdenticalAcrossShardCounts) {
   EXPECT_GT(ref.failed_link_drops, 0u)
       << "no packet was ever caught on a failing link";
   shard_diff(spec, "mesh with failures");
+}
+
+TEST(ShardDiff, ChaosFaultPlaneByteIdenticalAcrossShardCounts) {
+  // Crashes, brown-outs, transient loss and flapping all at once, on the
+  // sharded engine: every fault event lands on a lookahead-window barrier
+  // (ctl grid), so shard counts {1, 2, 4} x both event backends must agree
+  // byte-for-byte — traces, decisions, fault counters and both new drop
+  // buckets.  The invariant monitor audits throughout and must stay clean.
+  scenario::ScenarioSpec spec = scenario::preset("chaos");
+  spec.run_seconds = 20.0;  // enough for every fault family at test speed
+  spec.seed = 40;  // 3 crashes, 12 brownouts, 6 loss episodes in 20 s
+
+  const ShardRun ref = run_sharded(spec, 1, sim::EventBackend::kHeap);
+  EXPECT_GT(ref.nodes_crashed, 0u) << "no switch ever crashed";
+  EXPECT_GT(ref.brownouts, 0u) << "no brown-out ever started";
+  EXPECT_GT(ref.loss_episodes, 0u) << "no loss episode ever started";
+  EXPECT_GT(ref.node_failure_drops + ref.fault_drops, 0u)
+      << "faults never destroyed a packet";
+  EXPECT_EQ(ref.invariant_violations, 0u) << "the monitor flagged the run";
+  shard_diff(spec, "chaos fault plane");
 }
 
 TEST(ShardDiff, SteppingAndSkippingSyncProduceIdenticalResults) {

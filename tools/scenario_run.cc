@@ -2,6 +2,7 @@
 //
 // Usage:
 //   scenario_run --preset fan_in [--scale smoke|small|large] [key=value ...]
+//   scenario_run --chaos [key=value ...]
 //   scenario_run path/to/config.json [key=value ...]
 //   scenario_run --list
 //
@@ -12,8 +13,12 @@
 // Output: the human-readable report on stdout; --json PATH additionally
 // writes the machine-readable report.
 //
-// Exit codes: 0 success, 1 CONSERVATION VIOLATED (CI trips on this),
-// 2 usage/config error.
+// --chaos is the self-checking preset: every fault family active and the
+// invariant monitor auditing continuously; any structured violation makes
+// the run exit non-zero, so CI can drive it as a chaos gate.
+//
+// Exit codes: 0 success, 1 CONSERVATION VIOLATED or INVARIANT VIOLATIONS
+// (CI trips on this), 2 usage/config error.
 
 #include <cstdio>
 #include <cstring>
@@ -28,8 +33,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--preset NAME | CONFIG.json) [--scale SCALE] "
-               "[--json PATH] [--fail-link SRC:DST@T[,up@T2]] "
+               "usage: %s (--preset NAME | --chaos | CONFIG.json) "
+               "[--scale SCALE] [--json PATH] "
+               "[--fail-link SRC:DST@T[,up@T2]] "
                "[--shards N] [key=value ...]\n"
                "       %s --list\n",
                argv0, argv0);
@@ -50,11 +56,25 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--list") {
-        std::printf("presets: chain fan_in parking_lot churn failure\n");
+        std::printf("presets: chain fan_in parking_lot churn failure chaos\n");
         std::printf("scales:  smoke small large\n");
         return 0;
       }
-      if (arg == "--preset") {
+      if (arg == "--chaos") {
+        // Sugar for `--preset chaos` with the monitor guaranteed on: all
+        // four fault families plus continuous invariant audits, and any
+        // violation turns into a non-zero exit below.
+        if (have_overrides) {
+          std::fprintf(stderr,
+                       "--chaos must be the first setting (it replaces "
+                       "the whole spec)\n");
+          return 2;
+        }
+        spec = scenario::preset("chaos");
+        if (spec.invariant_cadence <= 0) spec.invariant_cadence = 0.5;
+        have_spec = true;
+        have_overrides = true;
+      } else if (arg == "--preset") {
         if (++i >= argc) return usage(argv[0]);
         if (have_overrides) {
           // A preset REPLACES the spec; accepting it here would silently
@@ -131,9 +151,17 @@ int main(int argc, char** argv) {
     std::printf("json report written to %s\n", json_path.c_str());
   }
 
+  int rc = 0;
   if (!report.conserved()) {
     std::fprintf(stderr, "CONSERVATION VIOLATED\n");
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (report.invariant_violations > 0) {
+    // The runtime monitor already printed each structured violation as it
+    // fired; the summary line makes the gate's verdict unmissable.
+    std::fprintf(stderr, "INVARIANT VIOLATIONS: %llu\n",
+                 static_cast<unsigned long long>(report.invariant_violations));
+    rc = 1;
+  }
+  return rc;
 }
