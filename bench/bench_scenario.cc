@@ -138,6 +138,37 @@ int main() {
     report.add("fan_in admission", "flows=256", run_fabric(spec));
   }
 
+  // Responsive best-effort traffic: the reno/bbr/rack stacks round-robin
+  // on the datagram class with DEC-TR-506 binary feedback marking at the
+  // bottleneck, alongside guaranteed + predicted open-loop flows.  Prices
+  // the transport layer (per-ACK bookkeeping, pacing/RTO/reorder timers,
+  // bidirectional packet streams) on the two canonical CC fabrics.
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kChain;
+    spec.chain_switches = 2;  // dumbbell: one shared bottleneck
+    spec.p_guaranteed = 0.2;
+    spec.p_predicted = 0.3;
+    spec.source = scenario::SourceKind::kOnOff;
+    spec.cc = scenario::CcKind::kMix;
+    spec.binary_feedback = true;
+    set_load(spec, 64, /*bottleneck_links=*/1, kLinkRate);
+    report.add("cc-mix dumbbell", "flows=64", run_fabric(spec));
+  }
+  {
+    scenario::ScenarioSpec spec = base_spec();
+    spec.fabric = scenario::FabricKind::kParkingLot;
+    spec.parking_hops = 4;
+    spec.long_flow_fraction = 0.35;
+    spec.p_guaranteed = 0.2;
+    spec.p_predicted = 0.3;
+    spec.source = scenario::SourceKind::kOnOff;
+    spec.cc = scenario::CcKind::kMix;
+    spec.binary_feedback = true;
+    set_load(spec, 256, /*bottleneck_links=*/4, kLinkRate);
+    report.add("cc-mix parking_lot h4", "flows=256", run_fabric(spec));
+  }
+
   // Mesh under churn: link failures keep firing (capped per link), every
   // failure reroutes the batch datagram workload and flushes the dead
   // port — the price of topology churn on the forwarding path.

@@ -46,6 +46,16 @@ for n in 1 4; do
   "$BUILD_DIR/scenario_run" --preset fan_in --scale smoke tree_depth=3 \
     arrival_rate=0 target_flows=8 --shards "$n" >/dev/null
 done
+# Responsive traffic: every CC stack (and the round-robin mix) through the
+# CLI with DEC-TR-506 binary feedback on — conservation now covers the
+# bidirectional data+ACK ledger, so exit 0 means the transport accounting
+# balanced; the mix also runs sharded to smoke cross-domain ACK handoff.
+for cc in reno bbr rack mix; do
+  "$BUILD_DIR/scenario_run" --preset parking_lot --scale smoke --cc "$cc" \
+    arrival_rate=0 target_flows=12 binary_feedback=1 >/dev/null
+done
+"$BUILD_DIR/scenario_run" --preset parking_lot --scale smoke --cc mix \
+  arrival_rate=0 target_flows=12 binary_feedback=1 --shards 2 >/dev/null
 # Chaos gate: every fault family at once (crashes, brown-outs, transient
 # loss, flapping links) with the invariant monitor auditing continuously.
 # scenario_run exits 1 on ANY structured violation, so a broken ledger or

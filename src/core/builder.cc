@@ -36,6 +36,8 @@ net::LinkSchedulerFactory IspnNetwork::qos_link_factory() {
         config_.stale_offset_threshold};
     sched_config.order_backend = config_.order_backend;
     sched_config.hierarchical = config_.hierarchical;
+    sched_config.binary_feedback = config_.binary_feedback;
+    sched_config.mark_threshold = config_.mark_threshold;
     auto scheduler = std::make_unique<sched::UnifiedScheduler>(sched_config);
     // Stale discards flow through the scheduler's DropSink like every
     // other loss, so the port's drop hook already folds them into the
@@ -384,18 +386,28 @@ std::pair<traffic::TcpSource&, traffic::TcpSink&> IspnNetwork::attach_tcp(
     const FlowHandle& handle, traffic::TcpSource::Config config) {
   const FlowSpec& spec = handle.spec;
   assert(spec.service == net::ServiceClass::kDatagram);
-  assert(!net_.sharded() &&
-         "TCP endpoints draw from the global pool; not sharding-aware yet");
   net::Host& src_host = net_.host(spec.src);
   net::Host& dst_host = net_.host(spec.dst);
+  // Each endpoint lives on its own host's clock: in a sharded run that is
+  // the owning domain's simulator and packet pool, classically the global
+  // ones.
+  sim::Simulator& src_sim =
+      net_.sharded() ? net_.sim_for(spec.src) : net_.sim();
+  sim::Simulator& dst_sim =
+      net_.sharded() ? net_.sim_for(spec.dst) : net_.sim();
 
   auto source = std::make_unique<traffic::TcpSource>(
-      net_.sim(), config, spec.flow, spec.src, spec.dst,
+      src_sim, config, spec.flow, spec.src, spec.dst,
       [&src_host](net::PacketPtr p) { src_host.inject(std::move(p)); },
       &net_.stats(spec.flow));
   auto sink = std::make_unique<traffic::TcpSink>(
-      net_.sim(), config, spec.flow, spec.dst, spec.src,
+      dst_sim, config, spec.flow, spec.dst, spec.src,
       [&dst_host](net::PacketPtr p) { dst_host.inject(std::move(p)); });
+  sink->set_stats(&net_.stats(spec.flow));
+  if (net_.sharded()) {
+    source->set_pool(&net_.pool_for(spec.src));
+    sink->set_pool(&net_.pool_for(spec.dst));
+  }
 
   // ACKs arrive back at the source host; data arrives at the destination
   // behind the stats recorder.

@@ -74,6 +74,13 @@ class IspnNetwork {
     /// bounded by {guaranteed flows, K classes, datagram} instead of
     /// per-flow.  Default off — the classic flat path, byte-identical.
     bool hierarchical = false;
+    /// DEC-TR-506 binary feedback on every link's datagram class: mark
+    /// Packet::cong_mark when the time-averaged datagram queue length
+    /// reaches mark_threshold (see sched::UnifiedScheduler::Config).
+    /// Responsive sources (attach_tcp with Config::binary_feedback) back
+    /// off on the echoed marks.  Default off.
+    bool binary_feedback = false;
+    double mark_threshold = 1.0;
     /// Sharded execution (net/Network::enable_sharding): one domain per
     /// switch, cross-domain links carrying `link_latency` of propagation
     /// delay.  The decomposition is topology-determined, so results are
@@ -183,7 +190,10 @@ class IspnNetwork {
       std::uint64_t stream,
       std::optional<traffic::TokenBucketSpec> police = std::nullopt);
 
-  /// Creates a TCP Reno bulk connection for a datagram flow.
+  /// Creates a responsive TCP bulk connection for a datagram flow.  The
+  /// stack (reno | bbr | rack) and the binary-feedback response come from
+  /// `config`.  Sharding-aware: each endpoint lives on its own domain's
+  /// clock and draws packets from its domain's pool.
   std::pair<traffic::TcpSource&, traffic::TcpSink&> attach_tcp(
       const FlowHandle& handle,
       traffic::TcpSource::Config config = traffic::TcpSource::Config());

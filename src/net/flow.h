@@ -38,6 +38,10 @@ class Counter {
     v_.fetch_add(d, std::memory_order_relaxed);
     return *this;
   }
+  Counter& operator-=(std::uint64_t d) {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
   [[nodiscard]] std::uint64_t value() const {
     return v_.load(std::memory_order_relaxed);
   }
@@ -53,9 +57,15 @@ struct FlowStats {
   stats::SampleSeries queueing_delay;  ///< summed waiting time across hops (s)
   stats::SampleSeries e2e_delay;       ///< delivery minus creation time (s)
 
-  std::uint64_t generated = 0;     ///< packets produced by the source process
+  /// Packets produced by the source process.  A Counter (not plain) because
+  /// responsive flows produce in BOTH directions: data at the source, ACKs
+  /// at the destination's transport sink, which lives in the dst domain in
+  /// a sharded run.
+  Counter generated;
   std::uint64_t source_drops = 0;  ///< dropped by the edge token-bucket filter
-  std::uint64_t injected = 0;      ///< entered the network
+  /// Entered the network; Counter for the same two-domain reason as
+  /// `generated` (ACK injection happens at the destination host).
+  Counter injected;
   /// Dropped at switch buffers.  Drops can fire on any domain thread in a
   /// sharded run (the port's drop hook runs where the port runs), hence a
   /// Counter; the other fields are written only by the flow's source or

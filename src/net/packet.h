@@ -89,6 +89,12 @@ struct Packet {
   // --- Transport (TCP datagram load) -----------------------------------
   bool is_ack = false;
   std::uint64_t ack_seq = 0;   ///< cumulative ACK: next expected seq
+  /// DEC-TR-506 binary feedback: set by a scheduler whose average queue
+  /// length at this packet's arrival exceeded the mark threshold.  Sticky
+  /// along the path (any congested hop marks; no hop clears).
+  bool cong_mark = false;
+  /// The sink's echo of cong_mark, carried back to the source on the ACK.
+  bool cong_echo = false;
 };
 
 class PacketPool;

@@ -91,6 +91,15 @@ void ScenarioReport::to_text(std::ostream& out) const {
       << " + fault " << fault_drops << " + queued " << queued_end
       << " + unclaimed " << unclaimed
       << (conserved() ? "  [OK]" : "  [VIOLATED]") << "\n";
+  if (cc_flows > 0 || cc_mark_samples > 0) {
+    out << "responsive: " << cc_flows << " tcp flows, segments "
+        << tcp_segments << ", acked " << tcp_delivered << ", retransmits "
+        << tcp_retransmits << ", timeouts " << tcp_timeouts
+        << ", reorder timeouts " << tcp_reorder_timeouts << "\n";
+    out << "binary feedback: marks " << cc_marks << "/" << cc_mark_samples
+        << " samples, echoes " << cc_echoes << ", backoffs " << cc_backoffs
+        << "\n";
+  }
   out << "lookup caches: route " << route_cache_hits << " hits / "
       << route_cache_misses << " misses, sink " << sink_cache_hits
       << " hits / " << sink_cache_misses << " misses, sink label "
@@ -150,6 +159,15 @@ void ScenarioReport::to_json(std::ostream& out) const {
       << ", \"restore_attempts\": " << restore_attempts
       << ", \"invariant_audits\": " << invariant_audits
       << ", \"invariant_violations\": " << invariant_violations << " },\n";
+  out << "  \"responsive\": { \"cc_flows\": " << cc_flows
+      << ", \"marks\": " << cc_marks
+      << ", \"mark_samples\": " << cc_mark_samples
+      << ", \"echoes\": " << cc_echoes << ", \"backoffs\": " << cc_backoffs
+      << ", \"segments\": " << tcp_segments
+      << ", \"acked\": " << tcp_delivered
+      << ", \"retransmits\": " << tcp_retransmits
+      << ", \"timeouts\": " << tcp_timeouts
+      << ", \"reorder_timeouts\": " << tcp_reorder_timeouts << " },\n";
   out << "  \"classes\": {\n";
   for (std::size_t i = 0; i < classes.size(); ++i) {
     const ClassStats& c = classes[i];

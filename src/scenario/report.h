@@ -147,6 +147,20 @@ struct ScenarioReport {
   std::uint64_t invariant_audits = 0;     ///< monitor sweeps completed
   std::uint64_t invariant_violations = 0; ///< violations the monitor found
 
+  // ---- responsive traffic (DEC-TR-506 binary feedback) ----------------
+  // Populated when the spec runs responsive datagram flows (cc != off)
+  // and/or binary-feedback marking (binary_feedback = 1).
+  std::uint64_t cc_flows = 0;        ///< datagram flows run as TCP transfers
+  std::uint64_t cc_marks = 0;        ///< congestion marks set by schedulers
+  std::uint64_t cc_mark_samples = 0; ///< datagram avg-queue sampling instants
+  std::uint64_t cc_echoes = 0;       ///< echoed marks received at sources
+  std::uint64_t cc_backoffs = 0;     ///< feedback-window decreases applied
+  std::uint64_t tcp_segments = 0;    ///< data segments transmitted
+  std::uint64_t tcp_delivered = 0;   ///< segments cumulatively acknowledged
+  std::uint64_t tcp_retransmits = 0;
+  std::uint64_t tcp_timeouts = 0;         ///< RTO expirations
+  std::uint64_t tcp_reorder_timeouts = 0; ///< rack reorder-timer losses
+
   // ---- flow-locality caches -------------------------------------------
   // Direct-mapped lookup caches (DEC-TR-592) on the per-packet hot paths,
   // summed across all nodes: switch dst -> port and host flow -> sink.

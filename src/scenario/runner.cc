@@ -22,7 +22,7 @@ constexpr std::uint64_t kWorkloadStream = 0xFAB;
 constexpr std::uint64_t kSourceStreamBase = 1ull << 32;
 }  // namespace
 
-void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time) {
+void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time now) {
   const double delay = p->queueing_delay;
   ++rec_->delivered;
   if (delay > rec_->max_delay_all) rec_->max_delay_all = delay;
@@ -43,6 +43,7 @@ void ScenarioRunner::Sink::on_packet(net::PacketPtr p, sim::Time) {
     rec_->has_last = true;
   }
   ++agg_->delivered;
+  if (next_ != nullptr) next_->on_packet(std::move(p), now);
 }
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
@@ -719,31 +720,88 @@ void ScenarioRunner::attach_source(FlowRec& rec, sim::Duration start_offset,
     police = fs.predicted->bucket;
   }
 
-  switch (spec_.source) {
-    case SourceKind::kOnOff: {
-      traffic::OnOffSource::Config cfg;
-      cfg.avg_rate_pps = spec_.avg_rate_pps;
-      cfg.peak_factor = spec_.peak_factor;
-      cfg.packet_bits = spec_.packet_bits;
-      rec.source = std::make_unique<traffic::OnOffSource>(
-          clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
-      break;
+  // Responsive datagram flows (cc != off) run a TCP transfer instead of an
+  // open-loop generator: the source lives on the src host's clock, the
+  // receiver on the dst host's, and the ACK stream is counted into the
+  // source domain's ledger by a dedicated AckSink (so the reverse path
+  // balances the conservation equation without polluting per-class delay
+  // statistics).
+  if (spec_.cc != CcKind::kOff &&
+      fs.service == net::ServiceClass::kDatagram) {
+    traffic::TcpSource::Config tcfg;
+    tcfg.packet_bits = spec_.packet_bits;
+    tcfg.max_cwnd = spec_.cc_max_cwnd;
+    tcfg.binary_feedback = spec_.binary_feedback;
+    switch (spec_.cc) {
+      case CcKind::kReno: tcfg.cc = traffic::CcAlgo::kReno; break;
+      case CcKind::kBbr: tcfg.cc = traffic::CcAlgo::kBbr; break;
+      case CcKind::kRack: tcfg.cc = traffic::CcAlgo::kRack; break;
+      case CcKind::kMix:
+        // Deterministic per-flow-group mix: reno/bbr/rack by flow id.
+        tcfg.cc = static_cast<traffic::CcAlgo>(fs.flow % 3);
+        break;
+      case CcKind::kOff: break;  // unreachable
     }
-    case SourceKind::kCbr: {
-      traffic::CbrSource::Config cfg;
-      cfg.rate_pps = spec_.avg_rate_pps;
-      cfg.packet_bits = spec_.packet_bits;
-      rec.source = std::make_unique<traffic::CbrSource>(
-          clock, cfg, fs.flow, fs.src, fs.dst, emit, stats, police);
-      break;
+
+    auto tcp = std::make_unique<traffic::TcpSource>(
+        clock, tcfg, fs.flow, fs.src, fs.dst, emit, stats);
+    rec.tcp = tcp.get();
+    rec.source = std::move(tcp);
+
+    // ACK return path at the source host: ledger count, then transport.
+    const std::size_t src_domain =
+        net().sharded() ? static_cast<std::size_t>(net().domain_of(fs.src))
+                        : 0;
+    rec.ack_sink.emplace(&aggs_[src_domain], rec.tcp);
+    net::FlowSink* ack = &*rec.ack_sink;
+    if (tracer_ != nullptr) {
+      ack = net().sharded() ? tracer_->wrap_sink(ack, src_domain)
+                            : tracer_->wrap_sink(ack);
     }
-    case SourceKind::kPoisson: {
-      traffic::PoissonSource::Config cfg;
-      cfg.rate_pps = spec_.avg_rate_pps;
-      cfg.packet_bits = spec_.packet_bits;
-      rec.source = std::make_unique<traffic::PoissonSource>(
-          clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
-      break;
+    rec.ack_slot = host.register_sink(fs.flow, ack);
+
+    // Receiver on the destination's clock; its ACKs carry the ack sink's
+    // slot label and are ledgered as reverse-direction traffic.
+    sim::Simulator& dst_clock =
+        net().sharded() ? net().sim_for(fs.dst) : net().sim();
+    net::Host& dst_host = net().host(fs.dst);
+    const std::uint32_t ack_slot = rec.ack_slot;
+    auto ack_emit = [&dst_host, ack_slot](net::PacketPtr p) {
+      p->sink_slot = ack_slot;
+      dst_host.inject(std::move(p));
+    };
+    rec.tcp_sink = std::make_unique<traffic::TcpSink>(
+        dst_clock, tcfg, fs.flow, fs.dst, fs.src, ack_emit);
+    rec.tcp_sink->set_stats(stats);
+    if (net().sharded()) rec.tcp_sink->set_pool(&net().pool_for(fs.dst));
+    rec.sink->set_next(rec.tcp_sink.get());
+  } else {
+    switch (spec_.source) {
+      case SourceKind::kOnOff: {
+        traffic::OnOffSource::Config cfg;
+        cfg.avg_rate_pps = spec_.avg_rate_pps;
+        cfg.peak_factor = spec_.peak_factor;
+        cfg.packet_bits = spec_.packet_bits;
+        rec.source = std::make_unique<traffic::OnOffSource>(
+            clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
+        break;
+      }
+      case SourceKind::kCbr: {
+        traffic::CbrSource::Config cfg;
+        cfg.rate_pps = spec_.avg_rate_pps;
+        cfg.packet_bits = spec_.packet_bits;
+        rec.source = std::make_unique<traffic::CbrSource>(
+            clock, cfg, fs.flow, fs.src, fs.dst, emit, stats, police);
+        break;
+      }
+      case SourceKind::kPoisson: {
+        traffic::PoissonSource::Config cfg;
+        cfg.rate_pps = spec_.avg_rate_pps;
+        cfg.packet_bits = spec_.packet_bits;
+        rec.source = std::make_unique<traffic::PoissonSource>(
+            clock, cfg, rng, fs.flow, fs.src, fs.dst, emit, stats, police);
+        break;
+      }
     }
   }
 
@@ -930,6 +988,17 @@ ScenarioReport ScenarioRunner::finish() {
     out.path_epochs = rec.epochs_seen;
     out.max_delay_all = rec.max_delay_all;
     report.flows.push_back(out);
+
+    if (rec.tcp != nullptr) {
+      ++report.cc_flows;
+      report.tcp_segments += rec.tcp->sent_segments();
+      report.tcp_delivered += rec.tcp->delivered();
+      report.tcp_retransmits += rec.tcp->retransmits();
+      report.tcp_timeouts += rec.tcp->timeouts();
+      report.tcp_reorder_timeouts += rec.tcp->reorder_timeouts();
+      report.cc_echoes += rec.tcp->echoes_received();
+      report.cc_backoffs += rec.tcp->fb_backoffs();
+    }
   }
   report.delivered = delivered();
   report.queued_end = queued_now();
@@ -985,6 +1054,8 @@ ScenarioReport ScenarioRunner::finish() {
   report.classes = merged_classes();
 
   for (const core::LinkId& link : ispn_.links()) {
+    report.cc_marks += ispn_.scheduler(link).cong_marks();
+    report.cc_mark_samples += ispn_.scheduler(link).mark_samples();
     LinkReport lr;
     lr.link = link;
     lr.utilization = report.end_time > 0

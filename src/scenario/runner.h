@@ -48,6 +48,7 @@
 #include "scenario/scenario.h"
 #include "sim/shard.h"
 #include "traffic/source.h"
+#include "traffic/tcp.h"
 
 namespace ispn::scenario {
 
@@ -130,10 +131,33 @@ class ScenarioRunner {
    public:
     Sink(FlowRec* rec, DomainAgg* agg) : rec_(rec), agg_(agg) {}
     void on_packet(net::PacketPtr p, sim::Time now) override;
+    /// Chains a downstream consumer (the responsive flows' TcpSink, which
+    /// turns the delivered data into an ACK stream).  Counting first, then
+    /// forward — the transport sees the packet after the ledger does.
+    void set_next(net::FlowSink* next) { next_ = next; }
 
    private:
     FlowRec* rec_;
     DomainAgg* agg_;
+    net::FlowSink* next_ = nullptr;
+  };
+
+  /// ACK-path counting sink at the SOURCE host: ledger-only (the reverse
+  /// stream must balance the conservation equation) — ACK deliveries never
+  /// touch the per-class delay statistics.  Runs on the source host's
+  /// domain thread in sharded mode, so it aggregates into that domain's
+  /// single-writer slot.
+  class AckSink final : public net::FlowSink {
+   public:
+    AckSink(DomainAgg* agg, net::FlowSink* next) : agg_(agg), next_(next) {}
+    void on_packet(net::PacketPtr p, sim::Time now) override {
+      ++agg_->delivered;
+      next_->on_packet(std::move(p), now);
+    }
+
+   private:
+    DomainAgg* agg_;
+    net::FlowSink* next_;
   };
 
   struct FlowRec {
@@ -147,6 +171,13 @@ class ScenarioRunner {
     // stable (flows_ is a deque, records are emplaced and never moved),
     // so the self-referential sink is safe.
     std::optional<Sink> sink;
+    // Responsive (cc != off) datagram flows: the transport pair.  `tcp`
+    // aliases `source` (owned there); the TcpSink lives on the destination
+    // host's domain clock and feeds ACKs back through `ack_sink`.
+    traffic::TcpSource* tcp = nullptr;
+    std::unique_ptr<traffic::TcpSink> tcp_sink;
+    std::optional<AckSink> ack_sink;
+    std::uint32_t ack_slot = 0;  ///< ACK sink's slot at the source host
     std::uint64_t delivered = 0;
     double max_delay = 0;
     double last_delay = 0;  ///< previous delivery's delay (jitter deltas)

@@ -122,6 +122,17 @@ const char* to_string(SourceKind kind) {
   return "?";
 }
 
+const char* to_string(CcKind kind) {
+  switch (kind) {
+    case CcKind::kOff: return "off";
+    case CcKind::kReno: return "reno";
+    case CcKind::kBbr: return "bbr";
+    case CcKind::kRack: return "rack";
+    case CcKind::kMix: return "mix";
+  }
+  return "?";
+}
+
 void ScenarioSpec::validate() const {
   const auto check = [](bool ok, const char* field) {
     if (!ok) {
@@ -206,6 +217,8 @@ void ScenarioSpec::validate() const {
   check(shards >= 0, "shards (need >= 0)");
   check(shards == 0 || link_latency > 0,
         "link_latency (need > 0 with shards >= 1)");
+  check(mark_threshold > 0, "mark_threshold (need > 0)");
+  check(cc_max_cwnd >= 2, "cc_max_cwnd (need >= 2)");
 }
 
 core::IspnNetwork::Config ScenarioSpec::network_config() const {
@@ -225,6 +238,8 @@ core::IspnNetwork::Config ScenarioSpec::network_config() const {
   cfg.sharded = shards >= 1;
   cfg.link_latency = link_latency;
   cfg.hierarchical = hierarchical;
+  cfg.binary_feedback = binary_feedback;
+  cfg.mark_threshold = mark_threshold;
   return cfg;
 }
 
@@ -273,6 +288,8 @@ std::string ScenarioSpec::describe() const {
     out << " shards=" << shards << " latency=" << link_latency * 1e3 << "ms";
   }
   if (hierarchical) out << " hierarchical";
+  if (cc != CcKind::kOff) out << " cc=" << to_string(cc);
+  if (binary_feedback) out << " feedback@" << mark_threshold;
   if (!link_failures.empty() || link_failure_rate > 0) {
     out << " failures=" << link_failures.size();
     if (link_failure_rate > 0) {
@@ -506,6 +523,19 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
     spec.target_delay = parse_double(key, value);
   } else if (key == "target_loss") {
     spec.target_loss = parse_double(key, value);
+  } else if (key == "cc") {
+    if (value == "off") spec.cc = CcKind::kOff;
+    else if (value == "reno") spec.cc = CcKind::kReno;
+    else if (value == "bbr") spec.cc = CcKind::kBbr;
+    else if (value == "rack") spec.cc = CcKind::kRack;
+    else if (value == "mix") spec.cc = CcKind::kMix;
+    else fail(key, "unknown congestion control for");
+  } else if (key == "binary_feedback") {
+    spec.binary_feedback = parse_bool(key, value);
+  } else if (key == "mark_threshold") {
+    spec.mark_threshold = parse_double(key, value);
+  } else if (key == "cc_max_cwnd") {
+    spec.cc_max_cwnd = parse_double(key, value);
   } else if (key == "preempt_on_reject") {
     spec.preempt_on_reject = parse_bool(key, value);
   } else if (key == "run_seconds") {

@@ -43,6 +43,19 @@ enum class SourceKind {
   kPoisson,  ///< exponential gaps
 };
 
+/// Which congestion-control stack drives the datagram (best-effort) flows.
+/// kOff keeps the classic open-loop sources; everything else replaces the
+/// datagram flows' generators with responsive TCP transfers (traffic/tcp.h)
+/// running the named stack.  kMix assigns reno/bbr/rack round-robin by
+/// flow id — the CC-mix differential workload.
+enum class CcKind {
+  kOff,
+  kReno,
+  kBbr,
+  kRack,
+  kMix,
+};
+
 /// One explicit link failure: the switch-to-switch link src<->dst goes
 /// down at down_at and (when up_at >= 0) recovers at up_at.
 struct LinkFailureSpec {
@@ -102,6 +115,17 @@ struct ScenarioSpec {
   /// the refusing hop and retry, up to 8 victims per request (each
   /// eviction recorded as kPreempted).
   bool preempt_on_reject = false;
+
+  // ---- responsive traffic (DEC-TR-506 binary feedback) -----------------
+  /// Congestion control for datagram flows (off | reno | bbr | rack | mix).
+  CcKind cc = CcKind::kOff;
+  /// Schedulers mark Packet::cong_mark when the time-averaged datagram
+  /// queue length reaches mark_threshold; TCP sinks echo the bit and
+  /// responsive sources run AIMD on the echoes.
+  bool binary_feedback = false;
+  double mark_threshold = 1.0;
+  /// Receiver-window cap for responsive flows, in packets.
+  double cc_max_cwnd = 64.0;
 
   // ---- failures --------------------------------------------------------
   /// Explicit failures (tools --fail-link, tests).  Validated against the
@@ -233,5 +257,6 @@ void apply_override(ScenarioSpec& spec, const std::string& key,
 
 [[nodiscard]] const char* to_string(FabricKind kind);
 [[nodiscard]] const char* to_string(SourceKind kind);
+[[nodiscard]] const char* to_string(CcKind kind);
 
 }  // namespace ispn::scenario

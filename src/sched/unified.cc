@@ -201,6 +201,21 @@ void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
 
     const int level = classify(*p);
     if (level == config_.num_predicted_classes) {
+      if (config_.binary_feedback) {
+        // DEC-TR-506 sampling instant: this arrival compares the cycle's
+        // time-averaged datagram queue length (excluding itself) to the
+        // threshold and carries the verdict as its congestion mark.
+        dg_account(now);
+        const double elapsed = now - dg_cycle_start_;
+        const double avg = elapsed > 0
+                               ? dg_area_ / elapsed
+                               : static_cast<double>(datagram_.size());
+        ++mark_samples_;
+        if (avg >= config_.mark_threshold) {
+          p->cong_mark = true;
+          ++cong_marks_;
+        }
+      }
       datagram_.push_back(std::move(p));
     } else {
       auto& cls = classes_[static_cast<std::size_t>(level)];
@@ -213,7 +228,7 @@ void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   bits_ += size;
 
   if (total_packets_ > config_.capacity_pkts) {
-    net::PacketPtr victim = pushout_flow0();
+    net::PacketPtr victim = pushout_flow0(now);
     if (victim != nullptr) {
       drop(std::move(victim), now);
     } else if (g != nullptr) {
@@ -228,7 +243,7 @@ void UnifiedScheduler::enqueue(net::PacketPtr p, sim::Time now) {
   }
 }
 
-net::PacketPtr UnifiedScheduler::pushout_flow0() {
+net::PacketPtr UnifiedScheduler::pushout_flow0(sim::Time now) {
   net::PacketPtr victim;
   if (!datagram_.empty()) {
     // Prefer the newest less-important datagram packet (§10), else the
@@ -240,7 +255,9 @@ net::PacketPtr UnifiedScheduler::pushout_flow0() {
         break;
       }
     }
+    if (config_.binary_feedback) dg_account(now);
     victim = datagram_.erase_at(chosen);
+    if (config_.binary_feedback && datagram_.empty()) dg_reset_cycle(now);
   } else {
     for (int level = config_.num_predicted_classes - 1; level >= 0; --level) {
       auto& cls = classes_[static_cast<std::size_t>(level)];
@@ -317,7 +334,9 @@ net::PacketPtr UnifiedScheduler::pop_flow0(sim::Time now) {
     }
   }
   if (!datagram_.empty()) {
+    if (config_.binary_feedback) dg_account(now);
     net::PacketPtr p = datagram_.pop_front();
+    if (config_.binary_feedback && datagram_.empty()) dg_reset_cycle(now);
     if (observer_ && !flushing_) {
       observer_(config_.num_predicted_classes, now - p->enqueued_at, now);
     }

@@ -98,6 +98,15 @@ class UnifiedScheduler final : public Scheduler {
     /// per-hop-reassignment semantic this trades away.  Default off: the
     /// classic flat path, byte-identical to previous releases.
     bool hierarchical = false;
+    /// DEC-TR-506 binary feedback on the datagram class: each datagram
+    /// arrival samples the time-averaged datagram queue length over the
+    /// current regeneration cycle (cycle restarts when the queue empties)
+    /// and sets Packet::cong_mark when the average is at or above
+    /// mark_threshold.  Default off: the datagram path is untouched.
+    bool binary_feedback = false;
+    /// Average-queue-length threshold (packets) for marking.  DEC-TR-506
+    /// operates the switch at an average of one queued packet.
+    double mark_threshold = 1.0;
   };
 
   /// Observer invoked at each predicted/datagram dequeue with
@@ -155,6 +164,21 @@ class UnifiedScheduler final : public Scheduler {
   /// Packets discarded as stale so far (§10).
   [[nodiscard]] std::uint64_t stale_discards() const {
     return stale_discards_;
+  }
+
+  /// Datagram packets stamped with a congestion mark (binary feedback).
+  [[nodiscard]] std::uint64_t cong_marks() const { return cong_marks_; }
+  /// Datagram arrivals that sampled the average queue length.
+  [[nodiscard]] std::uint64_t mark_samples() const { return mark_samples_; }
+  /// The time-averaged datagram queue length over the current regeneration
+  /// cycle, evaluated at `now` (what the next arrival would compare to the
+  /// threshold).  Exposed for the marking-rule unit pins.
+  [[nodiscard]] double datagram_avg_queue(sim::Time now) const {
+    const double area = dg_area_ + static_cast<double>(datagram_.size()) *
+                                       (now - dg_last_change_);
+    const double elapsed = now - dg_cycle_start_;
+    return elapsed > 0 ? area / elapsed
+                       : static_cast<double>(datagram_.size());
   }
 
   /// Re-rates the link (capacity brown-out / restore): V(t) advances to
@@ -250,7 +274,22 @@ class UnifiedScheduler final : public Scheduler {
   /// Picks the flow-0 packet to transmit (highest class first).
   net::PacketPtr pop_flow0(sim::Time now);
   /// Pushes out a victim from the lowest-priority backlogged flow-0 class.
-  net::PacketPtr pushout_flow0();
+  net::PacketPtr pushout_flow0(sim::Time now);
+
+  /// Binary feedback: folds the elapsed interval at the current datagram
+  /// queue length into the cycle's area integral.  Call before any change
+  /// to the datagram queue size.
+  void dg_account(sim::Time now) {
+    dg_area_ += static_cast<double>(datagram_.size()) *
+                (now - dg_last_change_);
+    dg_last_change_ = now;
+  }
+  /// Restarts the regeneration cycle (datagram queue just went empty).
+  void dg_reset_cycle(sim::Time now) {
+    dg_area_ = 0;
+    dg_cycle_start_ = now;
+    dg_last_change_ = now;
+  }
   [[nodiscard]] int classify(const net::Packet& p) const;
 
   /// Retires one flow-0 transmission entitlement during a dequeue-time
@@ -290,6 +329,13 @@ class UnifiedScheduler final : public Scheduler {
   std::uint64_t arrivals_ = 0;
   std::size_t total_packets_ = 0;
   sim::Bits bits_ = 0;
+
+  // DEC-TR-506 marking state (only advanced when config_.binary_feedback).
+  double dg_area_ = 0;           ///< ∫ datagram qlen dt over the cycle
+  sim::Time dg_cycle_start_ = 0; ///< regeneration cycle origin
+  sim::Time dg_last_change_ = 0; ///< last datagram queue-size change
+  std::uint64_t cong_marks_ = 0;
+  std::uint64_t mark_samples_ = 0;
 };
 
 }  // namespace ispn::sched

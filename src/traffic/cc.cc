@@ -1,0 +1,236 @@
+#include "traffic/cc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ispn::traffic {
+
+const char* to_string(CcAlgo algo) {
+  switch (algo) {
+    case CcAlgo::kReno: return "reno";
+    case CcAlgo::kBbr: return "bbr";
+    case CcAlgo::kRack: return "rack";
+  }
+  return "?";
+}
+
+bool parse_cc_algo(const std::string& text, CcAlgo* out) {
+  if (text == "reno") {
+    *out = CcAlgo::kReno;
+  } else if (text == "bbr") {
+    *out = CcAlgo::kBbr;
+  } else if (text == "rack") {
+    *out = CcAlgo::kRack;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CongestionControl::CongestionControl(const CcParams& params)
+    : params_(params),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh) {
+  assert(params_.bbr_bw_rounds >= 1 && params_.bbr_bw_rounds <= kMaxBwRounds);
+}
+
+double CongestionControl::pacing_rate() const {
+  if (params_.algo != CcAlgo::kBbr || bw_ <= 0.0) return 0.0;
+  return bbr_pacing_gain() * bw_;
+}
+
+void CongestionControl::on_ack(std::uint64_t newly_acked,
+                               sim::Duration rtt_sample, std::uint64_t snd_una,
+                               std::uint64_t next_seq, sim::Time now,
+                               bool in_recovery) {
+  if (rtt_sample >= 0) {
+    min_rtt_ = min_rtt_ < 0 ? rtt_sample : std::min(min_rtt_, rtt_sample);
+  }
+  switch (params_.algo) {
+    case CcAlgo::kReno:
+    case CcAlgo::kRack:
+      // Loss-window growth, one step per ACK (never during recovery: a
+      // partial ACK retransmits the next hole, the exit ACK deflates).
+      if (!in_recovery) {
+        if (cwnd_ < ssthresh_) {
+          cwnd_ += 1.0;  // slow start
+        } else {
+          cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+        }
+      }
+      break;
+    case CcAlgo::kBbr:
+      bbr_on_ack(newly_acked, snd_una, next_seq, now);
+      break;
+  }
+}
+
+CongestionControl::DupAckAction CongestionControl::on_dup_ack(
+    int dup_count) const {
+  switch (params_.algo) {
+    case CcAlgo::kReno:
+    case CcAlgo::kBbr:
+      return dup_count == 3 ? DupAckAction::kFastRetransmit
+                            : DupAckAction::kNone;
+    case CcAlgo::kRack:
+      // Never retransmit on a dup count: wait out the reorder window.
+      return DupAckAction::kArmReorderTimer;
+  }
+  return DupAckAction::kNone;
+}
+
+void CongestionControl::on_dup_ack_in_recovery() {
+  if (params_.algo == CcAlgo::kReno) cwnd_ += 1.0;  // window inflation
+}
+
+void CongestionControl::on_loss_event() {
+  switch (params_.algo) {
+    case CcAlgo::kReno:
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_ + 3.0;  // fast recovery inflation
+      break;
+    case CcAlgo::kRack:
+      // Timer-based detection: clean halving, no dup-count inflation.
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = ssthresh_;
+      break;
+    case CcAlgo::kBbr:
+      // The model, not the loss, owns the window.
+      break;
+  }
+}
+
+void CongestionControl::on_recovery_exit() {
+  switch (params_.algo) {
+    case CcAlgo::kReno:
+    case CcAlgo::kRack:
+      cwnd_ = ssthresh_;  // deflate
+      break;
+    case CcAlgo::kBbr:
+      break;
+  }
+}
+
+void CongestionControl::on_rto() {
+  switch (params_.algo) {
+    case CcAlgo::kReno:
+    case CcAlgo::kRack:
+      ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+      cwnd_ = 1.0;
+      break;
+    case CcAlgo::kBbr:
+      // Packet conservation until the model's target is reached again;
+      // the bandwidth filter and min-RTT survive the timeout.
+      cwnd_ = 1.0;
+      conservation_ = true;
+      break;
+  }
+}
+
+sim::Duration CongestionControl::reorder_window() const {
+  if (min_rtt_ <= 0) return params_.rack_min_reo_wnd;
+  return std::max(params_.rack_min_reo_wnd,
+                  params_.rack_reo_wnd_frac * min_rtt_);
+}
+
+// ------------------------------------------------------------------- BBR --
+
+void CongestionControl::bbr_on_ack(std::uint64_t newly_acked,
+                                   std::uint64_t snd_una,
+                                   std::uint64_t next_seq, sim::Time now) {
+  delivered_ += newly_acked;
+  if (round_start_time_ < 0) {
+    // First ACK ever: open the first measurement round.
+    round_start_time_ = now;
+    round_start_delivered_ = delivered_;
+    round_end_seq_ = next_seq;
+  } else if (snd_una >= round_end_seq_) {
+    bbr_round_done(now);
+    round_start_time_ = now;
+    round_start_delivered_ = delivered_;
+    round_end_seq_ = next_seq;
+  }
+  // Drain exits as soon as inflight has fallen to the BDP, not just at a
+  // round boundary — overshooting the drain defeats its purpose.
+  if (mode_ == BbrMode::kDrain && bw_ > 0 &&
+      static_cast<double>(next_seq - snd_una) <= bbr_bdp()) {
+    mode_ = BbrMode::kProbeBw;
+    cycle_index_ = 0;
+  }
+
+  const double target = bbr_target_cwnd();
+  if (bw_ <= 0.0) {
+    // No estimate yet: grow like slow start so the pipe fills and the
+    // first round can measure something.
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly_acked),
+                     params_.max_cwnd);
+    return;
+  }
+  if (cwnd_ < target) {
+    cwnd_ = std::min(target, cwnd_ + static_cast<double>(newly_acked));
+    if (conservation_ && cwnd_ >= target) conservation_ = false;
+  } else {
+    cwnd_ = target;
+    conservation_ = false;
+  }
+}
+
+void CongestionControl::bbr_round_done(sim::Time now) {
+  const double duration = now - round_start_time_;
+  if (duration > 0) {
+    const double sample =
+        static_cast<double>(delivered_ - round_start_delivered_) / duration;
+    bbr_push_bw_sample(sample);
+  }
+  switch (mode_) {
+    case BbrMode::kStartup:
+      // Exit when the bandwidth filter stops growing >= 25% per round
+      // three rounds in a row (the pipe is full).
+      if (bw_ > 1.25 * full_bw_) {
+        full_bw_ = bw_;
+        full_bw_count_ = 0;
+      } else if (++full_bw_count_ >= 3) {
+        mode_ = BbrMode::kDrain;
+      }
+      break;
+    case BbrMode::kDrain:
+      break;  // exit checked per-ACK against the BDP
+    case BbrMode::kProbeBw:
+      cycle_index_ = (cycle_index_ + 1) % kCycleLen;
+      break;
+  }
+}
+
+void CongestionControl::bbr_push_bw_sample(double sample) {
+  bw_ring_[bw_rounds_ % params_.bbr_bw_rounds] = sample;
+  ++bw_rounds_;
+  const int live = std::min(bw_rounds_, params_.bbr_bw_rounds);
+  double best = 0.0;
+  for (int i = 0; i < live; ++i) best = std::max(best, bw_ring_[i]);
+  bw_ = best;
+}
+
+double CongestionControl::bbr_pacing_gain() const {
+  switch (mode_) {
+    case BbrMode::kStartup: return params_.bbr_startup_gain;
+    case BbrMode::kDrain: return 1.0 / params_.bbr_startup_gain;
+    case BbrMode::kProbeBw: {
+      if (cycle_index_ == 0) return params_.bbr_probe_up;
+      if (cycle_index_ == 1) return params_.bbr_probe_down;
+      return 1.0;
+    }
+  }
+  return 1.0;
+}
+
+double CongestionControl::bbr_bdp() const {
+  if (bw_ <= 0 || min_rtt_ <= 0) return params_.max_cwnd;
+  return bw_ * min_rtt_;
+}
+
+double CongestionControl::bbr_target_cwnd() const {
+  if (bw_ <= 0 || min_rtt_ <= 0) return params_.max_cwnd;
+  return std::max(4.0, params_.bbr_cwnd_gain * bbr_bdp());
+}
+
+}  // namespace ispn::traffic

@@ -101,6 +101,15 @@ class Source {
     return true;
   }
 
+  // Accessors for subclasses that build their own packets (the transport
+  // sources reuse sequence numbers on retransmit, so generate() above does
+  // not fit them).
+  [[nodiscard]] net::PacketPool* pool() const { return pool_; }
+  [[nodiscard]] net::FlowStats* stats() const { return stats_; }
+  [[nodiscard]] net::ServiceClass service() const { return service_; }
+  [[nodiscard]] std::uint8_t priority() const { return priority_; }
+  void emit_packet(net::PacketPtr p) { emit_(std::move(p)); }
+
   sim::Simulator& sim_;
 
  private:

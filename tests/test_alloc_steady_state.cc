@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "sched/wfq.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
+#include "traffic/tcp.h"
 
 namespace ispn {
 namespace {
@@ -279,6 +281,63 @@ TEST(AllocSteadyState, TimerSupersedePathIsAllocationFree) {
   cycle(60000);
   EXPECT_EQ(cycle(200000), 0u);
   EXPECT_GT(fired, 0u);
+}
+
+// The bbr stack's paced send path: every segment rides the persistent
+// pace timer (re-arm, pool packet, emit) instead of a window blast, and
+// the ACK clock feeds the rate filters.  After pool/slab warmup a long
+// steady-state stretch — pacing, RTT/bandwidth sampling, feedback
+// bookkeeping — must not allocate at all.
+TEST(AllocSteadyState, BbrPacedSendPathIsAllocationFree) {
+  sim::Simulator sim;
+  net::PacketPool pool;
+  traffic::TcpSource::Config config;
+  config.cc = traffic::CcAlgo::kBbr;
+  config.binary_feedback = true;
+
+  // Fake network: cumulative ACKs at a finite drain rate (2 segments per
+  // 0.5 ms tick), so the bandwidth estimate converges instead of
+  // compounding against an infinitely fast mirror.
+  std::uint64_t emitted_top = 0;  // highest seq emitted + 1
+  std::uint64_t acked = 0;
+  auto src = std::make_unique<traffic::TcpSource>(
+      sim, config, 7, 0, 1,
+      [&emitted_top](net::PacketPtr p) {
+        emitted_top = std::max(emitted_top, p->seq + 1);
+      },
+      nullptr);
+  src->set_pool(&pool);
+
+  std::vector<sim::Timer> net_timer;
+  net_timer.reserve(1);
+  net_timer.emplace_back(sim, [&] {
+    const std::uint64_t can = std::min(emitted_top, acked + 2);
+    if (can > acked) {
+      acked = can;
+      auto ack = net::make_packet(pool, 7, 0, 1, 0, sim.now(),
+                                  config.ack_bits);
+      ack->is_ack = true;
+      ack->ack_seq = acked;
+      ack->cong_echo = (acked % 64 == 0);  // occasional feedback step
+      src->on_packet(std::move(ack), sim.now());
+    }
+    net_timer[0].arm_after(5e-4);
+  });
+  net_timer[0].arm_after(5e-4);
+  src->start(0.0);
+
+  auto cycle = [&](double seconds) {
+    const std::uint64_t before = testhook::allocation_count();
+    sim.run_until(sim.now() + seconds);
+    return testhook::allocation_count() - before;
+  };
+  cycle(5.0);  // warmup: pool chunks, event slab, bbr startup + drain
+  const std::uint64_t sent_before = src->sent_segments();
+  EXPECT_EQ(cycle(10.0), 0u);
+  EXPECT_EQ(src->algo(), traffic::CcAlgo::kBbr);
+  EXPECT_GT(src->sent_segments(), sent_before + 10000u)
+      << "the paced path was never actually exercised";
+  EXPECT_GT(src->delivered(), 10000u);
 }
 
 TEST(AllocSteadyState, EventCancelPathIsAllocationFree) {

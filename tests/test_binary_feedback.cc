@@ -1,0 +1,227 @@
+// DEC-TR-506 binary-feedback unit pins.
+//
+// Three layers, each pinned by hand-computed values:
+//   * the marking rule inside UnifiedScheduler — the time-averaged datagram
+//     queue length over the regeneration cycle, sampled at the arrival
+//     instant and compared (inclusively) to the threshold;
+//   * the echo path — TcpSink copies a data packet's congestion mark onto
+//     the cumulative ACK it emits;
+//   * the source response — one AIMD step per window-length round of ACKs,
+//     with exact multiplicative-decrease / additive-increase values.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+#include "sched/unified.h"
+#include "sched_test_util.h"
+#include "sim/simulator.h"
+#include "traffic/tcp.h"
+
+namespace ispn {
+namespace {
+
+using sched_test::datagram_pkt;
+using sched_test::offer;
+
+sched::UnifiedScheduler::Config mark_cfg(double threshold = 1.0) {
+  sched::UnifiedScheduler::Config c;
+  c.link_rate = 1e6;
+  c.capacity_pkts = 200;
+  c.num_predicted_classes = 2;
+  c.binary_feedback = true;
+  c.mark_threshold = threshold;
+  return c;
+}
+
+// ------------------------------------------------------------- scheduler --
+
+TEST(BinaryFeedback, MarkingOffByDefault) {
+  sched::UnifiedScheduler::Config c = mark_cfg();
+  c.binary_feedback = false;
+  sched::UnifiedScheduler q(c);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(offer(q, datagram_pkt(9, i, 0.0), 0.0).empty());
+  }
+  EXPECT_EQ(q.mark_samples(), 0u);
+  EXPECT_EQ(q.cong_marks(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(q.dequeue(1.0)->cong_mark);
+  }
+}
+
+TEST(BinaryFeedback, AvgQueueLengthHandComputed) {
+  // Arrivals at t=0 and t=1, both 1 packet; service held back so the queue
+  // area is exactly the hand-drawn staircase.
+  sched::UnifiedScheduler q(mark_cfg(/*threshold=*/1.0));
+
+  // t=0, first arrival: elapsed==0, the sample falls back to the current
+  // size (0, the arrival itself excluded) — below threshold, unmarked.
+  ASSERT_TRUE(offer(q, datagram_pkt(9, 0, 0.0), 0.0).empty());
+  EXPECT_EQ(q.mark_samples(), 1u);
+  EXPECT_EQ(q.cong_marks(), 0u);
+
+  // One packet queued for one second: area 1, elapsed 1 -> average 1.0.
+  EXPECT_DOUBLE_EQ(q.datagram_avg_queue(1.0), 1.0);
+
+  // t=1, second arrival samples exactly 1.0 >= 1.0 -> marked (inclusive).
+  ASSERT_TRUE(offer(q, datagram_pkt(9, 1, 1.0), 1.0).empty());
+  EXPECT_EQ(q.mark_samples(), 2u);
+  EXPECT_EQ(q.cong_marks(), 1u);
+
+  // Two packets over [1,2] add area 2: (1 + 2) / 2 = 1.5.
+  EXPECT_DOUBLE_EQ(q.datagram_avg_queue(2.0), 1.5);
+
+  // The verdict rides on the packet itself, in FIFO order.
+  auto first = q.dequeue(2.0);
+  auto second = q.dequeue(2.0);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_FALSE(first->cong_mark);
+  EXPECT_TRUE(second->cong_mark);
+
+  // Draining the class ends the regeneration cycle: history is forgotten.
+  EXPECT_DOUBLE_EQ(q.datagram_avg_queue(3.0), 0.0);
+  ASSERT_TRUE(offer(q, datagram_pkt(9, 2, 3.0), 3.0).empty());
+  EXPECT_EQ(q.mark_samples(), 3u);
+  EXPECT_EQ(q.cong_marks(), 1u);  // fresh cycle, average 0: unmarked
+}
+
+TEST(BinaryFeedback, ThresholdBoundaryIsInclusive) {
+  // Arrivals at t=0, 1, 2 build an average of exactly (1 + 2)/2 = 1.5 at
+  // the third sampling instant.  threshold == average must mark;
+  // threshold just above must not.
+  for (const double threshold : {1.5, 1.6}) {
+    sched::UnifiedScheduler q(mark_cfg(threshold));
+    ASSERT_TRUE(offer(q, datagram_pkt(9, 0, 0.0), 0.0).empty());  // avg 0
+    ASSERT_TRUE(offer(q, datagram_pkt(9, 1, 1.0), 1.0).empty());  // avg 1.0
+    ASSERT_TRUE(offer(q, datagram_pkt(9, 2, 2.0), 2.0).empty());  // avg 1.5
+    EXPECT_EQ(q.mark_samples(), 3u);
+    EXPECT_EQ(q.cong_marks(), threshold == 1.5 ? 1u : 0u)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(BinaryFeedback, GuaranteedTrafficNeverSampled) {
+  sched::UnifiedScheduler q(mark_cfg(/*threshold=*/0.0));
+  q.add_guaranteed(1, 5e5);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(offer(q, sched_test::guaranteed_pkt(1, i, 0.0), 0.0).empty());
+    ASSERT_TRUE(
+        offer(q, sched_test::predicted_pkt(2, i, 0.0, 0), 0.0).empty());
+  }
+  EXPECT_EQ(q.mark_samples(), 0u);
+  EXPECT_EQ(q.cong_marks(), 0u);
+}
+
+// ------------------------------------------------------------ echo path --
+
+TEST(BinaryFeedback, SinkEchoesMarkOnAck) {
+  sim::Simulator sim;
+  std::vector<net::PacketPtr> acks;
+  traffic::TcpSource::Config cfg;
+  traffic::TcpSink sink(sim, cfg, /*flow=*/7, /*sink_host=*/1, /*peer=*/0,
+                        [&acks](net::PacketPtr p) {
+                          acks.push_back(std::move(p));
+                        });
+
+  auto data = net::make_packet(7, 0, 0, 1, 0.0, cfg.packet_bits);
+  data->service = net::ServiceClass::kDatagram;
+  data->cong_mark = true;
+  sink.on_packet(std::move(data), 0.0);
+
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0]->is_ack);
+  EXPECT_EQ(acks[0]->ack_seq, 1u);
+  EXPECT_TRUE(acks[0]->cong_echo);
+  EXPECT_EQ(sink.echoes_sent(), 1u);
+
+  auto clean = net::make_packet(7, 1, 0, 1, 0.1, cfg.packet_bits);
+  clean->service = net::ServiceClass::kDatagram;
+  sink.on_packet(std::move(clean), 0.1);
+
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_EQ(acks[1]->ack_seq, 2u);
+  EXPECT_FALSE(acks[1]->cong_echo);
+  EXPECT_EQ(sink.acks_sent(), 2u);
+  EXPECT_EQ(sink.echoes_sent(), 1u);
+  EXPECT_EQ(sink.rcv_next(), 2u);
+}
+
+// --------------------------------------------------------- AIMD response --
+
+struct FeedbackDriver {
+  sim::Simulator sim;
+  std::vector<net::PacketPtr> wire;  ///< segments the source emitted
+  std::unique_ptr<traffic::TcpSource> src;
+
+  explicit FeedbackDriver(double max_cwnd = 64.0) {
+    traffic::TcpSource::Config cfg;
+    cfg.binary_feedback = true;
+    cfg.max_cwnd = max_cwnd;
+    src = std::make_unique<traffic::TcpSource>(
+        sim, cfg, /*flow=*/7, /*src=*/0, /*dst=*/1,
+        [this](net::PacketPtr p) { wire.push_back(std::move(p)); }, nullptr);
+    src->start(0.0);
+    sim.run_until(0.0);  // fires the start event: initial window goes out
+  }
+
+  void ack(std::uint64_t ack_seq, bool echo, sim::Time now = 0.0) {
+    auto a = net::make_packet(7, 0, 1, 0, now, 320);
+    a->is_ack = true;
+    a->ack_seq = ack_seq;
+    a->cong_echo = echo;
+    src->on_packet(std::move(a), now);
+  }
+};
+
+TEST(BinaryFeedback, ExactAimdStepValues) {
+  FeedbackDriver d(/*max_cwnd=*/64.0);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 64.0);  // starts wide open
+
+  // Round 1 (length 1, the initial window): fully marked -> multiplicative
+  // decrease 64 * 0.875 = 56, exactly.
+  d.ack(1, /*echo=*/true);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 56.0);
+  EXPECT_EQ(d.src->fb_backoffs(), 1u);
+  EXPECT_EQ(d.src->echoes_received(), 1u);
+
+  // Round 2 (length 1: the window at the step instant was still 1):
+  // unmarked -> additive increase, 56 + 1 = 57.
+  d.ack(2, /*echo=*/false);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 57.0);
+  EXPECT_EQ(d.src->fb_backoffs(), 1u);
+
+  // Round 3 spans two ACKs (window had grown to 2): no step after the
+  // first, one additive step after the second.
+  d.ack(3, /*echo=*/false);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 57.0);
+  d.ack(4, /*echo=*/false);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 58.0);
+}
+
+TEST(BinaryFeedback, MixedRoundUsesMarkedFraction) {
+  // Grow to a 2-ACK round, then deliver one marked + one clean ACK: the
+  // marked fraction (0.5) meets fb_fraction (0.5) -> decrease.
+  FeedbackDriver d(/*max_cwnd=*/64.0);
+  d.ack(1, false);  // round 1 -> 65? no: additive capped at max_cwnd (64)
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 64.0);
+  d.ack(2, false);  // round 2 (length 1) -> stays capped at 64
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 64.0);
+  d.ack(3, true);   // round 3, first of two ACKs
+  d.ack(4, false);  // 1 of 2 marked -> 64 * 0.875 = 56
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 56.0);
+  EXPECT_EQ(d.src->fb_backoffs(), 1u);
+}
+
+TEST(BinaryFeedback, FeedbackWindowFloorsAtTwo) {
+  FeedbackDriver d(/*max_cwnd=*/8.0);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 8.0);
+  for (std::uint64_t k = 1; k <= 200; ++k) d.ack(k, /*echo=*/true);
+  EXPECT_DOUBLE_EQ(d.src->fb_wnd(), 2.0);  // max(2, w * 0.875) fixed point
+  EXPECT_GE(d.src->fb_backoffs(), 11u);    // 8 * 0.875^11 < 2
+}
+
+}  // namespace
+}  // namespace ispn

@@ -1,0 +1,205 @@
+// Property suite for the admission plane under RESPONSIVE traffic.
+//
+// The CSZ admission machinery was built against open-loop sources; the
+// congestion-control stacks close the loop (window backoff, retransmits,
+// pacing) and the DEC-TR-506 feedback bit adds a second control loop on
+// top.  These properties pin that none of that shakes the invariants:
+//
+//   1. Admitted guaranteed flows keep their Parekh–Gallager bound while
+//      responsive datagram traffic churns, backs off and retransmits
+//      around them (WFQ isolation is CC-agnostic).
+//   2. The conservation ledger stays exact through retransmissions and
+//      bidirectional (data + ACK) packet flows, including under overload.
+//   3. A rejected request leaves the fabric bit-identical to never having
+//      asked, even with every CC stack live on the same links.
+//   4. On a fixed fabric, congestion marks are monotone in offered load.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/tracer.h"
+#include "scenario/runner.h"
+#include "sim/random.h"
+
+namespace ispn {
+namespace {
+
+scenario::ScenarioSpec responsive_churn_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec = scenario::preset("churn");
+  spec.run_seconds = 4.0;
+  spec.p_guaranteed = 0.35;
+  spec.p_predicted = 0.40;  // the remaining quarter is responsive datagram
+  spec.cc = scenario::CcKind::kMix;  // all three stacks interleaved
+  spec.binary_feedback = true;
+  spec.seed = seed;
+  return spec;
+}
+
+// --- 1: PG bounds survive responsive churn --------------------------------
+
+TEST(CcProperty, PgBoundHoldsUnderResponsiveChurn) {
+  std::uint64_t responsive_flows = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    scenario::ScenarioRunner runner(responsive_churn_spec(seed));
+    const auto report = runner.run();
+    ASSERT_TRUE(report.conserved()) << "seed " << seed;
+    responsive_flows += report.cc_flows;
+
+    std::size_t checked = 0;
+    for (const auto& f : report.flows) {
+      if (f.service != net::ServiceClass::kGuaranteed || !f.admitted ||
+          f.delivered == 0 || f.reroutes > 0 || f.degraded) {
+        continue;
+      }
+      ++checked;
+      ASSERT_GT(f.bound, 0.0);
+      EXPECT_LE(f.max_delay, f.bound)
+          << "seed " << seed << " flow " << f.flow << " (" << f.hops
+          << " hops): guaranteed delay " << f.max_delay * 1e3
+          << " ms exceeded its bound " << f.bound * 1e3
+          << " ms under responsive churn";
+    }
+    EXPECT_GT(checked, 0u) << "seed " << seed
+                           << ": no guaranteed flow ever delivered";
+  }
+  EXPECT_GT(responsive_flows, 0u)
+      << "the churn mix never attached a responsive flow: the property "
+         "was vacuous";
+}
+
+// --- 2: conservation through backoff and retransmission -------------------
+
+TEST(CcProperty, ConservationExactUnderOverloadAndBackoff) {
+  std::uint64_t backoffs = 0, marks = 0, retransmits = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    scenario::ScenarioSpec spec = scenario::preset("parking_lot");
+    scenario::apply_scale(spec, "small");
+    spec.arrival_rate = 0;
+    spec.target_flows = 16;
+    spec.p_guaranteed = 0.15;
+    spec.p_predicted = 0.25;
+    spec.avg_rate_pps = 200.0;  // open-loop classes overload the lot
+    spec.cc = scenario::CcKind::kMix;
+    spec.binary_feedback = true;
+    spec.seed = seed;
+    scenario::ScenarioRunner runner(spec);
+    const auto report = runner.run();
+    ASSERT_TRUE(report.conserved())
+        << "seed " << seed << ": ledger broke under responsive overload";
+    EXPECT_GT(report.cc_flows, 0u) << "seed " << seed;
+    backoffs += report.cc_backoffs;
+    marks += report.cc_marks;
+    retransmits += report.tcp_retransmits;
+  }
+  // The property is only meaningful if the feedback loop actually closed.
+  EXPECT_GT(marks, 0u) << "overloaded lot never marked a datagram";
+  EXPECT_GT(backoffs, 0u) << "no source ever took a multiplicative decrease";
+  EXPECT_GT(retransmits, 0u) << "overload never cost a responsive segment";
+}
+
+// --- 3: rejected requests leave no trace ----------------------------------
+
+std::vector<net::PacketTracer::Record> responsive_trace(std::uint64_t seed,
+                                                        bool with_doomed_ask) {
+  scenario::ScenarioSpec spec = responsive_churn_spec(seed);
+  spec.preempt_on_reject = false;  // the doomed ask must change nothing
+  scenario::ScenarioRunner runner(spec);
+  net::PacketTracer tracer(1u << 22);
+  runner.set_tracer(&tracer);
+  runner.prepare();
+  tracer.attach(runner.net());
+
+  if (with_doomed_ask) {
+    sim::Rng rng(seed, 991);
+    const sim::Time when = rng.uniform(1.0, 2.5);
+    const sim::Rate huge = spec.link_rate * rng.uniform(1.0, 20.0);
+    const auto od = runner.fabric().od_long.front();
+    runner.net().sim().at(when, [&runner, huge, od] {
+      auto& ispn = runner.ispn();
+      core::FlowSpec g;
+      g.flow = 20000;
+      g.src = od.first;
+      g.dst = od.second;
+      g.service = net::ServiceClass::kGuaranteed;
+      g.guaranteed = core::GuaranteedSpec{huge};
+      const auto c = ispn.try_open_flow(g);
+      EXPECT_FALSE(c.commitment.admitted);
+    });
+  }
+
+  const auto report = runner.run();
+  EXPECT_TRUE(report.conserved());
+  EXPECT_GT(report.cc_flows, 0u) << "no responsive flow in the churn mix";
+  return tracer.records();
+}
+
+TEST(CcProperty, RejectedRequestBitIdenticalWithResponsiveTraffic) {
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    const auto without = responsive_trace(seed, false);
+    const auto with = responsive_trace(seed, true);
+    ASSERT_GT(without.size(), 500u) << "seed " << seed;
+    ASSERT_EQ(without.size(), with.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < without.size(); ++i) {
+      const auto& a = without[i];
+      const auto& b = with[i];
+      ASSERT_TRUE(a.time == b.time && a.event == b.event &&
+                  a.flow == b.flow && a.seq == b.seq && a.node == b.node &&
+                  a.queueing_delay == b.queueing_delay &&
+                  a.jitter_offset == b.jitter_offset)
+          << "seed " << seed << ": record " << i
+          << " diverged after a rejected request (flow " << b.flow
+          << " seq " << b.seq << " t=" << b.time << ")";
+    }
+  }
+}
+
+// --- 4: marks monotone in offered load ------------------------------------
+
+TEST(CcProperty, MarksMonotoneInOfferedLoad) {
+  // Fixed fabric, open-loop datagram sources (cc off so the offered load
+  // is exactly the knob, not a function of the feedback): cranking the
+  // per-flow rate can only increase the congestion marks.
+  for (const std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    std::uint64_t prev_marks = 0;
+    double prev_fraction = -1.0;
+    bool first = true;
+    for (const double pps : {50.0, 200.0, 800.0}) {
+      scenario::ScenarioSpec spec = scenario::preset("chain");
+      spec.chain_switches = 2;
+      spec.run_seconds = 4.0;
+      spec.arrival_rate = 0;
+      spec.target_flows = 8;
+      spec.p_guaranteed = 0.0;
+      spec.p_predicted = 0.0;  // all datagram
+      spec.source = scenario::SourceKind::kPoisson;
+      spec.avg_rate_pps = pps;
+      spec.binary_feedback = true;  // cc stays kOff
+      spec.seed = seed;
+      scenario::ScenarioRunner runner(spec);
+      const auto report = runner.run();
+      ASSERT_TRUE(report.conserved()) << "seed " << seed << " pps " << pps;
+      ASSERT_GT(report.cc_mark_samples, 0u)
+          << "seed " << seed << " pps " << pps;
+      const double fraction =
+          static_cast<double>(report.cc_marks) /
+          static_cast<double>(report.cc_mark_samples);
+      if (!first) {
+        EXPECT_GE(report.cc_marks, prev_marks)
+            << "seed " << seed << ": marks fell as load rose to " << pps;
+        EXPECT_GE(fraction, prev_fraction)
+            << "seed " << seed << ": mark fraction fell as load rose to "
+            << pps;
+      }
+      prev_marks = report.cc_marks;
+      prev_fraction = fraction;
+      first = false;
+    }
+    EXPECT_GT(prev_marks, 0u)
+        << "seed " << seed << ": even the overloaded point never marked";
+  }
+}
+
+}  // namespace
+}  // namespace ispn

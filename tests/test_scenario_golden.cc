@@ -78,6 +78,17 @@ struct GoldenRun {
   std::uint64_t flows_restored = 0;
   std::uint64_t restore_attempts = 0;
   std::uint64_t invariant_violations = 0;
+  // Responsive-traffic counters (PR 10): the congestion-control stacks and
+  // the DEC-TR-506 mark/echo/backoff loop are golden surface too.
+  std::uint64_t cc_flows = 0;
+  std::uint64_t cc_marks = 0;
+  std::uint64_t cc_mark_samples = 0;
+  std::uint64_t cc_echoes = 0;
+  std::uint64_t cc_backoffs = 0;
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t tcp_retransmits = 0;
+  std::uint64_t tcp_timeouts = 0;
+  std::uint64_t tcp_reorder_timeouts = 0;
 };
 
 GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
@@ -120,6 +131,15 @@ GoldenRun run_one(scenario::ScenarioSpec spec, sim::EventBackend event_backend,
   out.flows_restored = report.flows_restored;
   out.restore_attempts = report.restore_attempts;
   out.invariant_violations = report.invariant_violations;
+  out.cc_flows = report.cc_flows;
+  out.cc_marks = report.cc_marks;
+  out.cc_mark_samples = report.cc_mark_samples;
+  out.cc_echoes = report.cc_echoes;
+  out.cc_backoffs = report.cc_backoffs;
+  out.tcp_segments = report.tcp_segments;
+  out.tcp_retransmits = report.tcp_retransmits;
+  out.tcp_timeouts = report.tcp_timeouts;
+  out.tcp_reorder_timeouts = report.tcp_reorder_timeouts;
   return out;
 }
 
@@ -149,6 +169,15 @@ void expect_equal(const GoldenRun& ref, const GoldenRun& got,
   EXPECT_EQ(ref.flows_restored, got.flows_restored) << what;
   EXPECT_EQ(ref.restore_attempts, got.restore_attempts) << what;
   EXPECT_EQ(ref.invariant_violations, got.invariant_violations) << what;
+  EXPECT_EQ(ref.cc_flows, got.cc_flows) << what;
+  EXPECT_EQ(ref.cc_marks, got.cc_marks) << what;
+  EXPECT_EQ(ref.cc_mark_samples, got.cc_mark_samples) << what;
+  EXPECT_EQ(ref.cc_echoes, got.cc_echoes) << what;
+  EXPECT_EQ(ref.cc_backoffs, got.cc_backoffs) << what;
+  EXPECT_EQ(ref.tcp_segments, got.tcp_segments) << what;
+  EXPECT_EQ(ref.tcp_retransmits, got.tcp_retransmits) << what;
+  EXPECT_EQ(ref.tcp_timeouts, got.tcp_timeouts) << what;
+  EXPECT_EQ(ref.tcp_reorder_timeouts, got.tcp_reorder_timeouts) << what;
 }
 
 void golden(const scenario::ScenarioSpec& spec, const char* label) {
@@ -255,6 +284,33 @@ TEST(ScenarioGolden, ChaosFaultPlaneByteIdenticalAcrossBackends) {
   EXPECT_GT(ref.restore_attempts, 0u) << "re-admission backoff never fired";
   EXPECT_EQ(ref.invariant_violations, 0u) << "the monitor flagged the run";
   golden(spec, "chaos fault plane");
+}
+
+TEST(ScenarioGolden, CcMixWithBinaryFeedbackByteIdenticalAcrossBackends) {
+  // All three service classes live at once, with the best-effort flows
+  // driven by a round-robin mix of the reno/bbr/rack stacks and the
+  // DEC-TR-506 feedback loop marking at the bottleneneck's datagram
+  // class.  The responsive counters (marks, echoes, backoffs, segment
+  // and retransmit totals) join the golden contract.
+  scenario::ScenarioSpec spec = scenario::preset("parking_lot");
+  scenario::apply_scale(spec, "small");
+  spec.arrival_rate = 0;  // deterministic batch
+  spec.target_flows = 18;
+  spec.avg_rate_pps = 150.0;
+  spec.source = scenario::SourceKind::kPoisson;
+  spec.p_guaranteed = 0.2;
+  spec.p_predicted = 0.3;
+  spec.cc = scenario::CcKind::kMix;
+  spec.binary_feedback = true;
+  spec.seed = 18;
+
+  const GoldenRun ref =
+      run_one(spec, sim::EventBackend::kHeap, sched::OrderBackend::kHeap);
+  EXPECT_GT(ref.cc_flows, 2u) << "mix never attached all three stacks";
+  EXPECT_GT(ref.cc_marks, 0u) << "the bottleneck never marked";
+  EXPECT_GT(ref.cc_echoes, 0u) << "no mark was ever echoed";
+  EXPECT_GT(ref.tcp_segments, 0u);
+  golden(spec, "cc mix with binary feedback");
 }
 
 TEST(ScenarioGolden, ShardedFanInByteIdenticalAcrossBackends) {

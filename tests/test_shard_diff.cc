@@ -226,6 +226,9 @@ struct ShardRun {
   std::uint64_t nodes_crashed = 0, brownouts = 0, loss_episodes = 0;
   std::uint64_t flows_restored = 0, restore_attempts = 0;
   std::uint64_t invariant_violations = 0;
+  // Responsive-traffic counters (PR 10).
+  std::uint64_t cc_flows = 0, cc_marks = 0, cc_echoes = 0, cc_backoffs = 0;
+  std::uint64_t tcp_segments = 0, tcp_retransmits = 0;
 };
 
 ShardRun run_sharded(scenario::ScenarioSpec spec, int shards,
@@ -265,6 +268,12 @@ ShardRun run_sharded(scenario::ScenarioSpec spec, int shards,
   out.flows_restored = report.flows_restored;
   out.restore_attempts = report.restore_attempts;
   out.invariant_violations = report.invariant_violations;
+  out.cc_flows = report.cc_flows;
+  out.cc_marks = report.cc_marks;
+  out.cc_echoes = report.cc_echoes;
+  out.cc_backoffs = report.cc_backoffs;
+  out.tcp_segments = report.tcp_segments;
+  out.tcp_retransmits = report.tcp_retransmits;
   return out;
 }
 
@@ -318,6 +327,12 @@ void expect_identical(const ShardRun& ref, const ShardRun& got,
   EXPECT_EQ(ref.flows_restored, got.flows_restored) << what;
   EXPECT_EQ(ref.restore_attempts, got.restore_attempts) << what;
   EXPECT_EQ(ref.invariant_violations, got.invariant_violations) << what;
+  EXPECT_EQ(ref.cc_flows, got.cc_flows) << what;
+  EXPECT_EQ(ref.cc_marks, got.cc_marks) << what;
+  EXPECT_EQ(ref.cc_echoes, got.cc_echoes) << what;
+  EXPECT_EQ(ref.cc_backoffs, got.cc_backoffs) << what;
+  EXPECT_EQ(ref.tcp_segments, got.tcp_segments) << what;
+  EXPECT_EQ(ref.tcp_retransmits, got.tcp_retransmits) << what;
 
   ASSERT_EQ(ref.flows.size(), got.flows.size()) << what;
   for (std::size_t i = 0; i < ref.flows.size(); ++i) {
@@ -424,6 +439,31 @@ TEST(ShardDiff, ChaosFaultPlaneByteIdenticalAcrossShardCounts) {
       << "faults never destroyed a packet";
   EXPECT_EQ(ref.invariant_violations, 0u) << "the monitor flagged the run";
   shard_diff(spec, "chaos fault plane");
+}
+
+TEST(ShardDiff, CcMixWithBinaryFeedbackByteIdenticalAcrossShardCounts) {
+  // Responsive best-effort flows (reno/bbr/rack round-robin) under the
+  // DEC-TR-506 feedback loop, with guaranteed and predicted classes
+  // alongside: data and ACK streams cross domain boundaries in both
+  // directions, so shard-count invariance now covers the transport
+  // timers (pacing, RTO, reorder) and the mark/echo/backoff counters.
+  scenario::ScenarioSpec spec = scenario::preset("parking_lot");
+  scenario::apply_scale(spec, "small");
+  spec.arrival_rate = 0;
+  spec.target_flows = 18;
+  spec.avg_rate_pps = 150.0;
+  spec.source = scenario::SourceKind::kPoisson;
+  spec.p_guaranteed = 0.2;
+  spec.p_predicted = 0.3;
+  spec.cc = scenario::CcKind::kMix;
+  spec.binary_feedback = true;
+  spec.seed = 41;
+
+  const ShardRun ref = run_sharded(spec, 1, sim::EventBackend::kHeap);
+  EXPECT_GT(ref.cc_flows, 2u) << "mix never attached all three stacks";
+  EXPECT_GT(ref.cc_marks, 0u) << "the lot never marked a datagram";
+  EXPECT_GT(ref.cc_echoes, 0u) << "no mark was ever echoed";
+  shard_diff(spec, "cc mix with binary feedback");
 }
 
 TEST(ShardDiff, SteppingAndSkippingSyncProduceIdenticalResults) {

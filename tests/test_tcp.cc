@@ -138,5 +138,121 @@ TEST(Tcp, AcksCarryCumulativeSequence) {
   EXPECT_LE(h.sink->rcv_next() - h.source->delivered(), 64u);
 }
 
+// --- RTO re-arm rule ------------------------------------------------------
+
+TEST(TcpRtoRearm, AnchoredAtEarliestOutstandingSend) {
+  // The old rule re-armed `now + rto` on every ACK, quietly granting the
+  // oldest un-acked segment a fresh full RTO each time newer data was
+  // acknowledged — under a steady ACK clock the timer could recede
+  // forever.  The fix anchors the expiry at the EARLIEST outstanding
+  // transmission.  Driven directly (no network) so the send times are
+  // exact: seq 0 and 1 go out at t=0; ACKing seq 0 at t=0.5 leaves seq 1
+  // (sent at 0) outstanding, so the timer must expire at 0 + rto, not
+  // 0.5 + rto.
+  sim::Simulator sim;
+  std::vector<net::PacketPtr> wire;
+  TcpSource::Config config;
+  config.initial_cwnd = 2.0;
+  TcpSource src(
+      sim, config, 1, 0, 1,
+      [&wire](net::PacketPtr p) { wire.push_back(std::move(p)); }, nullptr);
+  src.start(0.0);
+  sim.run_until(0.0);
+  ASSERT_EQ(wire.size(), 2u);  // initial window: seq 0 and 1 at t=0
+  ASSERT_TRUE(src.rto_pending());
+
+  sim.run_until(0.5);  // nothing fires; the clock just advances
+  auto ack = net::make_packet(1, 0, 1, 0, 0.5, config.ack_bits);
+  ack->is_ack = true;
+  ack->ack_seq = 1;
+  src.on_packet(std::move(ack), 0.5);
+
+  ASSERT_GT(src.delivered(), 0u);
+  ASSERT_TRUE(src.rto_pending());
+  // Anchored at seq 1's transmission time (t=0), not at the ACK instant.
+  EXPECT_DOUBLE_EQ(src.sent_at(1), 0.0);
+  EXPECT_DOUBLE_EQ(src.rto_expiry(), src.sent_at(1) + src.rto());
+  EXPECT_LT(src.rto_expiry(), 0.5 + src.rto());
+}
+
+TEST(TcpRtoRearm, FreshWindowAfterFullAckUsesNewSendTimes) {
+  // Once everything outstanding is acked, the next window's timer anchors
+  // at the new earliest send, which IS the current instant.
+  sim::Simulator sim;
+  std::vector<net::PacketPtr> wire;
+  TcpSource::Config config;  // initial_cwnd = 1
+  TcpSource src(
+      sim, config, 1, 0, 1,
+      [&wire](net::PacketPtr p) { wire.push_back(std::move(p)); }, nullptr);
+  src.start(0.0);
+  sim.run_until(0.0);
+  ASSERT_EQ(wire.size(), 1u);
+
+  sim.run_until(0.3);
+  auto ack = net::make_packet(1, 0, 1, 0, 0.3, config.ack_bits);
+  ack->is_ack = true;
+  ack->ack_seq = 1;
+  src.on_packet(std::move(ack), 0.3);
+
+  ASSERT_GT(wire.size(), 1u);  // cwnd grew: next window out at t=0.3
+  ASSERT_TRUE(src.rto_pending());
+  EXPECT_DOUBLE_EQ(src.rto_expiry(), 0.3 + src.rto());
+}
+
+// --- per-stack behaviour over the real network ----------------------------
+
+TEST(TcpStacks, BbrDeliversAndPacesWithoutLoss) {
+  TcpSource::Config config;
+  config.cc = CcAlgo::kBbr;
+  TcpHarness h(/*buffer_pkts=*/10000, config);
+  h.source->start(0);
+  h.net.sim().run_until(30.0);
+  EXPECT_EQ(h.source->algo(), CcAlgo::kBbr);
+  // Rate-based pacing converges near the link rate without needing loss.
+  EXPECT_GT(h.source->delivered(), 20000u);
+  EXPECT_GE(h.sink->rcv_next(), h.source->delivered());
+}
+
+TEST(TcpStacks, BbrSurvivesTinyBuffer) {
+  TcpSource::Config config;
+  config.cc = CcAlgo::kBbr;
+  TcpHarness h(/*buffer_pkts=*/10, config);
+  h.source->start(0);
+  h.net.sim().run_until(30.0);
+  // A paced sender barely stresses a tiny buffer: goodput keeps flowing.
+  EXPECT_GT(h.source->delivered(), 10000u);
+}
+
+TEST(TcpStacks, RackRecoversViaReorderTimer) {
+  TcpSource::Config config;
+  config.cc = CcAlgo::kRack;
+  TcpHarness h(/*buffer_pkts=*/10, config);
+  h.source->start(0);
+  h.net.sim().run_until(30.0);
+  EXPECT_EQ(h.source->algo(), CcAlgo::kRack);
+  EXPECT_GT(h.net.stats(1).net_drops, 0u);
+  // Losses are declared by the reorder timer, never by an instant
+  // three-dup-ack retransmit.
+  EXPECT_GT(h.source->reorder_timeouts(), 0u);
+  EXPECT_GT(h.source->retransmits(), 0u);
+  EXPECT_GT(h.source->delivered(), 10000u);
+  EXPECT_GE(h.sink->rcv_next(), h.source->delivered());
+}
+
+TEST(TcpStacks, EachStackIsDeterministic) {
+  for (const CcAlgo algo : {CcAlgo::kReno, CcAlgo::kBbr, CcAlgo::kRack}) {
+    auto run = [algo] {
+      TcpSource::Config config;
+      config.cc = algo;
+      TcpHarness h(50, config);
+      h.source->start(0);
+      h.net.sim().run_until(10.0);
+      return std::tuple{h.source->delivered(), h.source->retransmits(),
+                        h.source->timeouts(), h.source->reorder_timeouts()};
+    };
+    EXPECT_EQ(run(), run()) << to_string(algo);
+  }
+}
+
 }  // namespace
 }  // namespace ispn::traffic

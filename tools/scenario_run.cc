@@ -36,7 +36,7 @@ int usage(const char* argv0) {
                "usage: %s (--preset NAME | --chaos | CONFIG.json) "
                "[--scale SCALE] [--json PATH] "
                "[--fail-link SRC:DST@T[,up@T2]] "
-               "[--shards N] [key=value ...]\n"
+               "[--shards N] [--cc off|reno|bbr|rack|mix] [key=value ...]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -100,6 +100,14 @@ int main(int argc, char** argv) {
         // bit-identical to N=1 (0 restores the classic single clock).
         if (++i >= argc) return usage(argv[0]);
         scenario::apply_override(spec, "shards", argv[i]);
+        have_overrides = true;
+      } else if (arg == "--cc") {
+        // Congestion-control stack for the datagram flows (off keeps the
+        // open-loop generators); pair with binary_feedback=1 for the
+        // DEC-TR-506 marking loop.
+        if (++i >= argc) return usage(argv[0]);
+        scenario::apply_override(spec, "cc", argv[i]);
+        have_spec = true;
         have_overrides = true;
       } else if (arg == "--fail-link") {
         // SRC:DST@T[,up@T2] — take the duplex link down at T (and back up
